@@ -1,0 +1,63 @@
+// Ablation: compression-buffer block size. The paper fixes 0.128 MB;
+// this sweep shows the trade-off that choice sits on — smaller blocks
+// start interleaving sooner (less unusable first-block idle) and adapt
+// at finer grain, but pay more per-block overhead and lose LZ context
+// at block boundaries.
+#include <cstdio>
+
+#include "common.h"
+#include "compress/selective.h"
+#include "core/planner.h"
+#include "sim/transfer.h"
+#include "workload/generator.h"
+
+using namespace ecomp;
+using namespace ecomp::bench;
+
+int main() {
+  const Bytes archive = workload::generate_kind(
+      workload::FileKind::TarMixed,
+      static_cast<std::size_t>(4 * 1024 * 1024 * corpus_scale() * 20),
+      /*seed=*/5, 0.0);
+  const double s = static_cast<double>(archive.size()) / 1e6;
+  const auto model = core::EnergyModel::paper_11mbps();
+  const auto policy = core::make_selective_policy(model);
+  const sim::TransferSimulator simulator;
+
+  std::printf("=== Ablation: selective-container block size (mixed "
+              "archive, %.2f MB) ===\n\n",
+              s);
+  std::printf("%10s %12s %8s %10s %10s %10s\n", "block", "wire B", "factor",
+              "raw blks", "time s", "energy J");
+  print_rule(68);
+
+  for (std::size_t block : {16u * 1024, 32u * 1024, 64u * 1024, 128u * 1024,
+                            256u * 1024, 512u * 1024, 1024u * 1024}) {
+    const auto r = compress::selective_compress(archive, policy, block);
+    std::vector<sim::BlockTransfer> blocks;
+    std::size_t raw_blocks = 0;
+    for (const auto& b : r.blocks) {
+      blocks.push_back({static_cast<double>(b.raw_size) / 1e6,
+                        static_cast<double>(b.payload_size) / 1e6,
+                        b.compressed});
+      if (!b.compressed) ++raw_blocks;
+    }
+    sim::TransferOptions opt;
+    opt.interleave = true;
+    opt.block_mb = static_cast<double>(block) / 1e6;
+    const auto res = simulator.download_selective(blocks, "deflate", opt);
+    const double factor =
+        static_cast<double>(archive.size()) /
+        static_cast<double>(r.container.size());
+    std::printf("%9zuK %12zu %8.3f %7zu/%-2zu %10.3f %10.4f\n", block / 1024,
+                r.container.size(), factor, raw_blocks, r.blocks.size(),
+                res.time_s, res.energy_j);
+  }
+  std::printf(
+      "\nreading: small blocks adapt at fine grain (many raw blocks "
+      "protect the incompressible members) but pay per-block headers and "
+      "lose LZ context; large blocks average mixed content into "
+      "compress-everything decisions. Mid-size blocks — the paper's "
+      "0.128 MB — balance the two.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: the bzip2-style multi-table entropy stage in the BWT codec.
+// Sweeps the table cap (1 = single Huffman table, 6 = bzip2's maximum)
+// over homogeneous and heterogeneous inputs, reporting the compression
+// factor each achieves.
+#include <cstdio>
+
+#include "common.h"
+#include "compress/bwt_codec.h"
+#include "workload/generator.h"
+
+using namespace ecomp;
+using namespace ecomp::bench;
+
+int main() {
+  const auto size = static_cast<std::size_t>(
+      1024 * 1024 * std::max(0.25, corpus_scale() * 5));
+  struct Input {
+    const char* label;
+    workload::FileKind kind;
+    double tune;
+  };
+  const Input inputs[] = {
+      {"xml (homogeneous)", workload::FileKind::Xml, 0.2},
+      {"log (homogeneous)", workload::FileKind::Log, 0.0},
+      {"tar-mixed (heterogeneous)", workload::FileKind::TarMixed, 0.0},
+      {"pdf (text+streams)", workload::FileKind::Pdf, 0.0},
+  };
+
+  std::printf("=== Ablation: BWT entropy stage — Huffman table cap ===\n");
+  std::printf("input size %zu bytes; cells are compression factors\n\n",
+              size);
+  std::printf("%-28s %8s %8s %8s %8s\n", "input", "1 tbl", "2 tbl", "3 tbl",
+              "6 tbl");
+  print_rule(66);
+  for (const auto& in : inputs) {
+    const Bytes data = workload::generate_kind(in.kind, size, 17, in.tune);
+    std::printf("%-28s", in.label);
+    for (int cap : {1, 2, 3, 6}) {
+      const compress::BwtCodec codec(9, cap);
+      const Bytes packed = codec.compress(data);
+      if (codec.decompress(packed) != data) {
+        std::fprintf(stderr, "roundtrip failure (cap %d)\n", cap);
+        return 1;
+      }
+      std::printf(" %8.3f", static_cast<double>(data.size()) /
+                                static_cast<double>(packed.size()));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nreading: extra tables buy the most on heterogeneous data (mixed "
+      "archives, PDFs with interleaved text and binary streams), which is "
+      "also where the paper's selective scheme operates.\n");
+  return 0;
+}

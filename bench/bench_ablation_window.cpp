@@ -1,0 +1,63 @@
+// Ablation: LZ77 sliding-window size. The paper's gzip uses the
+// format's maximum 32 KB window; handhelds with tighter memory budgets
+// could shrink it. Sweeps the window and reports compression factor and
+// the modeled interleaved-download energy on text and mixed data.
+#include <cstdio>
+
+#include "common.h"
+#include "compress/deflate.h"
+#include "core/energy_model.h"
+#include "workload/generator.h"
+
+using namespace ecomp;
+using namespace ecomp::bench;
+
+namespace {
+
+double factor_with_window(const Bytes& data, int window) {
+  compress::Lz77Params params = compress::Lz77Params::for_level(9);
+  params.window_size = window;
+  BitWriterLsb bw;
+  compress::deflate_raw(data, params, bw);
+  const Bytes payload = bw.take();
+  // Verify while we're here.
+  BitReaderLsb br(payload);
+  if (compress::inflate_raw(br, data.size()) != data)
+    throw Error("window ablation: roundtrip failed");
+  return static_cast<double>(data.size()) /
+         static_cast<double>(payload.size());
+}
+
+}  // namespace
+
+int main() {
+  const auto size = static_cast<std::size_t>(
+      1024 * 1024 * std::max(0.25, corpus_scale() * 5));
+  const auto model = core::EnergyModel::paper_11mbps();
+
+  std::printf("=== Ablation: LZ77 window size (deflate -9) ===\n");
+  std::printf("input %zu bytes; cells: compression factor | E_intl J "
+              "for the XML input\n\n",
+              size);
+  std::printf("%10s %12s %12s %14s\n", "window", "xml factor",
+              "mixed factor", "xml E_intl J");
+  print_rule(54);
+
+  const Bytes xml =
+      workload::generate_kind(workload::FileKind::Xml, size, 31, 0.25);
+  const Bytes mixed =
+      workload::generate_kind(workload::FileKind::TarMixed, size, 32, 0.0);
+  const double s = static_cast<double>(size) / 1e6;
+
+  for (int window : {1024, 4096, 8192, 16384, 32768}) {
+    const double fx = factor_with_window(xml, window);
+    const double fm = factor_with_window(mixed, window);
+    std::printf("%9dK %12.3f %12.3f %14.4f\n", window / 1024, fx, fm,
+                model.interleaved_energy_j(s, s / fx));
+  }
+  std::printf(
+      "\nreading: the factor (and hence the radio saving) degrades "
+      "gracefully down to ~4 KB windows — a memory-constrained receiver "
+      "gives up little of the paper's energy win.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Codec micro-throughput on this host (google-benchmark). Supports the
+// CpuModel calibration narrative: relative codec speeds — deflate vs lzw
+// vs bwt, compress vs decompress — are the reproduction target, not the
+// absolute MB/s (the paper's device is a 206 MHz StrongARM).
+#include <benchmark/benchmark.h>
+
+#include "compress/codec.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace ecomp;
+
+const Bytes& text_input() {
+  static const Bytes data = workload::generate_kind(
+      workload::FileKind::Xml, 1 << 20, /*seed=*/21, 0.2);
+  return data;
+}
+
+void BM_Compress(benchmark::State& state, const char* codec_name) {
+  const auto codec = compress::make_codec(codec_name);
+  const Bytes& input = text_input();
+  for (auto _ : state) {
+    Bytes out = codec->compress(input);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+
+void BM_Decompress(benchmark::State& state, const char* codec_name) {
+  const auto codec = compress::make_codec(codec_name);
+  const Bytes packed = codec->compress(text_input());
+  for (auto _ : state) {
+    Bytes out = codec->decompress(packed);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text_input().size()));
+}
+
+BENCHMARK_CAPTURE(BM_Compress, deflate, "deflate");
+BENCHMARK_CAPTURE(BM_Compress, lzw, "lzw");
+BENCHMARK_CAPTURE(BM_Compress, bwt, "bwt");
+BENCHMARK_CAPTURE(BM_Decompress, deflate, "deflate");
+BENCHMARK_CAPTURE(BM_Decompress, lzw, "lzw");
+BENCHMARK_CAPTURE(BM_Decompress, bwt, "bwt");
+// The interoperable on-disk formats (same engines + format framing).
+BENCHMARK_CAPTURE(BM_Compress, gz, "gz");
+BENCHMARK_CAPTURE(BM_Compress, unix_Z, "Z");
+BENCHMARK_CAPTURE(BM_Compress, bz2, "bz2");
+BENCHMARK_CAPTURE(BM_Decompress, gz, "gz");
+BENCHMARK_CAPTURE(BM_Decompress, unix_Z, "Z");
+BENCHMARK_CAPTURE(BM_Decompress, bz2, "bz2");
+
+}  // namespace
+
+BENCHMARK_MAIN();

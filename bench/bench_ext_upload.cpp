@@ -1,0 +1,67 @@
+// Extension bench (paper future work, §1/§7): energy of *uploading*
+// with on-device compression. The roles flip — compression, the
+// expensive direction, now runs on the 206 MHz handheld — so the
+// break-even factor rises sharply and bzip2 drops out entirely.
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "core/upload_model.h"
+#include "sim/transfer.h"
+
+using namespace ecomp;
+using namespace ecomp::bench;
+
+int main() {
+  auto files = measure_corpus(corpus_scale(), {"deflate", "lzw"},
+                              /*large_only=*/true);
+  sort_for_figures(files);
+  const sim::TransferSimulator simulator;
+
+  std::printf(
+      "=== Extension: upload with on-device compression (energy relative "
+      "to raw upload) ===\n\n");
+  std::printf("%-24s %7s | %9s %9s | %9s %9s | %s\n", "file", "gzip F",
+              "gzip seq", "gzip intl", "lzw seq", "lzw intl", "best");
+  print_rule(92);
+
+  for (const auto& f : files) {
+    const double s = f.mb();
+    const double e_raw = simulator.upload_uncompressed(s).energy_j;
+    auto rel = [&](const std::string& codec, bool interleave) {
+      sim::TransferOptions opt;
+      opt.interleave = interleave;
+      opt.sleep_during_decompress = !interleave;  // radio sleeps up front
+      return simulator
+                 .upload_compressed(s, f.compressed_mb(codec), codec, opt)
+                 .energy_j /
+             e_raw;
+    };
+    const double gs = rel("deflate", false), gi = rel("deflate", true);
+    const double ls = rel("lzw", false), li = rel("lzw", true);
+    const double best = std::min({1.0, gs, gi, ls, li});
+    const char* label = best == 1.0  ? "raw"
+                        : best == gs ? "gzip seq"
+                        : best == gi ? "gzip intl"
+                        : best == ls ? "lzw seq"
+                                     : "lzw intl";
+    std::printf("%-24s %7.2f | %9.2f %9.2f | %9.2f %9.2f | %s\n",
+                f.entry.name.c_str(), f.factor.at("deflate"), gs, gi, ls,
+                li, label);
+  }
+
+  std::printf("\nbreak-even factors (3 MB file):\n");
+  const auto down = core::EnergyModel::paper_11mbps();
+  std::printf("  download (gzip decode on device): F* = %.2f\n",
+              down.min_factor(3.0));
+  for (const char* codec : {"deflate", "lzw", "bwt"}) {
+    const core::UploadModel up(core::EnergyParams{},
+                               sim::CpuModel::ipaq().compress_cost(codec));
+    const double f = up.min_factor(3.0);
+    if (std::isinf(f))
+      std::printf("  upload   (%s encode on device): never pays\n", codec);
+    else
+      std::printf("  upload   (%s encode on device): F* = %.2f\n", codec, f);
+  }
+  return 0;
+}

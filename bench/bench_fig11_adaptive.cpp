@@ -1,0 +1,86 @@
+// Figure 11 reproduction: effect of the block-by-block adaptive scheme
+// (Fig. 10) on time and energy, for the files it can affect — the
+// low-factor and mixed-content part of the corpus. Bars: gzip / zlib
+// without interleaving / zlib with interleaving + adaptive policy.
+// The paper's headline: with the adaptive scheme the compression tool
+// no longer incurs higher energy cost than raw for ANY file.
+#include <cstdio>
+
+#include "common.h"
+#include "compress/deflate.h"
+#include "core/planner.h"
+#include "sim/transfer.h"
+
+using namespace ecomp;
+using namespace ecomp::bench;
+
+int main() {
+  const double scale = corpus_scale();
+  const auto model = core::EnergyModel::paper_11mbps();
+  const auto policy = core::make_selective_policy(model);
+  const sim::TransferSimulator simulator;
+  const compress::DeflateCodec codec(9);
+
+  // The scheme only changes outcomes for files with low or uneven block
+  // factors (paper shows exactly those; others are unchanged).
+  const std::vector<std::string> affected = {
+      "sclerp.wav",   "pp.exe",        "input.graphic", "image01.jpg",
+      "lovecnife.mp3", "tom.015.m2v",  "image01.gif",   "input.random",
+      "langspec-2.0.pdf"};
+
+  std::printf(
+      "=== Figure 11: block-by-block adaptive scheme (time and energy "
+      "relative to raw download) ===\n\n");
+  std::printf("%-20s %6s | %-17s | %-17s | %-17s | %s\n", "file", "F",
+              "gzip t/E", "zlib t/E", "adaptive t/E", "blocks raw/total");
+  print_rule(108);
+
+  int adaptive_losses = 0;
+  for (const auto& name : affected) {
+    const auto& entry = workload::table2_entry(name);
+    const Bytes data = workload::generate(entry, scale);
+    const double s = static_cast<double>(data.size()) / 1e6;
+    const double sc =
+        static_cast<double>(codec.compress(data).size()) / 1e6;
+
+    const auto adaptive = compress::selective_compress(data, policy);
+    const auto always = compress::selective_compress(
+        data, compress::SelectivePolicy::always());
+    auto to_blocks = [](const compress::SelectiveResult& r) {
+      std::vector<sim::BlockTransfer> v;
+      for (const auto& b : r.blocks)
+        v.push_back({static_cast<double>(b.raw_size) / 1e6,
+                     static_cast<double>(b.payload_size) / 1e6,
+                     b.compressed});
+      return v;
+    };
+    std::size_t raw_blocks = 0;
+    for (const auto& b : adaptive.blocks)
+      if (!b.compressed) ++raw_blocks;
+
+    const auto base = simulator.download_uncompressed(s);
+    sim::TransferOptions seq;
+    sim::TransferOptions intl;
+    intl.interleave = true;
+    const auto g = simulator.download_compressed(s, sc, "deflate", seq);
+    const auto z = simulator.download_selective(to_blocks(always), "deflate",
+                                                seq);
+    const auto a = simulator.download_selective(to_blocks(adaptive),
+                                                "deflate", intl);
+    if (a.energy_j > base.energy_j * 1.015) ++adaptive_losses;
+
+    std::printf("%-20s %6.2f | %7.2f / %7.2f | %7.2f / %7.2f | "
+                "%7.2f / %7.2f | %zu/%zu\n",
+                name.c_str(), s / sc, g.time_s / base.time_s,
+                g.energy_j / base.energy_j, z.time_s / base.time_s,
+                z.energy_j / base.energy_j, a.time_s / base.time_s,
+                a.energy_j / base.energy_j, raw_blocks,
+                adaptive.blocks.size());
+  }
+
+  std::printf("\nfiles where the adaptive scheme loses energy vs raw beyond "
+              "1.5%% (container + bookkeeping overhead): %d  (paper: "
+              "\"virtually no energy cost for all data files\")\n",
+              adaptive_losses);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 12 reproduction: time when compressing on demand at the proxy,
+// large files. Bars: gzip / compress (proxy compresses fully, then the
+// device downloads and decompresses) vs zlib (block-adaptive, proxy
+// compression overlapped with sending, device decode interleaved).
+// Cells show compress-wait + download + decompress = total, relative to
+// downloading the raw file.
+#include <cstdio>
+
+#include "common.h"
+#include "sim/transfer.h"
+
+using namespace ecomp;
+using namespace ecomp::bench;
+
+int main() {
+  auto files = measure_corpus(corpus_scale(), {"deflate", "lzw"},
+                              /*large_only=*/true);
+  sort_for_figures(files);
+  const sim::TransferSimulator simulator;
+
+  std::printf(
+      "=== Figure 12: time, compression on demand (relative to raw "
+      "download) ===\n\n");
+  std::printf("%-24s | %-26s | %-26s | %-10s\n", "file",
+              "gzip  (wait+dl+dec=tot)", "compress (wait+dl+dec=tot)",
+              "zlib+intl");
+  print_rule(100);
+
+  for (const auto& f : files) {
+    const double s = f.mb();
+    const double t_raw = simulator.download_uncompressed(s).time_s;
+
+    auto seq_cell = [&](const std::string& codec) {
+      sim::TransferOptions opt;
+      opt.on_demand = sim::OnDemand::Sequential;
+      const auto r = simulator.download_compressed(
+          s, f.compressed_mb(codec), codec, opt);
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%5.2f+%5.2f+%5.2f=%5.2f",
+                    r.wait_time_s / t_raw, r.download_time_s / t_raw,
+                    r.decompress_time_s / t_raw, r.time_s / t_raw);
+      return std::string(buf);
+    };
+    sim::TransferOptions zl;
+    zl.on_demand = sim::OnDemand::Overlapped;
+    zl.interleave = true;
+    const auto z = simulator.download_compressed(
+        s, f.compressed_mb("deflate"), "deflate", zl);
+
+    std::printf("%-24s | %-26s | %-26s | %10.2f\n", f.entry.name.c_str(),
+                seq_cell("deflate").c_str(), seq_cell("lzw").c_str(),
+                z.time_s / t_raw);
+  }
+  std::printf(
+      "\nreading: the proxy (1 GHz P-III) compresses faster than the "
+      "0.6 MB/s link drains for gzip/compress at moderate factors, so "
+      "the zlib column's overlap hides compression almost completely "
+      "(paper §5).\n");
+  return 0;
+}

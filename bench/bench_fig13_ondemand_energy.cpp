@@ -1,0 +1,63 @@
+// Figure 13 reproduction: energy when compressing on demand, large
+// files. Same bars as Figure 12, in joules relative to raw download.
+// The device pays idle power while it waits for the proxy; the zlib
+// overlap eliminates that waiting.
+#include <cstdio>
+
+#include "common.h"
+#include "sim/transfer.h"
+
+using namespace ecomp;
+using namespace ecomp::bench;
+
+int main() {
+  auto files = measure_corpus(corpus_scale(), {"deflate", "lzw"},
+                              /*large_only=*/true);
+  sort_for_figures(files);
+  const sim::TransferSimulator simulator;
+
+  std::printf(
+      "=== Figure 13: energy, compression on demand (relative to raw "
+      "download) ===\n\n");
+  std::printf("%-24s %7s | %8s %10s %10s | %s\n", "file", "gzip F", "gzip",
+              "compress", "zlib+intl", "winner");
+  print_rule(86);
+
+  int gzip_or_zlib_wins = 0, rows = 0;
+  for (const auto& f : files) {
+    const double s = f.mb();
+    const double e_raw = simulator.download_uncompressed(s).energy_j;
+
+    auto seq = [&](const std::string& codec) {
+      sim::TransferOptions opt;
+      opt.on_demand = sim::OnDemand::Sequential;
+      return simulator
+                 .download_compressed(s, f.compressed_mb(codec), codec, opt)
+                 .energy_j /
+             e_raw;
+    };
+    sim::TransferOptions zl;
+    zl.on_demand = sim::OnDemand::Overlapped;
+    zl.interleave = true;
+    const double g = seq("deflate");
+    const double c = seq("lzw");
+    const double z = simulator
+                         .download_compressed(
+                             s, f.compressed_mb("deflate"), "deflate", zl)
+                         .energy_j /
+                     e_raw;
+    const char* winner = z <= g && z <= c ? "zlib" : g <= c ? "gzip"
+                                                            : "compress";
+    ++rows;
+    if (g <= c || z <= c) ++gzip_or_zlib_wins;
+    std::printf("%-24s %7.2f | %8.2f %10.2f %10.2f | %s\n",
+                f.entry.name.c_str(), f.factor.at("deflate"), g, c, z,
+                winner);
+  }
+  std::printf(
+      "\ngzip-family beats compress on %d of %d files; the revised zlib's "
+      "interleaving masks compression entirely, so no energy is wasted "
+      "waiting for compressed data (paper §5).\n",
+      gzip_or_zlib_wins, rows);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figures 3 and 4 reproduction: the phase timelines behind the energy
+// model — plain compressed download (idle gaps wasted) vs interleaving
+// in both regimes (decompression faster / slower than the gaps).
+// Rendered from the simulator's actual phase ledger.
+//   r = receiving (active), g = idle gap, d = decompressing
+#include <cstdio>
+
+#include "sim/transfer.h"
+
+using namespace ecomp::sim;
+
+namespace {
+
+void show(const char* title, const TransferResult& r, double s_per_char) {
+  std::printf("%s\n  %s\n", title, r.timeline.render_ascii(s_per_char).c_str());
+  std::printf("  time %.2f s   energy %.3f J   (download %.2f s, "
+              "decompress %.2f s)\n\n",
+              r.time_s, r.energy_j, r.download_time_s, r.decompress_time_s);
+}
+
+}  // namespace
+
+int main() {
+  const TransferSimulator sim;
+  const double scale = 0.05;  // seconds per character
+
+  std::printf("=== Figure 3: download then decompress (no interleaving) ===\n\n");
+  TransferOptions seq;
+  show("2 MB file, factor 3, sequential:",
+       sim.download_compressed(2.0, 2.0 / 3.0, "deflate", seq), scale);
+
+  std::printf(
+      "=== Figure 4(a): interleaving, decompression faster than the "
+      "gaps (low factor => lots of idle) ===\n\n");
+  TransferOptions inter;
+  inter.interleave = true;
+  show("2 MB file, factor 1.25, interleaved:",
+       sim.download_compressed(2.0, 1.6, "deflate", inter), scale);
+
+  std::printf(
+      "=== Figure 4(b): interleaving, decompression slower than the "
+      "gaps (high factor => little idle) ===\n\n");
+  show("2 MB file, factor 10, interleaved:",
+       sim.download_compressed(2.0, 0.2, "deflate", inter), scale);
+
+  std::printf(
+      "reading: interleaving converts 'g' time into 'd' time; with a "
+      "high factor the gaps fill completely and the tail spills past the "
+      "download (Eq. 3's two branches).\n");
+  return 0;
+}

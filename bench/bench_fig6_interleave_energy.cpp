@@ -1,0 +1,66 @@
+// Figure 6 reproduction: effect of interleaving on energy. Same bars as
+// Figure 5, in joules relative to the raw download.
+#include <cstdio>
+
+#include "common.h"
+#include "compress/deflate.h"
+#include "compress/selective.h"
+#include "sim/transfer.h"
+
+using namespace ecomp;
+using namespace ecomp::bench;
+
+int main() {
+  const double scale = corpus_scale();
+  const sim::TransferSimulator simulator;
+  const compress::DeflateCodec codec(9);
+
+  std::printf(
+      "=== Figure 6: effect of interleaving on energy (relative to raw "
+      "download) ===\n\n");
+  std::printf("%-24s %7s | %8s %10s %10s\n", "file", "gzip F", "gzip",
+              "zlib", "zlib+intl");
+  print_rule(70);
+
+  int worse_than_raw = 0;
+  bool small_header = false;
+  for (const auto& entry : workload::table2()) {
+    const Bytes data = workload::generate(entry, scale);
+    const double s = static_cast<double>(data.size()) / 1e6;
+    if (!entry.large && !small_header) {
+      std::printf("%-24s (small files)\n", "");
+      small_header = true;
+    }
+
+    const double sc =
+        static_cast<double>(codec.compress(data).size()) / 1e6;
+    const auto blocks_res = compress::selective_compress(
+        data, compress::SelectivePolicy::always());
+    std::vector<sim::BlockTransfer> blocks;
+    for (const auto& b : blocks_res.blocks)
+      blocks.push_back({static_cast<double>(b.raw_size) / 1e6,
+                        static_cast<double>(b.payload_size) / 1e6,
+                        b.compressed});
+
+    const double e_raw = simulator.download_uncompressed(s).energy_j;
+    sim::TransferOptions seq;
+    sim::TransferOptions intl;
+    intl.interleave = true;
+    const double e_gzip =
+        simulator.download_compressed(s, sc, "deflate", seq).energy_j;
+    const double e_zlib =
+        simulator.download_selective(blocks, "deflate", seq).energy_j;
+    const double e_intl =
+        simulator.download_selective(blocks, "deflate", intl).energy_j;
+    if (e_intl > e_raw) ++worse_than_raw;
+
+    std::printf("%-24s %7.2f | %8.2f %10.2f %10.2f\n", entry.name.c_str(),
+                s / sc, e_gzip / e_raw, e_zlib / e_raw, e_intl / e_raw);
+  }
+  std::printf(
+      "\nfiles where even interleaved compression loses to raw: %d — the "
+      "low-factor cases (paper §4.2 reports 2%%-14%% net loss there), "
+      "which Fig. 10/11's selective scheme then eliminates.\n",
+      worse_than_raw);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Eq. 5 / Eq. 6 reproduction: the model's closed-form constants and every
+// threshold the paper derives in §4.2-4.3, compared against the printed
+// values.
+#include <cstdio>
+
+#include "core/energy_model.h"
+
+using namespace ecomp;
+using namespace ecomp::core;
+
+int main() {
+  const auto m11 = EnergyModel::paper_11mbps();
+  const auto m2 = EnergyModel::from_device(sim::DeviceModel::ipaq_2mbps());
+
+  std::printf("=== Eq. 5: closed-form energy for interleaved compressed "
+              "downloading ===\n\n");
+  std::printf("our Eq. 3 evaluated with Table-1 parameters vs the paper's "
+              "printed Eq. 5 (joules):\n");
+  std::printf("%8s %8s | %12s %12s %9s\n", "s MB", "F", "ours", "paper",
+              "delta");
+  for (double s : {0.064, 0.5, 1.0, 4.0, 9.0}) {
+    for (double f : {1.5, 3.0, 8.0}) {
+      const double sc = s / f;
+      const double ours = m11.interleaved_energy_j(s, sc);
+      const double paper = EnergyModel::paper_eq5_11mbps(s, sc);
+      std::printf("%8.3f %8.1f | %12.4f %12.4f %+8.1f%%\n", s, f, ours,
+                  paper, 100 * (ours - paper) / paper);
+    }
+  }
+
+  std::printf("\n=== Eq. 6 and §4.2-§4.3 thresholds ===\n\n");
+  std::printf("%-52s %12s %12s\n", "quantity", "this repo", "paper");
+  std::printf("%-52s %11.0fB %12s\n",
+              "file-size threshold (no compression below)",
+              m11.min_file_mb() * 1e6, "3900B");
+  std::printf("%-52s %12.3f %12s\n", "min factor, 1 MB file (Eq. 6)",
+              m11.min_factor(1.0), "~1.13");
+  std::printf("%-52s %12.3f %12s\n", "min factor, 64 KB file (Eq. 6)",
+              m11.min_factor(0.064), "~1.30+");
+  std::printf("%-52s %12.2f %12s\n",
+              "sleep-vs-interleave crossover factor",
+              m11.sleep_crossover_factor(), "4.6");
+  std::printf("%-52s %12.2f %12s\n", "idle-fill factor @ 2 Mb/s",
+              m2.idle_fill_factor(), "27");
+  std::printf("%-52s %12.2f %12s\n", "idle-fill factor @ 11 Mb/s",
+              m11.idle_fill_factor(), "(small)");
+
+  std::printf("\n=== Eq. 6 decision agreement across the (s, F) plane ===\n\n");
+  int agree = 0, total = 0;
+  for (double s = 0.001; s < 10.0; s *= 1.3)
+    for (double f = 1.02; f < 30.0; f *= 1.15) {
+      ++total;
+      if (m11.should_compress(s, f) == EnergyModel::paper_eq6(s, f)) ++agree;
+    }
+  std::printf("model vs paper Eq. 6 agree on %d of %d grid points (%.1f%%)\n",
+              agree, total, 100.0 * agree / total);
+  return 0;
+}

@@ -1,0 +1,39 @@
+# Bench targets are declared from the top level so that build/bench/
+# contains ONLY the runnable binaries (no CMake bookkeeping files) —
+# `for b in build/bench/*; do $b; done` then runs cleanly.
+# One binary per paper table/figure (see DESIGN.md's experiment index),
+# plus ablations and a google-benchmark codec micro-bench.
+set(ECOMP_BENCHES
+  bench_table1_power
+  bench_table2_factors
+  bench_fig1_time
+  bench_fig2_energy
+  bench_fig3_timeline
+  bench_fig5_interleave_time
+  bench_fig6_interleave_energy
+  bench_fig7_model_error
+  bench_fig8_fitting
+  bench_fig9_estimation_error
+  bench_fig11_adaptive
+  bench_fig12_ondemand_time
+  bench_fig13_ondemand_energy
+  bench_thresholds
+  bench_ablation_blocksize
+  bench_ablation_bwt
+  bench_ablation_window
+  bench_ablation_lz
+  bench_ext_packet
+  bench_ext_rate_sweep
+  bench_ext_tool_parity
+  bench_ext_session
+  bench_ext_upload
+  bench_codec_throughput
+)
+
+foreach(b ${ECOMP_BENCHES})
+  add_executable(${b} ${CMAKE_SOURCE_DIR}/bench/${b}.cpp)
+  target_link_libraries(${b} PRIVATE
+    ecomp_cli ecomp_core ecomp_workload benchmark::benchmark)
+  set_target_properties(${b} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endforeach()

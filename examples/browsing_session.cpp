@@ -1,0 +1,60 @@
+// browsing_session: a whole user session (pages, images, documents,
+// think time) under three proxy policies — never compress, gzip
+// everything, or plan per file with the energy model — projected onto
+// the iPAQ's battery.
+//
+//   ./examples/browsing_session [n_requests]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/session.h"
+#include "util/rng.h"
+#include "workload/corpus.h"
+
+using namespace ecomp;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 40;
+
+  // Draw a browsing mix from the Table 2 corpus statistics (sizes and
+  // paper factors; no need to generate bytes for a planning study).
+  Rng rng(2003);
+  std::vector<core::SessionRequest> requests;
+  const auto& table = workload::table2();
+  for (int i = 0; i < n; ++i) {
+    const auto& f = table[rng.below(table.size())];
+    core::SessionRequest r;
+    r.name = f.name;
+    r.size_mb = static_cast<double>(f.size_bytes) / 1e6;
+    r.factors = {{"deflate", f.paper_gzip},
+                 {"lzw", f.paper_lzw},
+                 {"bwt", f.paper_bwt}};
+    requests.push_back(std::move(r));
+  }
+  double total_mb = 0;
+  for (const auto& r : requests) total_mb += r.size_mb;
+  std::printf("session: %d requests, %.1f MB total, 8 s think time each\n\n",
+              n, total_mb);
+
+  const core::SessionSimulator sim(
+      core::TransferPlanner(core::EnergyModel::paper_11mbps()),
+      sim::TransferSimulator{}, core::SessionConfig{});
+  const sim::BatteryModel battery = sim::BatteryModel::ipaq();
+
+  std::printf("%-14s %12s %12s %12s %14s\n", "policy", "transfer J",
+              "think J", "time s", "sessions/chg");
+  for (auto policy :
+       {core::SessionPolicy::Raw, core::SessionPolicy::AlwaysDeflate,
+        core::SessionPolicy::Planned}) {
+    const auto rep = sim.run(requests, policy);
+    std::printf("%-14s %12.1f %12.1f %12.1f %14.1f\n",
+                core::to_string(policy), rep.transfer_energy_j,
+                rep.think_energy_j, rep.total_time_s,
+                rep.sessions_per_charge(battery));
+  }
+  std::printf(
+      "\nreading: the planner compresses only where the model predicts a "
+      "saving, so it strictly dominates both blanket policies; the gap "
+      "vs always-gzip comes from media files and tiny objects.\n");
+  return 0;
+}

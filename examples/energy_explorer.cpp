@@ -1,0 +1,61 @@
+// energy_explorer: sweep file size × compression factor and render the
+// model's compress/don't-compress decision boundary (Eq. 6), plus the
+// §4.2 threshold quantities, for both link rates.
+//
+//   ./examples/energy_explorer
+#include <cmath>
+#include <cstdio>
+
+#include "core/api.h"
+
+using namespace ecomp;
+
+namespace {
+
+void decision_map(const core::EnergyModel& model, const char* title) {
+  std::printf("%s\n", title);
+  std::printf("  '#' = compress (interleaved) saves energy, '.' = ship raw\n");
+  std::printf("  %8s  factor: 1.0 .. 8.0\n", "size");
+  for (double s_kb = 1.0; s_kb <= 16384.0; s_kb *= 4.0) {
+    const double s = s_kb / 1024.0;  // MB
+    std::printf("  %6.0fKB  ", s_kb);
+    for (double f = 1.0; f <= 8.0; f += 0.25)
+      std::putchar(model.should_compress(s, f) ? '#' : '.');
+    std::printf("   F*=%.2f\n", model.min_factor(s));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto m11 = core::EnergyModel::paper_11mbps();
+  const auto m2 =
+      core::EnergyModel::from_device(sim::DeviceModel::ipaq_2mbps());
+
+  decision_map(m11, "11 Mb/s WaveLAN (paper's main environment)");
+  decision_map(m2, "2 Mb/s WaveLAN (the §4.2 robustness setting)");
+
+  std::printf("derived thresholds vs paper:\n");
+  std::printf("  %-42s %10s %10s\n", "quantity", "model", "paper");
+  std::printf("  %-42s %9.0fB %10s\n", "file-size threshold (never compress below)",
+              m11.min_file_mb() * 1e6, "3900B");
+  std::printf("  %-42s %10.2f %10s\n", "min factor, large file (1 MB)",
+              m11.min_factor(1.0), "~1.13");
+  std::printf("  %-42s %10.2f %10s\n", "sleep-vs-interleave crossover factor",
+              m11.sleep_crossover_factor(), "4.6");
+  std::printf("  %-42s %10.2f %10s\n", "idle-fill factor @ 2 Mb/s",
+              m2.idle_fill_factor(), "27");
+
+  std::printf("\nenergy vs factor for a 1 MB file (11 Mb/s):\n");
+  std::printf("  %6s %12s %12s %12s %12s\n", "F", "raw J", "seq J",
+              "interleave J", "paper Eq.5 J");
+  for (double f : {1.0, 1.2, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0}) {
+    const double s = 1.0, sc = s / f;
+    std::printf("  %6.1f %12.3f %12.3f %12.3f %12.3f\n", f,
+                m11.download_energy_j(s), m11.sequential_energy_j(s, sc),
+                m11.interleaved_energy_j(s, sc),
+                core::EnergyModel::paper_eq5_11mbps(s, sc));
+  }
+  return 0;
+}

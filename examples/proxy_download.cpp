@@ -1,0 +1,70 @@
+// proxy_download: run a real proxy server on loopback TCP and download
+// files in the three modes (raw / full deflate / selective container
+// with streaming interleaved decode) — the paper's §2 topology with the
+// radio replaced by localhost. Wire savings are real; energy numbers
+// come from the simulator fed with the observed sizes.
+//
+//   ./examples/proxy_download
+#include <cstdio>
+
+#include "core/api.h"
+#include "net/proxy.h"
+#include "workload/corpus.h"
+
+using namespace ecomp;
+
+int main() {
+  // Populate the proxy with a few corpus files (scaled down for speed).
+  workload::Corpus corpus(0.1);
+  const std::vector<std::string> names = {"news96.xml", "proxy.ps",
+                                          "image01.jpg", "mail2"};
+  net::FileStore store;
+  for (const auto& n : names) store.put(n, corpus.file(n));
+
+  const auto model = core::EnergyModel::paper_11mbps();
+  net::ProxyServer server(std::move(store),
+                          core::make_selective_policy(model));
+  std::printf("proxy listening on 127.0.0.1:%u\n\n", server.port());
+
+  const sim::TransferSimulator simulator;
+  std::printf("%-14s %-10s %10s %10s %8s %7s %9s\n", "file", "mode", "wire B",
+              "orig B", "factor", "blocks", "energy J");
+  for (const auto& name : names) {
+    workload::Corpus check(0.1);
+    const Bytes& expected = check.file(name);
+    for (const std::string mode : {"raw", "full", "selective"}) {
+      net::DownloadStats stats;
+      const Bytes got = net::download(server.port(), name, mode, &stats);
+      if (got != expected) {
+        std::fprintf(stderr, "MISMATCH %s %s\n", name.c_str(), mode.c_str());
+        return 1;
+      }
+      // Energy for this transfer in the simulated 11 Mb/s environment.
+      // Selective mode uses the true per-block decisions observed by
+      // the streaming decoder (raw blocks only pay a copy pass).
+      const double s = static_cast<double>(stats.bytes_decoded) / 1e6;
+      const double sc = static_cast<double>(stats.bytes_on_wire) / 1e6;
+      sim::TransferOptions opt;
+      opt.interleave = mode == "selective";
+      sim::TransferResult r;
+      if (mode == "raw") {
+        r = simulator.download_uncompressed(s);
+      } else if (mode == "full") {
+        r = simulator.download_compressed(s, sc, "deflate", opt);
+      } else {
+        std::vector<sim::BlockTransfer> blocks;
+        for (const auto& b : stats.block_infos)
+          blocks.push_back({static_cast<double>(b.raw_size) / 1e6,
+                            static_cast<double>(b.payload_size) / 1e6,
+                            b.compressed});
+        r = simulator.download_selective(blocks, "deflate", opt);
+      }
+      std::printf("%-14s %-10s %10zu %10zu %8.2f %7zu %9.3f\n", name.c_str(),
+                  mode.c_str(), stats.bytes_on_wire, stats.bytes_decoded,
+                  stats.factor(), stats.blocks, r.energy_j);
+    }
+  }
+  server.stop();
+  std::printf("\nall downloads verified byte-identical\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: compress a synthetic web page with all three codecs, then
+// let the energy model pick the transfer strategy.
+//
+//   ./examples/quickstart [size_kb]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/api.h"
+#include "workload/generator.h"
+
+using namespace ecomp;
+
+int main(int argc, char** argv) {
+  const std::size_t size_kb =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 512;
+  const Bytes page = workload::generate_kind(workload::FileKind::Xml,
+                                             size_kb * 1024, /*seed=*/1, 0.3);
+  std::printf("input: synthetic XML page, %zu bytes\n\n", page.size());
+
+  // 1. Compare the three universal codecs.
+  core::FileEstimate est;
+  est.size_mb = static_cast<double>(page.size()) / 1e6;
+  std::printf("%-10s %12s %10s\n", "codec", "compressed", "factor");
+  for (const auto& name : compress::codec_names()) {
+    const auto codec = compress::make_codec(name);
+    const Bytes packed = codec->compress(page);
+    const Bytes back = codec->decompress(packed);
+    if (back != page) {
+      std::fprintf(stderr, "roundtrip failed for %s\n", name.c_str());
+      return 1;
+    }
+    const double factor =
+        static_cast<double>(page.size()) / static_cast<double>(packed.size());
+    std::printf("%-10s %12zu %10.2f\n", name.c_str(), packed.size(), factor);
+    est.factors.emplace_back(name, factor);
+  }
+
+  // 2. Ask the planner for the cheapest transfer strategy on the
+  // paper's iPAQ + 11 Mb/s WaveLAN environment.
+  const auto model = core::EnergyModel::paper_11mbps();
+  const core::TransferPlanner planner(model);
+  const core::Plan plan = planner.plan(est);
+
+  std::printf("\nenergy plan (iPAQ + 802.11b @ 11 Mb/s):\n");
+  std::printf("  baseline (raw download): %.3f J\n", plan.baseline_energy_j);
+  for (const auto& c : plan.considered)
+    std::printf("  %-10s %-18s %8.3f J  %7.2f s\n",
+                c.codec.empty() ? "-" : c.codec.c_str(),
+                core::to_string(c.strategy), c.predicted_energy_j,
+                c.predicted_time_s);
+  std::printf("  chosen: %s / %s  (saves %.1f%%)\n",
+              plan.chosen.codec.empty() ? "-" : plan.chosen.codec.c_str(),
+              core::to_string(plan.chosen.strategy),
+              100.0 * plan.saving_fraction);
+
+  // 3. Thresholds the model derives (paper §4.3).
+  std::printf("\nmodel thresholds:\n");
+  std::printf("  min file size for any saving: %.0f bytes (paper: 3900)\n",
+              model.min_file_mb() * 1e6);
+  std::printf("  min factor at 1 MB:           %.2f\n", model.min_factor(1.0));
+  std::printf("  sleep-vs-interleave crossover: F = %.2f (paper: 4.6)\n",
+              model.sleep_crossover_factor());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// upload_capture: the paper's future-work direction run end-to-end — a
+// handheld uploads locally captured data (voice recording, photo, notes)
+// to the proxy. The client compresses block-by-block while sending over
+// a real socket; the energy verdict comes from the UploadModel, which
+// charges compression to the 206 MHz handheld.
+//
+//   ./examples/upload_capture
+#include <cstdio>
+
+#include "core/api.h"
+#include "net/proxy.h"
+#include "workload/generator.h"
+
+using namespace ecomp;
+
+int main() {
+  // Captured artifacts of different compressibility.
+  struct Capture {
+    const char* name;
+    workload::FileKind kind;
+    std::size_t bytes;
+  };
+  const Capture captures[] = {
+      {"voice_memo.wav", workload::FileKind::Wav, 600000},
+      {"photo.jpg", workload::FileKind::Media, 400000},
+      {"meeting_notes.txt", workload::FileKind::Mail, 80000},
+      {"sensor_log.csv", workload::FileKind::Log, 300000},
+  };
+
+  net::ProxyServer server(net::FileStore{},
+                          compress::SelectivePolicy::always());
+  std::printf("proxy listening on 127.0.0.1:%u\n\n", server.port());
+
+  const auto model = core::UploadModel::ipaq_11mbps();
+  const sim::TransferSimulator simulator;
+
+  std::printf("%-18s %9s %9s %7s | %9s %9s %9s | %s\n", "capture", "bytes",
+              "wire B", "factor", "raw J", "comp J", "F*", "verdict");
+  for (const auto& c : captures) {
+    const Bytes data =
+        workload::generate_kind(c.kind, c.bytes, /*seed=*/7, 0.0);
+    // Real upload through the socket with the Fig. 10 block policy.
+    const auto policy =
+        core::make_selective_policy(core::EnergyModel::paper_11mbps());
+    const std::size_t wire =
+        net::upload(server.port(), c.name, data, policy);
+    // Verify the proxy stored the original bytes.
+    if (net::download(server.port(), c.name, "raw") != data) {
+      std::fprintf(stderr, "upload verification failed for %s\n", c.name);
+      return 1;
+    }
+
+    const double s = static_cast<double>(data.size()) / 1e6;
+    const double factor =
+        static_cast<double>(data.size()) / static_cast<double>(wire);
+    const double e_raw = model.upload_energy_j(s);
+    const double e_comp = std::min(
+        model.sequential_energy_j(s, s / factor, /*sleep=*/true),
+        model.interleaved_energy_j(s, s / factor));
+    const double f_star = model.min_factor(s);
+    std::printf("%-18s %9zu %9zu %7.2f | %9.3f %9.3f %9.2f | %s\n", c.name,
+                data.size(), wire, factor, e_raw, e_comp, f_star,
+                factor >= f_star && e_comp < e_raw ? "compress"
+                                                   : "send raw");
+  }
+  server.stop();
+  std::printf(
+      "\nreading: with compression charged to the handheld's own CPU the "
+      "break-even factor is ~2.6 (vs 1.13 for downloads) — only the "
+      "text-like captures clear it; media uploads should go raw.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# One-command reproduction: configure, build, test, and regenerate every
+# table/figure into results/.
+#
+#   scripts/reproduce.sh [corpus-scale]
+#
+# corpus-scale defaults to 0.05 (seconds); 1.0 regenerates the corpus at
+# the paper's true file sizes (minutes).
+set -e
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-0.05}"
+export ECOMP_CORPUS_SCALE="$SCALE"
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build 2>&1 | tee results/tests.txt
+
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "== $name (scale $SCALE) =="
+  "$b" >"results/$name.txt" 2>/dev/null
+done
+
+echo
+echo "done: per-bench outputs in results/, test log in results/tests.txt"

@@ -1,0 +1,290 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "compress/bwt_codec.h"
+#include "compress/bz2_format.h"
+#include "compress/container.h"
+#include "compress/deflate.h"
+#include "compress/gzip_format.h"
+#include "compress/lzw.h"
+#include "compress/selective.h"
+#include "compress/z_format.h"
+#include "compress/zlib_format.h"
+#include "core/energy_model.h"
+#include "core/planner.h"
+#include "workload/corpus.h"
+
+namespace ecomp::cli {
+namespace {
+
+constexpr const char* kUsage =
+    "usage:\n"
+    "  ecomp compress   [-c deflate|lzw|bwt|selective|gz|Z|bz2|zz] [-l LEVEL]"
+    " [-b BYTES] IN OUT\n"
+    "  ecomp decompress IN OUT\n"
+    "  ecomp inspect    IN\n"
+    "  ecomp plan       [-r 11|2] IN\n"
+    "  ecomp corpus     [-s SCALE] OUTDIR\n";
+
+struct ArgParser {
+  std::vector<std::string> positional;
+  std::string codec = "deflate";
+  int level = 9;
+  std::size_t block = compress::kDefaultBlockSize;
+  double scale = 0.05;
+  int rate = 11;
+
+  /// Returns empty string on success, or an error message.
+  std::string parse(const std::vector<std::string>& args, std::size_t from) {
+    for (std::size_t i = from; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      auto value = [&](const char* flag) -> std::string {
+        if (++i >= args.size())
+          throw Error(std::string("missing value for ") + flag);
+        return args[i];
+      };
+      try {
+        if (a == "-c") {
+          codec = value("-c");
+        } else if (a == "-l") {
+          level = std::stoi(value("-l"));
+        } else if (a == "-b") {
+          block = static_cast<std::size_t>(std::stoull(value("-b")));
+        } else if (a == "-s") {
+          scale = std::stod(value("-s"));
+        } else if (a == "-r") {
+          rate = std::stoi(value("-r"));
+        } else if (!a.empty() && a[0] == '-') {
+          return "unknown flag: " + a;
+        } else {
+          positional.push_back(a);
+        }
+      } catch (const std::exception& e) {
+        return std::string("bad argument: ") + e.what();
+      }
+    }
+    return "";
+  }
+};
+
+std::uint16_t sniff_magic(ByteSpan data) {
+  if (data.size() < 2) throw Error("input too short to identify");
+  return static_cast<std::uint16_t>(data[0] | (data[1] << 8));
+}
+
+core::EnergyModel model_for_rate(int rate) {
+  if (rate == 11) return core::EnergyModel::paper_11mbps();
+  if (rate == 2)
+    return core::EnergyModel::from_device(sim::DeviceModel::ipaq_2mbps());
+  throw Error("rate must be 11 or 2 (Mb/s)");
+}
+
+int cmd_compress(const ArgParser& p, std::ostream& out) {
+  if (p.positional.size() != 2) throw Error("compress needs IN and OUT");
+  const Bytes input = read_file(p.positional[0]);
+  Bytes packed;
+  if (p.codec == "gz") {
+    packed = compress::gzip_compress(input, p.level);
+  } else if (p.codec == "Z") {
+    packed = compress::z_compress(input);
+  } else if (p.codec == "bz2") {
+    packed = compress::bz2_compress(input, p.level);
+  } else if (p.codec == "zz") {
+    packed = compress::zlib_compress(input, p.level);
+  } else if (p.codec == "selective") {
+    const auto model = core::EnergyModel::paper_11mbps();
+    const auto res = compress::selective_compress(
+        input, core::make_selective_policy(model), p.block, p.level);
+    packed = res.container;
+    std::size_t raw = 0;
+    for (const auto& b : res.blocks)
+      if (!b.compressed) ++raw;
+    out << "selective: " << res.blocks.size() << " blocks, " << raw
+        << " shipped raw\n";
+  } else {
+    packed = compress::make_codec(p.codec)->compress(input);
+  }
+  write_file(p.positional[1], packed);
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%zu -> %zu bytes (factor %.3f)\n",
+                input.size(), packed.size(),
+                packed.empty() ? 1.0
+                               : static_cast<double>(input.size()) /
+                                     static_cast<double>(packed.size()));
+  out << buf;
+  return 0;
+}
+
+int cmd_decompress(const ArgParser& p, std::ostream& out) {
+  if (p.positional.size() != 2) throw Error("decompress needs IN and OUT");
+  const Bytes input = read_file(p.positional[0]);
+  Bytes decoded;
+  if (compress::looks_like_gzip(input)) {
+    decoded = compress::gzip_decompress(input);
+    write_file(p.positional[1], decoded);
+    out << decoded.size() << " bytes restored (gzip member)\n";
+    return 0;
+  }
+  if (compress::looks_like_z(input)) {
+    decoded = compress::z_decompress(input);
+    write_file(p.positional[1], decoded);
+    out << decoded.size() << " bytes restored (compress .Z)\n";
+    return 0;
+  }
+  if (compress::looks_like_bz2(input)) {
+    decoded = compress::bz2_decompress(input);
+    write_file(p.positional[1], decoded);
+    out << decoded.size() << " bytes restored (bzip2 .bz2)\n";
+    return 0;
+  }
+  if (compress::looks_like_zlib(input)) {
+    decoded = compress::zlib_decompress(input);
+    write_file(p.positional[1], decoded);
+    out << decoded.size() << " bytes restored (zlib stream)\n";
+    return 0;
+  }
+  switch (sniff_magic(input)) {
+    case compress::kDeflateMagic:
+      decoded = compress::DeflateCodec().decompress(input);
+      break;
+    case compress::kLzwMagic:
+      decoded = compress::LzwCodec().decompress(input);
+      break;
+    case compress::kBwtMagic:
+      decoded = compress::BwtCodec().decompress(input);
+      break;
+    case compress::kSelectiveMagic:
+      decoded = compress::selective_decompress(input);
+      break;
+    default:
+      throw Error("unrecognized container magic");
+  }
+  write_file(p.positional[1], decoded);
+  out << decoded.size() << " bytes restored\n";
+  return 0;
+}
+
+int cmd_inspect(const ArgParser& p, std::ostream& out) {
+  if (p.positional.size() != 1) throw Error("inspect needs IN");
+  const Bytes input = read_file(p.positional[0]);
+  const std::uint16_t magic = sniff_magic(input);
+  const char* kind = magic == compress::kDeflateMagic     ? "deflate"
+                     : magic == compress::kLzwMagic       ? "lzw"
+                     : magic == compress::kBwtMagic       ? "bwt"
+                     : magic == compress::kSelectiveMagic ? "selective"
+                                                          : nullptr;
+  if (!kind) throw Error("unrecognized container magic");
+  const auto header = compress::read_header(input, magic);
+  out << "container: " << kind << "\n"
+      << "stored bytes: " << input.size() << "\n"
+      << "original bytes: " << header.original_size << "\n"
+      << "crc32: " << header.crc << "\n";
+  if (magic == compress::kSelectiveMagic) {
+    const auto infos = compress::selective_block_info(input);
+    out << "blocks: " << infos.size() << "\n";
+    for (std::size_t i = 0; i < infos.size(); ++i)
+      out << "  block " << i << ": raw " << infos[i].raw_size << " stored "
+          << infos[i].payload_size
+          << (infos[i].compressed ? " (compressed)\n" : " (raw)\n");
+  }
+  return 0;
+}
+
+int cmd_plan(const ArgParser& p, std::ostream& out) {
+  if (p.positional.size() != 1) throw Error("plan needs IN");
+  const Bytes input = read_file(p.positional[0]);
+  const auto model = model_for_rate(p.rate);
+
+  core::FileEstimate est;
+  est.size_mb = static_cast<double>(input.size()) / 1e6;
+  for (const auto& name : compress::codec_names()) {
+    const auto codec = compress::make_codec(name);
+    est.factors.emplace_back(name, core::estimate_factor(*codec, input));
+  }
+  const core::Plan plan = core::TransferPlanner(model).plan(est);
+
+  out << "file: " << p.positional[0] << " (" << input.size() << " bytes)\n";
+  out << "sampled factors:";
+  for (const auto& [name, f] : est.factors) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, " %s=%.2f", name.c_str(), f);
+    out << buf;
+  }
+  out << "\n";
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "advice: %s / %s  (predicted %.3f J vs raw %.3f J, saves "
+                "%.1f%%)\n",
+                plan.chosen.codec.empty() ? "no compression"
+                                          : plan.chosen.codec.c_str(),
+                core::to_string(plan.chosen.strategy),
+                plan.chosen.predicted_energy_j, plan.baseline_energy_j,
+                100.0 * plan.saving_fraction);
+  out << buf;
+  return 0;
+}
+
+int cmd_corpus(const ArgParser& p, std::ostream& out) {
+  if (p.positional.size() != 1) throw Error("corpus needs OUTDIR");
+  const std::filesystem::path dir(p.positional[0]);
+  std::filesystem::create_directories(dir);
+  for (const auto& entry : workload::table2()) {
+    const Bytes data = workload::generate(entry, p.scale);
+    write_file((dir / entry.name).string(), data);
+    out << entry.name << ": " << data.size() << " bytes\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string s = ss.str();
+  return Bytes(s.begin(), s.end());
+}
+
+void write_file(const std::string& path, ByteSpan data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw Error("short write: " + path);
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return 1;
+  }
+  ArgParser p;
+  const std::string msg = p.parse(args, 1);
+  if (!msg.empty()) {
+    err << msg << "\n" << kUsage;
+    return 1;
+  }
+  try {
+    const std::string& cmd = args[0];
+    if (cmd == "compress") return cmd_compress(p, out);
+    if (cmd == "decompress") return cmd_decompress(p, out);
+    if (cmd == "inspect") return cmd_inspect(p, out);
+    if (cmd == "plan") return cmd_plan(p, out);
+    if (cmd == "corpus") return cmd_corpus(p, out);
+    err << "unknown command: " << cmd << "\n" << kUsage;
+    return 1;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace ecomp::cli

@@ -1,0 +1,27 @@
+// ecomp command-line tool, as a library so tests can drive it directly.
+//
+//   ecomp compress   [-c deflate|lzw|bwt|selective] [-l N] [-b BYTES] IN OUT
+//   ecomp decompress IN OUT               (sniffs the container magic)
+//   ecomp inspect    IN                   (container metadata, block table)
+//   ecomp plan       [-r 11|2] IN         (factor estimate + energy advice)
+//   ecomp corpus     [-s SCALE] OUTDIR    (materialize the Table 2 corpus)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace ecomp::cli {
+
+/// Entry point; argv-style args WITHOUT the program name. Returns the
+/// process exit code (0 success, 1 usage error, 2 runtime failure).
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+/// File helpers (throw ecomp::Error on I/O failure).
+Bytes read_file(const std::string& path);
+void write_file(const std::string& path, ByteSpan data);
+
+}  // namespace ecomp::cli

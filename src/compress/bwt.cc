@@ -1,0 +1,218 @@
+#include "compress/bwt.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ecomp::compress {
+
+Bytes bwt_forward(ByteSpan block, std::uint32_t& primary) {
+  const std::size_t n = block.size();
+  primary = 0;
+  if (n == 0) return {};
+  if (n == 1) return Bytes(block.begin(), block.end());
+
+  // Sort cyclic rotations by prefix doubling. rank[i] is the order class
+  // of the rotation starting at i considering its first k characters.
+  std::vector<std::uint32_t> sa(n), rank(n), new_rank(n), tmp(n), cnt;
+  for (std::size_t i = 0; i < n; ++i) {
+    sa[i] = static_cast<std::uint32_t>(i);
+    rank[i] = block[i];
+  }
+
+  for (std::size_t k = 1;; k <<= 1) {
+    auto rank_at = [&](std::uint32_t i) { return rank[i]; };
+    auto second_key = [&](std::uint32_t i) {
+      return rank[(i + k) % n];
+    };
+
+    // Radix sort sa by (rank[i], rank[i+k]) — two counting-sort passes.
+    const std::uint32_t max_rank =
+        *std::max_element(rank.begin(), rank.end()) + 1;
+
+    // Pass 1: by second key.
+    cnt.assign(max_rank + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) ++cnt[second_key(sa[i])];
+    for (std::size_t i = 1; i < cnt.size(); ++i) cnt[i] += cnt[i - 1];
+    for (std::size_t i = n; i-- > 0;)
+      tmp[--cnt[second_key(sa[i])]] = sa[i];
+    // Pass 2: by first key (stable, so second-key order is preserved).
+    cnt.assign(max_rank + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) ++cnt[rank_at(tmp[i])];
+    for (std::size_t i = 1; i < cnt.size(); ++i) cnt[i] += cnt[i - 1];
+    for (std::size_t i = n; i-- > 0;) sa[--cnt[rank_at(tmp[i])]] = tmp[i];
+
+    // Re-rank.
+    new_rank[sa[0]] = 0;
+    std::uint32_t classes = 1;
+    for (std::size_t i = 1; i < n; ++i) {
+      const bool same = rank_at(sa[i]) == rank_at(sa[i - 1]) &&
+                        second_key(sa[i]) == second_key(sa[i - 1]);
+      new_rank[sa[i]] = same ? classes - 1 : classes++;
+    }
+    rank.swap(new_rank);
+    if (classes == n) break;
+    if (k >= n) break;  // all rotations compared full-length; ties remain
+  }
+
+  Bytes last(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sa[i] == 0) primary = static_cast<std::uint32_t>(i);
+    last[i] = block[(sa[i] + n - 1) % n];
+  }
+  return last;
+}
+
+Bytes bwt_inverse(ByteSpan last_column, std::uint32_t primary) {
+  const std::size_t n = last_column.size();
+  if (n == 0) return {};
+  if (primary >= n) throw Error("bwt: primary index out of range");
+
+  // lf[i]: row of the rotation obtained by rotating row i right by one.
+  std::vector<std::uint32_t> starts(256, 0);
+  for (std::uint8_t c : last_column) ++starts[c];
+  std::uint32_t sum = 0;
+  for (int c = 0; c < 256; ++c) {
+    const std::uint32_t cc = starts[c];
+    starts[c] = sum;
+    sum += cc;
+  }
+  std::vector<std::uint32_t> lf(n);
+  for (std::size_t i = 0; i < n; ++i) lf[i] = starts[last_column[i]]++;
+
+  Bytes out(n);
+  std::uint32_t p = primary;
+  for (std::size_t k = n; k-- > 0;) {
+    out[k] = last_column[p];
+    p = lf[p];
+  }
+  return out;
+}
+
+Bytes rle1_encode(ByteSpan input) {
+  Bytes out;
+  out.reserve(input.size());
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const std::uint8_t b = input[i];
+    std::size_t run = 1;
+    while (i + run < input.size() && input[i + run] == b && run < 259) ++run;
+    if (run >= 4) {
+      out.insert(out.end(), 4, b);
+      out.push_back(static_cast<std::uint8_t>(run - 4));
+    } else {
+      out.insert(out.end(), run, b);
+    }
+    i += run;
+  }
+  return out;
+}
+
+Bytes rle1_decode(ByteSpan input) {
+  Bytes out;
+  out.reserve(input.size());
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const std::uint8_t b = input[i];
+    std::size_t run = 1;
+    while (run < 4 && i + run < input.size() && input[i + run] == b) ++run;
+    out.insert(out.end(), run, b);
+    i += run;
+    if (run == 4) {
+      if (i >= input.size()) throw Error("rle1: truncated run count");
+      out.insert(out.end(), input[i], b);
+      ++i;
+    }
+  }
+  return out;
+}
+
+Bytes mtf_encode(ByteSpan input) {
+  std::uint8_t order[256];
+  for (int i = 0; i < 256; ++i) order[i] = static_cast<std::uint8_t>(i);
+  Bytes out;
+  out.reserve(input.size());
+  for (std::uint8_t b : input) {
+    int idx = 0;
+    while (order[idx] != b) ++idx;
+    out.push_back(static_cast<std::uint8_t>(idx));
+    // Move to front.
+    for (int j = idx; j > 0; --j) order[j] = order[j - 1];
+    order[0] = b;
+  }
+  return out;
+}
+
+Bytes mtf_decode(ByteSpan input) {
+  std::uint8_t order[256];
+  for (int i = 0; i < 256; ++i) order[i] = static_cast<std::uint8_t>(i);
+  Bytes out;
+  out.reserve(input.size());
+  for (std::uint8_t idx : input) {
+    const std::uint8_t b = order[idx];
+    out.push_back(b);
+    for (int j = idx; j > 0; --j) order[j] = order[j - 1];
+    order[0] = b;
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> zrle_encode(ByteSpan mtf) {
+  std::vector<std::uint16_t> out;
+  out.reserve(mtf.size() / 2 + 16);
+  std::size_t i = 0;
+  auto flush_run = [&](std::uint64_t r) {
+    // Bijective base-2: digits RUNA (value 1) and RUNB (value 2) at
+    // positional weight 2^k.
+    while (r > 0) {
+      if (r & 1) {
+        out.push_back(kZrleRunA);
+        r = (r - 1) >> 1;
+      } else {
+        out.push_back(kZrleRunB);
+        r = (r - 2) >> 1;
+      }
+    }
+  };
+  while (i < mtf.size()) {
+    if (mtf[i] == 0) {
+      std::uint64_t run = 0;
+      while (i < mtf.size() && mtf[i] == 0) {
+        ++run;
+        ++i;
+      }
+      flush_run(run);
+    } else {
+      out.push_back(static_cast<std::uint16_t>(mtf[i] + 1));
+      ++i;
+    }
+  }
+  out.push_back(kZrleEob);
+  return out;
+}
+
+Bytes zrle_decode(const std::vector<std::uint16_t>& syms) {
+  Bytes out;
+  std::uint64_t run = 0;
+  std::uint64_t place = 1;
+  auto flush_run = [&] {
+    if (run > 0) {
+      out.insert(out.end(), run, 0);
+      run = 0;
+    }
+    place = 1;
+  };
+  for (std::uint16_t s : syms) {
+    if (s == kZrleRunA || s == kZrleRunB) {
+      run += place * (s == kZrleRunA ? 1 : 2);
+      place <<= 1;
+      continue;
+    }
+    flush_run();
+    if (s == kZrleEob) return out;
+    if (s > 256) throw Error("zrle: bad symbol");
+    out.push_back(static_cast<std::uint8_t>(s - 1));
+  }
+  throw Error("zrle: missing end-of-block");
+}
+
+}  // namespace ecomp::compress

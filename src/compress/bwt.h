@@ -1,0 +1,40 @@
+// Burrows-Wheeler block transform and its inverse, plus the surrounding
+// bzip2-style stages (run-length guard, move-to-front, zero-run coding).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace ecomp::compress {
+
+/// Forward BWT of `block` (cyclic-rotation sort via prefix doubling with
+/// radix sort, O(n log n)). Returns the last column; `primary` receives
+/// the row index of the original string in the sorted rotation matrix.
+Bytes bwt_forward(ByteSpan block, std::uint32_t& primary);
+
+/// Inverse BWT.
+Bytes bwt_inverse(ByteSpan last_column, std::uint32_t primary);
+
+/// bzip2-style pre-pass: runs of 4..259 equal bytes become 4 copies plus
+/// a count byte. Guards the rotation sort against degenerate inputs.
+Bytes rle1_encode(ByteSpan input);
+Bytes rle1_decode(ByteSpan input);
+
+/// Move-to-front transform over the byte alphabet.
+Bytes mtf_encode(ByteSpan input);
+Bytes mtf_decode(ByteSpan input);
+
+/// Zero-run coding of MTF output into the 258-symbol alphabet used by
+/// the entropy stage: RUNA=0 / RUNB=1 encode zero runs in bijective
+/// base 2, byte value v>0 maps to v+1, and 257 is end-of-block.
+inline constexpr std::uint32_t kZrleRunA = 0;
+inline constexpr std::uint32_t kZrleRunB = 1;
+inline constexpr std::uint32_t kZrleEob = 257;
+inline constexpr std::size_t kZrleAlphabet = 258;
+
+std::vector<std::uint16_t> zrle_encode(ByteSpan mtf);
+Bytes zrle_decode(const std::vector<std::uint16_t>& syms);
+
+}  // namespace ecomp::compress

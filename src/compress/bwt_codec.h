@@ -1,0 +1,35 @@
+// bzip2-style block-sorting codec: RLE1 | per block: BWT + MTF + zero-run
+// coding + canonical Huffman (MSB-first). The repo's stand-in for
+// bzip2 1.0.1.
+#pragma once
+
+#include <cstdint>
+
+#include "compress/codec.h"
+
+namespace ecomp::compress {
+
+inline constexpr std::uint16_t kBwtMagic = 0xE003;
+
+class BwtCodec final : public Codec {
+ public:
+  /// level 1..9 selects the sort block size (level × 100 KB, as bzip2's
+  /// -1..-9 do). The paper runs bzip2 -9 → 900 KB blocks. max_tables
+  /// caps the bzip2-style multi-table entropy stage (1 = single Huffman
+  /// table; 6 = bzip2's maximum); the codec picks the count per block
+  /// from the symbol volume, up to this cap.
+  explicit BwtCodec(int level = 9, int max_tables = 6);
+
+  std::string_view name() const override { return "bwt"; }
+  Bytes compress(ByteSpan input) const override;
+  Bytes decompress(ByteSpan input) const override;
+
+  std::size_t block_size() const { return block_size_; }
+  int max_tables() const { return max_tables_; }
+
+ private:
+  std::size_t block_size_;
+  int max_tables_;
+};
+
+}  // namespace ecomp::compress

@@ -1,0 +1,453 @@
+#include "compress/bz2_format.h"
+
+#include <algorithm>
+#include <array>
+
+#include "compress/bwt.h"
+#include "compress/huffman.h"
+#include "util/bitio.h"
+
+namespace ecomp::compress {
+namespace {
+
+constexpr std::uint32_t kBlockMagicHi = 0x314159;  // "pi"
+constexpr std::uint32_t kBlockMagicLo = 0x265359;
+constexpr std::uint32_t kFooterMagicHi = 0x177245;  // "sqrt(pi)"
+constexpr std::uint32_t kFooterMagicLo = 0x385090;
+constexpr int kGroupSize = 50;
+constexpr int kMaxGroups = 6;
+constexpr int kMaxCodeLenEnc = 17;  // encoder limit (decoder accepts 23)
+constexpr std::uint16_t kRunA = 0;
+constexpr std::uint16_t kRunB = 1;
+
+// ---------------------------------------------------------------- bz2 CRC
+
+/// bzip2's CRC-32: polynomial 0x04c11db7, MSB-first (not reflected),
+/// init 0xffffffff, final complement.
+constexpr std::array<std::uint32_t, 256> make_bz2_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i << 24;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 0x80000000u) ? (c << 1) ^ 0x04c11db7u : (c << 1);
+    t[i] = c;
+  }
+  return t;
+}
+constexpr auto kBz2CrcTable = make_bz2_crc_table();
+
+class Bz2Crc {
+ public:
+  void update(std::uint8_t b) {
+    state_ = (state_ << 8) ^ kBz2CrcTable[(state_ >> 24) ^ b];
+  }
+  void update(ByteSpan data) {
+    for (auto b : data) update(b);
+  }
+  std::uint32_t value() const { return ~state_; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+// -------------------------------------------------------------- block body
+
+struct MtfResult {
+  std::vector<std::uint16_t> syms;  ///< RUNA/RUNB/2..nInUse/EOB stream
+  std::vector<std::uint8_t> in_use_list;  ///< used byte values, ascending
+  bool used[256] = {};
+  int alpha_size = 0;  ///< nInUse + 2
+};
+
+/// bzip2's generateMTFValues: MTF over the in-use alphabet with
+/// RUNA/RUNB bijective-base-2 zero runs and a trailing EOB.
+MtfResult mtf_and_rle2(ByteSpan bwt_last) {
+  MtfResult r;
+  for (auto b : bwt_last) r.used[b] = true;
+  for (int v = 0; v < 256; ++v)
+    if (r.used[v]) r.in_use_list.push_back(static_cast<std::uint8_t>(v));
+  const int n_in_use = static_cast<int>(r.in_use_list.size());
+  r.alpha_size = n_in_use + 2;
+  const std::uint16_t eob = static_cast<std::uint16_t>(n_in_use + 1);
+
+  std::vector<std::uint8_t> order = r.in_use_list;  // MTF list
+  std::uint64_t run = 0;
+  auto flush_run = [&] {
+    while (run > 0) {
+      if (run & 1) {
+        r.syms.push_back(kRunA);
+        run = (run - 1) >> 1;
+      } else {
+        r.syms.push_back(kRunB);
+        run = (run - 2) >> 1;
+      }
+    }
+  };
+  for (std::uint8_t b : bwt_last) {
+    int idx = 0;
+    while (order[static_cast<std::size_t>(idx)] != b) ++idx;
+    if (idx == 0) {
+      ++run;
+    } else {
+      flush_run();
+      r.syms.push_back(static_cast<std::uint16_t>(idx + 1));
+      for (int j = idx; j > 0; --j)
+        order[static_cast<std::size_t>(j)] =
+            order[static_cast<std::size_t>(j - 1)];
+      order[0] = b;
+    }
+  }
+  flush_run();
+  r.syms.push_back(eob);
+  return r;
+}
+
+int groups_for(std::size_t n_syms) {
+  // bzlib's nGroups choice.
+  if (n_syms < 200) return 2;
+  if (n_syms < 600) return 3;
+  if (n_syms < 1200) return 4;
+  if (n_syms < 2400) return 5;
+  return kMaxGroups;
+}
+
+std::vector<std::uint8_t> bz2_lengths(const std::vector<std::uint64_t>& freq,
+                                      int alpha_size) {
+  // bzip2 gives every alphabet symbol a code (freq 0 treated as 1).
+  std::vector<std::uint64_t> f(freq.begin(),
+                               freq.begin() + alpha_size);
+  for (auto& x : f) ++x;
+  auto lengths = huffman::build_code_lengths(f, kMaxCodeLenEnc);
+  // build_code_lengths only leaves zero lengths for zero freqs, which
+  // cannot happen after the +1; but be defensive for alpha_size == 1.
+  for (auto& l : lengths)
+    if (l == 0) l = 1;
+  return lengths;
+}
+
+void write_block(BitWriterMsb& bw, ByteSpan rle_data, std::uint32_t crc) {
+  bw.put(kBlockMagicHi, 24);
+  bw.put(kBlockMagicLo, 24);
+  bw.put(crc, 32);
+  bw.put(0, 1);  // randomized: never
+
+  std::uint32_t primary = 0;
+  const Bytes last = bwt_forward(rle_data, primary);
+  bw.put(primary, 24);
+
+  const MtfResult mtf = mtf_and_rle2(last);
+
+  // Symbol usage maps: 16-bit coarse map + one 16-bit map per used row.
+  std::uint32_t coarse = 0;
+  for (int v = 0; v < 256; ++v)
+    if (mtf.used[v]) coarse |= 1u << (15 - v / 16);
+  bw.put(coarse, 16);
+  for (int row = 0; row < 16; ++row) {
+    if (!(coarse & (1u << (15 - row)))) continue;
+    std::uint32_t fine = 0;
+    for (int bit = 0; bit < 16; ++bit)
+      if (mtf.used[row * 16 + bit]) fine |= 1u << (15 - bit);
+    bw.put(fine, 16);
+  }
+
+  const int n_groups = groups_for(mtf.syms.size());
+  const std::size_t n_selectors =
+      (mtf.syms.size() + kGroupSize - 1) / kGroupSize;
+  const int alpha = mtf.alpha_size;
+
+  // Seed tables from contiguous frequency ranges, then refine (bzlib's
+  // sendMTFValues structure, simplified but format-identical).
+  std::vector<std::uint64_t> freq(static_cast<std::size_t>(alpha), 0);
+  for (auto s : mtf.syms) ++freq[s];
+  std::vector<std::vector<std::uint8_t>> lengths(
+      static_cast<std::size_t>(n_groups));
+  {
+    std::uint64_t total = mtf.syms.size();
+    int lo = 0;
+    for (int g = 0; g < n_groups; ++g) {
+      const std::uint64_t want =
+          total / static_cast<std::uint64_t>(n_groups - g);
+      std::uint64_t got = 0;
+      int hi = lo;
+      while (hi < alpha && (got < want || hi == lo)) got += freq[hi++];
+      if (g == n_groups - 1) hi = alpha;
+      std::vector<std::uint64_t> f(static_cast<std::size_t>(alpha), 0);
+      for (int s = lo; s < hi; ++s) f[static_cast<std::size_t>(s)] = freq[s];
+      lengths[static_cast<std::size_t>(g)] = bz2_lengths(f, alpha);
+      total -= got;
+      lo = hi;
+    }
+  }
+  std::vector<std::uint8_t> selectors(n_selectors, 0);
+  for (int pass = 0; pass < 4; ++pass) {
+    std::vector<std::vector<std::uint64_t>> gfreq(
+        static_cast<std::size_t>(n_groups),
+        std::vector<std::uint64_t>(static_cast<std::size_t>(alpha), 0));
+    for (std::size_t sel = 0; sel < n_selectors; ++sel) {
+      const std::size_t begin = sel * kGroupSize;
+      const std::size_t end =
+          std::min(begin + kGroupSize, mtf.syms.size());
+      int best = 0;
+      std::uint64_t best_cost = ~std::uint64_t{0};
+      for (int g = 0; g < n_groups; ++g) {
+        std::uint64_t cost = 0;
+        for (std::size_t i = begin; i < end; ++i)
+          cost += lengths[static_cast<std::size_t>(g)][mtf.syms[i]];
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = g;
+        }
+      }
+      selectors[sel] = static_cast<std::uint8_t>(best);
+      for (std::size_t i = begin; i < end; ++i)
+        ++gfreq[static_cast<std::size_t>(best)][mtf.syms[i]];
+    }
+    for (int g = 0; g < n_groups; ++g)
+      lengths[static_cast<std::size_t>(g)] =
+          bz2_lengths(gfreq[static_cast<std::size_t>(g)], alpha);
+  }
+
+  bw.put(static_cast<std::uint32_t>(n_groups), 3);
+  bw.put(static_cast<std::uint32_t>(n_selectors), 15);
+
+  // Selectors, MTF'd over group indices, unary coded.
+  {
+    std::array<std::uint8_t, kMaxGroups> order{};
+    for (int g = 0; g < n_groups; ++g)
+      order[static_cast<std::size_t>(g)] = static_cast<std::uint8_t>(g);
+    for (std::uint8_t sel : selectors) {
+      int idx = 0;
+      while (order[static_cast<std::size_t>(idx)] != sel) ++idx;
+      for (int k = 0; k < idx; ++k) bw.put(1, 1);
+      bw.put(0, 1);
+      for (int j = idx; j > 0; --j)
+        order[static_cast<std::size_t>(j)] =
+            order[static_cast<std::size_t>(j - 1)];
+      order[0] = sel;
+    }
+  }
+
+  // Code lengths, delta coded per table.
+  for (int g = 0; g < n_groups; ++g) {
+    int cur = lengths[static_cast<std::size_t>(g)][0];
+    bw.put(static_cast<std::uint32_t>(cur), 5);
+    for (int s = 0; s < alpha; ++s) {
+      const int want = lengths[static_cast<std::size_t>(g)][
+          static_cast<std::size_t>(s)];
+      while (cur < want) {
+        bw.put(2, 2);  // '10' = increment
+        ++cur;
+      }
+      while (cur > want) {
+        bw.put(3, 2);  // '11' = decrement
+        --cur;
+      }
+      bw.put(0, 1);  // '0' = next symbol
+    }
+  }
+
+  // Symbol stream.
+  std::vector<huffman::EncoderMsb> encoders;
+  encoders.reserve(static_cast<std::size_t>(n_groups));
+  for (int g = 0; g < n_groups; ++g)
+    encoders.emplace_back(lengths[static_cast<std::size_t>(g)]);
+  for (std::size_t i = 0; i < mtf.syms.size(); ++i) {
+    const auto& enc = encoders[selectors[i / kGroupSize]];
+    enc.encode(bw, mtf.syms[i]);
+  }
+}
+
+}  // namespace
+
+bool looks_like_bz2(ByteSpan data) {
+  return data.size() >= 4 && data[0] == 'B' && data[1] == 'Z' &&
+         data[2] == 'h' && data[3] >= '1' && data[3] <= '9';
+}
+
+Bytes bz2_compress(ByteSpan input, int level) {
+  level = std::clamp(level, 1, 9);
+  const std::size_t block_limit =
+      static_cast<std::size_t>(level) * 100000 - 20;
+
+  BitWriterMsb bw;
+  bw.put('B', 8);
+  bw.put('Z', 8);
+  bw.put('h', 8);
+  bw.put(static_cast<std::uint32_t>('0' + level), 8);
+
+  std::uint32_t combined_crc = 0;
+
+  // Chunk the input so each block's RLE1 form fits the block limit;
+  // never split an RLE1 atom.
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    Bytes rle;
+    rle.reserve(block_limit + 8);
+    Bz2Crc crc;
+    const std::size_t start = pos;
+    while (pos < input.size()) {
+      const std::uint8_t b = input[pos];
+      std::size_t run = 1;
+      while (pos + run < input.size() && input[pos + run] == b && run < 255)
+        ++run;
+      const std::size_t atom = run >= 4 ? 5 : run;
+      if (rle.size() + atom > block_limit) break;
+      if (run >= 4) {
+        rle.insert(rle.end(), 4, b);
+        rle.push_back(static_cast<std::uint8_t>(run - 4));
+      } else {
+        rle.insert(rle.end(), run, b);
+      }
+      pos += run;
+    }
+    if (pos == start)
+      throw Error("bz2: block limit too small for input atom");
+    crc.update(input.subspan(start, pos - start));
+    const std::uint32_t block_crc = crc.value();
+    combined_crc = ((combined_crc << 1) | (combined_crc >> 31)) ^ block_crc;
+    write_block(bw, rle, block_crc);
+  }
+
+  bw.put(kFooterMagicHi, 24);
+  bw.put(kFooterMagicLo, 24);
+  bw.put(combined_crc, 32);
+  return bw.take();
+}
+
+Bytes bz2_decompress(ByteSpan input) {
+  if (!looks_like_bz2(input)) throw Error("bz2: bad stream header");
+  const int level = input[3] - '0';
+  (void)level;
+  BitReaderMsb br(input.subspan(4));
+
+  Bytes out;
+  std::uint32_t combined_crc = 0;
+  while (true) {
+    const std::uint32_t hi = br.get(24);
+    const std::uint32_t lo = br.get(24);
+    if (hi == kFooterMagicHi && lo == kFooterMagicLo) {
+      const std::uint32_t want = br.get(32);
+      if (want != combined_crc) throw Error("bz2: combined CRC mismatch");
+      return out;
+    }
+    if (hi != kBlockMagicHi || lo != kBlockMagicLo)
+      throw Error("bz2: bad block magic");
+
+    const std::uint32_t want_crc = br.get(32);
+    if (br.get(1)) throw Error("bz2: randomized blocks unsupported");
+    const std::uint32_t primary = br.get(24);
+
+    // Usage maps.
+    bool used[256] = {};
+    const std::uint32_t coarse = br.get(16);
+    for (int row = 0; row < 16; ++row) {
+      if (!(coarse & (1u << (15 - row)))) continue;
+      const std::uint32_t fine = br.get(16);
+      for (int bit = 0; bit < 16; ++bit)
+        if (fine & (1u << (15 - bit))) used[row * 16 + bit] = true;
+    }
+    std::vector<std::uint8_t> in_use_list;
+    for (int v = 0; v < 256; ++v)
+      if (used[v]) in_use_list.push_back(static_cast<std::uint8_t>(v));
+    const int n_in_use = static_cast<int>(in_use_list.size());
+    if (n_in_use == 0) throw Error("bz2: empty alphabet");
+    const int alpha = n_in_use + 2;
+    const std::uint16_t eob = static_cast<std::uint16_t>(n_in_use + 1);
+
+    const int n_groups = static_cast<int>(br.get(3));
+    if (n_groups < 2 || n_groups > kMaxGroups)
+      throw Error("bz2: bad group count");
+    const std::uint32_t n_selectors = br.get(15);
+
+    // Selectors (unary, MTF'd).
+    std::vector<std::uint8_t> selectors(n_selectors);
+    {
+      std::array<std::uint8_t, kMaxGroups> order{};
+      for (int g = 0; g < n_groups; ++g)
+        order[static_cast<std::size_t>(g)] = static_cast<std::uint8_t>(g);
+      for (auto& sel : selectors) {
+        int idx = 0;
+        while (br.get(1)) {
+          ++idx;
+          if (idx >= n_groups) throw Error("bz2: bad selector");
+        }
+        sel = order[static_cast<std::size_t>(idx)];
+        for (int j = idx; j > 0; --j)
+          order[static_cast<std::size_t>(j)] =
+              order[static_cast<std::size_t>(j - 1)];
+        order[0] = sel;
+      }
+    }
+
+    // Code lengths.
+    std::vector<huffman::DecoderMsb> decoders;
+    decoders.reserve(static_cast<std::size_t>(n_groups));
+    for (int g = 0; g < n_groups; ++g) {
+      std::vector<std::uint8_t> lengths(static_cast<std::size_t>(alpha));
+      int cur = static_cast<int>(br.get(5));
+      for (int s = 0; s < alpha; ++s) {
+        while (br.get(1)) {
+          cur += br.get(1) ? -1 : 1;
+          if (cur < 1 || cur > 23) throw Error("bz2: bad code length");
+        }
+        lengths[static_cast<std::size_t>(s)] =
+            static_cast<std::uint8_t>(cur);
+      }
+      decoders.emplace_back(lengths);
+    }
+
+    // Symbols -> MTF stream -> BWT last column.
+    Bytes last;
+    {
+      std::vector<std::uint8_t> order = in_use_list;
+      std::uint64_t run = 0, place = 1;
+      auto flush_run = [&] {
+        if (run > 0) {
+          if (last.size() + run > (10u << 20))
+            throw Error("bz2: block too large");
+          last.insert(last.end(), run, order[0]);
+          run = 0;
+        }
+        place = 1;
+      };
+      std::size_t sym_index = 0;
+      bool block_done = false;
+      while (!block_done) {
+        const std::size_t group = sym_index / kGroupSize;
+        if (group >= selectors.size()) throw Error("bz2: selector overrun");
+        const auto& dec = decoders[selectors[group]];
+        const std::uint32_t s = dec.decode(br);
+        ++sym_index;
+        if (s == kRunA || s == kRunB) {
+          run += place * (s == kRunA ? 1 : 2);
+          place <<= 1;
+          continue;
+        }
+        flush_run();
+        if (s == eob) {
+          block_done = true;
+          continue;
+        }
+        if (static_cast<int>(s) > n_in_use)
+          throw Error("bz2: symbol out of range");
+        const std::uint8_t b = order[s - 1];
+        last.push_back(b);
+        for (std::size_t j = s - 1; j > 0; --j) order[j] = order[j - 1];
+        order[0] = b;
+      }
+    }
+
+    if (primary >= last.size()) throw Error("bz2: bad origPtr");
+    const Bytes rle = bwt_inverse(last, primary);
+    const Bytes plain = rle1_decode(rle);
+
+    Bz2Crc crc;
+    crc.update(plain);
+    if (crc.value() != want_crc) throw Error("bz2: block CRC mismatch");
+    combined_crc =
+        ((combined_crc << 1) | (combined_crc >> 31)) ^ crc.value();
+    out.insert(out.end(), plain.begin(), plain.end());
+  }
+}
+
+}  // namespace ecomp::compress

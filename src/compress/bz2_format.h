@@ -1,0 +1,27 @@
+// bzip2 .bz2 file format — the exact on-disk format of the paper's
+// third tool (bzip2 1.0.1), over this repo's BWT machinery. Interops
+// with real bzip2: the tests round-trip through the system binary in
+// both directions where it is installed.
+//
+// Format summary (bit stream, MSB-first, blocks NOT byte-aligned):
+//   "BZh" level |
+//   per block: 48-bit magic 314159265359h | block CRC | randomized(=0) |
+//     24-bit origPtr | symbol usage maps | nGroups | nSelectors |
+//     MTF+unary selectors | delta-coded code lengths | Huffman symbols |
+//   48-bit footer magic 177245385090h | combined CRC | pad to byte.
+//
+// Inside a block: RLE1 (runs of 4..255+count) -> BWT -> MTF over the
+// in-use alphabet -> RUNA/RUNB zero-run coding -> 2..6 Huffman tables
+// selected per 50-symbol group.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace ecomp::compress {
+
+/// level 1..9 selects the block size (level × 100 kB), as bzip2 -1..-9.
+Bytes bz2_compress(ByteSpan input, int level = 9);
+Bytes bz2_decompress(ByteSpan input);
+bool looks_like_bz2(ByteSpan data);
+
+}  // namespace ecomp::compress

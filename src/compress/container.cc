@@ -1,0 +1,69 @@
+#include "compress/container.h"
+
+#include "util/crc32.h"
+
+namespace ecomp::compress {
+
+void put_le(Bytes& out, std::uint64_t v, int n) {
+  for (int i = 0; i < n; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+std::uint64_t get_le(ByteSpan in, std::size_t& pos, int n) {
+  if (pos + static_cast<std::size_t>(n) > in.size())
+    throw Error("container: truncated integer");
+  std::uint64_t v = 0;
+  for (int i = 0; i < n; ++i) v |= std::uint64_t{in[pos + i]} << (8 * i);
+  pos += static_cast<std::size_t>(n);
+  return v;
+}
+
+void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(ByteSpan in, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= in.size()) throw Error("container: truncated varint");
+    if (shift >= 64) throw Error("container: varint overflow");
+    const std::uint8_t b = in[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+void write_header(Bytes& out, std::uint16_t magic, std::uint64_t orig_size,
+                  std::uint32_t crc) {
+  put_le(out, magic, 2);
+  put_varint(out, orig_size);
+  put_le(out, crc, 4);
+}
+
+Header read_header(ByteSpan in, std::uint16_t magic) {
+  std::size_t pos = 0;
+  const auto got = static_cast<std::uint16_t>(get_le(in, pos, 2));
+  if (got != magic) throw Error("container: bad magic (wrong codec?)");
+  Header h;
+  h.original_size = get_varint(in, pos);
+  h.crc = static_cast<std::uint32_t>(get_le(in, pos, 4));
+  h.payload_offset = pos;
+  return h;
+}
+
+void check_crc(const Header& h, ByteSpan decoded) {
+  if (decoded.size() != h.original_size)
+    throw Error("container: decoded size mismatch");
+  if (crc32(decoded) != h.crc) throw Error("container: CRC mismatch");
+}
+
+}  // namespace ecomp::compress

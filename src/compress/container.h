@@ -1,0 +1,40 @@
+// Shared framed-container helpers: every codec's output carries a magic
+// tag, the original size, and a CRC-32 of the original data, in the
+// spirit of the gzip member format.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ecomp::compress {
+
+/// Append a little-endian unsigned integer of `n` bytes.
+void put_le(Bytes& out, std::uint64_t v, int n);
+
+/// Read a little-endian unsigned integer, advancing `pos`. Throws on
+/// truncation.
+std::uint64_t get_le(ByteSpan in, std::size_t& pos, int n);
+
+/// Append an unsigned LEB128 varint.
+void put_varint(Bytes& out, std::uint64_t v);
+
+/// Read an unsigned LEB128 varint, advancing `pos`.
+std::uint64_t get_varint(ByteSpan in, std::size_t& pos);
+
+/// Standard header layout used by all ecomp codecs:
+///   magic (2 bytes) | varint original_size | crc32 (4 bytes LE)
+struct Header {
+  std::uint64_t original_size = 0;
+  std::uint32_t crc = 0;
+  std::size_t payload_offset = 0;  // where codec payload begins
+};
+
+void write_header(Bytes& out, std::uint16_t magic, std::uint64_t orig_size,
+                  std::uint32_t crc);
+Header read_header(ByteSpan in, std::uint16_t magic);
+
+/// Verify payload CRC after decode; throws Error on mismatch.
+void check_crc(const Header& h, ByteSpan decoded);
+
+}  // namespace ecomp::compress

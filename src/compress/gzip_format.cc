@@ -1,0 +1,100 @@
+#include "compress/gzip_format.h"
+
+#include "compress/deflate.h"
+#include "util/bitio.h"
+#include "util/crc32.h"
+
+namespace ecomp::compress {
+namespace {
+
+constexpr std::uint8_t kId1 = 0x1f;
+constexpr std::uint8_t kId2 = 0x8b;
+constexpr std::uint8_t kCmDeflate = 8;
+
+// FLG bits (RFC 1952 §2.3.1).
+constexpr std::uint8_t kFtext = 0x01;
+constexpr std::uint8_t kFhcrc = 0x02;
+constexpr std::uint8_t kFextra = 0x04;
+constexpr std::uint8_t kFname = 0x08;
+constexpr std::uint8_t kFcomment = 0x10;
+
+void put_le32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_le32(ByteSpan in, std::size_t pos) {
+  if (pos + 4 > in.size()) throw Error("gzip: truncated trailer");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(in[pos + i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool looks_like_gzip(ByteSpan data) {
+  return data.size() >= 2 && data[0] == kId1 && data[1] == kId2;
+}
+
+Bytes gzip_compress(ByteSpan input, int level) {
+  Bytes out;
+  out.push_back(kId1);
+  out.push_back(kId2);
+  out.push_back(kCmDeflate);
+  out.push_back(0);                      // FLG: no optional fields
+  for (int i = 0; i < 4; ++i) out.push_back(0);  // MTIME: unset
+  out.push_back(level >= 9 ? 2 : (level <= 1 ? 4 : 0));  // XFL hint
+  out.push_back(255);                    // OS: unknown
+
+  BitWriterLsb bw;
+  deflate_raw(input, Lz77Params::for_level(level), bw);
+  const Bytes payload = bw.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  put_le32(out, crc32(input));
+  put_le32(out, static_cast<std::uint32_t>(input.size() & 0xffffffffu));
+  return out;
+}
+
+Bytes gzip_decompress(ByteSpan input) {
+  if (input.size() < 2 || !looks_like_gzip(input))
+    throw Error("gzip: bad magic");
+  if (input.size() < 10) throw Error("gzip: truncated header");
+  if (input[2] != kCmDeflate) throw Error("gzip: unsupported method");
+  const std::uint8_t flg = input[3];
+  if (flg & 0xe0) throw Error("gzip: reserved FLG bits set");
+  std::size_t pos = 10;  // fixed header
+
+  if (flg & kFextra) {
+    if (pos + 2 > input.size()) throw Error("gzip: truncated FEXTRA");
+    const std::size_t xlen = input[pos] | (input[pos + 1] << 8);
+    pos += 2 + xlen;
+    if (pos > input.size()) throw Error("gzip: truncated FEXTRA data");
+  }
+  for (const std::uint8_t field : {kFname, kFcomment}) {
+    if (!(flg & field)) continue;
+    while (true) {
+      if (pos >= input.size()) throw Error("gzip: unterminated string");
+      if (input[pos++] == 0) break;
+    }
+  }
+  if (flg & kFhcrc) {
+    pos += 2;
+    if (pos > input.size()) throw Error("gzip: truncated FHCRC");
+  }
+  (void)kFtext;  // informational only
+
+  if (input.size() < pos + 8) throw Error("gzip: missing trailer");
+  BitReaderLsb br(input.subspan(pos, input.size() - pos - 8));
+  const Bytes out = inflate_raw(br);
+
+  const std::uint32_t want_crc = get_le32(input, input.size() - 8);
+  const std::uint32_t want_isize = get_le32(input, input.size() - 4);
+  if (crc32(out) != want_crc) throw Error("gzip: CRC mismatch");
+  if (static_cast<std::uint32_t>(out.size() & 0xffffffffu) != want_isize)
+    throw Error("gzip: ISIZE mismatch");
+  return out;
+}
+
+}  // namespace ecomp::compress

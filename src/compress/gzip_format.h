@@ -1,0 +1,23 @@
+// RFC 1952 gzip member format over this repo's DEFLATE implementation.
+//
+// This is the exact on-disk format of the paper's gzip 1.2.4 tool, which
+// makes our LZ77/Huffman stack directly interoperable with real gzip:
+// the tests round-trip through /usr/bin/gzip where available.
+#pragma once
+
+#include "util/bytes.h"
+
+namespace ecomp::compress {
+
+/// Produce a complete gzip member (.gz file contents).
+Bytes gzip_compress(ByteSpan input, int level = 9);
+
+/// Decode a gzip member produced by this library or any standard gzip.
+/// Handles the optional FEXTRA/FNAME/FCOMMENT/FHCRC header fields;
+/// verifies CRC32 and ISIZE. Throws Error on malformed input.
+Bytes gzip_decompress(ByteSpan input);
+
+/// True if the buffer starts with the gzip magic (1f 8b).
+bool looks_like_gzip(ByteSpan data);
+
+}  // namespace ecomp::compress

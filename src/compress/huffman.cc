@@ -1,0 +1,267 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+namespace ecomp::huffman {
+
+std::vector<std::uint8_t> build_code_lengths(
+    const std::vector<std::uint64_t>& freqs, int max_len) {
+  const std::size_t n = freqs.size();
+  if (max_len <= 0 || max_len > 31) throw Error("huffman: bad max_len");
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  std::vector<std::uint32_t> live;
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (freqs[i] > 0) live.push_back(i);
+  if (live.empty()) return lengths;
+  if (live.size() == 1) {
+    lengths[live[0]] = 1;
+    return lengths;
+  }
+  if (live.size() > (std::size_t{1} << max_len))
+    throw Error("huffman: alphabet larger than code space");
+
+  // Standard heap construction over (freq, node). Internal nodes get
+  // indices >= n. parent[] lets us read off depths afterwards.
+  struct Node {
+    std::uint64_t freq;
+    std::uint32_t id;
+    bool operator>(const Node& o) const {
+      return freq != o.freq ? freq > o.freq : id > o.id;
+    }
+  };
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> heap;
+  const std::uint32_t total_ids =
+      static_cast<std::uint32_t>(n + live.size());
+  std::vector<std::uint32_t> parent(total_ids, 0);
+  std::vector<bool> in_tree(total_ids, false);
+  for (auto s : live) {
+    heap.push({freqs[s], s});
+    in_tree[s] = true;
+  }
+  std::uint32_t next_id = static_cast<std::uint32_t>(n);
+  while (heap.size() > 1) {
+    Node a = heap.top();
+    heap.pop();
+    Node b = heap.top();
+    heap.pop();
+    parent[a.id] = next_id;
+    parent[b.id] = next_id;
+    in_tree[next_id] = true;
+    heap.push({a.freq + b.freq, next_id});
+    ++next_id;
+  }
+  const std::uint32_t root = heap.top().id;
+
+  // Depths top-down with clamping, zlib-style: a node's depth is its
+  // (already clamped) parent's depth + 1, and `overflow` counts every
+  // clamped node — internal nodes included. That makes the Kraft excess
+  // exactly overflow/2 · 2^-max_len, which the repair loop removes.
+  // Parents always carry larger ids than their children, so descending
+  // id order visits parents first.
+  int overflow = 0;
+  std::vector<std::uint32_t> count_at_len(max_len + 2, 0);
+  std::vector<int> depth(total_ids, 0);
+  for (std::uint32_t id = root + 1; id-- > 0;) {
+    if (!in_tree[id]) continue;
+    if (id != root) {
+      int d = depth[parent[id]] + 1;
+      if (d > max_len) {
+        d = max_len;
+        ++overflow;
+      }
+      depth[id] = d;
+    }
+    if (id < n) {  // leaf
+      lengths[id] = static_cast<std::uint8_t>(depth[id]);
+      ++count_at_len[depth[id]];
+    }
+  }
+
+  // zlib-style overflow repair: move leaves down to rebalance Kraft.
+  while (overflow > 0) {
+    int bits = max_len - 1;
+    while (count_at_len[bits] == 0) --bits;
+    --count_at_len[bits];        // one leaf at `bits` becomes internal
+    count_at_len[bits + 1] += 2; // gains two leaves one level down
+    --count_at_len[max_len];     // one clamped leaf is absorbed
+    overflow -= 2;
+  }
+
+  // Re-assign lengths to symbols: shortest lengths to most frequent.
+  std::sort(live.begin(), live.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return freqs[a] != freqs[b] ? freqs[a] > freqs[b] : a < b;
+  });
+  std::size_t idx = 0;
+  for (int len = 1; len <= max_len; ++len)
+    for (std::uint32_t c = 0; c < count_at_len[len]; ++c)
+      lengths[live[idx++]] = static_cast<std::uint8_t>(len);
+  return lengths;
+}
+
+std::vector<std::uint32_t> canonical_codes(
+    const std::vector<std::uint8_t>& lengths) {
+  int max_len = 0;
+  for (auto l : lengths) max_len = std::max<int>(max_len, l);
+  std::vector<std::uint32_t> bl_count(max_len + 1, 0);
+  for (auto l : lengths)
+    if (l) ++bl_count[l];
+
+  // Kraft check.
+  std::uint64_t kraft = 0;
+  for (int l = 1; l <= max_len; ++l)
+    kraft += std::uint64_t{bl_count[l]} << (max_len - l);
+  if (max_len > 0 && kraft > (std::uint64_t{1} << max_len))
+    throw Error("huffman: oversubscribed code lengths");
+
+  std::vector<std::uint32_t> next_code(max_len + 1, 0);
+  std::uint32_t code = 0;
+  for (int l = 1; l <= max_len; ++l) {
+    code = (code + bl_count[l - 1]) << 1;
+    next_code[l] = code;
+  }
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s)
+    if (lengths[s]) codes[s] = next_code[lengths[s]]++;
+  return codes;
+}
+
+std::uint32_t reverse_bits(std::uint32_t code, int len) {
+  std::uint32_t r = 0;
+  for (int i = 0; i < len; ++i) {
+    r = (r << 1) | (code & 1);
+    code >>= 1;
+  }
+  return r;
+}
+
+// ----------------------------------------------------------------- LSB pair
+
+EncoderLsb::EncoderLsb(const std::vector<std::uint8_t>& lengths)
+    : lengths_(lengths), codes_(canonical_codes(lengths)) {
+  for (std::size_t s = 0; s < codes_.size(); ++s)
+    codes_[s] = reverse_bits(codes_[s], lengths_[s]);
+}
+
+void EncoderLsb::encode(BitWriterLsb& out, std::uint32_t symbol) const {
+  const std::uint8_t len = lengths_[symbol];
+  if (len == 0) throw Error("huffman: encoding symbol with no code");
+  out.put(codes_[symbol], len);
+}
+
+DecoderLsb::DecoderLsb(const std::vector<std::uint8_t>& lengths) {
+  for (auto l : lengths) max_len_ = std::max<int>(max_len_, l);
+  if (max_len_ == 0) return;
+  const auto codes = canonical_codes(lengths);
+
+  root_bits_ = std::min(max_len_, kRootBits);
+  table_.assign(std::size_t{1} << root_bits_, {});
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const int len = lengths[s];
+    if (len == 0 || len > root_bits_) continue;
+    // Fill all table slots whose low `len` bits equal the reversed code.
+    const std::uint32_t rev = reverse_bits(codes[s], len);
+    for (std::uint32_t hi = 0; hi < (std::uint32_t{1} << (root_bits_ - len));
+         ++hi) {
+      auto& e = table_[(hi << len) | rev];
+      e.symbol = static_cast<std::uint16_t>(s);
+      e.length = static_cast<std::uint8_t>(len);
+    }
+  }
+
+  // Canonical walk structures for codes longer than root_bits_.
+  first_code_.assign(max_len_ + 1, 0);
+  first_index_.assign(max_len_ + 1, 0);
+  std::vector<std::uint32_t> bl_count(max_len_ + 1, 0);
+  for (auto l : lengths)
+    if (l) ++bl_count[l];
+  std::uint32_t code = 0, index = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    code = (code + bl_count[l - 1]) << 1;
+    first_code_[l] = code;
+    first_index_[l] = index;
+    index += bl_count[l];
+  }
+  sorted_.clear();
+  for (int l = 1; l <= max_len_; ++l)
+    for (std::size_t s = 0; s < lengths.size(); ++s)
+      if (lengths[s] == l) sorted_.push_back(static_cast<std::uint16_t>(s));
+}
+
+std::uint32_t DecoderLsb::decode(BitReaderLsb& in) const {
+  if (max_len_ == 0) throw Error("huffman: decode with empty code");
+  const std::uint32_t window = in.peek(root_bits_);
+  const Entry& e = table_[window];
+  if (e.length != 0) {
+    in.skip(e.length);
+    return e.symbol;
+  }
+  // Slow path: canonical walk, MSB accumulation of reversed bits.
+  std::uint32_t code = 0;
+  for (int len = 1; len <= max_len_; ++len) {
+    code = (code << 1) | in.get(1);
+    const std::uint32_t count =
+        (len < max_len_ ? first_index_[len + 1]
+                        : static_cast<std::uint32_t>(sorted_.size())) -
+        first_index_[len];
+    if (count > 0 && code >= first_code_[len] &&
+        code < first_code_[len] + count)
+      return sorted_[first_index_[len] + (code - first_code_[len])];
+  }
+  throw Error("huffman: invalid code in stream");
+}
+
+// ----------------------------------------------------------------- MSB pair
+
+EncoderMsb::EncoderMsb(const std::vector<std::uint8_t>& lengths)
+    : lengths_(lengths), codes_(canonical_codes(lengths)) {}
+
+void EncoderMsb::encode(BitWriterMsb& out, std::uint32_t symbol) const {
+  const std::uint8_t len = lengths_[symbol];
+  if (len == 0) throw Error("huffman: encoding symbol with no code");
+  out.put(codes_[symbol], len);
+}
+
+DecoderMsb::DecoderMsb(const std::vector<std::uint8_t>& lengths) {
+  for (auto l : lengths) max_len_ = std::max<int>(max_len_, l);
+  if (max_len_ == 0) return;
+  min_len_ = max_len_;
+  for (auto l : lengths)
+    if (l) min_len_ = std::min<int>(min_len_, l);
+  (void)canonical_codes(lengths);  // validates Kraft
+  first_code_.assign(max_len_ + 1, 0);
+  first_index_.assign(max_len_ + 1, 0);
+  std::vector<std::uint32_t> bl_count(max_len_ + 1, 0);
+  for (auto l : lengths)
+    if (l) ++bl_count[l];
+  std::uint32_t code = 0, index = 0;
+  for (int l = 1; l <= max_len_; ++l) {
+    code = (code + bl_count[l - 1]) << 1;
+    first_code_[l] = code;
+    first_index_[l] = index;
+    index += bl_count[l];
+  }
+  for (int l = 1; l <= max_len_; ++l)
+    for (std::size_t s = 0; s < lengths.size(); ++s)
+      if (lengths[s] == l) sorted_.push_back(static_cast<std::uint16_t>(s));
+}
+
+std::uint32_t DecoderMsb::decode(BitReaderMsb& in) const {
+  if (max_len_ == 0) throw Error("huffman: decode with empty code");
+  std::uint32_t code = in.get(min_len_);
+  for (int len = min_len_; len <= max_len_; ++len) {
+    const std::uint32_t count =
+        (len < max_len_ ? first_index_[len + 1]
+                        : static_cast<std::uint32_t>(sorted_.size())) -
+        first_index_[len];
+    if (count > 0 && code >= first_code_[len] &&
+        code < first_code_[len] + count)
+      return sorted_[first_index_[len] + (code - first_code_[len])];
+    if (len < max_len_) code = (code << 1) | in.get(1);
+  }
+  throw Error("huffman: invalid code in stream");
+}
+
+}  // namespace ecomp::huffman

@@ -1,0 +1,96 @@
+// Canonical, length-limited Huffman coding.
+//
+// Shared by the DEFLATE codec (LSB-first, 15-bit limit, RFC 1951 bit
+// reversal) and the BWT pipeline's entropy stage (MSB-first). Only code
+// *lengths* are ever serialized; codes are reconstructed canonically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitio.h"
+#include "util/bytes.h"
+
+namespace ecomp::huffman {
+
+/// Compute length-limited Huffman code lengths for `freqs`.
+/// Symbols with zero frequency get length 0 (no code). If only one
+/// symbol has nonzero frequency it is assigned length 1. Lengths never
+/// exceed `max_len`; when the optimal tree is deeper, lengths are
+/// adjusted (zlib-style overflow fixup) while keeping the Kraft sum
+/// exactly 1.
+std::vector<std::uint8_t> build_code_lengths(
+    const std::vector<std::uint64_t>& freqs, int max_len);
+
+/// Canonical code assignment: for each symbol with length > 0, the
+/// numeric code value (MSB-first convention, as in RFC 1951 §3.2.2).
+/// Throws Error if the lengths oversubscribe the code space.
+std::vector<std::uint32_t> canonical_codes(
+    const std::vector<std::uint8_t>& lengths);
+
+/// Reverse the low `len` bits of `code` (DEFLATE stores Huffman codes
+/// LSB-first, so canonical MSB codes must be bit-reversed on emit).
+std::uint32_t reverse_bits(std::uint32_t code, int len);
+
+/// Encoder: canonical codes pre-reversed for an LSB-first bit writer.
+class EncoderLsb {
+ public:
+  explicit EncoderLsb(const std::vector<std::uint8_t>& lengths);
+  void encode(BitWriterLsb& out, std::uint32_t symbol) const;
+  std::uint8_t length(std::uint32_t symbol) const {
+    return lengths_[symbol];
+  }
+
+ private:
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;  // bit-reversed
+};
+
+/// Decoder for canonical codes from an LSB-first bit reader.
+/// Table-driven: single lookup for codes up to `root_bits`, canonical
+/// walk beyond.
+class DecoderLsb {
+ public:
+  explicit DecoderLsb(const std::vector<std::uint8_t>& lengths);
+  std::uint32_t decode(BitReaderLsb& in) const;
+  int max_length() const { return max_len_; }
+
+ private:
+  static constexpr int kRootBits = 10;
+  struct Entry {
+    std::uint16_t symbol = 0;
+    std::uint8_t length = 0;  // 0 = invalid / needs slow path
+  };
+  std::vector<Entry> table_;                 // 1 << min(kRootBits, max_len_)
+  std::vector<std::uint32_t> first_code_;    // per length (MSB convention)
+  std::vector<std::uint32_t> first_index_;   // per length, into sorted_
+  std::vector<std::uint16_t> sorted_;        // symbols sorted by (len, sym)
+  int max_len_ = 0;
+  int root_bits_ = 0;
+};
+
+/// Encoder/decoder pair for MSB-first streams (BWT pipeline).
+class EncoderMsb {
+ public:
+  explicit EncoderMsb(const std::vector<std::uint8_t>& lengths);
+  void encode(BitWriterMsb& out, std::uint32_t symbol) const;
+
+ private:
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint32_t> codes_;
+};
+
+class DecoderMsb {
+ public:
+  explicit DecoderMsb(const std::vector<std::uint8_t>& lengths);
+  std::uint32_t decode(BitReaderMsb& in) const;
+
+ private:
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> first_index_;
+  std::vector<std::uint16_t> sorted_;
+  int max_len_ = 0;
+  int min_len_ = 0;
+};
+
+}  // namespace ecomp::huffman

@@ -1,0 +1,189 @@
+#include "compress/lz77.h"
+
+#include <algorithm>
+
+namespace ecomp::compress {
+
+Lz77Params Lz77Params::for_level(int level) {
+  // Mirrors zlib's configuration_table.
+  switch (std::clamp(level, 1, 9)) {
+    case 1: return {4, 4, 8, 4, false};
+    case 2: return {4, 5, 16, 8, false};
+    case 3: return {4, 6, 32, 32, false};
+    case 4: return {4, 4, 16, 16, true};
+    case 5: return {8, 16, 32, 32, true};
+    case 6: return {8, 16, 128, 128, true};
+    case 7: return {8, 32, 128, 256, true};
+    case 8: return {32, 128, 258, 1024, true};
+    default: return {32, 258, 258, 4096, true};
+  }
+}
+
+namespace {
+
+constexpr int kHashBits = 15;
+constexpr std::uint32_t kHashSize = 1u << kHashBits;
+
+inline std::uint32_t hash3(const std::uint8_t* p) {
+  // Multiplicative hash of 3 bytes.
+  const std::uint32_t v =
+      std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+      (std::uint32_t{p[2]} << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Length of the common prefix of a (candidate) and b (current), capped.
+inline int match_length(const std::uint8_t* a, const std::uint8_t* b,
+                        int max_len) {
+  int n = 0;
+  while (n < max_len && a[n] == b[n]) ++n;
+  return n;
+}
+
+struct Matcher {
+  ByteSpan in;
+  Lz77Params params;
+  std::vector<std::int32_t> head;  // hash -> most recent position
+  std::vector<std::int32_t> prev;  // position -> previous with same hash
+
+  explicit Matcher(ByteSpan input, const Lz77Params& p)
+      : in(input), params(p), head(kHashSize, -1), prev(input.size(), -1) {}
+
+  void insert(std::size_t pos) {
+    if (pos + kLzMinMatch > in.size()) return;
+    const std::uint32_t h = hash3(in.data() + pos);
+    prev[pos] = head[h];
+    head[h] = static_cast<std::int32_t>(pos);
+  }
+
+  /// Best match at `pos`, at least `min_len+1` long to be returned.
+  /// Returns {length, distance}; length 0 when none found.
+  std::pair<int, int> find(std::size_t pos, int min_len) const {
+    if (pos + kLzMinMatch > in.size()) return {0, 0};
+    const int max_len =
+        static_cast<int>(std::min<std::size_t>(kLzMaxMatch, in.size() - pos));
+    if (max_len < kLzMinMatch) return {0, 0};
+
+    int chain = params.max_chain;
+    if (min_len >= params.good_length) chain >>= 2;
+    int best_len = std::max(min_len, kLzMinMatch - 1);
+    int best_dist = 0;
+
+    const std::uint8_t* cur = in.data() + pos;
+    std::int32_t cand = head[hash3(cur)];
+    const std::int64_t limit =
+        static_cast<std::int64_t>(pos) - params.window_size;
+    while (cand >= 0 && cand > limit && chain-- > 0) {
+      if (best_len >= max_len) break;  // cannot improve; also guards reads
+      if (static_cast<std::size_t>(cand) != pos) {
+        const std::uint8_t* cp = in.data() + cand;
+        // Quick reject on the byte that would extend the best match.
+        if (cp[best_len] == cur[best_len]) {
+          const int len = match_length(cp, cur, max_len);
+          if (len > best_len) {
+            best_len = len;
+            best_dist = static_cast<int>(pos - static_cast<std::size_t>(cand));
+            if (len >= params.nice_length) break;
+          }
+        }
+      }
+      cand = prev[cand];
+    }
+    if (best_dist == 0 || best_len < kLzMinMatch) return {0, 0};
+    return {best_len, best_dist};
+  }
+};
+
+}  // namespace
+
+std::vector<Lz77Token> lz77_tokenize(ByteSpan input,
+                                     const Lz77Params& params) {
+  std::vector<Lz77Token> tokens;
+  if (input.empty()) return tokens;
+  tokens.reserve(input.size() / 3);
+
+  Matcher m(input, params);
+  std::size_t pos = 0;
+
+  // Lazy matching state: a pending match from the previous position.
+  bool have_prev = false;
+  int prev_len = 0, prev_dist = 0;
+
+  auto emit_literal = [&](std::size_t p) {
+    tokens.push_back({0, 0, input[p]});
+  };
+  auto emit_match = [&](int len, int dist) {
+    tokens.push_back({static_cast<std::uint16_t>(len),
+                      static_cast<std::uint16_t>(dist), 0});
+  };
+
+  while (pos < input.size()) {
+    auto [len, dist] = m.find(pos, have_prev ? prev_len : 0);
+
+    if (have_prev) {
+      if (len > prev_len && prev_len < params.max_lazy) {
+        // Current position found a longer match: the previous position
+        // degrades to a literal and the new match stays pending.
+        emit_literal(pos - 1);
+        prev_len = len;
+        prev_dist = dist;
+        m.insert(pos);
+        ++pos;
+        continue;
+      }
+      // Commit the previous match.
+      emit_match(prev_len, prev_dist);
+      const std::size_t match_end = (pos - 1) + prev_len;
+      while (pos < match_end && pos < input.size()) {
+        m.insert(pos);
+        ++pos;
+      }
+      have_prev = false;
+      continue;
+    }
+
+    if (len >= kLzMinMatch) {
+      if (params.lazy && len < params.max_lazy && pos + 1 < input.size()) {
+        prev_len = len;
+        prev_dist = dist;
+        have_prev = true;
+        m.insert(pos);
+        ++pos;
+        continue;
+      }
+      emit_match(len, dist);
+      const std::size_t match_end = pos + len;
+      while (pos < match_end) {
+        m.insert(pos);
+        ++pos;
+      }
+      continue;
+    }
+
+    emit_literal(pos);
+    m.insert(pos);
+    ++pos;
+  }
+  if (have_prev) {
+    // Input ended while a match was pending: it is still valid.
+    emit_match(prev_len, prev_dist);
+  }
+  return tokens;
+}
+
+Bytes lz77_reconstruct(const std::vector<Lz77Token>& tokens) {
+  Bytes out;
+  for (const auto& t : tokens) {
+    if (t.length == 0) {
+      out.push_back(t.literal);
+    } else {
+      if (t.distance == 0 || t.distance > out.size())
+        throw Error("lz77: invalid distance");
+      std::size_t from = out.size() - t.distance;
+      for (int i = 0; i < t.length; ++i) out.push_back(out[from + i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ecomp::compress

@@ -1,0 +1,48 @@
+// LZ77 tokenization with a 32 KB sliding window, hash chains and lazy
+// matching — the algorithmic heart of the paper's winning codec (gzip).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace ecomp::compress {
+
+/// One LZ77 token: either a literal byte (length == 0) or a back
+/// reference (length in [kMinMatch, kMaxMatch], distance in
+/// [1, kWindowSize]).
+struct Lz77Token {
+  std::uint16_t length = 0;    // 0 => literal
+  std::uint16_t distance = 0;  // valid when length > 0
+  std::uint8_t literal = 0;    // valid when length == 0
+};
+
+inline constexpr int kLzMinMatch = 3;
+inline constexpr int kLzMaxMatch = 258;
+inline constexpr int kLzWindowSize = 32 * 1024;
+
+/// Effort parameters, mirroring zlib's per-level configuration table.
+struct Lz77Params {
+  int good_length;  ///< reduce chain search when current match ≥ this
+  int max_lazy;     ///< only defer to lazy match when match < this
+  int nice_length;  ///< stop searching when match ≥ this
+  int max_chain;    ///< hash-chain positions to examine
+  bool lazy;        ///< enable one-token lookahead deferral
+  /// Sliding-window size (max back-reference distance). DEFLATE's
+  /// format allows up to 32 KB; smaller windows model memory-
+  /// constrained devices (ablation bench).
+  int window_size = kLzWindowSize;
+
+  /// Preset for compression level 1..9 (9 = paper's "-9").
+  static Lz77Params for_level(int level);
+};
+
+/// Tokenize `input` greedily (or lazily per params). Deterministic.
+std::vector<Lz77Token> lz77_tokenize(ByteSpan input, const Lz77Params& params);
+
+/// Reconstruct original bytes from tokens (used by tests; the DEFLATE
+/// decoder has its own integrated copy loop).
+Bytes lz77_reconstruct(const std::vector<Lz77Token>& tokens);
+
+}  // namespace ecomp::compress

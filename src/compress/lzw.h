@@ -1,0 +1,33 @@
+// LZW codec — the repo's stand-in for UNIX compress (ncompress 4.2.4).
+//
+// Matches the algorithm the paper describes in §3: a growing dictionary
+// starting at 512 entries / 9-bit codes, doubling up to 16-bit codes;
+// once the dictionary is full, coding continues without growth until the
+// running compression factor degrades, at which point a CLEAR code
+// resets the dictionary.
+#pragma once
+
+#include <cstdint>
+
+#include "compress/codec.h"
+
+namespace ecomp::compress {
+
+inline constexpr std::uint16_t kLzwMagic = 0xE002;
+
+class LzwCodec final : public Codec {
+ public:
+  /// max_bits in [9, 16]; the paper runs "compress -b 16".
+  explicit LzwCodec(int max_bits = 16);
+
+  std::string_view name() const override { return "lzw"; }
+  Bytes compress(ByteSpan input) const override;
+  Bytes decompress(ByteSpan input) const override;
+
+  int max_bits() const { return max_bits_; }
+
+ private:
+  int max_bits_;
+};
+
+}  // namespace ecomp::compress

@@ -1,0 +1,216 @@
+#include "compress/selective.h"
+
+#include <algorithm>
+
+#include "compress/container.h"
+#include "compress/deflate.h"
+#include "util/crc32.h"
+
+namespace ecomp::compress {
+
+SelectivePolicy SelectivePolicy::always() {
+  SelectivePolicy p;
+  p.min_block_bytes = 0;
+  p.energy_test = [](std::size_t raw, std::size_t comp) {
+    return comp < raw;
+  };
+  return p;
+}
+
+SelectivePolicy SelectivePolicy::never() {
+  SelectivePolicy p;
+  p.min_block_bytes = 0;
+  p.energy_test = [](std::size_t, std::size_t) { return false; };
+  return p;
+}
+
+SelectiveResult selective_compress(ByteSpan input,
+                                   const SelectivePolicy& policy,
+                                   std::size_t block_size, int level) {
+  if (block_size == 0) throw Error("selective: block_size must be > 0");
+  if (!policy.energy_test)
+    throw Error("selective: policy requires an energy_test");
+  const DeflateCodec codec(level);
+
+  SelectiveResult res;
+  Bytes& out = res.container;
+  write_header(out, kSelectiveMagic, input.size(), crc32(input));
+  put_varint(out, block_size);
+  const std::size_t n_blocks =
+      input.empty() ? 0 : (input.size() + block_size - 1) / block_size;
+  put_varint(out, n_blocks);
+
+  for (std::size_t off = 0; off < input.size(); off += block_size) {
+    const std::size_t len = std::min(block_size, input.size() - off);
+    const ByteSpan block = input.subspan(off, len);
+
+    // Fig. 10: small blocks ship raw; otherwise compress and keep the
+    // compressed form only if the energy test passes.
+    bool use_compressed = false;
+    Bytes compressed;
+    if (len >= policy.min_block_bytes) {
+      compressed = codec.compress(block);
+      use_compressed = policy.energy_test(len, compressed.size());
+    }
+
+    BlockInfo info;
+    info.raw_size = len;
+    info.compressed = use_compressed;
+    out.push_back(use_compressed ? 1 : 0);
+    if (use_compressed) {
+      info.payload_size = compressed.size();
+      put_varint(out, compressed.size());
+      out.insert(out.end(), compressed.begin(), compressed.end());
+    } else {
+      info.payload_size = len;
+      put_varint(out, len);
+      out.insert(out.end(), block.begin(), block.end());
+    }
+    res.blocks.push_back(info);
+  }
+  return res;
+}
+
+namespace {
+
+struct ParsedBlock {
+  BlockInfo info;
+  std::size_t payload_offset = 0;
+};
+
+struct ParsedContainer {
+  Header header;
+  std::size_t block_size = 0;
+  std::vector<ParsedBlock> blocks;
+};
+
+ParsedContainer parse(ByteSpan container) {
+  ParsedContainer pc;
+  pc.header = read_header(container, kSelectiveMagic);
+  std::size_t pos = pc.header.payload_offset;
+  pc.block_size = get_varint(container, pos);
+  const std::uint64_t n_blocks = get_varint(container, pos);
+  std::uint64_t raw_total = 0;
+  for (std::uint64_t b = 0; b < n_blocks; ++b) {
+    if (pos >= container.size()) throw Error("selective: truncated flags");
+    const std::uint8_t flag = container[pos++];
+    if (flag > 1) throw Error("selective: bad block flag");
+    ParsedBlock blk;
+    blk.info.compressed = flag == 1;
+    blk.info.payload_size = get_varint(container, pos);
+    blk.payload_offset = pos;
+    if (pos + blk.info.payload_size > container.size())
+      throw Error("selective: truncated block payload");
+    pos += blk.info.payload_size;
+    // Raw size: directly for raw blocks, from the member header for
+    // compressed ones.
+    if (blk.info.compressed) {
+      const Header mh = read_header(
+          container.subspan(blk.payload_offset, blk.info.payload_size),
+          kDeflateMagic);
+      blk.info.raw_size = mh.original_size;
+    } else {
+      blk.info.raw_size = blk.info.payload_size;
+    }
+    raw_total += blk.info.raw_size;
+    pc.blocks.push_back(blk);
+  }
+  if (raw_total != pc.header.original_size)
+    throw Error("selective: block sizes disagree with header");
+  return pc;
+}
+
+}  // namespace
+
+Bytes selective_decompress(ByteSpan container) {
+  const ParsedContainer pc = parse(container);
+  const DeflateCodec codec;
+  Bytes out;
+  out.reserve(pc.header.original_size);
+  for (const auto& blk : pc.blocks) {
+    const ByteSpan payload =
+        container.subspan(blk.payload_offset, blk.info.payload_size);
+    if (blk.info.compressed) {
+      const Bytes raw = codec.decompress(payload);
+      out.insert(out.end(), raw.begin(), raw.end());
+    } else {
+      out.insert(out.end(), payload.begin(), payload.end());
+    }
+  }
+  check_crc(pc.header, out);
+  return out;
+}
+
+std::vector<BlockInfo> selective_block_info(ByteSpan container) {
+  const ParsedContainer pc = parse(container);
+  std::vector<BlockInfo> infos;
+  infos.reserve(pc.blocks.size());
+  for (const auto& blk : pc.blocks) infos.push_back(blk.info);
+  return infos;
+}
+
+Bytes selective_decode_block(const BlockInfo& info, ByteSpan payload,
+                             bool is_compressed) {
+  if (payload.size() != info.payload_size)
+    throw Error("selective: payload size mismatch");
+  if (!is_compressed) return Bytes(payload.begin(), payload.end());
+  return DeflateCodec().decompress(payload);
+}
+
+SelectiveStreamEncoder::SelectiveStreamEncoder(ByteSpan input,
+                                               SelectivePolicy policy,
+                                               std::size_t block_size,
+                                               int level)
+    : input_(input),
+      policy_(std::move(policy)),
+      block_size_(block_size),
+      level_(level) {
+  if (block_size_ == 0) throw Error("selective: block_size must be > 0");
+  if (!policy_.energy_test)
+    throw Error("selective: policy requires an energy_test");
+}
+
+Bytes SelectiveStreamEncoder::next_chunk() {
+  if (!header_sent_) {
+    header_sent_ = true;
+    Bytes header;
+    write_header(header, kSelectiveMagic, input_.size(), crc32(input_));
+    put_varint(header, block_size_);
+    const std::size_t n_blocks =
+        input_.empty() ? 0
+                       : (input_.size() + block_size_ - 1) / block_size_;
+    put_varint(header, n_blocks);
+    return header;
+  }
+  if (offset_ >= input_.size()) return {};
+
+  const std::size_t len = std::min(block_size_, input_.size() - offset_);
+  const ByteSpan block = input_.subspan(offset_, len);
+  offset_ += len;
+
+  bool use_compressed = false;
+  Bytes compressed;
+  if (len >= policy_.min_block_bytes) {
+    compressed = DeflateCodec(level_).compress(block);
+    use_compressed = policy_.energy_test(len, compressed.size());
+  }
+
+  Bytes chunk;
+  BlockInfo info;
+  info.raw_size = len;
+  info.compressed = use_compressed;
+  chunk.push_back(use_compressed ? 1 : 0);
+  if (use_compressed) {
+    info.payload_size = compressed.size();
+    put_varint(chunk, compressed.size());
+    chunk.insert(chunk.end(), compressed.begin(), compressed.end());
+  } else {
+    info.payload_size = len;
+    put_varint(chunk, len);
+    chunk.insert(chunk.end(), block.begin(), block.end());
+  }
+  blocks_.push_back(info);
+  return chunk;
+}
+
+}  // namespace ecomp::compress

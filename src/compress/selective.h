@@ -1,0 +1,103 @@
+// Block-by-block selective compression container — the paper's Fig. 10
+// scheme, and (with an always-compress policy) the plain chunked "zlib"
+// stream used for interleaved downloading.
+//
+// Layout:
+//   magic | varint original_size | crc32 | varint block_size |
+//   varint n_blocks | n × ( flag byte | varint payload_size | payload )
+// where flag 0 = raw bytes, 1 = framed deflate member.
+//
+// Each block is independently decodable, which is what lets the receiver
+// interleave decompression of block i with the download of block i+1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace ecomp::compress {
+
+inline constexpr std::uint16_t kSelectiveMagic = 0xE004;
+
+/// Matches the paper's compression buffer assumption of 0.128 MB.
+inline constexpr std::size_t kDefaultBlockSize = 128 * 1024;
+
+/// Decision policy for Fig. 10. `energy_test(raw, comp)` returns true
+/// when shipping `comp` compressed bytes (for `raw` original bytes) is
+/// predicted to cost less energy than shipping raw (Eq. 6); blocks
+/// smaller than `min_block_bytes` skip compression outright (the paper's
+/// 3900-byte threshold).
+struct SelectivePolicy {
+  std::size_t min_block_bytes = 3900;
+  std::function<bool(std::size_t raw_size, std::size_t compressed_size)>
+      energy_test;
+
+  /// Compress every block that shrinks at all (the plain zlib role).
+  static SelectivePolicy always();
+  /// Never compress (raw container, used for baselines and tests).
+  static SelectivePolicy never();
+};
+
+/// Per-block outcome, exposed for benches and the transfer simulator.
+struct BlockInfo {
+  std::size_t raw_size = 0;
+  std::size_t payload_size = 0;  ///< bytes stored in the container
+  bool compressed = false;
+};
+
+struct SelectiveResult {
+  Bytes container;
+  std::vector<BlockInfo> blocks;
+};
+
+/// Compress `input` block by block per the policy. `level` is the
+/// deflate effort for compressed blocks.
+SelectiveResult selective_compress(ByteSpan input,
+                                   const SelectivePolicy& policy,
+                                   std::size_t block_size = kDefaultBlockSize,
+                                   int level = 9);
+
+/// Full decode with CRC verification.
+Bytes selective_decompress(ByteSpan container);
+
+/// Parse the container's block table without decoding payloads.
+std::vector<BlockInfo> selective_block_info(ByteSpan container);
+
+/// Decode a single block payload (flag + payload bytes as stored).
+Bytes selective_decode_block(const BlockInfo& info, ByteSpan payload,
+                             bool is_compressed);
+
+/// Incremental producer of a selective container: emits the header,
+/// then one encoded block per pull. This is the proxy side of §5's
+/// compression-on-demand overlap — the server ships block i while
+/// block i+1 is still being compressed. The input must stay alive for
+/// the encoder's lifetime.
+class SelectiveStreamEncoder {
+ public:
+  SelectiveStreamEncoder(ByteSpan input, SelectivePolicy policy,
+                         std::size_t block_size = kDefaultBlockSize,
+                         int level = 9);
+
+  /// False once every chunk (header + all blocks) has been produced.
+  bool done() const { return header_sent_ && offset_ >= input_.size(); }
+
+  /// Produce the next wire chunk: first call returns the container
+  /// header, each further call one encoded block. Empty when done.
+  Bytes next_chunk();
+
+  /// Decisions for the blocks produced so far.
+  const std::vector<BlockInfo>& blocks() const { return blocks_; }
+
+ private:
+  ByteSpan input_;
+  SelectivePolicy policy_;
+  std::size_t block_size_;
+  int level_;
+  bool header_sent_ = false;
+  std::size_t offset_ = 0;
+  std::vector<BlockInfo> blocks_;
+};
+
+}  // namespace ecomp::compress

@@ -1,0 +1,24 @@
+// UNIX compress(1) .Z file format — the exact on-disk format of the
+// paper's second tool (ncompress 4.2.4). Interops with the historical
+// decoder family: the tests feed our output to /usr/bin/uncompress and
+// gzip -d where available.
+//
+// Format notes (matching ncompress/gzip-unlzw semantics):
+//  * header 0x1f 0x9d, then flags = maxbits | 0x80 (block mode);
+//  * LZW codes packed LSB-first, widths 9..maxbits;
+//  * width changes and CLEAR resets only take effect at 8-code group
+//    boundaries — the stream pads with zero bits to a multiple of
+//    n_bits bytes (measured from where the current width began);
+//  * code 256 is CLEAR; the decoder burns one table slot after each
+//    CLEAR (historical off-by-one kept for compatibility).
+#pragma once
+
+#include "util/bytes.h"
+
+namespace ecomp::compress {
+
+Bytes z_compress(ByteSpan input, int max_bits = 16);
+Bytes z_decompress(ByteSpan input);
+bool looks_like_z(ByteSpan data);
+
+}  // namespace ecomp::compress

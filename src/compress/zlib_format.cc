@@ -1,0 +1,84 @@
+#include "compress/zlib_format.h"
+
+#include "compress/deflate.h"
+#include "util/bitio.h"
+
+namespace ecomp::compress {
+namespace {
+
+constexpr std::uint32_t kAdlerMod = 65521;
+constexpr std::uint8_t kCmfDeflate32k = 0x78;  // CM=8, CINFO=7 (32 KB)
+
+}  // namespace
+
+void Adler32::update(ByteSpan data) {
+  // Process in chunks small enough that the sums cannot overflow before
+  // the modulo (zlib's NMAX trick).
+  constexpr std::size_t kNmax = 5552;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::size_t end = std::min(data.size(), i + kNmax);
+    for (; i < end; ++i) {
+      a_ += data[i];
+      b_ += a_;
+    }
+    a_ %= kAdlerMod;
+    b_ %= kAdlerMod;
+  }
+}
+
+std::uint32_t adler32(ByteSpan data) {
+  Adler32 a;
+  a.update(data);
+  return a.value();
+}
+
+bool looks_like_zlib(ByteSpan data) {
+  if (data.size() < 2) return false;
+  const std::uint8_t cmf = data[0];
+  if ((cmf & 0x0f) != 8) return false;          // CM must be deflate
+  if ((cmf >> 4) > 7) return false;             // CINFO <= 7
+  const unsigned check = (unsigned{cmf} << 8) | data[1];
+  return check % 31 == 0;
+}
+
+Bytes zlib_compress(ByteSpan input, int level) {
+  Bytes out;
+  out.push_back(kCmfDeflate32k);
+  // FLG: FLEVEL hint in the top 2 bits, FDICT=0, FCHECK makes the
+  // 16-bit header a multiple of 31.
+  const unsigned flevel = level >= 7 ? 3u : level >= 5 ? 2u
+                                      : level >= 2    ? 1u
+                                                      : 0u;
+  unsigned flg = flevel << 6;
+  const unsigned header = (unsigned{kCmfDeflate32k} << 8) | flg;
+  flg |= (31 - header % 31) % 31;  // FCHECK
+  out.push_back(static_cast<std::uint8_t>(flg));
+
+  BitWriterLsb bw;
+  deflate_raw(input, Lz77Params::for_level(level), bw);
+  const Bytes payload = bw.take();
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  const std::uint32_t adler = adler32(input);
+  for (int i = 3; i >= 0; --i)
+    out.push_back(static_cast<std::uint8_t>((adler >> (8 * i)) & 0xff));
+  return out;
+}
+
+Bytes zlib_decompress(ByteSpan input) {
+  if (input.size() < 6) throw Error("zlib: stream too short");
+  if (!looks_like_zlib(input)) throw Error("zlib: bad header");
+  if (input[1] & 0x20) throw Error("zlib: preset dictionaries unsupported");
+
+  BitReaderLsb br(input.subspan(2, input.size() - 6));
+  const Bytes out = inflate_raw(br);
+
+  std::uint32_t want = 0;
+  for (int i = 0; i < 4; ++i)
+    want = (want << 8) | input[input.size() - 4 + static_cast<std::size_t>(i)];
+  if (adler32(out) != want) throw Error("zlib: Adler-32 mismatch");
+  return out;
+}
+
+}  // namespace ecomp::compress

@@ -1,0 +1,35 @@
+// RFC 1950 zlib stream format — the exact container of the paper's
+// zlib 1.1.3 library (its interleaving implementation is built on
+// zlib). 2-byte CMF/FLG header, raw DEFLATE body, big-endian Adler-32
+// trailer. Differential-tested against Python's zlib where available.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ecomp::compress {
+
+/// Adler-32 checksum (RFC 1950 §8), incremental.
+class Adler32 {
+ public:
+  void update(ByteSpan data);
+  std::uint32_t value() const { return (b_ << 16) | a_; }
+
+ private:
+  std::uint32_t a_ = 1;
+  std::uint32_t b_ = 0;
+};
+
+std::uint32_t adler32(ByteSpan data);
+
+/// Produce a complete zlib stream.
+Bytes zlib_compress(ByteSpan input, int level = 9);
+
+/// Decode a zlib stream (ours or any standard zlib's). Verifies the
+/// header check bits and the Adler-32 trailer.
+Bytes zlib_decompress(ByteSpan input);
+
+bool looks_like_zlib(ByteSpan data);
+
+}  // namespace ecomp::compress

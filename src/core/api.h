@@ -1,0 +1,18 @@
+// Umbrella header for the ecomp public API.
+//
+// Typical use:
+//   #include "core/api.h"
+//   auto model   = ecomp::core::EnergyModel::paper_11mbps();
+//   auto planner = ecomp::core::TransferPlanner(model);
+//   auto policy  = ecomp::core::make_selective_policy(model);
+//   auto result  = ecomp::compress::selective_compress(bytes, policy);
+#pragma once
+
+#include "compress/codec.h"       // IWYU pragma: export
+#include "compress/selective.h"   // IWYU pragma: export
+#include "core/calibration.h"     // IWYU pragma: export
+#include "core/energy_model.h"    // IWYU pragma: export
+#include "core/interleave.h"      // IWYU pragma: export
+#include "core/planner.h"         // IWYU pragma: export
+#include "core/upload_model.h"    // IWYU pragma: export
+#include "sim/transfer.h"         // IWYU pragma: export

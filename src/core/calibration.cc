@@ -1,0 +1,98 @@
+#include "core/calibration.h"
+
+#include <chrono>
+
+namespace ecomp::core {
+
+DownloadFit Calibrator::fit_download_energy(
+    const std::vector<double>& sizes_mb) const {
+  std::vector<double> xs, ys;
+  xs.reserve(sizes_mb.size());
+  ys.reserve(sizes_mb.size());
+  for (double s : sizes_mb) {
+    xs.push_back(s);
+    ys.push_back(sim_.download_uncompressed(s).energy_j);
+  }
+  DownloadFit f;
+  f.fit = stats::linear_fit(xs, ys);
+  f.joules_per_mb = f.fit.coef[0];
+  f.startup_j = f.fit.coef[1];
+  return f;
+}
+
+DecompressFit Calibrator::fit_decompress_time_host(
+    const compress::Codec& codec, const std::vector<Bytes>& samples,
+    int repeats) {
+  using clock = std::chrono::steady_clock;
+  std::vector<std::vector<double>> design;
+  std::vector<double> times;
+  for (const auto& sample : samples) {
+    const Bytes comp = codec.compress(sample);
+    // Warm-up decode, then time the median-ish average of `repeats`.
+    Bytes out = codec.decompress(comp);
+    if (out != sample) throw Error("calibration: codec roundtrip failed");
+    const auto t0 = clock::now();
+    for (int r = 0; r < repeats; ++r) {
+      Bytes d = codec.decompress(comp);
+      if (d.size() != sample.size())
+        throw Error("calibration: decode size changed between runs");
+    }
+    const auto t1 = clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count() / repeats;
+    const double s_mb = static_cast<double>(sample.size()) / 1e6;
+    const double sc_mb = static_cast<double>(comp.size()) / 1e6;
+    design.push_back({s_mb, sc_mb, 1.0});
+    times.push_back(secs);
+  }
+  DecompressFit f;
+  f.fit = stats::least_squares(design, times);
+  f.a = f.fit.coef[0];
+  f.b = f.fit.coef[1];
+  f.c = f.fit.coef[2];
+  return f;
+}
+
+DecompressFit Calibrator::fit_decompress_time_model(
+    std::string_view codec_name) const {
+  const sim::CpuModel& cpu = sim_.device().cpu;
+  std::vector<std::vector<double>> design;
+  std::vector<double> times;
+  for (double s : {0.05, 0.1, 0.3, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    for (double factor : {1.1, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0}) {
+      const double sc = s / factor;
+      design.push_back({s, sc, 1.0});
+      times.push_back(cpu.decompress_time_s(codec_name, sc, s));
+    }
+  }
+  DecompressFit f;
+  f.fit = stats::least_squares(design, times);
+  f.a = f.fit.coef[0];
+  f.b = f.fit.coef[1];
+  f.c = f.fit.coef[2];
+  return f;
+}
+
+EnergyModel Calibrator::calibrate(std::string_view codec_name) const {
+  const sim::DeviceModel& dev = sim_.device();
+  std::vector<double> sizes;
+  for (double s = 0.05; s <= 10.0; s *= 1.5) sizes.push_back(s);
+  const DownloadFit dl = fit_download_energy(sizes);
+  const DecompressFit dt = fit_decompress_time_model(codec_name);
+
+  EnergyParams p;
+  p.pi = dev.gap_power_w(false);
+  p.pd = dev.decompress_power_w(false);
+  p.pd_sleep = dev.decompress_power_w(true);
+  p.rate = dev.radio.rate_mb_per_s(false);
+  p.idle_fraction = dev.radio.idle_fraction(false);
+  // α = m + idle_fraction/rate · pi  ⇒  recover m from the fit.
+  p.m = dl.joules_per_mb - p.idle_fraction / p.rate * p.pi;
+  p.cs = dl.startup_j;
+  p.td_a = dt.a;
+  p.td_b = dt.b;
+  p.td_c = dt.c;
+  return EnergyModel(p);
+}
+
+}  // namespace ecomp::core

@@ -1,0 +1,65 @@
+// Calibrator — re-derives the paper's fitted constants the way §4.2
+// does, but against this repo's artifacts:
+//
+//  * download-energy fit E(s) = α·s + β from a TransferSimulator sweep
+//    (paper: 3.519·s + 0.012, avg error 7.2%);
+//  * decompression-time fit td(s, sc) = a·s + b·sc + c from *measured
+//    host wall-times* of the real codecs over a corpus (paper: gzip on
+//    the iPAQ, R² = 96.7%);
+//  * a full EnergyParams set assembled from those fits.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "compress/codec.h"
+#include "core/energy_model.h"
+#include "sim/transfer.h"
+#include "util/stats.h"
+
+namespace ecomp::core {
+
+struct DownloadFit {
+  double joules_per_mb = 0.0;  ///< α (paper: 3.519)
+  double startup_j = 0.0;      ///< β (paper: 0.012)
+  stats::FitResult fit;
+};
+
+struct DecompressFit {
+  double a = 0.0;  ///< s/MB of original output (paper: 0.161)
+  double b = 0.0;  ///< s/MB of compressed input (paper: 0.161)
+  double c = 0.0;  ///< startup seconds (paper: 0.004)
+  stats::FitResult fit;
+};
+
+class Calibrator {
+ public:
+  explicit Calibrator(sim::TransferSimulator simulator)
+      : sim_(std::move(simulator)) {}
+
+  /// Fit E_raw(s) over the given sizes (MB) using simulated downloads.
+  DownloadFit fit_download_energy(const std::vector<double>& sizes_mb) const;
+
+  /// Fit td(s, sc) from actual wall-clock decompression of `codec` over
+  /// the given sample buffers (measured on this host — the fit's shape
+  /// and R², not its absolute scale, are the reproduction target).
+  static DecompressFit fit_decompress_time_host(
+      const compress::Codec& codec, const std::vector<Bytes>& samples,
+      int repeats = 3);
+
+  /// Fit td(s, sc) against the CPU cost model itself over an (s, F)
+  /// grid — a consistency check that the regression machinery recovers
+  /// the generating coefficients.
+  DecompressFit fit_decompress_time_model(std::string_view codec_name) const;
+
+  /// Assemble a calibrated EnergyModel: α/β from the download fit,
+  /// pi/pd from the device's power table, td from the model fit.
+  EnergyModel calibrate(std::string_view codec_name = "deflate") const;
+
+  const sim::TransferSimulator& simulator() const { return sim_; }
+
+ private:
+  sim::TransferSimulator sim_;
+};
+
+}  // namespace ecomp::core

@@ -1,0 +1,156 @@
+#include "core/energy_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/bytes.h"
+
+namespace ecomp::core {
+
+EnergyModel EnergyModel::from_device(const sim::DeviceModel& device,
+                                     std::string_view codec) {
+  EnergyParams p;
+  p.m = device.recv_energy_per_mb(false);
+  p.cs = device.radio.startup_energy_j;
+  p.pi = device.gap_power_w(false);
+  p.pd = device.decompress_power_w(false);
+  p.pd_sleep = device.decompress_power_w(true);
+  p.rate = device.radio.rate_mb_per_s(false);
+  p.idle_fraction = device.radio.idle_fraction(false);
+  const sim::CodecCost cost = device.cpu.decompress_cost(codec);
+  p.td_a = cost.s_per_mb_out;  // per MB of original (output)
+  p.td_b = cost.s_per_mb_in;   // per MB of compressed (input)
+  p.td_c = cost.startup_s;
+  return EnergyModel(p);
+}
+
+EnergyModel EnergyModel::with_codec_cost(const sim::CodecCost& cost) const {
+  EnergyParams p = p_;
+  p.td_a = cost.s_per_mb_out;
+  p.td_b = cost.s_per_mb_in;
+  p.td_c = cost.startup_s;
+  return EnergyModel(p);
+}
+
+void EnergyModel::idle_split(double s, double sc, double& ti_rest,
+                             double& ti_first) const {
+  const double ti = idle_time_s(sc);
+  if (s <= p_.block_mb || s <= 0.0) {
+    ti_rest = 0.0;
+    ti_first = ti;
+    return;
+  }
+  ti_first = p_.idle_fraction / p_.rate * (p_.block_mb * sc / s);
+  ti_rest = ti - ti_first;
+}
+
+double EnergyModel::download_energy_j(double s) const {
+  return p_.m * s + p_.cs + idle_time_s(s) * p_.pi;
+}
+
+double EnergyModel::sequential_energy_j(double s, double sc,
+                                        bool sleep) const {
+  const double td = decompress_time_s(s, sc);
+  const double pd = sleep ? p_.pd_sleep : p_.pd;
+  return p_.m * sc + p_.cs + idle_time_s(sc) * p_.pi + td * pd;
+}
+
+double EnergyModel::interleaved_energy_j(double s, double sc) const {
+  const double td = decompress_time_s(s, sc);
+  double ti_rest = 0.0, ti_first = 0.0;
+  idle_split(s, sc, ti_rest, ti_first);
+  if (ti_rest > td) {
+    // Decompression fits in the gaps; leftover idle remains.
+    return p_.m * sc + p_.cs + td * p_.pd +
+           (ti_rest - td + ti_first) * p_.pi;
+  }
+  // Gaps fully filled; decompression spills past the download.
+  return p_.m * sc + p_.cs + td * p_.pd + ti_first * p_.pi;
+}
+
+bool EnergyModel::should_compress(double s_mb, double factor) const {
+  if (s_mb <= 0.0 || factor <= 0.0) return false;
+  return interleaved_energy_j(s_mb, s_mb / factor) <
+         download_energy_j(s_mb);
+}
+
+double EnergyModel::min_factor(double s_mb) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kMaxF = 1e6;
+  if (!should_compress(s_mb, kMaxF)) return kInf;
+  double lo = 1.0, hi = kMaxF;
+  if (should_compress(s_mb, lo)) return lo;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (should_compress(s_mb, mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+double EnergyModel::min_file_mb() const {
+  constexpr double kMaxF = 1e6;
+  double lo = 1e-7, hi = 10.0;
+  if (should_compress(lo, kMaxF)) return lo;
+  if (!should_compress(hi, kMaxF))
+    throw Error("EnergyModel: compression never pays in this model");
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (should_compress(mid, kMaxF) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+double EnergyModel::sleep_crossover_factor() const {
+  // Evaluate at a large file so the block term vanishes; find the
+  // smallest F where sequential+sleep beats interleaving.
+  const double s = 1000.0;
+  auto sleep_wins = [&](double f) {
+    const double sc = s / f;
+    return sequential_energy_j(s, sc, true) < interleaved_energy_j(s, sc);
+  };
+  if (sleep_wins(1.0)) return 1.0;
+  if (!sleep_wins(1e6)) return std::numeric_limits<double>::infinity();
+  double lo = 1.0, hi = 1e6;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (sleep_wins(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+double EnergyModel::idle_fill_factor() const {
+  const double s = 1000.0;
+  auto fills = [&](double f) {
+    const double sc = s / f;
+    double ti_rest = 0.0, ti_first = 0.0;
+    idle_split(s, sc, ti_rest, ti_first);
+    return decompress_time_s(s, sc) >= ti_rest;
+  };
+  if (fills(1.0)) return 1.0;
+  if (!fills(1e6)) return std::numeric_limits<double>::infinity();
+  double lo = 1.0, hi = 1e6;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (fills(mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+double EnergyModel::paper_eq5_11mbps(double s, double sc) {
+  const double f = s > 0.0 ? s / sc : 1.0;
+  if (s <= 0.128) return 0.4589 * s + 3.9784 * sc + 0.0234;
+  if (f > 3.14 - 0.265 / s)
+    return 0.4589 * s + 2.945 * sc + 0.132 / f + 0.0234;
+  return 0.2093 * s + 3.729 * sc + 0.0172;
+}
+
+double EnergyModel::paper_eq5_2mbps(double s, double sc) {
+  return 2.0125 * s + 12.4291 * sc + 0.0275;
+}
+
+bool EnergyModel::paper_eq6(double s, double factor) {
+  if (s > 0.128) return 1.13 / factor < 1.0 - 0.00157 / s;
+  return 1.30 / factor < 1.0 - 0.00372 / s;
+}
+
+}  // namespace ecomp::core

@@ -1,0 +1,122 @@
+// EnergyModel — the paper's analytic model of compressed downloading
+// (Section 4), in closed form:
+//
+//   Eq. 1  E_raw(s)            = m·s + cs + ti(s)·pi
+//   Eq. 2  E_seq(s, sc)        = m·sc + cs + ti(sc)·pi + td·pd
+//   Eq. 3  E_int(s, sc)        = m·sc + cs + td·pd + leftover-idle·pi
+//   Eq. 4  ti'/ti1 split at the compression-buffer boundary (0.128 MB)
+//   Eq. 5  the same closed form with the paper's constants plugged in
+//   Eq. 6  compress/don't-compress thresholds (min factor, 3900 B size)
+//
+// All sizes are in MB (as in the paper); energies in joules; times in
+// seconds. Parameters can come from the published constants
+// (paper_11mbps) or be derived from a sim::DeviceModel (from_device),
+// which is how the model and the discrete simulator stay independent.
+#pragma once
+
+#include <string_view>
+
+#include "sim/cpu.h"
+#include "sim/device.h"
+
+namespace ecomp::core {
+
+struct EnergyParams {
+  double m = 2.486;        ///< receive energy, J/MB
+  double cs = 0.012;       ///< network start-up energy, J
+  double pi = 1.55;        ///< idle power (CPU idle, radio idle-on), W
+  double pd = 2.85;        ///< decompress power, radio idle-on, W
+  double pd_sleep = 1.70;  ///< decompress power, radio power-saving, W
+  double rate = 0.6;       ///< effective download rate, MB/s
+  double idle_fraction = 0.4;  ///< CPU idle share of download time
+  double block_mb = 0.128;     ///< compression buffer size
+  /// Decompression-time fit td = td_a·s + td_b·sc + td_c (s = original
+  /// MB, sc = compressed MB). Paper: 0.161/0.161/0.004 for gzip.
+  double td_a = 0.161;
+  double td_b = 0.161;
+  double td_c = 0.004;
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyParams p) : p_(p) {}
+
+  /// The paper's measured 11 Mb/s environment (published constants).
+  static EnergyModel paper_11mbps() { return EnergyModel(EnergyParams{}); }
+
+  /// Derive all parameters from a device model + codec name, using the
+  /// same decomposition the paper uses (m from active receive power,
+  /// pi/pd from Table 1, td from the CPU cost model).
+  static EnergyModel from_device(const sim::DeviceModel& device,
+                                 std::string_view codec = "deflate");
+
+  /// Copy of this model with the td fit replaced by another codec's
+  /// cost (td_a = out-cost, td_b = in-cost, td_c = startup).
+  EnergyModel with_codec_cost(const sim::CodecCost& cost) const;
+
+  // ---- closed forms -------------------------------------------------
+
+  /// Total CPU-idle time while downloading x MB (ti).
+  double idle_time_s(double mb) const {
+    return p_.idle_fraction / p_.rate * mb;
+  }
+
+  /// Decompression time for s MB decompressed from sc MB.
+  double decompress_time_s(double s, double sc) const {
+    return p_.td_a * s + p_.td_b * sc + p_.td_c;
+  }
+
+  /// Eq. 4: split ti into the unusable first-block part (ti1) and the
+  /// fillable remainder (ti').
+  void idle_split(double s, double sc, double& ti_rest,
+                  double& ti_first) const;
+
+  /// Eq. 1.
+  double download_energy_j(double s) const;
+
+  /// Eq. 2; `sleep` selects pd_sleep for the decompress tail (the
+  /// bzip2-style radio-sleep variant).
+  double sequential_energy_j(double s, double sc, bool sleep = false) const;
+
+  /// Eq. 3 (equivalently Eq. 5 with this model's constants).
+  double interleaved_energy_j(double s, double sc) const;
+
+  // ---- thresholds (Eq. 6 and §4.2 derivations) -----------------------
+
+  /// True when compressing (factor F) then interleave-downloading is
+  /// predicted to use less energy than downloading raw.
+  bool should_compress(double s_mb, double factor) const;
+
+  /// Minimum compression factor that saves energy for a file of s MB.
+  /// Returns +inf when no factor can save (file below size threshold).
+  double min_factor(double s_mb) const;
+
+  /// File-size threshold below which no compression helps (the paper's
+  /// 3900 bytes ≈ 0.00372 MB).
+  double min_file_mb() const;
+
+  /// Compression factor above which sequential decompress with the
+  /// radio sleeping beats interleaving (paper: ≈ 4.6), evaluated at
+  /// asymptotically large file size.
+  double sleep_crossover_factor() const;
+
+  /// Compression factor needed for decompression work to fill the
+  /// entire download idle time (paper: ≈ 27 at 2 Mb/s).
+  double idle_fill_factor() const;
+
+  const EnergyParams& params() const { return p_; }
+
+  // ---- the paper's published constants, for validation benches ------
+
+  /// Eq. 5 exactly as printed (11 Mb/s).
+  static double paper_eq5_11mbps(double s, double sc);
+  /// The §4.2 published 2 Mb/s closed form (s > 0.128, F < 27).
+  static double paper_eq5_2mbps(double s, double sc);
+  /// Eq. 6 exactly as printed.
+  static bool paper_eq6(double s, double factor);
+
+ private:
+  EnergyParams p_;
+};
+
+}  // namespace ecomp::core

@@ -1,0 +1,140 @@
+#include "core/interleave.h"
+
+#include "compress/container.h"
+#include "compress/deflate.h"
+#include "compress/selective.h"
+
+namespace ecomp::core {
+namespace {
+
+/// Try to read a varint from `data` at `pos`; returns nullopt when more
+/// bytes are needed (never throws for truncation, unlike get_varint).
+std::optional<std::uint64_t> try_varint(ByteSpan data, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  std::size_t p = pos;
+  while (true) {
+    if (p >= data.size()) return std::nullopt;
+    if (shift >= 64) throw Error("stream: varint overflow");
+    const std::uint8_t b = data[p++];
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  pos = p;
+  return v;
+}
+
+}  // namespace
+
+void SelectiveStreamDecoder::feed(ByteSpan chunk) {
+  buf_.insert(buf_.end(), chunk.begin(), chunk.end());
+}
+
+bool SelectiveStreamDecoder::try_parse_header() {
+  // magic(2) | varint size | crc(4) | varint block_size | varint n_blocks
+  std::size_t p = pos_;
+  if (buf_.size() - p < 2) return false;
+  const std::uint16_t magic =
+      static_cast<std::uint16_t>(buf_[p] | (buf_[p + 1] << 8));
+  if (magic != compress::kSelectiveMagic)
+    throw Error("stream: bad container magic");
+  p += 2;
+  const auto size = try_varint(buf_, p);
+  if (!size) return false;
+  if (buf_.size() - p < 4) return false;
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i)
+    crc |= static_cast<std::uint32_t>(buf_[p + i]) << (8 * i);
+  p += 4;
+  const auto block_size = try_varint(buf_, p);
+  if (!block_size) return false;
+  const auto n_blocks = try_varint(buf_, p);
+  if (!n_blocks) return false;
+
+  original_size_ = *size;
+  expected_crc_ = crc;
+  block_size_ = *block_size;
+  n_blocks_ = *n_blocks;
+  pos_ = p;
+  header_done_ = true;
+  return true;
+}
+
+std::optional<Bytes> SelectiveStreamDecoder::poll() {
+  if (!header_done_ && !try_parse_header()) return std::nullopt;
+  if (blocks_done_ >= n_blocks_) return std::nullopt;
+
+  // flag(1) | varint payload_size | payload
+  std::size_t p = pos_;
+  if (buf_.size() - p < 1) return std::nullopt;
+  const std::uint8_t flag = buf_[p++];
+  if (flag > 1) throw Error("stream: bad block flag");
+  const auto payload_size = try_varint(buf_, p);
+  if (!payload_size) return std::nullopt;
+  if (buf_.size() - p < *payload_size) return std::nullopt;
+
+  const ByteSpan payload = ByteSpan(buf_).subspan(p, *payload_size);
+  Bytes block;
+  if (flag == 1) {
+    block = compress::DeflateCodec().decompress(payload);
+  } else {
+    block.assign(payload.begin(), payload.end());
+  }
+  pos_ = p + *payload_size;
+  ++blocks_done_;
+  running_crc_.update(block);
+  decoded_bytes_ += block.size();
+  infos_.push_back({block.size(), static_cast<std::size_t>(*payload_size),
+                    flag == 1});
+
+  // Reclaim consumed buffer space occasionally.
+  if (pos_ > 1 << 20) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return block;
+}
+
+void SelectiveStreamDecoder::verify() const {
+  if (!finished()) throw Error("stream: verify before stream finished");
+  if (decoded_bytes_ != original_size_)
+    throw Error("stream: decoded size mismatch");
+  if (running_crc_.value() != expected_crc_)
+    throw Error("stream: CRC mismatch");
+}
+
+Bytes InterleavedDownloader::run(const ChunkSource& read_chunk,
+                                 const BlockSink& on_block,
+                                 std::vector<compress::BlockInfo>* infos)
+    const {
+  if (!read_chunk) throw Error("InterleavedDownloader: null source");
+  SelectiveStreamDecoder dec;
+  Bytes out;
+  Bytes chunk(chunk_bytes_);
+  bool eof = false;
+  while (!dec.finished()) {
+    // Drain every block that is already complete (this is the work that
+    // overlaps the next receive in a threaded deployment).
+    while (auto block = dec.poll()) {
+      if (on_block) on_block(*block);
+      out.insert(out.end(), block->begin(), block->end());
+    }
+    if (dec.finished()) break;
+    if (eof) throw Error("InterleavedDownloader: source ended early");
+    const std::size_t n = read_chunk(chunk.data(), chunk.size());
+    if (n == 0) {
+      eof = true;
+      continue;
+    }
+    if (n > chunk.size())
+      throw Error("InterleavedDownloader: source overran buffer");
+    dec.feed(ByteSpan(chunk.data(), n));
+  }
+  dec.verify();
+  if (infos) *infos = dec.block_infos();
+  return out;
+}
+
+}  // namespace ecomp::core

@@ -1,0 +1,89 @@
+// Incremental decoding of selective containers — the receiving half of
+// the paper's interleaving scheme (§4.1): block i is decompressed while
+// block i+1 is still arriving. SelectiveStreamDecoder consumes arbitrary
+// byte chunks and yields decoded blocks as soon as each is complete;
+// InterleavedDownloader drives it from a chunk source.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "compress/selective.h"
+#include "util/bytes.h"
+#include "util/crc32.h"
+
+namespace ecomp::core {
+
+/// Push-based streaming decoder for the kSelectiveMagic container.
+/// feed() appends received bytes; poll() returns the next fully
+/// received, decoded block, or nullopt until more bytes arrive.
+class SelectiveStreamDecoder {
+ public:
+  void feed(ByteSpan chunk);
+
+  /// Decode the next complete block if its payload has fully arrived.
+  std::optional<Bytes> poll();
+
+  /// True once every block of the container has been decoded.
+  bool finished() const { return header_done_ && blocks_done_ == n_blocks_; }
+
+  std::uint64_t blocks_decoded() const { return blocks_done_; }
+  std::uint64_t blocks_total() const { return n_blocks_; }
+  std::uint64_t original_size() const { return original_size_; }
+  std::uint64_t bytes_buffered() const { return buf_.size() - pos_; }
+
+  /// Verify the container CRC over everything decoded so far; call once
+  /// finished(). Throws on mismatch or if not finished.
+  void verify() const;
+
+  /// Per-block sizes/decisions observed so far (one entry per block
+  /// already returned by poll()); feeds the transfer simulator.
+  const std::vector<compress::BlockInfo>& block_infos() const {
+    return infos_;
+  }
+
+ private:
+  bool try_parse_header();
+
+  Bytes buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+
+  bool header_done_ = false;
+  std::uint64_t original_size_ = 0;
+  std::uint32_t expected_crc_ = 0;
+  std::uint64_t block_size_ = 0;
+  std::uint64_t n_blocks_ = 0;
+  std::uint64_t blocks_done_ = 0;
+  Crc32 running_crc_;
+  std::uint64_t decoded_bytes_ = 0;
+  std::vector<compress::BlockInfo> infos_;
+};
+
+/// Pulls chunks from `read_chunk` (returning the number of bytes it
+/// produced; 0 = end of stream), feeding the stream decoder and
+/// collecting decoded blocks. Returns the reassembled original data,
+/// CRC-verified.
+class InterleavedDownloader {
+ public:
+  using ChunkSource =
+      std::function<std::size_t(std::uint8_t* dst, std::size_t max)>;
+  using BlockSink = std::function<void(ByteSpan block)>;
+
+  explicit InterleavedDownloader(std::size_t chunk_bytes = 16 * 1024)
+      : chunk_bytes_(chunk_bytes) {}
+
+  /// Run to completion. `on_block` (optional) observes each decoded
+  /// block in order — this is where an application consumes data before
+  /// the download has finished. `infos` (optional) receives the
+  /// per-block sizes/decisions.
+  Bytes run(const ChunkSource& read_chunk,
+            const BlockSink& on_block = nullptr,
+            std::vector<compress::BlockInfo>* infos = nullptr) const;
+
+ private:
+  std::size_t chunk_bytes_;
+};
+
+}  // namespace ecomp::core

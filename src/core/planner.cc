@@ -1,0 +1,94 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bytes.h"
+
+namespace ecomp::core {
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::Uncompressed: return "uncompressed";
+    case Strategy::Sequential: return "sequential";
+    case Strategy::SequentialSleep: return "sequential+sleep";
+    case Strategy::Interleaved: return "interleaved";
+  }
+  return "?";
+}
+
+Plan TransferPlanner::plan(const FileEstimate& file) const {
+  if (file.size_mb < 0.0) throw Error("planner: negative file size");
+  Plan plan;
+  const double s = file.size_mb;
+  plan.baseline_energy_j = model_.download_energy_j(s);
+
+  PlanCandidate raw;
+  raw.strategy = Strategy::Uncompressed;
+  raw.predicted_energy_j = plan.baseline_energy_j;
+  raw.predicted_time_s = s / model_.params().rate;
+  plan.considered.push_back(raw);
+
+  for (const auto& [codec, factor] : file.factors) {
+    if (factor <= 0.0) throw Error("planner: non-positive factor");
+    const double sc = s / factor;
+    const EnergyModel m = model_.with_codec_cost(cpu_.decompress_cost(codec));
+    const double td = m.decompress_time_s(s, sc);
+    const double dl_time = sc / m.params().rate;
+
+    PlanCandidate seq{codec, Strategy::Sequential,
+                      m.sequential_energy_j(s, sc, false), dl_time + td};
+    PlanCandidate slp{codec, Strategy::SequentialSleep,
+                      m.sequential_energy_j(s, sc, true), dl_time + td};
+    PlanCandidate inter{codec, Strategy::Interleaved,
+                        m.interleaved_energy_j(s, sc), 0.0};
+    // Interleaved wall time: download plus whatever decompress work
+    // spills past the gaps.
+    double ti_rest = 0.0, ti_first = 0.0;
+    m.idle_split(s, sc, ti_rest, ti_first);
+    inter.predicted_time_s = dl_time + std::max(0.0, td - ti_rest);
+
+    plan.considered.push_back(seq);
+    plan.considered.push_back(slp);
+    plan.considered.push_back(inter);
+  }
+
+  plan.chosen = *std::min_element(
+      plan.considered.begin(), plan.considered.end(),
+      [](const PlanCandidate& a, const PlanCandidate& b) {
+        return a.predicted_energy_j < b.predicted_energy_j;
+      });
+  plan.saving_fraction =
+      plan.baseline_energy_j > 0.0
+          ? 1.0 - plan.chosen.predicted_energy_j / plan.baseline_energy_j
+          : 0.0;
+  return plan;
+}
+
+double estimate_factor(const compress::Codec& codec, ByteSpan data,
+                       std::size_t sample_bytes) {
+  if (data.empty()) return 1.0;
+  const ByteSpan sample = data.subspan(0, std::min(sample_bytes, data.size()));
+  const Bytes comp = codec.compress(sample);
+  if (comp.empty()) return 1.0;
+  return static_cast<double>(sample.size()) /
+         static_cast<double>(comp.size());
+}
+
+compress::SelectivePolicy make_selective_policy(const EnergyModel& model) {
+  compress::SelectivePolicy policy;
+  const double threshold_mb = model.min_file_mb();
+  policy.min_block_bytes =
+      static_cast<std::size_t>(std::ceil(threshold_mb * 1e6));
+  policy.energy_test = [model](std::size_t raw_size,
+                               std::size_t compressed_size) {
+    if (compressed_size == 0 || compressed_size >= raw_size) return false;
+    const double s = static_cast<double>(raw_size) / 1e6;
+    const double f = static_cast<double>(raw_size) /
+                     static_cast<double>(compressed_size);
+    return model.should_compress(s, f);
+  };
+  return policy;
+}
+
+}  // namespace ecomp::core

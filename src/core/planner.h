@@ -1,0 +1,74 @@
+// TransferPlanner — the decision layer the paper's conclusion points at:
+// given a file (size + estimated per-codec compression factors), pick
+// the codec and transfer strategy with the lowest predicted energy, and
+// produce the Eq. 6 block policy for selective compression.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compress/selective.h"
+#include "core/energy_model.h"
+
+namespace ecomp::core {
+
+enum class Strategy {
+  Uncompressed,         ///< ship raw
+  Sequential,           ///< download, then decompress
+  SequentialSleep,      ///< download, then decompress with radio sleeping
+  Interleaved,          ///< decompress block i while receiving block i+1
+};
+
+const char* to_string(Strategy s);
+
+struct PlanCandidate {
+  std::string codec;  ///< empty for Uncompressed
+  Strategy strategy = Strategy::Uncompressed;
+  double predicted_energy_j = 0.0;
+  double predicted_time_s = 0.0;
+};
+
+struct Plan {
+  PlanCandidate chosen;
+  double baseline_energy_j = 0.0;  ///< uncompressed download (Eq. 1)
+  double saving_fraction = 0.0;    ///< 1 - chosen/baseline
+  std::vector<PlanCandidate> considered;
+};
+
+struct FileEstimate {
+  double size_mb = 0.0;
+  /// (codec name, expected compression factor) pairs, e.g. from
+  /// estimate_factor() on a sample or from stored metadata.
+  std::vector<std::pair<std::string, double>> factors;
+};
+
+class TransferPlanner {
+ public:
+  /// `model` supplies the link/power parameters; per-codec td costs come
+  /// from `cpu`.
+  TransferPlanner(EnergyModel model, sim::CpuModel cpu)
+      : model_(std::move(model)), cpu_(cpu) {}
+  explicit TransferPlanner(EnergyModel model)
+      : TransferPlanner(std::move(model), sim::CpuModel::ipaq()) {}
+
+  /// Evaluate every (codec, strategy) pair and return the cheapest.
+  Plan plan(const FileEstimate& file) const;
+
+  const EnergyModel& model() const { return model_; }
+
+ private:
+  EnergyModel model_;
+  sim::CpuModel cpu_;
+};
+
+/// Estimate a codec's compression factor for a file by compressing a
+/// prefix sample of up to `sample_bytes`.
+double estimate_factor(const compress::Codec& codec, ByteSpan data,
+                       std::size_t sample_bytes = 64 * 1024);
+
+/// Build the Fig. 10 block policy from the model: blocks below the
+/// Eq. 6 size threshold ship raw; larger blocks ship compressed only if
+/// the model predicts an energy saving at the block's achieved factor.
+compress::SelectivePolicy make_selective_policy(const EnergyModel& model);
+
+}  // namespace ecomp::core

@@ -1,0 +1,70 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace ecomp::core {
+
+const char* to_string(SessionPolicy p) {
+  switch (p) {
+    case SessionPolicy::Raw: return "raw";
+    case SessionPolicy::AlwaysDeflate: return "always-gzip";
+    case SessionPolicy::Planned: return "planned";
+  }
+  return "?";
+}
+
+sim::TransferResult SessionSimulator::transfer(const SessionRequest& r,
+                                               SessionPolicy policy) const {
+  if (policy == SessionPolicy::Raw)
+    return sim_.download_uncompressed(r.size_mb);
+
+  if (policy == SessionPolicy::AlwaysDeflate) {
+    double factor = 1.0;
+    for (const auto& [codec, f] : r.factors)
+      if (codec == "deflate") factor = f;
+    sim::TransferOptions opt;  // plain sequential, like naive gzip use
+    return sim_.download_compressed(r.size_mb, r.size_mb / std::max(factor, 1e-9),
+                                    "deflate", opt);
+  }
+
+  // Planned: let the planner pick, then run the matching scenario.
+  FileEstimate est;
+  est.size_mb = r.size_mb;
+  est.factors = r.factors;
+  const Plan plan = planner_.plan(est);
+  if (plan.chosen.strategy == Strategy::Uncompressed)
+    return sim_.download_uncompressed(r.size_mb);
+
+  double factor = 1.0;
+  for (const auto& [codec, f] : r.factors)
+    if (codec == plan.chosen.codec) factor = f;
+  sim::TransferOptions opt;
+  opt.interleave = plan.chosen.strategy == Strategy::Interleaved;
+  opt.sleep_during_decompress =
+      plan.chosen.strategy == Strategy::SequentialSleep;
+  return sim_.download_compressed(r.size_mb,
+                                  r.size_mb / std::max(factor, 1e-9),
+                                  plan.chosen.codec, opt);
+}
+
+SessionReport SessionSimulator::run(
+    const std::vector<SessionRequest>& requests,
+    SessionPolicy policy) const {
+  SessionReport report;
+  const double think_power =
+      sim_.device().gap_power_w(config_.power_saving_idle);
+  for (const auto& r : requests) {
+    if (r.size_mb < 0.0) throw Error("session: negative request size");
+    const auto t = transfer(r, policy);
+    report.transfer_energy_j += t.energy_j;
+    report.total_time_s += t.time_s;
+    report.think_energy_j += config_.think_time_s * think_power;
+    report.total_time_s += config_.think_time_s;
+    ++report.requests;
+  }
+  return report;
+}
+
+}  // namespace ecomp::core

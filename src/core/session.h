@@ -1,0 +1,69 @@
+// Browsing-session simulation: a sequence of downloads with think time
+// between them, under a per-file transfer policy. Turns the paper's
+// per-file joules into the quantity a user feels — how much longer one
+// battery charge lasts when the proxy compresses intelligently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "sim/battery.h"
+#include "sim/transfer.h"
+
+namespace ecomp::core {
+
+/// One request in a session: a file plus its per-codec factors (as the
+/// proxy would know them from content type or sampling).
+struct SessionRequest {
+  std::string name;
+  double size_mb = 0.0;
+  std::vector<std::pair<std::string, double>> factors;
+};
+
+enum class SessionPolicy {
+  Raw,            ///< never compress
+  AlwaysDeflate,  ///< gzip everything, sequential decompress
+  Planned,        ///< TransferPlanner picks codec+strategy per file
+};
+
+const char* to_string(SessionPolicy p);
+
+struct SessionConfig {
+  double think_time_s = 8.0;      ///< user dwell time between requests
+  bool power_saving_idle = true;  ///< radio power-saving while thinking
+};
+
+struct SessionReport {
+  double transfer_energy_j = 0.0;
+  double think_energy_j = 0.0;
+  double total_time_s = 0.0;
+  std::size_t requests = 0;
+
+  double total_energy_j() const { return transfer_energy_j + think_energy_j; }
+  /// Sessions like this one per battery charge.
+  double sessions_per_charge(const sim::BatteryModel& battery) const {
+    return battery.charges_per_task(total_energy_j());
+  }
+};
+
+class SessionSimulator {
+ public:
+  SessionSimulator(TransferPlanner planner, sim::TransferSimulator sim,
+                   SessionConfig config)
+      : planner_(std::move(planner)), sim_(sim), config_(config) {}
+
+  SessionReport run(const std::vector<SessionRequest>& requests,
+                    SessionPolicy policy) const;
+
+ private:
+  /// Energy+time for one request under the policy.
+  sim::TransferResult transfer(const SessionRequest& r,
+                               SessionPolicy policy) const;
+
+  TransferPlanner planner_;
+  sim::TransferSimulator sim_;
+  SessionConfig config_;
+};
+
+}  // namespace ecomp::core

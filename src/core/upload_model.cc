@@ -1,0 +1,57 @@
+#include "core/upload_model.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ecomp::core {
+
+double UploadModel::upload_energy_j(double s) const {
+  return p_.m * s + p_.cs + p_.idle_fraction / p_.rate * s * p_.pi;
+}
+
+double UploadModel::sequential_energy_j(double s, double sc,
+                                        bool sleep) const {
+  const double tc = compress_time_s(s, sc);
+  const double pc = sleep ? p_.pd_sleep : p_.pd;
+  const double ti = p_.idle_fraction / p_.rate * sc;
+  return tc * pc + p_.m * sc + p_.cs + ti * p_.pi;
+}
+
+double UploadModel::interleaved_energy_j(double s, double sc) const {
+  const double tc = compress_time_s(s, sc);
+  const double tc1 = s > 0.0 ? tc * std::min(p_.block_mb, s) / s : tc;
+  const double gaps = p_.idle_fraction / p_.rate * sc;
+  const double work = tc - tc1;
+  const double send_active_energy = p_.m * sc;
+  if (work <= gaps) {
+    return tc1 * p_.pd + send_active_energy + p_.cs + work * p_.pd +
+           (gaps - work) * p_.pi;
+  }
+  // CPU-bound: no idle remains; everything beyond active send is
+  // compression at busy power.
+  return tc1 * p_.pd + send_active_energy + p_.cs + work * p_.pd;
+}
+
+bool UploadModel::should_compress(double s_mb, double factor) const {
+  if (s_mb <= 0.0 || factor <= 0.0) return false;
+  const double sc = s_mb / factor;
+  const double best =
+      std::min(sequential_energy_j(s_mb, sc, /*sleep=*/true),
+               interleaved_energy_j(s_mb, sc));
+  return best < upload_energy_j(s_mb);
+}
+
+double UploadModel::min_factor(double s_mb) const {
+  constexpr double kMaxF = 1e6;
+  if (!should_compress(s_mb, kMaxF))
+    return std::numeric_limits<double>::infinity();
+  double lo = 1.0, hi = kMaxF;
+  if (should_compress(s_mb, lo)) return lo;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (should_compress(s_mb, mid) ? hi : lo) = mid;
+  }
+  return hi;
+}
+
+}  // namespace ecomp::core

@@ -1,0 +1,62 @@
+// UploadModel — the dual of the paper's download energy model, for the
+// future-work direction its §1/§7 name explicitly: the handheld
+// compresses locally captured data (voice, pictures) before uploading.
+//
+// The structure mirrors Eqs. 1-3 with the roles swapped: compression —
+// far more expensive than decompression on the 206 MHz StrongARM —
+// happens on the device, either entirely up front (optionally with the
+// radio sleeping) or interleaved into the send gaps block by block.
+#pragma once
+
+#include "core/energy_model.h"
+#include "sim/cpu.h"
+
+namespace ecomp::core {
+
+class UploadModel {
+ public:
+  /// `params` carries the link/power constants (same as the download
+  /// model); `compress_cost` is the device-side compression cost for
+  /// the chosen codec (CpuModel::compress_cost).
+  UploadModel(EnergyParams params, sim::CodecCost compress_cost)
+      : p_(params), cc_(compress_cost) {}
+
+  static UploadModel ipaq_11mbps(std::string_view codec = "deflate") {
+    return UploadModel(EnergyParams{},
+                       sim::CpuModel::ipaq().compress_cost(codec));
+  }
+
+  /// Device-side compression time for s MB down to sc MB.
+  double compress_time_s(double s, double sc) const {
+    return cc_.time_s(s, sc);
+  }
+
+  /// Upload s MB raw (send modelled symmetric to receive).
+  double upload_energy_j(double s) const;
+
+  /// Compress fully, then send. `sleep` puts the radio in power saving
+  /// during the up-front compression.
+  double sequential_energy_j(double s, double sc, bool sleep = false) const;
+
+  /// Compress block i+1 inside block i's send gaps; when the CPU cannot
+  /// keep up the send stretches to the compression rate.
+  double interleaved_energy_j(double s, double sc) const;
+
+  /// True when compressing at `factor` before uploading is predicted to
+  /// save energy (taking the cheaper of sequential+sleep/interleaved).
+  bool should_compress(double s_mb, double factor) const;
+
+  /// Minimum factor that saves energy on upload — substantially higher
+  /// than the download threshold, because compression is charged to the
+  /// handheld. +inf if no factor helps.
+  double min_factor(double s_mb) const;
+
+  const EnergyParams& params() const { return p_; }
+  const sim::CodecCost& compress_cost() const { return cc_; }
+
+ private:
+  EnergyParams p_;
+  sim::CodecCost cc_;
+};
+
+}  // namespace ecomp::core

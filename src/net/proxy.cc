@@ -1,0 +1,204 @@
+#include "net/proxy.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "compress/deflate.h"
+#include "core/interleave.h"
+
+namespace ecomp::net {
+
+void FileStore::put(std::string name, Bytes data) {
+  files_[std::move(name)] = std::move(data);
+}
+
+const Bytes& FileStore::get(const std::string& name) const {
+  const auto it = files_.find(name);
+  if (it == files_.end()) throw Error("FileStore: no file named " + name);
+  return it->second;
+}
+
+bool FileStore::contains(const std::string& name) const {
+  return files_.count(name) != 0;
+}
+
+ProxyServer::ProxyServer(FileStore store, compress::SelectivePolicy policy,
+                         std::size_t block_size, bool precompress)
+    : store_(std::move(store)),
+      policy_(std::move(policy)),
+      block_size_(block_size),
+      listener_(0) {
+  if (precompress) {
+    for (const auto& [name, data] : store_.files()) {
+      full_cache_[name] = compress::DeflateCodec().compress(data);
+      selective_cache_[name] =
+          compress::selective_compress(data, policy_, block_size_)
+              .container;
+    }
+  }
+  thread_ = std::thread([this] { serve(); });
+}
+
+ProxyServer::~ProxyServer() { stop(); }
+
+void ProxyServer::stop() {
+  if (stopping_.exchange(true)) return;
+  // Poke the accept loop awake with a throwaway connection.
+  try {
+    Socket s = connect_local(listener_.port());
+  } catch (const Error&) {
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ProxyServer::serve() {
+  while (!stopping_.load()) {
+    Socket client = listener_.accept();
+    if (stopping_.load()) break;
+    try {
+      handle(std::move(client));
+    } catch (const Error&) {
+      // Per-connection failures don't take the server down.
+    }
+  }
+}
+
+void ProxyServer::handle(Socket client) {
+  const Bytes req = recv_frame(client);
+  std::istringstream iss(to_string(req));
+  std::string verb, mode, name;
+  iss >> verb;
+
+  if (verb == "PUT") {
+    iss >> name;
+    if (name.empty()) {
+      send_frame(client, as_bytes(std::string("ERR bad request")));
+      return;
+    }
+    // Receive a streamed selective container, decoding block by block.
+    core::SelectiveStreamDecoder dec;
+    Bytes data;
+    Bytes buf(16 * 1024);
+    while (!dec.finished()) {
+      while (auto block = dec.poll())
+        data.insert(data.end(), block->begin(), block->end());
+      if (dec.finished()) break;
+      const std::size_t n = client.recv_some(buf.data(), buf.size());
+      if (n == 0) {
+        send_frame(client, as_bytes(std::string("ERR truncated upload")));
+        return;
+      }
+      dec.feed(ByteSpan(buf.data(), n));
+    }
+    dec.verify();
+    std::ostringstream status;
+    status << "OK stored " << data.size();
+    store_.put(name, std::move(data));
+    // New content invalidates any precompressed copies.
+    full_cache_.erase(name);
+    selective_cache_.erase(name);
+    send_frame(client, as_bytes(status.str()));
+    return;
+  }
+
+  iss >> mode >> name;
+  if (verb != "GET" || name.empty() ||
+      (mode != "raw" && mode != "full" && mode != "selective")) {
+    send_frame(client, as_bytes(std::string("ERR bad request")));
+    return;
+  }
+  if (!store_.contains(name)) {
+    send_frame(client, as_bytes(std::string("ERR no such file: ") + name));
+    return;
+  }
+  const Bytes& original = store_.get(name);
+
+  if (mode == "selective") {
+    send_frame(client, as_bytes(std::string("OK stream")));
+    if (const auto it = selective_cache_.find(name);
+        it != selective_cache_.end()) {
+      // Precompressed a priori (§3): ship the stored container.
+      client.send_all(it->second);
+      return;
+    }
+    // Compression on demand, overlapped with sending: each block goes
+    // on the wire as soon as it is encoded (§5's zlib arrangement).
+    compress::SelectiveStreamEncoder enc(original, policy_, block_size_);
+    while (!enc.done()) {
+      const Bytes chunk = enc.next_chunk();
+      if (!chunk.empty()) client.send_all(chunk);
+    }
+    return;
+  }
+
+  Bytes payload;
+  if (mode == "raw") {
+    payload = original;
+  } else if (const auto it = full_cache_.find(name);
+             it != full_cache_.end()) {
+    payload = it->second;
+  } else {
+    payload = compress::DeflateCodec().compress(original);
+  }
+  std::ostringstream status;
+  status << "OK " << payload.size();
+  send_frame(client, as_bytes(status.str()));
+  send_frame_header(client, static_cast<std::uint32_t>(payload.size()));
+  constexpr std::size_t kChunk = 32 * 1024;
+  for (std::size_t off = 0; off < payload.size(); off += kChunk) {
+    const std::size_t n = std::min(kChunk, payload.size() - off);
+    client.send_all(ByteSpan(payload).subspan(off, n));
+  }
+}
+
+Bytes download(std::uint16_t port, const std::string& name,
+               const std::string& mode, DownloadStats* stats) {
+  Socket s = connect_local(port);
+  send_frame(s, as_bytes("GET " + mode + " " + name));
+  const std::string status = to_string(recv_frame(s));
+  if (status.rfind("OK ", 0) != 0) throw Error("download: " + status);
+
+  DownloadStats local;
+  Bytes result;
+  if (mode == "selective") {
+    // Unframed stream: the container itself tells the decoder when the
+    // last block has arrived.
+    core::InterleavedDownloader dl(16 * 1024);
+    result = dl.run(
+        [&](std::uint8_t* dst, std::size_t max) -> std::size_t {
+          const std::size_t n = s.recv_some(dst, max);
+          local.bytes_on_wire += n;
+          return n;
+        },
+        [&](ByteSpan) { ++local.blocks; }, &local.block_infos);
+  } else {
+    const std::uint32_t payload_size = recv_frame_header(s);
+    local.bytes_on_wire = payload_size;
+    const Bytes payload = s.recv_exact(payload_size);
+    result = mode == "raw" ? payload
+                           : compress::DeflateCodec().decompress(payload);
+  }
+  local.bytes_decoded = result.size();
+  if (stats) *stats = local;
+  return result;
+}
+
+std::size_t upload(std::uint16_t port, const std::string& name,
+                   ByteSpan data, const compress::SelectivePolicy& policy) {
+  Socket s = connect_local(port);
+  send_frame(s, as_bytes("PUT " + name));
+  compress::SelectiveStreamEncoder enc(data, policy);
+  std::size_t sent = 0;
+  while (!enc.done()) {
+    const Bytes chunk = enc.next_chunk();
+    if (!chunk.empty()) {
+      s.send_all(chunk);
+      sent += chunk.size();
+    }
+  }
+  const std::string status = to_string(recv_frame(s));
+  if (status.rfind("OK stored", 0) != 0) throw Error("upload: " + status);
+  return sent;
+}
+
+}  // namespace ecomp::net

@@ -1,0 +1,107 @@
+// A working proxy server + download/upload client over loopback TCP —
+// the §2 topology (Dell proxy ⇄ iPAQ) with the radio replaced by
+// localhost.
+//
+// Protocol (control frames are u32-length-prefixed):
+//   download: "GET <mode> <name>"   mode ∈ { raw | full | selective }
+//     raw/full  → status "OK <n>", then an n-byte length-framed payload
+//     selective → status "OK stream", then container bytes streamed
+//                 unframed while blocks are still being compressed
+//                 (§5's on-demand overlap, for real); the client's
+//                 streaming decoder knows when the container ends.
+//   upload:   "PUT <name>", then a streamed selective container; reply
+//             "OK stored <bytes>" once decoded and stored.
+//
+// raw        — original bytes
+// full       — one deflate member for the whole file
+// selective  — Fig. 10 block container (what the streaming interleaved
+//              decoder consumes)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "compress/selective.h"
+#include "net/socket.h"
+
+namespace ecomp::net {
+
+/// In-memory file store the proxy serves from (and uploads land in).
+class FileStore {
+ public:
+  void put(std::string name, Bytes data);
+  const Bytes& get(const std::string& name) const;  // throws if absent
+  bool contains(const std::string& name) const;
+  const std::map<std::string, Bytes>& files() const { return files_; }
+
+ private:
+  std::map<std::string, Bytes> files_;
+};
+
+/// Serves GET/PUT requests until stopped. Runs its accept loop on an
+/// internal thread. By default compression happens on demand per
+/// request (§5); with `precompress` the containers are built once at
+/// startup and served from cache (§3's "compressed a priori and stored
+/// on the proxy" arrangement).
+class ProxyServer {
+ public:
+  ProxyServer(FileStore store, compress::SelectivePolicy policy,
+              std::size_t block_size = compress::kDefaultBlockSize,
+              bool precompress = false);
+  ~ProxyServer();
+  ProxyServer(const ProxyServer&) = delete;
+  ProxyServer& operator=(const ProxyServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Stop accepting and join the server thread (idempotent).
+  void stop();
+
+ private:
+  void serve();
+  void handle(Socket client);
+
+  FileStore store_;
+  compress::SelectivePolicy policy_;
+  std::size_t block_size_;
+  /// Precompressed caches (name -> container); empty in on-demand mode.
+  std::map<std::string, Bytes> full_cache_;
+  std::map<std::string, Bytes> selective_cache_;
+  Listener listener_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+/// Client-side download statistics.
+struct DownloadStats {
+  std::size_t bytes_on_wire = 0;   ///< payload bytes received
+  std::size_t bytes_decoded = 0;   ///< original bytes reconstructed
+  std::size_t blocks = 0;          ///< blocks decoded (selective mode)
+  /// Per-block sizes/decisions (selective mode only) — feed these to
+  /// sim::TransferSimulator::download_selective for energy estimates.
+  std::vector<compress::BlockInfo> block_infos;
+  double factor() const {
+    return bytes_on_wire
+               ? static_cast<double>(bytes_decoded) / bytes_on_wire
+               : 1.0;
+  }
+};
+
+/// Fetch `name` from a proxy at `port`. mode "selective" uses the
+/// streaming interleaved decoder (decoding each block as it completes);
+/// "full"/"raw" buffer then decode.
+Bytes download(std::uint16_t port, const std::string& name,
+               const std::string& mode, DownloadStats* stats = nullptr);
+
+/// Upload `data` as `name`: the client compresses block by block with
+/// `policy` while sending (the paper's upload direction, its stated
+/// future work); the server decodes and stores the original bytes.
+/// Returns the wire bytes sent.
+std::size_t upload(std::uint16_t port, const std::string& name,
+                   ByteSpan data, const compress::SelectivePolicy& policy);
+
+}  // namespace ecomp::net

@@ -1,0 +1,144 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ecomp::net {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw Error("net: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(ByteSpan data) const {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::recv_some(std::uint8_t* dst, std::size_t max) const {
+  while (true) {
+    const ssize_t n = ::recv(fd_, dst, max, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+Bytes Socket::recv_exact(std::size_t n) const {
+  Bytes out(n);
+  std::size_t off = 0;
+  while (off < n) {
+    const std::size_t got = recv_some(out.data() + off, n - off);
+    if (got == 0) throw Error("net: peer closed mid-message");
+    off += got;
+  }
+  return out;
+}
+
+Listener::Listener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  sock_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    fail("bind");
+  if (::listen(fd, 8) < 0) fail("listen");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)
+    fail("getsockname");
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket Listener::accept() const {
+  while (true) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      fail("accept");
+    }
+    return Socket(fd);
+  }
+}
+
+Socket connect_local(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket");
+  Socket s(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
+    fail("connect");
+  return s;
+}
+
+void send_frame_header(const Socket& s, std::uint32_t payload_size) {
+  std::uint8_t hdr[4];
+  for (int i = 0; i < 4; ++i)
+    hdr[i] = static_cast<std::uint8_t>((payload_size >> (8 * i)) & 0xff);
+  s.send_all(ByteSpan(hdr, 4));
+}
+
+std::uint32_t recv_frame_header(const Socket& s) {
+  const Bytes hdr = s.recv_exact(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(hdr[i]) << (8 * i);
+  return v;
+}
+
+void send_frame(const Socket& s, ByteSpan payload) {
+  if (payload.size() > 0xffffffffu) throw Error("net: frame too large");
+  send_frame_header(s, static_cast<std::uint32_t>(payload.size()));
+  s.send_all(payload);
+}
+
+Bytes recv_frame(const Socket& s) {
+  return s.recv_exact(recv_frame_header(s));
+}
+
+}  // namespace ecomp::net

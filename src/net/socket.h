@@ -1,0 +1,63 @@
+// Minimal RAII wrappers over POSIX TCP sockets (loopback use). The
+// examples run a real proxy server and client over these; energy is
+// always computed by the simulator, but the protocol and the streaming
+// decoder run for real.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace ecomp::net {
+
+/// Owns a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Send the whole buffer; throws Error on failure.
+  void send_all(ByteSpan data) const;
+  /// Receive up to `max` bytes; returns 0 on orderly shutdown.
+  std::size_t recv_some(std::uint8_t* dst, std::size_t max) const;
+  /// Receive exactly n bytes; throws if the peer closes early.
+  Bytes recv_exact(std::size_t n) const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 picks a free port.
+class Listener {
+ public:
+  explicit Listener(std::uint16_t port = 0);
+  std::uint16_t port() const { return port_; }
+  Socket accept() const;
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:port.
+Socket connect_local(std::uint16_t port);
+
+/// Length-prefixed frame helpers (u32 LE length + payload).
+void send_frame(const Socket& s, ByteSpan payload);
+Bytes recv_frame(const Socket& s);
+/// Frame header only — callers stream the payload themselves.
+void send_frame_header(const Socket& s, std::uint32_t payload_size);
+std::uint32_t recv_frame_header(const Socket& s);
+
+}  // namespace ecomp::net

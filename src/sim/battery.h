@@ -1,0 +1,27 @@
+// Battery model for lifetime projections. The paper measures current
+// with the battery removed (bench supply); this converts its energy
+// numbers back into "hours of use per charge" for the session benches.
+#pragma once
+
+namespace ecomp::sim {
+
+struct BatteryModel {
+  /// iPAQ 36xx main battery: ~1400 mAh Li-polymer.
+  double capacity_mah = 1400.0;
+  double voltage = 5.0;  ///< measured at the 5 V rail, matching Table 1
+  /// Fraction of nominal capacity usable before shutdown.
+  double usable_fraction = 0.9;
+
+  double capacity_j() const {
+    return capacity_mah / 1000.0 * 3600.0 * voltage * usable_fraction;
+  }
+
+  /// How many times a task costing `energy_j` fits in one charge.
+  double charges_per_task(double energy_j) const {
+    return energy_j > 0.0 ? capacity_j() / energy_j : 0.0;
+  }
+
+  static BatteryModel ipaq() { return BatteryModel{}; }
+};
+
+}  // namespace ecomp::sim

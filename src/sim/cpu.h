@@ -1,0 +1,55 @@
+// CPU cost models: decompression/compression time as an affine function
+// of input and output sizes, the same functional form the paper fits
+// for gzip on the iPAQ (td = 0.161·s + 0.161·sc + 0.004, sizes in MB,
+// R² = 96.7%). Costs for the other codecs keep the paper's qualitative
+// ordering: LZW decodes slightly slower than LZ77 per byte; BWT decode
+// pays the inverse block sort and runs several times slower.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ecomp::sim {
+
+/// t = s_per_mb_in · MB_in + s_per_mb_out · MB_out + startup_s
+struct CodecCost {
+  double s_per_mb_in = 0.0;
+  double s_per_mb_out = 0.0;
+  double startup_s = 0.0;
+
+  double time_s(double mb_in, double mb_out) const {
+    return s_per_mb_in * mb_in + s_per_mb_out * mb_out + startup_s;
+  }
+};
+
+/// Handheld-side (iPAQ, 206 MHz StrongARM) codec costs.
+class CpuModel {
+ public:
+  /// Decompression cost for "deflate" | "lzw" | "bwt". Throws on unknown
+  /// codec names.
+  CodecCost decompress_cost(std::string_view codec) const;
+  /// Compression cost on the handheld (used by upload-style scenarios).
+  CodecCost compress_cost(std::string_view codec) const;
+
+  double decompress_time_s(std::string_view codec, double mb_in,
+                           double mb_out) const {
+    return decompress_cost(codec).time_s(mb_in, mb_out);
+  }
+
+  static CpuModel ipaq();
+};
+
+/// Proxy-side (Dell Dimension 4100, 1 GHz P-III) compression costs, for
+/// the §5 compression-on-demand experiments.
+class ProxyModel {
+ public:
+  CodecCost compress_cost(std::string_view codec) const;
+  double compress_time_s(std::string_view codec, double mb_in,
+                         double mb_out) const {
+    return compress_cost(codec).time_s(mb_in, mb_out);
+  }
+
+  static ProxyModel dell_p3();
+};
+
+}  // namespace ecomp::sim

@@ -1,0 +1,53 @@
+// Power-state model of the handheld: the paper's Table 1 (electrical
+// current in mA at 5 V for each CPU × WaveLAN × power-saving state),
+// measured on a Compaq iPAQ 3650 with a Lucent WaveLAN card.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ecomp::sim {
+
+enum class CpuState { Idle, Busy };
+enum class RadioState { Sleep, Idle, Recv, Send };
+
+const char* to_string(CpuState s);
+const char* to_string(RadioState s);
+
+/// One row of Table 1. Rows whose current fluctuates with the executed
+/// instruction mix carry a [min,max] range; `avg_ma` is the paper's
+/// parenthesized average for gzip decompression where given, otherwise
+/// the single reading or the range midpoint.
+struct PowerEntry {
+  CpuState cpu;
+  RadioState radio;
+  bool power_saving;
+  double min_ma;
+  double max_ma;
+  double avg_ma;
+};
+
+class PowerModel {
+ public:
+  PowerModel(double voltage, std::vector<PowerEntry> entries);
+
+  /// Average current draw (mA) for a state. Throws Error for states the
+  /// model has no row for.
+  double current_ma(CpuState cpu, RadioState radio, bool power_saving) const;
+
+  /// Average power draw in watts.
+  double power_w(CpuState cpu, RadioState radio, bool power_saving) const;
+
+  double voltage() const { return voltage_; }
+  const std::vector<PowerEntry>& entries() const { return entries_; }
+
+  /// Table 1 as measured on the iPAQ 3650 + WaveLAN.
+  static PowerModel ipaq_wavelan();
+
+ private:
+  double voltage_;
+  std::vector<PowerEntry> entries_;
+};
+
+}  // namespace ecomp::sim

@@ -1,0 +1,50 @@
+// Wireless link model for the WaveLAN 802.11b card, using the paper's
+// measured characteristics: 11 Mb/s nominal ⇒ ~0.6 MB/s effective with
+// the CPU idle 40% of the receive time; 2 Mb/s nominal ⇒ 0.18 MB/s with
+// 81.5% idle; power-saving mode costs ~25% of effective rate.
+#pragma once
+
+namespace ecomp::sim {
+
+struct RadioModel {
+  double nominal_mbps = 11.0;
+  /// Effective application-level receive rate without power saving, in
+  /// MB/s (the paper measures 602 KB/s ≈ 0.6 MB/s at 11 Mb/s).
+  double effective_mbps_mbytes = 0.6;
+  /// CPU time consumed per MB received (interrupts, copies, reassembly).
+  /// ≈ 1.0 s/MB on the iPAQ at both measured rates, which is exactly why
+  /// the idle fraction is 40% at 0.6 MB/s and 81.5% at 0.18 MB/s.
+  double cpu_active_s_per_mb = 1.0;
+  /// Network communication start-up energy (the paper's cs), joules.
+  double startup_energy_j = 0.012;
+  /// Effective-rate derating when the power-saving mode is enabled.
+  double power_saving_derate = 0.25;
+
+  /// Effective receive rate in MB/s under the given power mode.
+  double rate_mb_per_s(bool power_saving) const {
+    return effective_mbps_mbytes * (power_saving ? 1.0 - power_saving_derate
+                                                 : 1.0);
+  }
+
+  /// Fraction of download wall-time the CPU sits idle between packets.
+  double idle_fraction(bool power_saving) const {
+    const double f = 1.0 - cpu_active_s_per_mb * rate_mb_per_s(power_saving);
+    return f < 0.0 ? 0.0 : f;
+  }
+
+  /// The paper's 11 Mb/s environment (main experiments).
+  static RadioModel wavelan_11mbps() { return RadioModel{}; }
+
+  /// The §4.2 robustness setting: 2 Mb/s nominal, 180 KB/s effective,
+  /// 81.5% idle. cpu_active_s_per_mb is re-derived from those readings:
+  /// (1 − 0.815) / 0.18 ≈ 1.028 s/MB.
+  static RadioModel wavelan_2mbps() {
+    RadioModel r;
+    r.nominal_mbps = 2.0;
+    r.effective_mbps_mbytes = 0.18;
+    r.cpu_active_s_per_mb = (1.0 - 0.815) / 0.18;
+    return r;
+  }
+};
+
+}  // namespace ecomp::sim

@@ -1,0 +1,56 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecomp::sim {
+
+void Timeline::add(double duration_s, double power_w, std::string label) {
+  if (duration_s <= 0.0) return;
+  phases_.push_back({duration_s, power_w, 0.0, std::move(label)});
+}
+
+void Timeline::add_energy(double energy_j, std::string label) {
+  if (energy_j <= 0.0) return;
+  phases_.push_back({0.0, 0.0, energy_j, std::move(label)});
+}
+
+double Timeline::total_time_s() const {
+  double t = 0.0;
+  for (const auto& p : phases_) t += p.duration_s;
+  return t;
+}
+
+double Timeline::total_energy_j() const {
+  double e = 0.0;
+  for (const auto& p : phases_) e += p.energy_j();
+  return e;
+}
+
+double Timeline::energy_with_prefix(const std::string& prefix) const {
+  double e = 0.0;
+  for (const auto& p : phases_)
+    if (p.label.rfind(prefix, 0) == 0) e += p.energy_j();
+  return e;
+}
+
+double Timeline::time_with_prefix(const std::string& prefix) const {
+  double t = 0.0;
+  for (const auto& p : phases_)
+    if (p.label.rfind(prefix, 0) == 0) t += p.duration_s;
+  return t;
+}
+
+std::string Timeline::render_ascii(double s_per_char) const {
+  std::string bar;
+  for (const auto& p : phases_) {
+    if (p.duration_s <= 0.0) continue;
+    const int chars = std::max(
+        1, static_cast<int>(std::lround(p.duration_s / s_per_char)));
+    const char c = p.label.empty() ? '?' : p.label[0];
+    bar.append(static_cast<std::size_t>(chars), c);
+  }
+  return bar;
+}
+
+}  // namespace ecomp::sim

@@ -1,0 +1,50 @@
+// Timeline: the simulator's energy ledger. Every scenario reduces to a
+// sequence of (duration, power, label) phases; energy is the integral.
+// Keeping the phases explicit lets benches print the Fig. 3/4 style
+// breakdowns and lets tests assert on structure, not just totals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ecomp::sim {
+
+struct Phase {
+  double duration_s = 0.0;
+  double power_w = 0.0;
+  double fixed_energy_j = 0.0;  ///< instantaneous charge (e.g. cs)
+  std::string label;
+
+  double energy_j() const { return duration_s * power_w + fixed_energy_j; }
+};
+
+class Timeline {
+ public:
+  /// Append a phase. Zero/negative durations are dropped (they arise
+  /// naturally from degenerate scenarios, e.g. no idle gap remaining).
+  void add(double duration_s, double power_w, std::string label);
+
+  /// Add an instantaneous energy cost (e.g. the cs network start-up
+  /// term, which the paper models as a constant charge, not a phase).
+  void add_energy(double energy_j, std::string label);
+
+  double total_time_s() const;
+  double total_energy_j() const;
+
+  /// Sum of energy over phases whose label starts with `prefix`.
+  double energy_with_prefix(const std::string& prefix) const;
+  /// Sum of time over phases whose label starts with `prefix`.
+  double time_with_prefix(const std::string& prefix) const;
+
+  const std::vector<Phase>& phases() const { return phases_; }
+
+  /// Fixed-width ASCII rendering (one char per `s_per_char` seconds,
+  /// each phase drawn with the first letter of its label) for the
+  /// Fig. 3/4 style diagrams.
+  std::string render_ascii(double s_per_char) const;
+
+ private:
+  std::vector<Phase> phases_;
+};
+
+}  // namespace ecomp::sim

@@ -1,0 +1,273 @@
+#include "sim/transfer.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace ecomp::sim {
+namespace {
+
+TransferResult finish(Timeline&& t, double download_time_s,
+                      double decompress_time_s) {
+  TransferResult r;
+  r.timeline = std::move(t);
+  r.time_s = r.timeline.total_time_s();
+  r.energy_j = r.timeline.total_energy_j();
+  r.download_time_s = download_time_s;
+  r.decompress_time_s = decompress_time_s;
+  r.wait_time_s = r.timeline.time_with_prefix("wait");
+  r.download_energy_j = r.timeline.energy_with_prefix("recv") +
+                        r.timeline.energy_with_prefix("gap") +
+                        r.timeline.energy_with_prefix("startup");
+  r.decompress_energy_j = r.timeline.energy_with_prefix("decomp");
+  r.wait_energy_j = r.timeline.energy_with_prefix("wait");
+  return r;
+}
+
+}  // namespace
+
+void TransferSimulator::run_download(Timeline& t, const DownloadSpec& spec,
+                                     bool sleep_during_tail) const {
+  const bool ps = spec.power_saving;
+  const double rate = spec.rate_mb_s;
+  if (rate <= 0.0) throw Error("TransferSimulator: rate must be positive");
+  const double f =
+      std::max(0.0, 1.0 - device_.radio.cpu_active_s_per_mb * rate);
+  const double p_active = device_.recv_active_power_w(ps);
+  const double p_gap = device_.gap_power_w(ps);
+  const double p_decomp = device_.decompress_power_w(ps);
+
+  const double first = std::min(spec.first_block_mb, spec.payload_mb);
+  const double rest = spec.payload_mb - first;
+
+  // First block: its packet gaps cannot be filled (nothing complete to
+  // decompress yet) — the paper's ti1 term.
+  if (first > 0.0) {
+    const double ta = first / rate;
+    t.add((1.0 - f) * ta, p_active, "recv:first");
+    t.add(f * ta, p_gap, "gap:first");
+  }
+
+  // Remaining download: gaps (the paper's ti') are filled with
+  // decompression work while it lasts.
+  double work = spec.decompress_work_s;
+  if (rest > 0.0) {
+    const double tb = rest / rate;
+    t.add((1.0 - f) * tb, p_active, "recv:rest");
+    const double gap = f * tb;
+    const double filled = std::min(work, gap);
+    t.add(filled, p_decomp, "decomp:interleaved");
+    t.add(gap - filled, p_gap, "gap:rest");
+    work -= filled;
+  }
+
+  // Decompression tail after the download completes.
+  if (work > 0.0) {
+    const double p_tail =
+        device_.decompress_power_w(sleep_during_tail ? true : ps);
+    t.add(work, p_tail, "decomp:tail");
+  }
+}
+
+TransferResult TransferSimulator::download_uncompressed(
+    double mb, bool power_saving) const {
+  if (mb < 0.0) throw Error("download_uncompressed: negative size");
+  Timeline t;
+  t.add_energy(device_.radio.startup_energy_j, "startup");
+  DownloadSpec spec;
+  spec.payload_mb = mb;
+  spec.rate_mb_s = device_.radio.rate_mb_per_s(power_saving);
+  spec.first_block_mb = mb;  // no decompression: every gap stays idle
+  spec.decompress_work_s = 0.0;
+  spec.power_saving = power_saving;
+  run_download(t, spec, false);
+  return finish(std::move(t), mb / spec.rate_mb_s, 0.0);
+}
+
+TransferResult TransferSimulator::download_compressed(
+    double original_mb, double compressed_mb, const std::string& codec,
+    const TransferOptions& opt) const {
+  if (original_mb < 0.0 || compressed_mb < 0.0)
+    throw Error("download_compressed: negative size");
+  Timeline t;
+  t.add_energy(device_.radio.startup_energy_j, "startup");
+
+  const double td =
+      device_.cpu.decompress_time_s(codec, compressed_mb, original_mb);
+  double rate = device_.radio.rate_mb_per_s(opt.power_saving);
+
+  if (opt.on_demand == OnDemand::Sequential) {
+    // Device waits idle while the proxy compresses the whole file.
+    const double tc =
+        proxy_.compress_time_s(codec, original_mb, compressed_mb);
+    t.add(tc, device_.gap_power_w(opt.power_saving), "wait:proxy");
+  } else if (opt.on_demand == OnDemand::Overlapped) {
+    // Proxy compresses block-by-block behind the send. The device pays
+    // the first block's compression latency; afterwards delivery is
+    // throttled to the proxy's compressed-output rate if that is slower
+    // than the link.
+    const double ratio =
+        original_mb > 0.0 ? compressed_mb / original_mb : 1.0;
+    const double first_raw = std::min(opt.block_mb, original_mb);
+    const double tc1 =
+        proxy_.compress_time_s(codec, first_raw, first_raw * ratio);
+    t.add(tc1, device_.gap_power_w(opt.power_saving), "wait:proxy-first");
+    const auto cost = proxy_.compress_cost(codec);
+    const double s_per_raw_mb =
+        cost.s_per_mb_in + cost.s_per_mb_out * ratio;
+    if (s_per_raw_mb > 0.0) {
+      const double proxy_out_rate = ratio / s_per_raw_mb;
+      rate = std::min(rate, proxy_out_rate);
+    }
+  }
+
+  DownloadSpec spec;
+  spec.payload_mb = compressed_mb;
+  spec.rate_mb_s = rate;
+  spec.power_saving = opt.power_saving;
+  spec.decompress_work_s = td;
+  if (opt.interleave) {
+    const double ratio =
+        original_mb > 0.0 ? compressed_mb / original_mb : 1.0;
+    spec.first_block_mb = std::min(opt.block_mb * ratio, compressed_mb);
+  } else {
+    spec.first_block_mb = compressed_mb;  // no gap filling at all
+  }
+  run_download(t, spec, opt.sleep_during_decompress && !opt.interleave);
+  return finish(std::move(t), compressed_mb / rate, td);
+}
+
+TransferResult TransferSimulator::download_selective(
+    const std::vector<BlockTransfer>& blocks, const std::string& codec,
+    const TransferOptions& opt) const {
+  Timeline t;
+  t.add_energy(device_.radio.startup_energy_j, "startup");
+
+  double payload = 0.0, raw = 0.0, total_work = 0.0;
+  const auto cost = device_.cpu.decompress_cost(codec);
+  auto block_work = [&](const BlockTransfer& b) {
+    return b.compressed ? cost.time_s(b.payload_mb, b.raw_mb)
+                        : kRawCopySPerMb * b.raw_mb;
+  };
+  for (const auto& b : blocks) {
+    payload += b.payload_mb;
+    raw += b.raw_mb;
+    total_work += block_work(b);
+  }
+
+  double rate = device_.radio.rate_mb_per_s(opt.power_saving);
+  if (opt.on_demand == OnDemand::Sequential) {
+    const double tc = proxy_.compress_time_s(codec, raw, payload);
+    t.add(tc, device_.gap_power_w(opt.power_saving), "wait:proxy");
+  } else if (opt.on_demand == OnDemand::Overlapped && !blocks.empty()) {
+    const double tc1 = proxy_.compress_time_s(codec, blocks[0].raw_mb,
+                                              blocks[0].payload_mb);
+    t.add(tc1, device_.gap_power_w(opt.power_saving), "wait:proxy-first");
+    const auto pcost = proxy_.compress_cost(codec);
+    const double ratio = raw > 0.0 ? payload / raw : 1.0;
+    const double s_per_raw_mb =
+        pcost.s_per_mb_in + pcost.s_per_mb_out * ratio;
+    if (s_per_raw_mb > 0.0)
+      rate = std::min(rate, ratio / s_per_raw_mb);
+  }
+  if (rate <= 0.0) throw Error("TransferSimulator: rate must be positive");
+
+  // Discrete per-block simulation. Unlike the fluid closed form
+  // (Eqs. 3-4), a block's decompression work only becomes available
+  // once that block has FULLY arrived, so early gaps can starve even
+  // when total work exceeds total gap time — the granularity effect
+  // the analytic model ignores (and one source of its Figs. 7/9 error).
+  const bool ps = opt.power_saving;
+  const double f = std::max(0.0, 1.0 - device_.radio.cpu_active_s_per_mb * rate);
+  const double p_active = device_.recv_active_power_w(ps);
+  const double p_gap = device_.gap_power_w(ps);
+  const double p_decomp = device_.decompress_power_w(ps);
+
+  double backlog_s = 0.0;  // decode work ready to run
+  for (const auto& b : blocks) {
+    const double ti = b.payload_mb / rate;
+    t.add((1.0 - f) * ti, p_active, "recv:block");
+    const double gap = f * ti;
+    const double filled = opt.interleave ? std::min(backlog_s, gap) : 0.0;
+    t.add(filled, p_decomp, "decomp:interleaved");
+    t.add(gap - filled, p_gap, "gap:block");
+    backlog_s -= filled;
+    backlog_s += block_work(b);
+  }
+  if (backlog_s > 0.0) {
+    const double p_tail = device_.decompress_power_w(
+        (opt.sleep_during_decompress && !opt.interleave) ? true : ps);
+    t.add(backlog_s, p_tail, "decomp:tail");
+  }
+  return finish(std::move(t), payload / rate, total_work);
+}
+
+TransferResult TransferSimulator::upload_uncompressed(
+    double mb, bool power_saving) const {
+  if (mb < 0.0) throw Error("upload_uncompressed: negative size");
+  Timeline t;
+  t.add_energy(device_.radio.startup_energy_j, "startup");
+  const double rate = device_.radio.rate_mb_per_s(power_saving);
+  const double f =
+      std::max(0.0, 1.0 - device_.radio.cpu_active_s_per_mb * rate);
+  const double total = mb / rate;
+  t.add((1.0 - f) * total, device_.recv_active_power_w(power_saving),
+        "send:active");
+  t.add(f * total, device_.gap_power_w(power_saving), "gap:send");
+  return finish(std::move(t), total, 0.0);
+}
+
+TransferResult TransferSimulator::upload_compressed(
+    double original_mb, double compressed_mb, const std::string& codec,
+    const TransferOptions& opt) const {
+  if (original_mb < 0.0 || compressed_mb < 0.0)
+    throw Error("upload_compressed: negative size");
+  Timeline t;
+  t.add_energy(device_.radio.startup_energy_j, "startup");
+
+  const bool ps = opt.power_saving;
+  const double rate = device_.radio.rate_mb_per_s(ps);
+  const double f =
+      std::max(0.0, 1.0 - device_.radio.cpu_active_s_per_mb * rate);
+  const double p_active = device_.recv_active_power_w(ps);
+  const double p_gap = device_.gap_power_w(ps);
+  const double p_comp = device_.decompress_power_w(ps);  // busy, radio idle
+
+  const double tc = device_.cpu.compress_cost(codec).time_s(
+      original_mb, compressed_mb);
+  const double send_time = compressed_mb / rate;
+
+  if (!opt.interleave) {
+    // Compress everything up front (radio may sleep), then send.
+    const double p_front = device_.decompress_power_w(
+        opt.sleep_during_decompress ? true : ps);
+    t.add(tc, p_front, "compress:front");
+    t.add((1.0 - f) * send_time, p_active, "send:active");
+    t.add(f * send_time, p_gap, "gap:send");
+    return finish(std::move(t), send_time, tc);
+  }
+
+  // Interleaved: the first block must be compressed before sending
+  // starts; the rest competes with the sender for the CPU's gap time.
+  const double first_raw = std::min(opt.block_mb, original_mb);
+  const double tc1 = original_mb > 0.0 ? tc * first_raw / original_mb : tc;
+  t.add(tc1, p_comp, "compress:first");
+
+  const double gap_budget = f * send_time;
+  const double work = tc - tc1;
+  if (work <= gap_budget) {
+    // CPU keeps up: send runs at full rate.
+    t.add((1.0 - f) * send_time, p_active, "send:active");
+    t.add(work, p_comp, "compress:interleaved");
+    t.add(gap_budget - work, p_gap, "gap:send");
+    return finish(std::move(t), send_time, tc);
+  }
+  // CPU-bound: sending stalls on compression; the wall clock stretches
+  // to active-send + remaining compression, with no idle at all.
+  const double active_send = (1.0 - f) * send_time;
+  t.add(active_send, p_active, "send:active");
+  t.add(work, p_comp, "compress:interleaved");
+  return finish(std::move(t), active_send + work, tc);
+}
+
+}  // namespace ecomp::sim

@@ -1,0 +1,142 @@
+#include "util/bitio.h"
+
+namespace ecomp {
+
+// ---------------------------------------------------------------- LSB order
+
+void BitWriterLsb::put(std::uint32_t value, int count) {
+  if (count < 0 || count > 32) throw Error("BitWriterLsb::put: bad count");
+  if (count < 32) value &= (std::uint32_t{1} << count) - 1;
+  acc_ |= std::uint64_t{value} << acc_bits_;
+  acc_bits_ += count;
+  bit_count_ += static_cast<std::uint64_t>(count);
+  while (acc_bits_ >= 8) {
+    out_.push_back(static_cast<std::uint8_t>(acc_ & 0xff));
+    acc_ >>= 8;
+    acc_bits_ -= 8;
+  }
+}
+
+void BitWriterLsb::align_to_byte() {
+  if (acc_bits_ > 0) put(0, 8 - acc_bits_);
+}
+
+void BitWriterLsb::put_aligned_byte(std::uint8_t b) {
+  if (acc_bits_ != 0) throw Error("put_aligned_byte: not byte aligned");
+  out_.push_back(b);
+  bit_count_ += 8;
+}
+
+Bytes BitWriterLsb::take() {
+  align_to_byte();
+  return std::move(out_);
+}
+
+void BitReaderLsb::refill() const {
+  while (acc_bits_ <= 56 && pos_ < data_.size()) {
+    acc_ |= std::uint64_t{data_[pos_++]} << acc_bits_;
+    acc_bits_ += 8;
+  }
+}
+
+std::uint32_t BitReaderLsb::get(int count) {
+  if (count < 0 || count > 32) throw Error("BitReaderLsb::get: bad count");
+  refill();
+  if (acc_bits_ < count) throw Error("BitReaderLsb: read past end of stream");
+  std::uint32_t v = count == 0
+                        ? 0u
+                        : static_cast<std::uint32_t>(
+                              acc_ & ((std::uint64_t{1} << count) - 1));
+  acc_ >>= count;
+  acc_bits_ -= count;
+  return v;
+}
+
+std::uint32_t BitReaderLsb::peek(int count) const {
+  if (count < 0 || count > 32) throw Error("BitReaderLsb::peek: bad count");
+  refill();
+  if (count == 0) return 0;
+  return static_cast<std::uint32_t>(acc_ &
+                                    ((std::uint64_t{1} << count) - 1));
+}
+
+void BitReaderLsb::skip(int count) {
+  refill();
+  if (acc_bits_ < count) throw Error("BitReaderLsb: skip past end of stream");
+  acc_ >>= count;
+  acc_bits_ -= count;
+}
+
+void BitReaderLsb::align_to_byte() {
+  int rem = acc_bits_ % 8;
+  if (rem != 0) {
+    acc_ >>= rem;
+    acc_bits_ -= rem;
+  }
+}
+
+std::uint8_t BitReaderLsb::get_aligned_byte() {
+  if (acc_bits_ % 8 != 0) throw Error("get_aligned_byte: not byte aligned");
+  return static_cast<std::uint8_t>(get(8));
+}
+
+bool BitReaderLsb::exhausted() const {
+  refill();
+  return acc_bits_ == 0 && pos_ >= data_.size();
+}
+
+// ---------------------------------------------------------------- MSB order
+
+void BitWriterMsb::put(std::uint32_t value, int count) {
+  if (count < 0 || count > 32) throw Error("BitWriterMsb::put: bad count");
+  if (count < 32 && count > 0) value &= (std::uint32_t{1} << count) - 1;
+  acc_ = (acc_ << count) | value;
+  acc_bits_ += count;
+  bit_count_ += static_cast<std::uint64_t>(count);
+  while (acc_bits_ >= 8) {
+    out_.push_back(static_cast<std::uint8_t>((acc_ >> (acc_bits_ - 8)) & 0xff));
+    acc_bits_ -= 8;
+  }
+  // Keep only the unwritten low bits to avoid unbounded accumulation.
+  if (acc_bits_ > 0)
+    acc_ &= (std::uint64_t{1} << acc_bits_) - 1;
+  else
+    acc_ = 0;
+}
+
+void BitWriterMsb::align_to_byte() {
+  if (acc_bits_ > 0) put(0, 8 - acc_bits_);
+}
+
+Bytes BitWriterMsb::take() {
+  align_to_byte();
+  return std::move(out_);
+}
+
+std::uint32_t BitReaderMsb::get(int count) {
+  if (count < 0 || count > 32) throw Error("BitReaderMsb::get: bad count");
+  while (acc_bits_ < count) {
+    if (pos_ >= data_.size())
+      throw Error("BitReaderMsb: read past end of stream");
+    acc_ = (acc_ << 8) | data_[pos_++];
+    acc_bits_ += 8;
+  }
+  std::uint32_t v =
+      count == 0 ? 0u
+                 : static_cast<std::uint32_t>(
+                       (acc_ >> (acc_bits_ - count)) &
+                       ((std::uint64_t{1} << count) - 1));
+  acc_bits_ -= count;
+  if (acc_bits_ > 0)
+    acc_ &= (std::uint64_t{1} << acc_bits_) - 1;
+  else
+    acc_ = 0;
+  bits_consumed_ += static_cast<std::uint64_t>(count);
+  return v;
+}
+
+bool BitReaderMsb::exhausted() const {
+  return acc_bits_ == 0 && pos_ >= data_.size();
+}
+
+}  // namespace ecomp

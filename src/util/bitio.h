@@ -1,0 +1,98 @@
+// Bit-level readers/writers used by every entropy coder in ecomp.
+//
+// Two bit orders are provided because the codecs need both:
+//  * LSB-first (DEFLATE, LZW as in UNIX compress): bits fill each byte
+//    from bit 0 upward.
+//  * MSB-first (the BWT pipeline's Huffman stage, as in bzip2): bits
+//    fill each byte from bit 7 downward.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ecomp {
+
+/// Accumulates bits LSB-first into a growing byte buffer.
+class BitWriterLsb {
+ public:
+  /// Append `count` bits (0..32) of `value`, least-significant first.
+  void put(std::uint32_t value, int count);
+  /// Pad with zero bits to the next byte boundary.
+  void align_to_byte();
+  /// Append a whole byte; requires byte alignment.
+  void put_aligned_byte(std::uint8_t b);
+  /// Number of bits written so far.
+  std::uint64_t bit_count() const { return bit_count_; }
+  /// Finish (aligns) and return the buffer.
+  Bytes take();
+
+ private:
+  Bytes out_;
+  std::uint64_t acc_ = 0;
+  int acc_bits_ = 0;
+  std::uint64_t bit_count_ = 0;
+};
+
+/// Reads bits LSB-first from a byte span.
+class BitReaderLsb {
+ public:
+  explicit BitReaderLsb(ByteSpan data) : data_(data) {}
+
+  /// Read `count` bits (0..32). Throws Error past end of stream.
+  std::uint32_t get(int count);
+  /// Peek up to `count` bits without consuming; missing bits read as 0.
+  std::uint32_t peek(int count) const;
+  /// Consume `count` bits previously peeked.
+  void skip(int count);
+  /// Discard bits up to the next byte boundary.
+  void align_to_byte();
+  /// Read a whole byte; requires byte alignment.
+  std::uint8_t get_aligned_byte();
+  /// True once every bit has been consumed.
+  bool exhausted() const;
+  /// Bits consumed so far.
+  std::uint64_t bits_consumed() const { return pos_ * 8 - acc_bits_; }
+
+ private:
+  void refill() const;
+
+  ByteSpan data_;
+  mutable std::uint64_t acc_ = 0;
+  mutable int acc_bits_ = 0;
+  mutable std::size_t pos_ = 0;  // next byte index to load
+};
+
+/// Accumulates bits MSB-first into a growing byte buffer.
+class BitWriterMsb {
+ public:
+  void put(std::uint32_t value, int count);
+  void align_to_byte();
+  std::uint64_t bit_count() const { return bit_count_; }
+  Bytes take();
+
+ private:
+  Bytes out_;
+  std::uint64_t acc_ = 0;
+  int acc_bits_ = 0;
+  std::uint64_t bit_count_ = 0;
+};
+
+/// Reads bits MSB-first from a byte span.
+class BitReaderMsb {
+ public:
+  explicit BitReaderMsb(ByteSpan data) : data_(data) {}
+
+  std::uint32_t get(int count);
+  bool exhausted() const;
+  std::uint64_t bits_consumed() const { return bits_consumed_; }
+
+ private:
+  ByteSpan data_;
+  std::uint64_t acc_ = 0;
+  int acc_bits_ = 0;
+  std::size_t pos_ = 0;
+  std::uint64_t bits_consumed_ = 0;
+};
+
+}  // namespace ecomp

@@ -1,0 +1,37 @@
+// Common byte-buffer aliases and small helpers shared across ecomp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ecomp {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Error type for all recoverable failures in the library (corrupt
+/// streams, invalid parameters, protocol violations).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// View a string's bytes without copying.
+inline ByteSpan as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+/// Copy a byte span into a std::string (for tests and examples).
+inline std::string to_string(ByteSpan b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+inline Bytes to_bytes(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+}  // namespace ecomp

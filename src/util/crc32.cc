@@ -1,0 +1,39 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace ecomp {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+void Crc32::update(ByteSpan data) {
+  std::uint32_t c = state_;
+  for (std::uint8_t b : data) c = kTable[(c ^ b) & 0xff] ^ (c >> 8);
+  state_ = c;
+}
+
+void Crc32::update(std::uint8_t byte) {
+  state_ = kTable[(state_ ^ byte) & 0xff] ^ (state_ >> 8);
+}
+
+std::uint32_t crc32(ByteSpan data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+}  // namespace ecomp

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial, as used by gzip) for container integrity.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace ecomp {
+
+/// Incremental CRC-32 (reflected, poly 0xEDB88320), gzip-compatible.
+class Crc32 {
+ public:
+  void update(ByteSpan data);
+  void update(std::uint8_t byte);
+  /// Final checksum of everything fed so far.
+  std::uint32_t value() const { return ~state_; }
+  void reset() { state_ = 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+/// One-shot convenience.
+std::uint32_t crc32(ByteSpan data);
+
+}  // namespace ecomp

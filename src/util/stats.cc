@@ -1,0 +1,112 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/bytes.h"
+
+namespace ecomp::stats {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double max_abs(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b) {
+  const std::size_t n = a.size();
+  if (b.size() != n) throw Error("solve_linear_system: shape mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    if (std::abs(a[pivot][col]) < 1e-12)
+      throw Error("solve_linear_system: singular matrix");
+    std::swap(a[pivot], a[col]);
+    std::swap(b[pivot], b[col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a[i][c] * x[c];
+    x[i] = s / a[i][i];
+  }
+  return x;
+}
+
+FitResult least_squares(const std::vector<std::vector<double>>& x,
+                        const std::vector<double>& y) {
+  if (x.empty() || x.size() != y.size())
+    throw Error("least_squares: shape mismatch");
+  const std::size_t n = x.size();
+  const std::size_t k = x[0].size();
+  for (const auto& row : x)
+    if (row.size() != k) throw Error("least_squares: ragged design matrix");
+
+  // Normal equations: (XᵀX) beta = Xᵀy.
+  std::vector<std::vector<double>> xtx(k, std::vector<double>(k, 0.0));
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t a = 0; a < k; ++a) {
+      xty[a] += x[i][a] * y[i];
+      for (std::size_t b = 0; b < k; ++b) xtx[a][b] += x[i][a] * x[i][b];
+    }
+  }
+
+  FitResult res;
+  res.coef = solve_linear_system(std::move(xtx), std::move(xty));
+
+  const double ym = mean(y);
+  double ss_res = 0.0, ss_tot = 0.0, rel_sum = 0.0, rel_max = 0.0;
+  std::size_t rel_n = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double yhat = 0.0;
+    for (std::size_t a = 0; a < k; ++a) yhat += res.coef[a] * x[i][a];
+    ss_res += (y[i] - yhat) * (y[i] - yhat);
+    ss_tot += (y[i] - ym) * (y[i] - ym);
+    if (y[i] != 0.0) {
+      const double rel = std::abs((yhat - y[i]) / y[i]);
+      rel_sum += rel;
+      rel_max = std::max(rel_max, rel);
+      ++rel_n;
+    }
+  }
+  res.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  res.mean_abs_rel_error = rel_n ? rel_sum / static_cast<double>(rel_n) : 0.0;
+  res.max_abs_rel_error = rel_max;
+  return res;
+}
+
+FitResult linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  std::vector<std::vector<double>> design;
+  design.reserve(x.size());
+  for (double xi : x) design.push_back({xi, 1.0});
+  return least_squares(design, y);
+}
+
+}  // namespace ecomp::stats

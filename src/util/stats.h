@@ -1,0 +1,41 @@
+// Small statistics toolkit: summaries and multivariate least squares.
+//
+// core::Calibrator re-derives the paper's fitted constants (download
+// energy E(s), decompression time td(s, sc)) from simulated sweeps the
+// way Section 4.2 fits them from measurements; this is the numerical
+// machinery behind that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ecomp::stats {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);  // population variance
+double stddev(const std::vector<double>& v);
+double max_abs(const std::vector<double>& v);
+
+/// Result of a least-squares fit y ≈ X·beta.
+struct FitResult {
+  std::vector<double> coef;  ///< beta, one per column of X
+  double r2 = 0.0;           ///< coefficient of determination
+  double mean_abs_rel_error = 0.0;  ///< mean of |(yhat-y)/y| over y != 0
+  double max_abs_rel_error = 0.0;
+};
+
+/// Ordinary least squares via normal equations with Gaussian elimination
+/// (partial pivoting). rows of `x` are observations; `x[i].size()` must be
+/// constant. Throws ecomp::Error on singular systems or shape mismatch.
+FitResult least_squares(const std::vector<std::vector<double>>& x,
+                        const std::vector<double>& y);
+
+/// Convenience: fit y = a*x + b. Returns {a, b} in FitResult::coef.
+FitResult linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+/// Solve the linear system a·x = b in place. Throws on singularity.
+std::vector<double> solve_linear_system(std::vector<std::vector<double>> a,
+                                        std::vector<double> b);
+
+}  // namespace ecomp::stats

@@ -1,0 +1,128 @@
+#include "workload/corpus.h"
+
+#include <algorithm>
+
+#include "util/bytes.h"
+
+namespace ecomp::workload {
+namespace {
+
+std::vector<CorpusFile> build_table2() {
+  using K = FileKind;
+  // name, bytes, kind, gzip F, compress F, bzip2 F, large, reconstructed,
+  // description (Table 3). Reconstructed cells: value chosen to respect
+  // the row's codec ordering and the column's neighbours.
+  return {
+      // ---- relatively large files (sorted roughly by gzip factor) ----
+      {"news96.xml", 2961063, K::Xml, 18.23, 6.51, 23.59, true, true,
+       "an xml webpage"},
+      {"M31C.xml", 8391571, K::Xml, 14.64, 9.91, 18.58, true, false,
+       "an xml webpage"},
+      {"M31Csmall.xml", 900051, K::Xml, 12.90, 6.63, 11.52, true, true,
+       "an xml webpage"},
+      {"input.log", 4096036, K::Log, 11.11, 5.92, 18.37, true, true,
+       "a webpage log (from SPEC 2000)"},
+      {"langspec-2.0.html.tar", 1162816, K::HtmlTar, 4.60, 3.08, 6.13, true,
+       true, "a tar file of Java language specification in html format"},
+      {"input.source", 9553920, K::Source, 3.90, 2.54, 4.88, true, true,
+       "a program source (from SPEC 2000)"},
+      {"proxy.ps", 2175331, K::PostScript, 3.80, 3.00, 6.87, true, false,
+       "a postscript document"},
+      {"j2d-book.ps", 5234774, K::PostScript, 3.40, 2.75, 4.70, true, true,
+       "a postscript document"},
+      {"java.ps", 1698978, K::PostScript, 3.55, 2.61, 4.46, true, false,
+       "a postscript document"},
+      {"localedef", 330072, K::Binary, 3.50, 2.18, 3.72, true, false,
+       "a program binary"},
+      {"JavaCCParser.class", 126241, K::JavaClass, 3.00, 2.00, 3.17, true,
+       false, "a Java class file"},
+      {"langspec-2.0.pdf", 4419906, K::Pdf, 2.79, 1.98, 3.00, true, true,
+       "Java specification in pdf format"},
+      {"pegwit", 360188, K::Binary, 2.57, 1.73, 2.60, true, true,
+       "a program binary"},
+      {"NTBACKUP.EXE", 1162512, K::Binary, 2.46, 1.79, 2.50, true, false,
+       "a program binary"},
+      {"input.program", 3550558, K::Binary, 2.30, 1.90, 2.41, true, true,
+       "a program binary (from SPEC 2000)"},
+      {"sclerp.wav", 1158380, K::Wav, 1.90, 2.26, 3.25, true, true,
+       "a data file in .wav format"},
+      {"pp.exe", 920316, K::Binary, 1.11, 0.94, 1.23, true, true,
+       "a program binary"},
+      {"input.graphic", 6656364, K::Media, 1.09, 0.97, 1.38, true, false,
+       "a TIFF image (from SPEC 2000)"},
+      {"image01.jpg", 1833027, K::Media, 1.04, 0.88, 1.36, true, true,
+       "a jpeg image"},
+      {"lovecnife.mp3", 4328513, K::Media, 1.02, 0.83, 1.02, true, false,
+       "a mp3 music"},
+      {"tom.015.m2v", 2816594, K::Media, 1.01, 0.85, 1.02, true, false,
+       "a mpeg-2 movie"},
+      {"image01.gif", 5075287, K::Gif, 1.00, 0.82, 1.00, true, true,
+       "a GIF file"},
+      {"input.random", 4194309, K::Random, 1.00, 0.81, 1.00, true, true,
+       "random data (from SPEC 2000)"},
+      // ---- small files (sorted by increasing size) --------------------
+      {"mail0", 1438, K::Mail, 1.82, 1.47, 1.67, false, false,
+       "a text mail"},
+      {"mail1", 1611, K::Mail, 1.91, 1.48, 1.75, false, false,
+       "a text mail"},
+      {"PolyhedronElement.class", 2211, K::JavaClass, 1.79, 1.42, 1.50,
+       false, true, "a Java class file"},
+      {"nohup", 2600, K::Script, 1.97, 1.47, 1.81, false, true,
+       "a shell script"},
+      {"mail2", 4285, K::Mail, 2.16, 1.66, 2.00, false, true,
+       "a text mail"},
+      {"yahooindex.html", 16709, K::Html, 3.30, 2.22, 3.50, false, true,
+       "an html webpage"},
+      {"Stele.class", 21890, K::JavaClass, 2.23, 1.60, 2.15, false, true,
+       "a Java class file"},
+      {"tail", 26240, K::Binary, 2.00, 1.59, 2.11, false, true,
+       "a program binary"},
+      {"amdig.eps", 31290, K::Eps, 3.22, 1.95, 3.17, false, false,
+       "an encapsulated postscript file"},
+      {"intro.pdf", 44000, K::Pdf, 1.77, 1.23, 1.80, false, true,
+       "a pdf file"},
+      {"fscrub", 57312, K::Binary, 2.05, 1.55, 2.14, false, true,
+       "a program binary"},
+      {"intro.ps", 69000, K::PostScript, 2.37, 1.87, 2.54, false, true,
+       "a postscript document"},
+      {"JavaFiles.class", 74000, K::JavaClass, 2.93, 1.82, 2.97, false,
+       true, "a Java class file"},
+      {"perl.ps", 79012, K::PostScript, 2.58, 1.90, 2.83, false, true,
+       "a postscript file"},
+  };
+}
+
+}  // namespace
+
+const std::vector<CorpusFile>& table2() {
+  static const std::vector<CorpusFile> kTable = build_table2();
+  return kTable;
+}
+
+const CorpusFile& table2_entry(const std::string& name) {
+  for (const auto& f : table2())
+    if (f.name == name) return f;
+  throw Error("corpus: no Table 2 entry named " + name);
+}
+
+Bytes generate(const CorpusFile& f, double scale) {
+  const auto size = static_cast<std::size_t>(
+      std::max(4096.0, static_cast<double>(f.size_bytes) * scale));
+  const std::uint64_t seed = seed_from_name(f.name);
+  const double tune = tune_for_factor(f.kind, size, seed, f.paper_gzip);
+  return generate_kind(f.kind, size, seed, tune);
+}
+
+const Bytes& Corpus::file(const std::string& name) {
+  auto it = cache_.find(name);
+  if (it != cache_.end()) return it->second;
+  const CorpusFile& entry = table2_entry(name);
+  return cache_.emplace(name, generate(entry, scale_)).first->second;
+}
+
+std::size_t Corpus::scaled_size(const CorpusFile& f) const {
+  return static_cast<std::size_t>(
+      std::max(4096.0, static_cast<double>(f.size_bytes) * scale_));
+}
+
+}  // namespace ecomp::workload

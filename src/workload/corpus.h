@@ -1,0 +1,58 @@
+// The paper's test corpus (Tables 2 and 3), regenerated synthetically.
+// Each entry carries the paper's file name, size, per-codec compression
+// factors, and category; generate() produces deterministic bytes of the
+// right type tuned so our deflate factor tracks the paper's gzip column.
+//
+// A few cells are illegible in the scanned source; those values are
+// reconstructed from context and flagged (`reconstructed`), see
+// EXPERIMENTS.md.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+
+namespace ecomp::workload {
+
+struct CorpusFile {
+  std::string name;
+  std::size_t size_bytes = 0;
+  FileKind kind = FileKind::Random;
+  double paper_gzip = 1.0;  ///< Table 2 gzip compression factor
+  double paper_lzw = 1.0;   ///< Table 2 compress factor
+  double paper_bwt = 1.0;   ///< Table 2 bzip2 factor
+  bool large = false;       ///< Table 2's large/small split (>~50 KB)
+  bool reconstructed = false;  ///< some cell was illegible in the scan
+  std::string description;     ///< Table 3
+};
+
+/// All Table 2 rows (21 large + 14 small files).
+const std::vector<CorpusFile>& table2();
+
+/// Look up a row by name; throws Error if absent.
+const CorpusFile& table2_entry(const std::string& name);
+
+/// Generate one corpus file. `scale` shrinks every file (min 4 KB) so
+/// quick runs don't pay for the full ~70 MB corpus; factors are
+/// essentially scale-invariant for these generators.
+Bytes generate(const CorpusFile& f, double scale = 1.0);
+
+/// Lazily generated, memoized corpus.
+class Corpus {
+ public:
+  explicit Corpus(double scale = 1.0) : scale_(scale) {}
+
+  const Bytes& file(const std::string& name);
+  double scale() const { return scale_; }
+
+  /// Scaled size of an entry without generating it.
+  std::size_t scaled_size(const CorpusFile& f) const;
+
+ private:
+  double scale_;
+  std::map<std::string, Bytes> cache_;
+};
+
+}  // namespace ecomp::workload

@@ -1,0 +1,490 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+#include "compress/deflate.h"
+
+namespace ecomp::workload {
+namespace {
+
+using namespace std::string_view_literals;
+
+void append(Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void append_num(Bytes& out, std::uint64_t v) {
+  char buf[24];
+  const int n = std::snprintf(buf, sizeof buf, "%llu",
+                              static_cast<unsigned long long>(v));
+  out.insert(out.end(), buf, buf + n);
+}
+
+// Small deterministic word pool with a Zipf-ish draw.
+constexpr std::array kWords = {
+    "the"sv,    "of"sv,      "and"sv,      "to"sv,       "in"sv,
+    "system"sv, "data"sv,    "network"sv,  "energy"sv,   "device"sv,
+    "server"sv, "wireless"sv,"compress"sv, "download"sv, "battery"sv,
+    "proxy"sv,  "packet"sv,  "measure"sv,  "result"sv,   "section"sv,
+    "model"sv,  "factor"sv,  "scheme"sv,   "figure"sv,   "power"sv,
+    "time"sv,   "file"sv,    "block"sv,    "buffer"sv,   "value"sv,
+    "signal"sv, "channel"sv, "protocol"sv, "process"sv,  "table"sv,
+};
+
+std::string_view zipf_word(Rng& rng) {
+  // P(rank r) ∝ 1/(r+1): draw via rejection on a harmonic-ish CDF.
+  const double u = rng.uniform();
+  const double h = std::log1p(static_cast<double>(kWords.size()));
+  const auto idx = static_cast<std::size_t>(std::expm1(u * h));
+  return kWords[std::min(idx, kWords.size() - 1)];
+}
+
+void sentence(Bytes& out, Rng& rng) {
+  const int n = static_cast<int>(rng.range(5, 14));
+  for (int i = 0; i < n; ++i) {
+    append(out, zipf_word(rng));
+    out.push_back(i + 1 == n ? '.' : ' ');
+  }
+  out.push_back(' ');
+}
+
+Bytes gen_xml(std::size_t size, Rng& rng) {
+  constexpr std::array kTags = {"record"sv, "item"sv,  "field"sv,
+                                "entry"sv,  "value"sv, "meta"sv};
+  Bytes out;
+  out.reserve(size + 256);
+  append(out, "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<document>\n");
+  while (out.size() < size) {
+    const auto tag = kTags[rng.below(kTags.size())];
+    append(out, "  <");
+    append(out, tag);
+    append(out, " id=\"");
+    append_num(out, rng.below(100000));
+    append(out, "\" class=\"standard\">");
+    const int words = static_cast<int>(rng.range(2, 8));
+    for (int i = 0; i < words; ++i) {
+      append(out, zipf_word(rng));
+      if (i + 1 < words) out.push_back(' ');
+    }
+    append(out, "</");
+    append(out, tag);
+    append(out, ">\n");
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_html(std::size_t size, Rng& rng) {
+  Bytes out;
+  out.reserve(size + 256);
+  append(out, "<html><head><title>index</title></head><body>\n");
+  while (out.size() < size) {
+    append(out, "<p><a href=\"/dir/page");
+    append_num(out, rng.below(5000));
+    append(out, ".html\">");
+    append(out, zipf_word(rng));
+    out.push_back(' ');
+    append(out, zipf_word(rng));
+    append(out, "</a> ");
+    sentence(out, rng);
+    append(out, "</p>\n");
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_log(std::size_t size, Rng& rng) {
+  constexpr std::array kPaths = {
+      "/index.html"sv,      "/images/logo.gif"sv, "/docs/spec.ps"sv,
+      "/cgi-bin/query"sv,   "/download/app.tar"sv,"/news/today.xml"sv};
+  constexpr std::array kCodes = {"200"sv, "200"sv, "200"sv, "304"sv,
+                                 "404"sv, "500"sv};
+  Bytes out;
+  out.reserve(size + 256);
+  std::uint64_t t = 852076800;  // epoch-ish counter, monotonically rising
+  while (out.size() < size) {
+    t += rng.below(30);
+    append(out, "host");
+    append_num(out, rng.below(400));
+    append(out, ".example.edu - - [");
+    append_num(out, t);
+    append(out, "] \"GET ");
+    append(out, kPaths[rng.below(kPaths.size())]);
+    append(out, " HTTP/1.0\" ");
+    append(out, kCodes[rng.below(kCodes.size())]);
+    out.push_back(' ');
+    append_num(out, rng.below(65536));
+    out.push_back('\n');
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_source(std::size_t size, Rng& rng) {
+  constexpr std::array kLines = {
+      "for (int i = 0; i < n; i++) {"sv,
+      "    sum += table[i] * weight[i];"sv,
+      "}"sv,
+      "if (status != OK) return status;"sv,
+      "static int process(struct node *p, int flags)"sv,
+      "{"sv,
+      "    assert(p != NULL);"sv,
+      "    p->next = head; head = p;"sv,
+      "    return dispatch(p->kind, flags);"sv,
+      "/* recompute the checksum over the payload */"sv,
+      "memcpy(dst + off, src, len);"sv,
+      "#define MAX_ENTRIES 1024"sv,
+  };
+  Bytes out;
+  out.reserve(size + 128);
+  while (out.size() < size) {
+    append(out, kLines[rng.below(kLines.size())]);
+    out.push_back('\n');
+    if (rng.chance(0.1)) {
+      append(out, "int var_");
+      append_num(out, rng.below(1000));
+      append(out, " = ");
+      append_num(out, rng.below(100000));
+      append(out, ";\n");
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_postscript(std::size_t size, Rng& rng) {
+  Bytes out;
+  out.reserve(size + 256);
+  append(out, "%!PS-Adobe-2.0\n%%Creator: ecomp\n");
+  while (out.size() < size) {
+    switch (rng.below(4)) {
+      case 0:
+        append_num(out, rng.below(612));
+        out.push_back(' ');
+        append_num(out, rng.below(792));
+        append(out, " moveto ");
+        break;
+      case 1:
+        append_num(out, rng.below(612));
+        out.push_back(' ');
+        append_num(out, rng.below(792));
+        append(out, " lineto stroke\n");
+        break;
+      case 2:
+        append(out, "/Times-Roman findfont 10 scalefont setfont (");
+        append(out, zipf_word(rng));
+        out.push_back(' ');
+        append(out, zipf_word(rng));
+        append(out, ") show\n");
+        break;
+      default:
+        append(out, "gsave 0.5 setgray newpath grestore\n");
+        break;
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_binary(std::size_t size, Rng& rng) {
+  // Instruction-like 32-bit words: a small, skewed opcode set in the top
+  // byte, register fields with few live values, immediates mostly small.
+  constexpr std::array<std::uint8_t, 8> kOps = {0xe5, 0xe1, 0xe3, 0xe5,
+                                                0xeb, 0xe2, 0xe5, 0x05};
+  Bytes out;
+  out.reserve(size + 4);
+  while (out.size() < size) {
+    if (rng.chance(0.08)) {
+      // String-table / symbol fragments appear in real binaries.
+      append(out, "_sym");
+      append_num(out, rng.below(500));
+      out.push_back('\0');
+      continue;
+    }
+    out.push_back(static_cast<std::uint8_t>(rng.below(16) * 4));
+    out.push_back(rng.chance(0.7) ? 0x00 : rng.byte());
+    out.push_back(static_cast<std::uint8_t>(rng.below(13) << 4));
+    out.push_back(kOps[rng.below(kOps.size())]);
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_class(std::size_t size, Rng& rng) {
+  Bytes out;
+  out.reserve(size + 64);
+  // Magic + constant-pool-ish strings + bytecode-ish tail.
+  for (std::uint8_t b : {0xca, 0xfe, 0xba, 0xbe, 0x00, 0x03, 0x00, 0x2d})
+    out.push_back(b);
+  while (out.size() < size / 2) {
+    out.push_back(0x01);  // CONSTANT_Utf8
+    append(out, "java/lang/");
+    append(out, zipf_word(rng));
+    append(out, ";()V");
+  }
+  while (out.size() < size) {
+    const std::array<std::uint8_t, 6> ops = {0x2a, 0xb6, 0xb1,
+                                             0x19, 0xb7, 0x10};
+    out.push_back(ops[rng.below(ops.size())]);
+    if (rng.chance(0.4)) out.push_back(static_cast<std::uint8_t>(rng.below(64)));
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_wav(std::size_t size, Rng& rng) {
+  // 16-bit PCM random walk: correlated, so gzip finds some structure but
+  // not much — matching the ~1.9 factor of the paper's .wav file.
+  Bytes out;
+  out.reserve(size + 2);
+  append(out, "RIFFWAVEfmt ");
+  std::int32_t sample = 0;
+  while (out.size() < size) {
+    sample += static_cast<std::int32_t>(rng.range(-96, 96));
+    sample = std::clamp(sample, -30000, 30000);
+    out.push_back(static_cast<std::uint8_t>(sample & 0xff));
+    out.push_back(static_cast<std::uint8_t>((sample >> 8) & 0xff));
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_media(std::size_t size, Rng& rng) {
+  // Already-encoded data: near-uniform bytes with occasional marker runs
+  // (JPEG-style 0xff segments) providing a sliver of redundancy.
+  Bytes out;
+  out.reserve(size + 16);
+  while (out.size() < size) {
+    if (rng.chance(0.002)) {
+      out.push_back(0xff);
+      out.push_back(static_cast<std::uint8_t>(0xd0 + rng.below(8)));
+      out.insert(out.end(), 8, 0x00);
+    } else {
+      out.push_back(rng.byte());
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_random(std::size_t size, Rng& rng) {
+  Bytes out(size);
+  for (auto& b : out) b = rng.byte();
+  return out;
+}
+
+Bytes gen_mail(std::size_t size, Rng& rng) {
+  Bytes out;
+  out.reserve(size + 128);
+  append(out, "From: user@cs.example.edu\nTo: list@cs.example.edu\n"
+              "Subject: ");
+  append(out, zipf_word(rng));
+  append(out, "\nDate: Mon, 6 Jan 2003 10:");
+  append_num(out, rng.below(60));
+  append(out, ":00 -0500\n\n");
+  while (out.size() < size) sentence(out, rng);
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_script(std::size_t size, Rng& rng) {
+  constexpr std::array kLines = {
+      "#!/bin/sh"sv,
+      "set -e"sv,
+      "for f in *.log; do"sv,
+      "  gzip -9 \"$f\""sv,
+      "done"sv,
+      "if [ -z \"$1\" ]; then echo usage >&2; exit 1; fi"sv,
+      "TMP=$(mktemp) || exit 1"sv,
+      "trap 'rm -f \"$TMP\"' EXIT"sv,
+  };
+  Bytes out;
+  out.reserve(size + 64);
+  while (out.size() < size) {
+    append(out, kLines[rng.below(kLines.size())]);
+    out.push_back('\n');
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_pdf(std::size_t size, Rng& rng) {
+  // Alternating text objects and "compressed stream" objects, like real
+  // PDFs: heterogeneous block factors, which is what the selective
+  // scheme exploits.
+  Bytes out;
+  out.reserve(size + 256);
+  append(out, "%PDF-1.3\n");
+  while (out.size() < size) {
+    if (rng.chance(0.5)) {
+      append(out, "obj << /Type /Page >> stream\nBT /F1 12 Tf (");
+      for (int i = 0; i < 40 && out.size() < size; ++i) {
+        append(out, zipf_word(rng));
+        out.push_back(' ');
+      }
+      append(out, ") Tj ET\nendstream endobj\n");
+    } else {
+      append(out, "obj << /Filter /FlateDecode >> stream\n");
+      const std::size_t n = std::min<std::size_t>(
+          2048 + rng.below(4096), size > out.size() ? size - out.size() : 0);
+      for (std::size_t i = 0; i < n; ++i) out.push_back(rng.byte());
+      append(out, "\nendstream endobj\n");
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+Bytes gen_tar_mixed(std::size_t size, Rng& rng) {
+  // Concatenated members of very different compressibility — the tar /
+  // PowerPoint / PDF case the paper's §4.3 motivates.
+  Bytes out;
+  out.reserve(size + 512);
+  const std::array<FileKind, 5> members = {FileKind::Xml, FileKind::Media,
+                                           FileKind::Source, FileKind::Random,
+                                           FileKind::Log};
+  std::size_t idx = 0;
+  while (out.size() < size) {
+    const std::size_t member_size =
+        std::min<std::size_t>(64 * 1024 + rng.below(192 * 1024),
+                              size - out.size());
+    append(out, "member");
+    append_num(out, idx);
+    out.push_back('\0');
+    Bytes m = base_material(members[idx % members.size()], member_size, rng);
+    out.insert(out.end(), m.begin(), m.end());
+    ++idx;
+  }
+  out.resize(size);
+  return out;
+}
+
+/// Redundancy wrapper: splice copies of recent output (tune > 0) or
+/// clobber with random bytes (tune < 0).
+Bytes apply_tune(Bytes base, double tune, Rng& rng) {
+  if (tune == 0.0 || base.empty()) return base;
+  if (tune < 0.0) {
+    const double p = std::min(1.0, -tune);
+    for (auto& b : base)
+      if (rng.chance(p)) b = rng.byte();
+    return base;
+  }
+  const double p = std::min(0.995, tune);
+  Bytes out;
+  out.reserve(base.size());
+  std::size_t src = 0;
+  while (out.size() < base.size()) {
+    if (out.size() > 64 && rng.chance(p)) {
+      // Copy a chunk from within the LZ77 window.
+      const std::size_t max_dist = std::min<std::size_t>(out.size(), 32000);
+      const std::size_t dist = 1 + rng.below(max_dist);
+      const std::size_t len =
+          std::min<std::size_t>(8 + rng.below(120), base.size() - out.size());
+      const std::size_t from = out.size() - dist;
+      for (std::size_t i = 0; i < len; ++i) out.push_back(out[from + i]);
+    } else {
+      const std::size_t len =
+          std::min<std::size_t>(16 + rng.below(48), base.size() - out.size());
+      for (std::size_t i = 0; i < len && src < base.size(); ++i)
+        out.push_back(base[src++]);
+      if (src >= base.size()) src = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(FileKind k) {
+  switch (k) {
+    case FileKind::Xml: return "xml";
+    case FileKind::Html: return "html";
+    case FileKind::HtmlTar: return "html-tar";
+    case FileKind::Log: return "log";
+    case FileKind::Source: return "source";
+    case FileKind::PostScript: return "ps";
+    case FileKind::Eps: return "eps";
+    case FileKind::Pdf: return "pdf";
+    case FileKind::Binary: return "binary";
+    case FileKind::JavaClass: return "class";
+    case FileKind::Wav: return "wav";
+    case FileKind::Media: return "media";
+    case FileKind::Gif: return "gif";
+    case FileKind::Random: return "random";
+    case FileKind::Mail: return "mail";
+    case FileKind::Script: return "script";
+    case FileKind::TarMixed: return "tar-mixed";
+  }
+  return "?";
+}
+
+Bytes base_material(FileKind kind, std::size_t size, Rng& rng) {
+  switch (kind) {
+    case FileKind::Xml: return gen_xml(size, rng);
+    case FileKind::Html: return gen_html(size, rng);
+    case FileKind::HtmlTar: return gen_html(size, rng);
+    case FileKind::Log: return gen_log(size, rng);
+    case FileKind::Source: return gen_source(size, rng);
+    case FileKind::PostScript: return gen_postscript(size, rng);
+    case FileKind::Eps: return gen_postscript(size, rng);
+    case FileKind::Pdf: return gen_pdf(size, rng);
+    case FileKind::Binary: return gen_binary(size, rng);
+    case FileKind::JavaClass: return gen_class(size, rng);
+    case FileKind::Wav: return gen_wav(size, rng);
+    case FileKind::Media: return gen_media(size, rng);
+    case FileKind::Gif: return gen_media(size, rng);
+    case FileKind::Random: return gen_random(size, rng);
+    case FileKind::Mail: return gen_mail(size, rng);
+    case FileKind::Script: return gen_script(size, rng);
+    case FileKind::TarMixed: return gen_tar_mixed(size, rng);
+  }
+  throw Error("base_material: unknown kind");
+}
+
+Bytes generate_kind(FileKind kind, std::size_t size, std::uint64_t seed,
+                    double tune) {
+  Rng rng(seed);
+  Bytes base = base_material(kind, size, rng);
+  return apply_tune(std::move(base), tune, rng);
+}
+
+double tune_for_factor(FileKind kind, std::size_t size, std::uint64_t seed,
+                       double target_factor, std::size_t proto_cap) {
+  if (kind == FileKind::Random) return 0.0;  // factor pinned at 1.0
+  const std::size_t proto = std::min(size, proto_cap);
+  const compress::DeflateCodec codec(6);  // tuning probe; final uses -9
+
+  auto factor_at = [&](double tune) {
+    const Bytes data = generate_kind(kind, proto, seed, tune);
+    return compress::compression_factor(codec, data);
+  };
+
+  double lo = -1.0, hi = 0.995;
+  const double f_lo = factor_at(lo), f_hi = factor_at(hi);
+  if (target_factor <= f_lo) return lo;
+  if (target_factor >= f_hi) return hi;
+  double mid = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    mid = 0.5 * (lo + hi);
+    const double f = factor_at(mid);
+    if (std::abs(f - target_factor) / target_factor < 0.04) return mid;
+    (f < target_factor ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::uint64_t seed_from_name(const std::string& name) {
+  // FNV-1a, then splitmix to decorrelate.
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return splitmix64(h);
+}
+
+}  // namespace ecomp::workload

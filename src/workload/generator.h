@@ -1,0 +1,66 @@
+// Synthetic workload generators. The paper's corpus (Table 2/3) is a mix
+// of web pages, logs, documents, program binaries and media files; the
+// energy results depend on each file's (size, per-codec compression
+// factor, block-level factor variance), not on its literal bytes. Each
+// FileKind has a base-material generator that produces bytes with that
+// type's character (markup, log lines, opcodes, audio walks, …), wrapped
+// in a tunable redundancy stage so the deflate compression factor can be
+// matched to the paper's gzip column.
+//
+// Everything is deterministic: same (kind, size, seed, tune) → same
+// bytes, on every platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace ecomp::workload {
+
+enum class FileKind {
+  Xml,         ///< XML web pages (news96.xml, M31C.xml)
+  Html,        ///< HTML pages (yahooindex.html)
+  HtmlTar,     ///< tar of HTML files (langspec-2.0.html.tar)
+  Log,         ///< web server log (input.log)
+  Source,      ///< program source (input.source)
+  PostScript,  ///< .ps documents
+  Eps,         ///< encapsulated postscript
+  Pdf,         ///< PDF: text mixed with already-compressed streams
+  Binary,      ///< machine code (pegwit, NTBACKUP.EXE, pp.exe)
+  JavaClass,   ///< .class files
+  Wav,         ///< PCM audio
+  Media,       ///< already-encoded media (jpg, mp3, m2v)
+  Gif,         ///< LZW-coded image (factor ≈ 1 for gzip)
+  Random,      ///< uniform random bytes
+  Mail,        ///< small text mail
+  Script,      ///< shell scripts
+  TarMixed,    ///< heterogeneous archive (for the Fig. 11 experiments)
+};
+
+const char* to_string(FileKind k);
+
+/// Raw material with the type's natural redundancy (tune = 0).
+Bytes base_material(FileKind kind, std::size_t size, Rng& rng);
+
+/// Generate `size` bytes of `kind` with redundancy control `tune`:
+///   tune in (0, 1): with that probability, splice a copy of recent
+///     output (raises the compression factor smoothly);
+///   tune in (-1, 0): with probability |tune|, overwrite output with
+///     random bytes (lowers the factor toward 1);
+///   tune == 0: the base material as-is.
+Bytes generate_kind(FileKind kind, std::size_t size, std::uint64_t seed,
+                    double tune);
+
+/// Search `tune` so that the deflate compression factor of a prototype
+/// (capped at `proto_cap` bytes) lands within ~5% of `target_factor`.
+/// Returns the tuned parameter (clamped to the achievable range).
+double tune_for_factor(FileKind kind, std::size_t size, std::uint64_t seed,
+                       double target_factor,
+                       std::size_t proto_cap = 384 * 1024);
+
+/// Stable 64-bit seed from a file name.
+std::uint64_t seed_from_name(const std::string& name);
+
+}  // namespace ecomp::workload

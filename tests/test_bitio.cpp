@@ -1,0 +1,161 @@
+#include "util/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ecomp {
+namespace {
+
+TEST(BitIoLsb, RoundTripFixedPattern) {
+  BitWriterLsb w;
+  w.put(0b101, 3);
+  w.put(0xff, 8);
+  w.put(0, 1);
+  w.put(0x1234, 16);
+  const Bytes buf = w.take();
+  BitReaderLsb r(buf);
+  EXPECT_EQ(r.get(3), 0b101u);
+  EXPECT_EQ(r.get(8), 0xffu);
+  EXPECT_EQ(r.get(1), 0u);
+  EXPECT_EQ(r.get(16), 0x1234u);
+}
+
+TEST(BitIoLsb, SingleBits) {
+  BitWriterLsb w;
+  const int bits[] = {1, 0, 1, 1, 0, 0, 1, 0, 1};
+  for (int b : bits) w.put(static_cast<std::uint32_t>(b), 1);
+  const Bytes buf = w.take();
+  BitReaderLsb r(buf);
+  for (int b : bits) EXPECT_EQ(r.get(1), static_cast<std::uint32_t>(b));
+}
+
+TEST(BitIoLsb, ByteOrderMatchesDeflateConvention) {
+  // LSB-first: first bit written lands in bit 0 of the first byte.
+  BitWriterLsb w;
+  w.put(1, 1);
+  const Bytes buf = w.take();
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0x01);
+}
+
+TEST(BitIoLsb, AlignAndAlignedBytes) {
+  BitWriterLsb w;
+  w.put(0b11, 2);
+  w.align_to_byte();
+  w.put_aligned_byte(0xAB);
+  const Bytes buf = w.take();
+  ASSERT_EQ(buf.size(), 2u);
+  BitReaderLsb r(buf);
+  EXPECT_EQ(r.get(2), 0b11u);
+  r.align_to_byte();
+  EXPECT_EQ(r.get_aligned_byte(), 0xAB);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitIoLsb, PeekDoesNotConsume) {
+  BitWriterLsb w;
+  w.put(0x5A, 8);
+  const Bytes buf = w.take();
+  BitReaderLsb r(buf);
+  EXPECT_EQ(r.peek(4), 0xAu);
+  EXPECT_EQ(r.peek(4), 0xAu);
+  EXPECT_EQ(r.get(8), 0x5Au);
+}
+
+TEST(BitIoLsb, PeekPastEndPadsWithZeros) {
+  BitWriterLsb w;
+  w.put(0b1, 1);
+  const Bytes buf = w.take();  // one byte: 0x01
+  BitReaderLsb r(buf);
+  EXPECT_EQ(r.peek(16), 0x01u);
+}
+
+TEST(BitIoLsb, ReadPastEndThrows) {
+  BitWriterLsb w;
+  w.put(3, 2);
+  const Bytes buf = w.take();
+  BitReaderLsb r(buf);
+  r.get(8);
+  EXPECT_THROW(r.get(8), Error);
+}
+
+TEST(BitIoLsb, BadCountThrows) {
+  BitWriterLsb w;
+  EXPECT_THROW(w.put(0, 33), Error);
+  EXPECT_THROW(w.put(0, -1), Error);
+  Bytes buf{0};
+  BitReaderLsb r(buf);
+  EXPECT_THROW(r.get(33), Error);
+}
+
+TEST(BitIoMsb, RoundTripFixedPattern) {
+  BitWriterMsb w;
+  w.put(0b101, 3);
+  w.put(0x1234, 16);
+  w.put(0x7, 3);
+  const Bytes buf = w.take();
+  BitReaderMsb r(buf);
+  EXPECT_EQ(r.get(3), 0b101u);
+  EXPECT_EQ(r.get(16), 0x1234u);
+  EXPECT_EQ(r.get(3), 0x7u);
+}
+
+TEST(BitIoMsb, ByteOrderMatchesBzipConvention) {
+  // MSB-first: first bit written lands in bit 7 of the first byte.
+  BitWriterMsb w;
+  w.put(1, 1);
+  const Bytes buf = w.take();
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0x80);
+}
+
+TEST(BitIoMsb, ReadPastEndThrows) {
+  BitWriterMsb w;
+  w.put(0xA, 4);
+  const Bytes buf = w.take();
+  BitReaderMsb r(buf);
+  r.get(8);
+  EXPECT_THROW(r.get(1), Error);
+}
+
+class BitIoRandomRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitIoRandomRoundTrip, Lsb) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::uint32_t, int>> items;
+  BitWriterLsb w;
+  for (int i = 0; i < 2000; ++i) {
+    const int count = static_cast<int>(rng.range(0, 32));
+    std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+    if (count < 32) v &= (1u << count) - 1;
+    items.emplace_back(v, count);
+    w.put(v, count);
+  }
+  const Bytes buf = w.take();
+  BitReaderLsb r(buf);
+  for (const auto& [v, count] : items) EXPECT_EQ(r.get(count), v);
+}
+
+TEST_P(BitIoRandomRoundTrip, Msb) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  std::vector<std::pair<std::uint32_t, int>> items;
+  BitWriterMsb w;
+  for (int i = 0; i < 2000; ++i) {
+    const int count = static_cast<int>(rng.range(0, 32));
+    std::uint32_t v = static_cast<std::uint32_t>(rng.next());
+    if (count < 32) v &= (1u << count) - 1;
+    if (count == 0) v = 0;
+    items.emplace_back(v, count);
+    w.put(v, count);
+  }
+  const Bytes buf = w.take();
+  BitReaderMsb r(buf);
+  for (const auto& [v, count] : items) EXPECT_EQ(r.get(count), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIoRandomRoundTrip,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace ecomp

@@ -1,0 +1,178 @@
+// Unit tests for each stage of the BWT pipeline in isolation.
+#include "compress/bwt.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ecomp::compress {
+namespace {
+
+TEST(BwtForward, KnownExample) {
+  // The canonical "banana" example: sorted rotations of "banana" give
+  // last column "nnbaaa" with the original at row 3.
+  std::uint32_t primary = 0;
+  const Bytes last = bwt_forward(as_bytes(std::string("banana")), primary);
+  EXPECT_EQ(to_string(last), "nnbaaa");
+  EXPECT_EQ(primary, 3u);
+}
+
+TEST(BwtInverse, KnownExample) {
+  const Bytes orig = bwt_inverse(as_bytes(std::string("nnbaaa")), 3);
+  EXPECT_EQ(to_string(orig), "banana");
+}
+
+TEST(Bwt, EmptyAndSingle) {
+  std::uint32_t primary = 7;
+  EXPECT_TRUE(bwt_forward({}, primary).empty());
+  EXPECT_TRUE(bwt_inverse({}, 0).empty());
+  const Bytes one = bwt_forward(as_bytes(std::string("x")), primary);
+  EXPECT_EQ(to_string(one), "x");
+  EXPECT_EQ(primary, 0u);
+  EXPECT_EQ(to_string(bwt_inverse(one, primary)), "x");
+}
+
+TEST(Bwt, PeriodicInput) {
+  // Fully periodic strings have duplicate rotations; the inverse must
+  // still reconstruct the original.
+  for (const std::string s :
+       {"abababab", "aaaa", "abcabcabcabc", "xyxyxyxyxyxy"}) {
+    std::uint32_t primary = 0;
+    const Bytes last = bwt_forward(as_bytes(s), primary);
+    EXPECT_EQ(to_string(bwt_inverse(last, primary)), s) << s;
+  }
+}
+
+TEST(Bwt, InverseRejectsBadPrimary) {
+  EXPECT_THROW(bwt_inverse(as_bytes(std::string("abc")), 3), Error);
+}
+
+TEST(Bwt, GroupsSimilarContext) {
+  // On English-like text the BWT output must have more adjacent equal
+  // byte pairs than the input — that's the whole point of the transform.
+  std::string text;
+  for (int i = 0; i < 500; ++i) text += "the quick brown fox ";
+  std::uint32_t primary = 0;
+  const Bytes last = bwt_forward(as_bytes(text), primary);
+  auto runs = [](ByteSpan b) {
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < b.size(); ++i)
+      if (b[i] == b[i - 1]) ++n;
+    return n;
+  };
+  EXPECT_GT(runs(last), 2 * runs(as_bytes(text)));
+}
+
+class BwtRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BwtRoundTrip, RandomBlocks) {
+  Rng rng(GetParam());
+  const std::size_t n = 1 + rng.below(20000);
+  Bytes block(n);
+  // Mix of random and runs to stress the sorter.
+  for (std::size_t i = 0; i < n;) {
+    if (rng.chance(0.3)) {
+      const std::size_t run = std::min(n - i, 1 + rng.below(100));
+      const std::uint8_t b = rng.byte();
+      for (std::size_t k = 0; k < run; ++k) block[i++] = b;
+    } else {
+      block[i++] = static_cast<std::uint8_t>(rng.below(8));  // tiny alphabet
+    }
+  }
+  std::uint32_t primary = 0;
+  const Bytes last = bwt_forward(block, primary);
+  ASSERT_EQ(last.size(), block.size());
+  EXPECT_EQ(bwt_inverse(last, primary), block);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BwtRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Rle1, EncodesLongRuns) {
+  Bytes input(1000, 'z');
+  const Bytes enc = rle1_encode(input);
+  EXPECT_LT(enc.size(), 30u);
+  EXPECT_EQ(rle1_decode(enc), input);
+}
+
+TEST(Rle1, ShortRunsPassThrough) {
+  const Bytes input = to_bytes("aabbccaabbcc");
+  EXPECT_EQ(rle1_encode(input), input);
+  EXPECT_EQ(rle1_decode(input), input);
+}
+
+TEST(Rle1, ExactlyFourBytes) {
+  // A run of exactly 4 emits 4 copies + count 0.
+  const Bytes input = to_bytes("bbbb");
+  const Bytes enc = rle1_encode(input);
+  EXPECT_EQ(enc.size(), 5u);
+  EXPECT_EQ(enc[4], 0);
+  EXPECT_EQ(rle1_decode(enc), input);
+}
+
+TEST(Rle1, TruncatedCountThrows) {
+  EXPECT_THROW(rle1_decode(to_bytes("cccc")), Error);
+}
+
+TEST(Rle1, RoundTripsRandom) {
+  Rng rng(9);
+  Bytes input;
+  for (int i = 0; i < 500; ++i)
+    input.insert(input.end(), 1 + rng.below(600),
+                 static_cast<std::uint8_t>(rng.below(4)));
+  EXPECT_EQ(rle1_decode(rle1_encode(input)), input);
+}
+
+TEST(Mtf, KnownSequence) {
+  // 'a'=97 is at index 97 initially, then moves to front.
+  const Bytes out = mtf_encode(to_bytes("aaa"));
+  EXPECT_EQ(out, (Bytes{97, 0, 0}));
+}
+
+TEST(Mtf, RoundTrips) {
+  Rng rng(10);
+  Bytes input(5000);
+  for (auto& b : input) b = rng.byte();
+  EXPECT_EQ(mtf_decode(mtf_encode(input)), input);
+}
+
+TEST(Mtf, ProducesSmallValuesOnClusteredInput) {
+  Bytes clustered;
+  for (int i = 0; i < 100; ++i)
+    clustered.insert(clustered.end(), 50, static_cast<std::uint8_t>(i % 3));
+  const Bytes out = mtf_encode(clustered);
+  std::size_t zeros = 0;
+  for (auto b : out)
+    if (b == 0) ++zeros;
+  EXPECT_GT(zeros, out.size() * 9 / 10);
+}
+
+TEST(Zrle, RunLengthsBijectiveBase2) {
+  for (std::size_t run : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 100u, 1000u}) {
+    Bytes mtf(run, 0);
+    const auto syms = zrle_encode(mtf);
+    EXPECT_EQ(zrle_decode(syms), mtf) << "run=" << run;
+  }
+}
+
+TEST(Zrle, MixedContent) {
+  const Bytes mtf = {0, 0, 0, 5, 0, 200, 1, 0, 0, 0, 0, 0, 0, 0, 3};
+  EXPECT_EQ(zrle_decode(zrle_encode(mtf)), mtf);
+}
+
+TEST(Zrle, EndsWithEob) {
+  const auto syms = zrle_encode(Bytes{1, 2, 3});
+  ASSERT_FALSE(syms.empty());
+  EXPECT_EQ(syms.back(), kZrleEob);
+}
+
+TEST(Zrle, MissingEobThrows) {
+  EXPECT_THROW(zrle_decode({kZrleRunA}), Error);
+}
+
+TEST(Zrle, EmptyInput) {
+  EXPECT_EQ(zrle_decode(zrle_encode({})), Bytes{});
+}
+
+}  // namespace
+}  // namespace ecomp::compress

@@ -1,0 +1,147 @@
+// bzip2 .bz2 format: self round-trip, format edge cases, and real-tool
+// interop in both directions where the bzip2 binary is installed.
+#include "compress/bz2_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "cli/cli.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace ecomp::compress {
+namespace {
+
+namespace fs = std::filesystem;
+using workload::FileKind;
+
+Bytes mixed_input() {
+  Bytes b = workload::generate_kind(FileKind::Xml, 250000, 1, 0.2);
+  const Bytes runs(5000, 'x');
+  b.insert(b.end(), runs.begin(), runs.end());
+  const Bytes noise =
+      workload::generate_kind(FileKind::Random, 150000, 2, 0.0);
+  b.insert(b.end(), noise.begin(), noise.end());
+  return b;
+}
+
+TEST(Bz2Format, SelfRoundTripLevels) {
+  const Bytes input = mixed_input();
+  for (int level : {1, 5, 9}) {
+    const Bytes bz = bz2_compress(input, level);
+    EXPECT_TRUE(looks_like_bz2(bz));
+    EXPECT_EQ(bz2_decompress(bz), input) << level;
+  }
+}
+
+TEST(Bz2Format, EmptyTinyAndRuns) {
+  EXPECT_EQ(bz2_decompress(bz2_compress({})), Bytes{});
+  const Bytes one = {0x42};
+  EXPECT_EQ(bz2_decompress(bz2_compress(one)), one);
+  const Bytes runs(100000, 0xAA);  // exercises RLE1 atom chains
+  EXPECT_EQ(bz2_decompress(bz2_compress(runs)), runs);
+  Bytes exact259(259, 'q');  // single maximal RLE1 atom boundary
+  EXPECT_EQ(bz2_decompress(bz2_compress(exact259)), exact259);
+}
+
+TEST(Bz2Format, MultiBlockAtLevel1) {
+  // > 100 kB forces several blocks sharing one bit stream.
+  const Bytes input = workload::generate_kind(FileKind::Log, 350000, 3, 0.0);
+  const Bytes bz = bz2_compress(input, 1);
+  EXPECT_EQ(bz2_decompress(bz), input);
+}
+
+TEST(Bz2Format, AllByteValues) {
+  Bytes all;
+  for (int rep = 0; rep < 20; ++rep)
+    for (int v = 0; v < 256; ++v)
+      all.push_back(static_cast<std::uint8_t>(v));
+  EXPECT_EQ(bz2_decompress(bz2_compress(all)), all);
+}
+
+TEST(Bz2Format, RejectsBadHeadersAndCorruption) {
+  EXPECT_THROW(bz2_decompress(to_bytes("BZh0junk")), Error);
+  EXPECT_THROW(bz2_decompress(to_bytes("notbzip2")), Error);
+  Bytes bz = bz2_compress(mixed_input(), 9);
+  Bytes cut = bz;
+  cut.resize(cut.size() / 2);
+  EXPECT_THROW(bz2_decompress(cut), Error);
+  // A flipped payload bit must be caught (block CRC) or throw earlier.
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes mutated = bz;
+    mutated[16 + rng.below(mutated.size() - 16)] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    bool ok = true;
+    try {
+      ok = bz2_decompress(mutated) == mixed_input();
+    } catch (const Error&) {
+      ok = true;  // detected
+    }
+    EXPECT_TRUE(ok);
+  }
+}
+
+class Bz2ToolInterop : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::system("command -v bzip2 >/dev/null 2>&1") != 0)
+      GTEST_SKIP() << "system bzip2 not available";
+    dir_ = fs::temp_directory_path() /
+           ("ecomp_bz2_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    if (!dir_.empty()) fs::remove_all(dir_);
+  }
+  fs::path dir_;
+};
+
+TEST_F(Bz2ToolInterop, SystemBzip2ReadsOurOutput) {
+  const Bytes input = mixed_input();
+  for (int level : {1, 9}) {
+    const fs::path bz = dir_ / "ours.bz2";
+    const fs::path out = dir_ / "ours.out";
+    cli::write_file(bz.string(), bz2_compress(input, level));
+    const std::string cmd = "bzip2 -dc " + bz.string() + " > " +
+                            out.string() + " 2>/dev/null";
+    ASSERT_EQ(std::system(cmd.c_str()), 0) << "bzip2 rejected us, level "
+                                           << level;
+    EXPECT_EQ(cli::read_file(out.string()), input) << level;
+  }
+}
+
+TEST_F(Bz2ToolInterop, WeReadSystemBzip2Output) {
+  const Bytes input = mixed_input();
+  const fs::path raw = dir_ / "theirs";
+  cli::write_file(raw.string(), input);
+  for (const char* level : {"-1", "-9"}) {
+    const std::string cmd = std::string("bzip2 -kf ") + level + " " +
+                            raw.string() + " 2>/dev/null";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    const Bytes bz = cli::read_file((dir_ / "theirs.bz2").string());
+    EXPECT_EQ(bz2_decompress(bz), input) << level;
+  }
+}
+
+TEST_F(Bz2ToolInterop, HighlyCompressibleBothDirections) {
+  // Dense zero-runs exercise RUNA/RUNB chains and big MTF zero counts.
+  Bytes input;
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i)
+    input.insert(input.end(), 10 + rng.below(60),
+                 static_cast<std::uint8_t>(rng.below(4)));
+  const fs::path bz = dir_ / "dense.bz2";
+  const fs::path out = dir_ / "dense.out";
+  cli::write_file(bz.string(), bz2_compress(input, 9));
+  ASSERT_EQ(std::system(("bzip2 -dc " + bz.string() + " > " + out.string() +
+                         " 2>/dev/null")
+                            .c_str()),
+            0);
+  EXPECT_EQ(cli::read_file(out.string()), input);
+}
+
+}  // namespace
+}  // namespace ecomp::compress

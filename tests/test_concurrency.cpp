@@ -1,0 +1,82 @@
+// Thread-compatibility: const codec methods, the energy model, and the
+// simulator must be safely usable from concurrent threads (the Codec
+// interface documents this contract).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "compress/codec.h"
+#include "core/energy_model.h"
+#include "sim/transfer.h"
+#include "workload/generator.h"
+
+namespace ecomp {
+namespace {
+
+TEST(Concurrency, SharedCodecInstanceAcrossThreads) {
+  for (const auto& name : compress::codec_names()) {
+    const auto codec = compress::make_codec(name);
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        const Bytes input = workload::generate_kind(
+            workload::FileKind::TarMixed, 60000,
+            static_cast<std::uint64_t>(t) + 1, 0.0);
+        for (int rep = 0; rep < 3; ++rep) {
+          const Bytes packed = codec->compress(input);
+          if (codec->decompress(packed) != input) ++failures;
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(failures.load(), 0) << name;
+  }
+}
+
+TEST(Concurrency, SharedEnergyModelAndSimulator) {
+  const auto model = core::EnergyModel::paper_11mbps();
+  const sim::TransferSimulator simulator;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 1; i < 200; ++i) {
+        const double s = 0.01 * (t + 1) * i;
+        const double sc = s / 3.0;
+        const double est = model.interleaved_energy_j(s, sc);
+        sim::TransferOptions opt;
+        opt.interleave = true;
+        const double meas =
+            simulator.download_compressed(s, sc, "deflate", opt).energy_j;
+        if (std::abs(est - meas) > 0.05 * meas + 0.05) ++failures;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Concurrency, DeterministicUnderParallelGeneration) {
+  // Workload generation is pure: concurrent calls with the same seed
+  // must produce identical bytes.
+  const Bytes reference =
+      workload::generate_kind(workload::FileKind::Xml, 80000, 7, 0.3);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < 3; ++rep) {
+        if (workload::generate_kind(workload::FileKind::Xml, 80000, 7,
+                                    0.3) != reference)
+          ++mismatches;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace ecomp

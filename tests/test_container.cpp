@@ -1,0 +1,87 @@
+// Shared container helpers: varints, little-endian fields, headers.
+#include "compress/container.h"
+
+#include <gtest/gtest.h>
+
+#include "util/crc32.h"
+
+namespace ecomp::compress {
+namespace {
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 129ull, 16383ull, 16384ull,
+        0xffffffffull, 0xffffffffffffffffull}) {
+    Bytes buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(buf, pos), v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, EncodedLengths) {
+  Bytes b;
+  put_varint(b, 127);
+  EXPECT_EQ(b.size(), 1u);
+  b.clear();
+  put_varint(b, 128);
+  EXPECT_EQ(b.size(), 2u);
+  b.clear();
+  put_varint(b, 0xffffffffffffffffull);
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(Varint, TruncatedThrows) {
+  Bytes b;
+  put_varint(b, 300);
+  b.resize(1);  // continuation bit set but no next byte
+  std::size_t pos = 0;
+  EXPECT_THROW(get_varint(b, pos), Error);
+}
+
+TEST(Varint, OverlongThrows) {
+  // 11 continuation bytes exceed 64 bits.
+  Bytes b(11, 0x80);
+  b.push_back(0x01);
+  std::size_t pos = 0;
+  EXPECT_THROW(get_varint(b, pos), Error);
+}
+
+TEST(LittleEndian, RoundTrips) {
+  Bytes b;
+  put_le(b, 0x0123456789abcdefull, 8);
+  put_le(b, 0xbeef, 2);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_le(b, pos, 8), 0x0123456789abcdefull);
+  EXPECT_EQ(get_le(b, pos, 2), 0xbeefull);
+  EXPECT_THROW(get_le(b, pos, 1), Error);  // exhausted
+}
+
+TEST(Header, WriteReadCycle) {
+  Bytes b;
+  const Bytes body = to_bytes("payload");
+  write_header(b, 0xE001, body.size(), crc32(body));
+  const Header h = read_header(b, 0xE001);
+  EXPECT_EQ(h.original_size, body.size());
+  EXPECT_EQ(h.crc, crc32(body));
+  EXPECT_EQ(h.payload_offset, b.size());
+  EXPECT_NO_THROW(check_crc(h, body));
+}
+
+TEST(Header, WrongMagicAndBadCrcRejected) {
+  Bytes b;
+  write_header(b, 0xE001, 3, 42);
+  EXPECT_THROW(read_header(b, 0xE002), Error);
+  const Header h = read_header(b, 0xE001);
+  EXPECT_THROW(check_crc(h, to_bytes("abc")), Error);   // wrong crc
+  EXPECT_THROW(check_crc(h, to_bytes("abcd")), Error);  // wrong size
+}
+
+TEST(Header, TruncatedInputThrows) {
+  Bytes b = {0x01};
+  EXPECT_THROW(read_header(b, 0xE001), Error);
+}
+
+}  // namespace
+}  // namespace ecomp::compress

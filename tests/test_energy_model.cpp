@@ -1,0 +1,241 @@
+// EnergyModel closed forms vs the paper's published equations, threshold
+// derivations, and agreement with the independent discrete simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compress/deflate.h"
+#include "core/calibration.h"
+#include "core/energy_model.h"
+#include "sim/transfer.h"
+#include "workload/generator.h"
+
+namespace ecomp::core {
+namespace {
+
+TEST(EnergyModel, Eq1MatchesPaperLine) {
+  const auto m = EnergyModel::paper_11mbps();
+  for (double s : {0.01, 0.1, 1.0, 5.0, 9.5})
+    EXPECT_NEAR(m.download_energy_j(s), 3.519 * s + 0.012,
+                0.001 * (3.519 * s + 0.012))
+        << s;
+}
+
+TEST(EnergyModel, DecompressTimeIsPaperFit) {
+  const auto m = EnergyModel::paper_11mbps();
+  EXPECT_NEAR(m.decompress_time_s(2.0, 0.5), 0.161 * 2.5 + 0.004, 1e-12);
+}
+
+TEST(EnergyModel, IdleSplitEq4) {
+  const auto m = EnergyModel::paper_11mbps();
+  double rest = 0, first = 0;
+  // Large file: ti1 covers the first 0.128 MB (in compressed terms).
+  m.idle_split(1.0, 0.5, rest, first);
+  EXPECT_NEAR(first, 0.4 * (0.128 * 0.5 / 1.0) / 0.6, 1e-12);
+  EXPECT_NEAR(rest + first, 0.4 * 0.5 / 0.6, 1e-12);
+  // Small file: everything is first-block idle.
+  m.idle_split(0.1, 0.05, rest, first);
+  EXPECT_EQ(rest, 0.0);
+  EXPECT_NEAR(first, 0.4 * 0.05 / 0.6, 1e-12);
+}
+
+TEST(EnergyModel, InterleavedMatchesPaperEq5) {
+  // Our Eq. 3 with paper constants vs the paper's printed Eq. 5 —
+  // within a few percent across the (s, F) plane. (Eq. 5's printed
+  // constants are themselves rounded.)
+  const auto m = EnergyModel::paper_11mbps();
+  for (double s : {0.05, 0.2, 0.5, 1.0, 3.0, 8.0}) {
+    for (double f : {1.2, 1.6, 2.5, 3.5, 5.0, 12.0}) {
+      const double sc = s / f;
+      const double ours = m.interleaved_energy_j(s, sc);
+      const double paper = EnergyModel::paper_eq5_11mbps(s, sc);
+      // Eq. 5's branch boundary (3.14 − 0.265/s) is a linearization
+      // that drifts for sub-0.5 MB files; allow more slack there.
+      const double tol = s < 0.5 ? 0.12 : 0.04;
+      EXPECT_NEAR(ours, paper, tol * paper) << "s=" << s << " F=" << f;
+    }
+  }
+}
+
+TEST(EnergyModel, ShouldCompressMatchesPaperEq6) {
+  const auto m = EnergyModel::paper_11mbps();
+  int agree = 0, total = 0;
+  for (double s : {0.002, 0.01, 0.05, 0.2, 1.0, 5.0}) {
+    for (double f = 1.02; f < 6.0; f *= 1.13) {
+      ++total;
+      if (m.should_compress(s, f) == EnergyModel::paper_eq6(s, f)) ++agree;
+    }
+  }
+  // Boundary rounding differs slightly; overall agreement must be high.
+  EXPECT_GE(static_cast<double>(agree) / total, 0.9);
+}
+
+TEST(EnergyModel, Published2MbpsFormIsSane) {
+  // The §4.2 printed constants: monotone in both sizes, and far above
+  // the 11 Mb/s cost for equal transfers (slow link = expensive link).
+  const double e1 = EnergyModel::paper_eq5_2mbps(1.0, 0.5);
+  EXPECT_NEAR(e1, 2.0125 + 12.4291 * 0.5 + 0.0275, 1e-9);
+  EXPECT_GT(EnergyModel::paper_eq5_2mbps(2.0, 0.5), e1);
+  EXPECT_GT(EnergyModel::paper_eq5_2mbps(1.0, 0.9), e1);
+  EXPECT_GT(e1, EnergyModel::paper_eq5_11mbps(1.0, 0.5));
+}
+
+TEST(EnergyModel, FileSizeThresholdNearPaper3900Bytes) {
+  const auto m = EnergyModel::paper_11mbps();
+  EXPECT_NEAR(m.min_file_mb() * 1e6, 3900.0, 400.0);
+}
+
+TEST(EnergyModel, MinFactorLargeFileNearPaper) {
+  // Eq. 6: 1.13/F < 1 − 0.00157/s ⇒ F* → 1.13 for large files.
+  const auto m = EnergyModel::paper_11mbps();
+  EXPECT_NEAR(m.min_factor(5.0), 1.13, 0.02);
+  // Small files need deeper compression.
+  EXPECT_GT(m.min_factor(0.01), m.min_factor(5.0));
+  // Below the size threshold no factor helps.
+  EXPECT_TRUE(std::isinf(m.min_factor(0.003)));
+}
+
+TEST(EnergyModel, SleepCrossoverNearPaper46) {
+  const auto m = EnergyModel::paper_11mbps();
+  EXPECT_NEAR(m.sleep_crossover_factor(), 4.6, 0.15);
+}
+
+TEST(EnergyModel, IdleFillFactorAt2MbpsNearPaper27) {
+  const auto m = EnergyModel::from_device(sim::DeviceModel::ipaq_2mbps());
+  EXPECT_NEAR(m.idle_fill_factor(), 27.0, 1.5);
+}
+
+TEST(EnergyModel, IdleFillFactorAt11MbpsIsModest) {
+  const auto m = EnergyModel::paper_11mbps();
+  // At 0.6 MB/s the idle share is smaller, so filling it is much easier.
+  EXPECT_LT(m.idle_fill_factor(), 6.0);
+}
+
+TEST(EnergyModel, FromDeviceMatchesPaperPreset) {
+  const auto a = EnergyModel::paper_11mbps();
+  const auto b = EnergyModel::from_device(sim::DeviceModel::ipaq_11mbps());
+  EXPECT_NEAR(a.params().m, b.params().m, 0.01);
+  EXPECT_NEAR(a.params().pi, b.params().pi, 1e-9);
+  EXPECT_NEAR(a.params().pd, b.params().pd, 1e-9);
+  EXPECT_NEAR(a.params().rate, b.params().rate, 1e-9);
+  EXPECT_NEAR(a.params().td_a, b.params().td_a, 1e-9);
+}
+
+TEST(EnergyModel, AgreesWithSimulatorInterleaved) {
+  // Fig. 7's comparison: closed form vs the independent discrete
+  // simulation. Large files: < 3% error here (paper reports 2.5% mean
+  // vs hardware).
+  const auto model = EnergyModel::paper_11mbps();
+  const sim::TransferSimulator simulator;
+  sim::TransferOptions opt;
+  opt.interleave = true;
+  for (double s : {0.3, 0.7, 1.5, 3.0, 6.0, 9.5}) {
+    for (double f : {1.3, 2.0, 3.5, 7.0, 15.0}) {
+      const double sc = s / f;
+      const double est = model.interleaved_energy_j(s, sc);
+      const double meas =
+          simulator.download_compressed(s, sc, "deflate", opt).energy_j;
+      EXPECT_NEAR(est, meas, 0.03 * meas) << "s=" << s << " F=" << f;
+    }
+  }
+}
+
+TEST(EnergyModel, AgreesWithSimulatorSequential) {
+  const auto model = EnergyModel::paper_11mbps();
+  const sim::TransferSimulator simulator;
+  for (double s : {0.5, 2.0, 8.0}) {
+    const double sc = s / 3.0;
+    const double est = model.sequential_energy_j(s, sc);
+    const double meas = simulator
+                            .download_compressed(s, sc, "deflate",
+                                                 sim::TransferOptions{})
+                            .energy_j;
+    EXPECT_NEAR(est, meas, 0.03 * meas);
+  }
+}
+
+TEST(EnergyModel, WithCodecCostSwapsDecompressFit) {
+  const auto base = EnergyModel::paper_11mbps();
+  const auto bwt =
+      base.with_codec_cost(sim::CpuModel::ipaq().decompress_cost("bwt"));
+  EXPECT_GT(bwt.decompress_time_s(1.0, 0.3),
+            3.0 * base.decompress_time_s(1.0, 0.3));
+  // Slower decode ⇒ stricter compression threshold.
+  EXPECT_GT(bwt.min_factor(1.0), base.min_factor(1.0));
+}
+
+TEST(EnergyModel, ShouldCompressRejectsDegenerateInputs) {
+  const auto m = EnergyModel::paper_11mbps();
+  EXPECT_FALSE(m.should_compress(0.0, 2.0));
+  EXPECT_FALSE(m.should_compress(1.0, 0.0));
+  EXPECT_FALSE(m.should_compress(-1.0, 2.0));
+}
+
+// ---------------------------------------------------------- Calibrator
+
+TEST(Calibrator, DownloadFitRecoversPaperLine) {
+  const Calibrator cal{sim::TransferSimulator{}};
+  std::vector<double> sizes;
+  for (double s = 0.05; s < 10.0; s *= 1.4) sizes.push_back(s);
+  const auto fit = cal.fit_download_energy(sizes);
+  EXPECT_NEAR(fit.joules_per_mb, 3.519, 0.03);
+  EXPECT_NEAR(fit.startup_j, 0.012, 0.01);
+  EXPECT_GT(fit.fit.r2, 0.999);
+}
+
+TEST(Calibrator, DecompressModelFitRecoversCoefficients) {
+  const Calibrator cal{sim::TransferSimulator{}};
+  const auto fit = cal.fit_decompress_time_model("deflate");
+  EXPECT_NEAR(fit.a, 0.161, 1e-6);
+  EXPECT_NEAR(fit.b, 0.161, 1e-6);
+  EXPECT_NEAR(fit.c, 0.004, 1e-6);
+  EXPECT_GT(fit.fit.r2, 0.9999);
+}
+
+TEST(Calibrator, CalibratedModelMatchesPreset) {
+  const Calibrator cal{sim::TransferSimulator{}};
+  const auto calibrated = cal.calibrate("deflate");
+  const auto preset = EnergyModel::paper_11mbps();
+  for (double s : {0.5, 2.0, 6.0}) {
+    const double sc = s / 3.0;
+    EXPECT_NEAR(calibrated.interleaved_energy_j(s, sc),
+                preset.interleaved_energy_j(s, sc),
+                0.02 * preset.interleaved_energy_j(s, sc));
+  }
+  EXPECT_NEAR(calibrated.min_file_mb() * 1e6, 3900, 500);
+}
+
+TEST(Calibrator, HostDecompressFitRuns) {
+  // The paper's Fig. 8(a) claim is structural: decompression time is
+  // affine in (s, sc). Exercise the host-timing fit on the real deflate
+  // codec; wall-clock noise on shared machines makes tight R² bounds
+  // flaky, so only the machinery and non-degeneracy are asserted here
+  // (bench_fig8_fitting reports the actual fit quality).
+  const compress::DeflateCodec codec(6);
+  std::vector<Bytes> samples;
+  for (std::size_t kb : {64, 128, 256, 384, 512, 768})
+    samples.push_back(workload::generate_kind(
+        workload::FileKind::Xml, kb * 1024, /*seed=*/kb, 0.2));
+  const auto fit = Calibrator::fit_decompress_time_host(codec, samples, 2);
+  EXPECT_EQ(fit.fit.coef.size(), 3u);
+  EXPECT_TRUE(std::isfinite(fit.a));
+  EXPECT_TRUE(std::isfinite(fit.b));
+  EXPECT_TRUE(std::isfinite(fit.c));
+}
+
+TEST(Calibrator, HostFitRejectsCorruptCodec) {
+  // The fit verifies roundtrips; a lying codec must be detected.
+  struct BadCodec final : compress::Codec {
+    std::string_view name() const override { return "bad"; }
+    Bytes compress(ByteSpan input) const override {
+      return Bytes(input.begin(), input.end());
+    }
+    Bytes decompress(ByteSpan) const override { return Bytes{1, 2, 3}; }
+  };
+  const BadCodec bad;
+  EXPECT_THROW(
+      Calibrator::fit_decompress_time_host(bad, {Bytes(100, 7)}, 1), Error);
+}
+
+}  // namespace
+}  // namespace ecomp::core

@@ -1,0 +1,178 @@
+#include "compress/huffman.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace ecomp::huffman {
+namespace {
+
+std::uint64_t kraft_sum(const std::vector<std::uint8_t>& lengths,
+                        int max_len) {
+  std::uint64_t k = 0;
+  for (auto l : lengths)
+    if (l) k += std::uint64_t{1} << (max_len - l);
+  return k;
+}
+
+TEST(HuffmanLengths, EmptyAndSingleSymbol) {
+  EXPECT_EQ(build_code_lengths({0, 0, 0}, 15),
+            (std::vector<std::uint8_t>{0, 0, 0}));
+  EXPECT_EQ(build_code_lengths({0, 7, 0}, 15),
+            (std::vector<std::uint8_t>{0, 1, 0}));
+}
+
+TEST(HuffmanLengths, TwoSymbols) {
+  const auto l = build_code_lengths({5, 3}, 15);
+  EXPECT_EQ(l, (std::vector<std::uint8_t>{1, 1}));
+}
+
+TEST(HuffmanLengths, FrequentSymbolsGetShorterCodes) {
+  const auto l = build_code_lengths({100, 1, 1, 1, 1, 1, 1, 1}, 15);
+  for (std::size_t s = 1; s < l.size(); ++s) EXPECT_LE(l[0], l[s]);
+}
+
+TEST(HuffmanLengths, KraftEqualityHolds) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> freqs(64);
+    for (auto& f : freqs) f = rng.below(1000);
+    freqs[0] = 1;  // at least two nonzero
+    freqs[1] = 1;
+    const auto l = build_code_lengths(freqs, 15);
+    EXPECT_EQ(kraft_sum(l, 15), std::uint64_t{1} << 15);
+  }
+}
+
+TEST(HuffmanLengths, RespectsLengthLimit) {
+  // Fibonacci-like frequencies force deep optimal trees.
+  std::vector<std::uint64_t> freqs;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 40; ++i) {
+    freqs.push_back(a);
+    const std::uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  for (int limit : {7, 10, 15}) {
+    const auto l = build_code_lengths(freqs, limit);
+    for (auto len : l) EXPECT_LE(len, limit);
+    // Overflow repair may leave the Kraft sum slightly under 1 (valid,
+    // marginally suboptimal) but never over.
+    EXPECT_LE(kraft_sum(l, limit), std::uint64_t{1} << limit);
+    EXPECT_NO_THROW(canonical_codes(l));
+  }
+}
+
+TEST(HuffmanLengths, AlphabetTooLargeForLimitThrows) {
+  std::vector<std::uint64_t> freqs(5, 1);
+  EXPECT_THROW(build_code_lengths(freqs, 2), Error);
+}
+
+TEST(CanonicalCodes, Rfc1951WorkedExample) {
+  // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) yield codes
+  // 010,011,100,101,110,00,1110,1111.
+  const std::vector<std::uint8_t> lengths = {3, 3, 3, 3, 3, 2, 4, 4};
+  const auto codes = canonical_codes(lengths);
+  const std::vector<std::uint32_t> expect = {2, 3, 4, 5, 6, 0, 14, 15};
+  EXPECT_EQ(codes, expect);
+}
+
+TEST(CanonicalCodes, OversubscribedThrows) {
+  EXPECT_THROW(canonical_codes({1, 1, 1}), Error);
+}
+
+TEST(ReverseBits, Basics) {
+  EXPECT_EQ(reverse_bits(0b1, 1), 0b1u);
+  EXPECT_EQ(reverse_bits(0b100, 3), 0b001u);
+  EXPECT_EQ(reverse_bits(0b1011, 4), 0b1101u);
+}
+
+class HuffmanRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HuffmanRoundTrip, LsbEncodeDecode) {
+  Rng rng(GetParam());
+  const std::size_t alphabet = 2 + rng.below(285);
+  std::vector<std::uint64_t> freqs(alphabet, 0);
+  // Skewed frequencies; some symbols absent.
+  for (auto& f : freqs)
+    f = rng.chance(0.3) ? 0 : (rng.below(1000) * rng.below(1000)) / 999 + 1;
+  freqs[0] = 500;
+  freqs[alphabet - 1] = 1;
+  const auto lengths = build_code_lengths(freqs, 15);
+
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t s = 0; s < alphabet; ++s)
+    if (freqs[s])
+      for (int k = 0; k < 20; ++k) symbols.push_back(s);
+  std::shuffle(symbols.begin(), symbols.end(), rng);
+
+  EncoderLsb enc(lengths);
+  BitWriterLsb w;
+  for (auto s : symbols) enc.encode(w, s);
+  const Bytes buf = w.take();
+  BitReaderLsb r(buf);
+  DecoderLsb dec(lengths);
+  for (auto s : symbols) EXPECT_EQ(dec.decode(r), s);
+}
+
+TEST_P(HuffmanRoundTrip, MsbEncodeDecode) {
+  Rng rng(GetParam() * 31 + 7);
+  const std::size_t alphabet = 2 + rng.below(256);
+  std::vector<std::uint64_t> freqs(alphabet, 0);
+  for (auto& f : freqs) f = rng.below(100);
+  freqs[0] = 1;
+  freqs[1] = 1;
+  const auto lengths = build_code_lengths(freqs, 20);
+
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t s = 0; s < alphabet; ++s)
+    if (freqs[s]) symbols.push_back(s);
+  std::shuffle(symbols.begin(), symbols.end(), rng);
+
+  EncoderMsb enc(lengths);
+  BitWriterMsb w;
+  for (auto s : symbols) enc.encode(w, s);
+  const Bytes buf = w.take();
+  BitReaderMsb r(buf);
+  DecoderMsb dec(lengths);
+  for (auto s : symbols) EXPECT_EQ(dec.decode(r), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HuffmanRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(HuffmanDecoder, LongCodesBeyondRootTableDecode) {
+  // Force codes longer than the 10-bit fast table.
+  std::vector<std::uint64_t> freqs;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < 30; ++i) {
+    freqs.push_back(a);
+    const std::uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  const auto lengths = build_code_lengths(freqs, 15);
+  int max_len = 0;
+  for (auto l : lengths) max_len = std::max<int>(max_len, l);
+  ASSERT_GT(max_len, 10) << "test precondition: need codes beyond root bits";
+
+  EncoderLsb enc(lengths);
+  BitWriterLsb w;
+  for (std::uint32_t s = 0; s < freqs.size(); ++s) enc.encode(w, s);
+  const Bytes buf = w.take();
+  BitReaderLsb r(buf);
+  DecoderLsb dec(lengths);
+  for (std::uint32_t s = 0; s < freqs.size(); ++s) EXPECT_EQ(dec.decode(r), s);
+}
+
+TEST(HuffmanEncoder, EncodingAbsentSymbolThrows) {
+  EncoderLsb enc(build_code_lengths({10, 0, 10}, 15));
+  BitWriterLsb w;
+  EXPECT_THROW(enc.encode(w, 1), Error);
+}
+
+}  // namespace
+}  // namespace ecomp::huffman

@@ -1,0 +1,211 @@
+// LZ77 matcher internals and DEFLATE block-format behaviour.
+#include <gtest/gtest.h>
+
+#include "compress/deflate.h"
+#include "compress/lz77.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace ecomp::compress {
+namespace {
+
+TEST(Lz77, LiteralOnlyForUniqueBytes) {
+  Bytes input;
+  for (int i = 0; i < 200; ++i) input.push_back(static_cast<std::uint8_t>(i));
+  const auto tokens = lz77_tokenize(input, Lz77Params::for_level(9));
+  for (const auto& t : tokens) EXPECT_EQ(t.length, 0);
+  EXPECT_EQ(lz77_reconstruct(tokens), input);
+}
+
+TEST(Lz77, FindsSimpleRepeat) {
+  const Bytes input = to_bytes("abcdefabcdef");
+  const auto tokens = lz77_tokenize(input, Lz77Params::for_level(9));
+  // 6 literals + one (6, 6) match.
+  bool has_match = false;
+  for (const auto& t : tokens)
+    if (t.length == 6 && t.distance == 6) has_match = true;
+  EXPECT_TRUE(has_match);
+  EXPECT_EQ(lz77_reconstruct(tokens), input);
+}
+
+TEST(Lz77, OverlappingMatchForRuns) {
+  // "aaaa...": after one literal, a distance-1 match covers the rest.
+  const Bytes input(500, 'a');
+  const auto tokens = lz77_tokenize(input, Lz77Params::for_level(9));
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].length, 0);
+  EXPECT_EQ(tokens[1].distance, 1);
+  EXPECT_EQ(lz77_reconstruct(tokens), input);
+}
+
+TEST(Lz77, MatchLengthCapped) {
+  const Bytes input(10000, 'x');
+  const auto tokens = lz77_tokenize(input, Lz77Params::for_level(9));
+  for (const auto& t : tokens) EXPECT_LE(t.length, kLzMaxMatch);
+  EXPECT_EQ(lz77_reconstruct(tokens), input);
+}
+
+TEST(Lz77, DistanceNeverExceedsWindow) {
+  // Repetition separated by more than the 32 KB window must NOT match.
+  Bytes input = workload::generate_kind(workload::FileKind::Random, 40000, 1,
+                                        0.0);
+  Bytes far = input;
+  Bytes middle =
+      workload::generate_kind(workload::FileKind::Random, 50000, 2, 0.0);
+  input.insert(input.end(), middle.begin(), middle.end());
+  input.insert(input.end(), far.begin(), far.end());
+  const auto tokens = lz77_tokenize(input, Lz77Params::for_level(9));
+  for (const auto& t : tokens) {
+    if (t.length > 0) {
+      EXPECT_LE(t.distance, kLzWindowSize);
+    }
+  }
+  EXPECT_EQ(lz77_reconstruct(tokens), input);
+}
+
+TEST(Lz77, LazyMatchingImprovesOverGreedy) {
+  // Text where greedy takes a short match that blocks a longer one.
+  const Bytes input = workload::generate_kind(workload::FileKind::Source,
+                                              200000, 3, 0.2);
+  const auto greedy = lz77_tokenize(input, Lz77Params::for_level(3));
+  const auto lazy = lz77_tokenize(input, Lz77Params::for_level(9));
+  EXPECT_EQ(lz77_reconstruct(greedy), input);
+  EXPECT_EQ(lz77_reconstruct(lazy), input);
+  EXPECT_LE(lazy.size(), greedy.size());
+}
+
+TEST(Lz77, ReconstructRejectsBadDistance) {
+  std::vector<Lz77Token> tokens = {{0, 0, 'a'}, {5, 9, 0}};
+  EXPECT_THROW(lz77_reconstruct(tokens), Error);
+}
+
+class Lz77WindowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lz77WindowSweep, DistancesRespectConfiguredWindow) {
+  Lz77Params params = Lz77Params::for_level(9);
+  params.window_size = GetParam();
+  const Bytes input =
+      workload::generate_kind(workload::FileKind::TarMixed, 200000, 20, 0.0);
+  const auto tokens = lz77_tokenize(input, params);
+  for (const auto& t : tokens) {
+    if (t.length > 0) {
+      EXPECT_LE(t.distance, params.window_size);
+    }
+  }
+  EXPECT_EQ(lz77_reconstruct(tokens), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, Lz77WindowSweep,
+                         ::testing::Values(512, 1024, 4096, 16384, 32768));
+
+TEST(Lz77Window, SmallerWindowNeverImprovesFactor) {
+  const Bytes input =
+      workload::generate_kind(workload::FileKind::Xml, 300000, 21, 0.3);
+  double prev = 0.0;
+  for (int window : {1024, 8192, 32768}) {
+    Lz77Params params = Lz77Params::for_level(9);
+    params.window_size = window;
+    BitWriterLsb bw;
+    deflate_raw(input, params, bw);
+    const double factor = static_cast<double>(input.size()) /
+                          static_cast<double>(bw.take().size());
+    EXPECT_GE(factor, prev * 0.999);
+    prev = factor;
+  }
+}
+
+class Lz77LevelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lz77LevelSweep, RoundTripsEveryLevel) {
+  const Bytes input =
+      workload::generate_kind(workload::FileKind::TarMixed, 150000, 4, 0.0);
+  const auto tokens = lz77_tokenize(input, Lz77Params::for_level(GetParam()));
+  EXPECT_EQ(lz77_reconstruct(tokens), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, Lz77LevelSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9));
+
+// -------------------------------------------------------------- DEFLATE
+
+TEST(DeflateFormat, RawStreamRoundTrip) {
+  const Bytes input =
+      workload::generate_kind(workload::FileKind::Html, 90000, 5, 0.0);
+  BitWriterLsb w;
+  deflate_raw(input, Lz77Params::for_level(9), w);
+  const Bytes payload = w.take();
+  BitReaderLsb r(payload);
+  EXPECT_EQ(inflate_raw(r, input.size()), input);
+}
+
+TEST(DeflateFormat, EmptyInputProducesValidStream) {
+  BitWriterLsb w;
+  deflate_raw({}, Lz77Params::for_level(9), w);
+  const Bytes payload = w.take();
+  BitReaderLsb r(payload);
+  EXPECT_EQ(inflate_raw(r), Bytes{});
+}
+
+TEST(DeflateFormat, MultiBlockFilesRoundTrip) {
+  // Large enough to force several blocks (> 48K tokens each).
+  const Bytes input =
+      workload::generate_kind(workload::FileKind::Random, 400000, 6, 0.0);
+  const DeflateCodec codec(1);  // level 1: near-literal token stream
+  EXPECT_EQ(codec.decompress(codec.compress(input)), input);
+}
+
+TEST(DeflateFormat, ContainerCarriesSizeAndCrc) {
+  const Bytes input = to_bytes("hello deflate container");
+  const DeflateCodec codec;
+  Bytes packed = codec.compress(input);
+  // Corrupt the stored CRC (bytes 3..6 after magic+varint for small
+  // sizes: magic(2) + varint(1) + crc(4)); flip inside that window.
+  packed[4] ^= 0xff;
+  EXPECT_THROW(codec.decompress(packed), Error);
+}
+
+TEST(DeflateFormat, FixedAndDynamicBlocksBothDecode) {
+  // Tiny inputs favour fixed-Huffman blocks; bigger skewed ones dynamic.
+  const DeflateCodec codec(9);
+  const Bytes tiny = to_bytes("tiny!");
+  EXPECT_EQ(codec.decompress(codec.compress(tiny)), tiny);
+  const Bytes big =
+      workload::generate_kind(workload::FileKind::Log, 120000, 7, 0.0);
+  EXPECT_EQ(codec.decompress(codec.compress(big)), big);
+}
+
+TEST(DeflateFormat, ReservedBlockTypeRejected) {
+  // Hand-craft a stream with BTYPE=11.
+  BitWriterLsb w;
+  w.put(1, 1);  // BFINAL
+  w.put(3, 2);  // reserved
+  const Bytes payload = w.take();
+  BitReaderLsb r(payload);
+  EXPECT_THROW(inflate_raw(r), Error);
+}
+
+TEST(DeflateFormat, StoredBlockHeaderValidated) {
+  BitWriterLsb w;
+  w.put(1, 1);
+  w.put(0, 2);  // stored
+  w.align_to_byte();
+  w.put(5, 16);       // LEN
+  w.put(0x1234, 16);  // NLEN that doesn't match ~LEN
+  const Bytes payload = w.take();
+  BitReaderLsb r(payload);
+  EXPECT_THROW(inflate_raw(r), Error);
+}
+
+TEST(DeflateCodecLevels, FactorImprovesWithLevelOnText) {
+  const Bytes input =
+      workload::generate_kind(workload::FileKind::Xml, 250000, 8, 0.2);
+  double prev = 0.0;
+  for (int level : {1, 5, 9}) {
+    const double f = compression_factor(DeflateCodec(level), input);
+    EXPECT_GE(f, prev * 0.999) << "level " << level;
+    prev = f;
+  }
+}
+
+}  // namespace
+}  // namespace ecomp::compress

@@ -1,0 +1,165 @@
+// Property sweeps over the energy model: monotonicity, branch
+// continuity, threshold self-consistency, and dominance relations that
+// must hold for ANY parameterization in the physical range.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/energy_model.h"
+#include "core/upload_model.h"
+#include "util/rng.h"
+
+namespace ecomp::core {
+namespace {
+
+/// Random but physically sensible parameter sets.
+EnergyParams random_params(Rng& rng) {
+  EnergyParams p;
+  p.m = 1.0 + rng.uniform() * 4.0;
+  p.cs = rng.uniform() * 0.05;
+  p.pi = 0.5 + rng.uniform() * 2.0;
+  p.pd = p.pi + 0.5 + rng.uniform() * 2.0;  // busy > idle
+  p.pd_sleep = p.pi + rng.uniform() * (p.pd - p.pi);
+  p.rate = 0.1 + rng.uniform() * 1.0;
+  p.idle_fraction = 0.1 + rng.uniform() * 0.8;
+  p.block_mb = 0.032 + rng.uniform() * 0.25;
+  p.td_a = 0.05 + rng.uniform() * 0.4;
+  p.td_b = 0.05 + rng.uniform() * 0.4;
+  p.td_c = rng.uniform() * 0.02;
+  return p;
+}
+
+class ModelProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    model_ = std::make_unique<EnergyModel>(random_params(rng));
+  }
+  std::unique_ptr<EnergyModel> model_;
+};
+
+TEST_P(ModelProperties, DownloadEnergyIncreasesWithSize) {
+  double prev = -1.0;
+  for (double s = 0.01; s < 20.0; s *= 1.7) {
+    const double e = model_->download_energy_j(s);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST_P(ModelProperties, InterleavedEnergyDecreasesWithFactor) {
+  // At fixed s, a deeper compressor can only reduce predicted energy.
+  for (double s : {0.05, 0.5, 3.0}) {
+    double prev = 1e300;
+    for (double f = 1.0; f < 100.0; f *= 1.3) {
+      const double e = model_->interleaved_energy_j(s, s / f);
+      EXPECT_LE(e, prev + 1e-9) << "s=" << s << " F=" << f;
+      prev = e;
+    }
+  }
+}
+
+TEST_P(ModelProperties, InterleavedNeverWorseThanSequential) {
+  for (double s : {0.05, 0.5, 3.0, 10.0})
+    for (double f = 1.05; f < 50.0; f *= 1.6) {
+      const double sc = s / f;
+      EXPECT_LE(model_->interleaved_energy_j(s, sc),
+                model_->sequential_energy_j(s, sc) + 1e-9)
+          << "s=" << s << " F=" << f;
+    }
+}
+
+TEST_P(ModelProperties, Eq3BranchesAgreeAtTheBoundary) {
+  // The two Eq. 3 branches meet where ti' == td: scan for the crossing
+  // and check continuity there.
+  const double s = 2.0;
+  double prev_e = model_->interleaved_energy_j(s, s / 1.001);
+  for (double f = 1.01; f < 60.0; f *= 1.01) {
+    const double e = model_->interleaved_energy_j(s, s / f);
+    // Continuity: consecutive factor steps never jump more than the
+    // communication saving of the step itself.
+    const double step_saving =
+        model_->params().m * (s / (f / 1.01) - s / f) * 3.0 + 0.05;
+    EXPECT_LT(std::abs(e - prev_e), step_saving + 0.05) << f;
+    prev_e = e;
+  }
+}
+
+TEST_P(ModelProperties, IdleSplitSumsToTotalIdle) {
+  for (double s : {0.01, 0.1, 1.0, 7.0})
+    for (double f : {1.2, 3.0, 11.0}) {
+      const double sc = s / f;
+      double rest = 0, first = 0;
+      model_->idle_split(s, sc, rest, first);
+      EXPECT_NEAR(rest + first, model_->idle_time_s(sc), 1e-12);
+      EXPECT_GE(rest, 0.0);
+      EXPECT_GE(first, 0.0);
+    }
+}
+
+TEST_P(ModelProperties, MinFactorIsExactThreshold) {
+  for (double s : {0.05, 0.7, 4.0}) {
+    const double f = model_->min_factor(s);
+    if (std::isinf(f)) {
+      EXPECT_FALSE(model_->should_compress(s, 1e5));
+      continue;
+    }
+    if (f > 1.0) {
+      EXPECT_FALSE(model_->should_compress(s, f * 0.999));
+    }
+    EXPECT_TRUE(model_->should_compress(s, f * 1.001));
+  }
+}
+
+TEST_P(ModelProperties, MinFileSizeIsExactThreshold) {
+  const double s_star = model_->min_file_mb();
+  EXPECT_FALSE(model_->should_compress(s_star * 0.98, 1e5));
+  EXPECT_TRUE(model_->should_compress(s_star * 1.02, 1e5));
+}
+
+TEST_P(ModelProperties, LargerFilesNeverNeedDeeperCompression) {
+  double prev = 1e300;
+  for (double s = 0.01; s < 20.0; s *= 2.0) {
+    const double f = model_->min_factor(s);
+    if (!std::isinf(prev) && !std::isinf(f)) {
+      EXPECT_LE(f, prev * 1.001);
+    }
+    prev = f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomParams, ModelProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ------------------------------------------------- upload-model duals
+
+class UploadProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UploadProperties, InterleavedUploadDominatesDownloadPointwise) {
+  // For the SAME link parameters and compression at least as expensive
+  // as decompression, interleaved upload can never cost less energy
+  // than interleaved download at the same (s, sc): the CPU work term is
+  // larger and the first block is busy (pd) instead of idle (pi).
+  // (With radio-sleep sequential upload the dominance can flip — the
+  // whole compression runs at pd_sleep — so the comparison is
+  // strategy-for-strategy.)
+  Rng rng(GetParam() * 37 + 5);
+  const EnergyParams p = random_params(rng);
+  const EnergyModel down(p);
+  sim::CodecCost compress_cost{p.td_a * (2.0 + rng.uniform() * 6.0),
+                               p.td_b, p.td_c};
+  const UploadModel up(p, compress_cost);
+  for (double s : {0.5, 3.0})
+    for (double f = 1.1; f < 40.0; f *= 1.7) {
+      const double sc = s / f;
+      EXPECT_GE(up.interleaved_energy_j(s, sc),
+                down.interleaved_energy_j(s, sc) - 1e-9)
+          << "s=" << s << " F=" << f;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomParams, UploadProperties,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+}  // namespace
+}  // namespace ecomp::core

@@ -1,0 +1,128 @@
+// Packet-level simulator: agreement with the coarser computations and
+// packet-granularity effects.
+#include <gtest/gtest.h>
+
+#include "core/energy_model.h"
+#include "sim/packet.h"
+#include "sim/transfer.h"
+#include "util/bytes.h"
+
+namespace ecomp::sim {
+namespace {
+
+std::vector<BlockTransfer> uniform_blocks(double raw_mb, double factor,
+                                          double block_mb = 0.128) {
+  std::vector<BlockTransfer> out;
+  double left = raw_mb;
+  while (left > 1e-12) {
+    const double b = std::min(block_mb, left);
+    out.push_back({b, b / factor, true});
+    left -= b;
+  }
+  return out;
+}
+
+TEST(PacketSim, AgreesWithBlockDiscreteSimulator) {
+  const PacketLevelSimulator psim;
+  const TransferSimulator bsim;
+  for (double factor : {1.3, 2.0, 4.0, 10.0}) {
+    const auto blocks = uniform_blocks(3.0, factor);
+    PacketSimOptions popt;
+    popt.interleave = true;
+    TransferOptions bopt;
+    bopt.interleave = true;
+    const auto a = psim.download(blocks, "deflate", popt);
+    const auto b = bsim.download_selective(blocks, "deflate", bopt);
+    EXPECT_NEAR(a.energy_j, b.energy_j, 0.02 * b.energy_j) << factor;
+    EXPECT_NEAR(a.time_s, b.time_s, 0.02 * b.time_s) << factor;
+  }
+}
+
+TEST(PacketSim, DeviatesFromClosedFormByPerBlockStartupExactly) {
+  // The whole-file closed form charges the decode startup (td_c) once;
+  // block-wise decoding pays it per block. That accounts for the entire
+  // difference on a large uniform file.
+  const PacketLevelSimulator psim;
+  const auto model = core::EnergyModel::paper_11mbps();
+  const double s = 6.0, factor = 3.0;
+  PacketSimOptions opt;
+  opt.interleave = true;
+  const auto blocks = uniform_blocks(s, factor);
+  const auto r = psim.download(blocks, "deflate", opt);
+  const double est = model.interleaved_energy_j(s, s / factor);
+  const double per_block_startup =
+      static_cast<double>(blocks.size() - 1) * model.params().td_c *
+      model.params().pd;
+  EXPECT_NEAR(r.energy_j, est + per_block_startup, 0.02 * est);
+}
+
+TEST(PacketSim, NoInterleaveLeavesGapsIdle) {
+  const PacketLevelSimulator psim;
+  const auto blocks = uniform_blocks(2.0, 3.0);
+  PacketSimOptions seq;
+  PacketSimOptions intl;
+  intl.interleave = true;
+  const auto a = psim.download(blocks, "deflate", seq);
+  const auto b = psim.download(blocks, "deflate", intl);
+  EXPECT_GT(a.time_s, b.time_s);
+  EXPECT_GT(a.energy_j, b.energy_j);
+  // Same total decompression work either way.
+  EXPECT_NEAR(a.decompress_time_s, b.decompress_time_s, 1e-12);
+}
+
+TEST(PacketSim, GranularityEffectVisibleOnTinyFiles) {
+  // One-block files cannot interleave at all at packet level either.
+  const PacketLevelSimulator psim;
+  PacketSimOptions intl;
+  intl.interleave = true;
+  const std::vector<BlockTransfer> one = {{0.05, 0.02, true}};
+  const auto r = psim.download(one, "deflate", intl);
+  // All decompression work lands in the tail.
+  EXPECT_NEAR(r.timeline.energy_with_prefix("decomp"),
+              r.decompress_time_s * 2.85, 1e-9);
+}
+
+TEST(PacketSim, PacketSizeBarelyMattersAtMtuScale) {
+  const PacketLevelSimulator psim;
+  const auto blocks = uniform_blocks(2.0, 2.5);
+  double prev = -1.0;
+  for (double pkt : {512e-6, 1480e-6, 4096e-6}) {
+    PacketSimOptions opt;
+    opt.interleave = true;
+    opt.packet_mb = pkt;
+    const double e = psim.download(blocks, "deflate", opt).energy_j;
+    if (prev > 0.0) {
+      EXPECT_NEAR(e, prev, 0.02 * prev);
+    }
+    prev = e;
+  }
+}
+
+TEST(PacketSim, RejectsBadPacketSize) {
+  const PacketLevelSimulator psim;
+  PacketSimOptions opt;
+  opt.packet_mb = 0.0;
+  EXPECT_THROW(psim.download({}, "deflate", opt), Error);
+}
+
+TEST(PacketSim, EmptyContainer) {
+  const PacketLevelSimulator psim;
+  const auto r = psim.download({}, "deflate", PacketSimOptions{});
+  EXPECT_NEAR(r.energy_j, 0.012, 1e-9);  // just the start-up charge
+  EXPECT_EQ(r.time_s, 0.0);
+}
+
+TEST(PacketSim, PowerSavingSlowsAndSaves) {
+  const PacketLevelSimulator psim;
+  const auto blocks = uniform_blocks(2.0, 1.0);
+  PacketSimOptions off;
+  PacketSimOptions on;
+  on.power_saving = true;
+  const auto a = psim.download(blocks, "deflate", off);
+  const auto b = psim.download(blocks, "deflate", on);
+  EXPECT_GT(b.time_s, a.time_s);
+  EXPECT_LT(b.energy_j, a.energy_j);
+}
+
+}  // namespace
+}  // namespace ecomp::sim

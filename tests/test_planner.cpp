@@ -1,0 +1,112 @@
+// TransferPlanner decisions and the model-driven selective policy.
+#include <gtest/gtest.h>
+
+#include "compress/deflate.h"
+#include "core/planner.h"
+#include "workload/generator.h"
+
+namespace ecomp::core {
+namespace {
+
+TransferPlanner make_planner() {
+  return TransferPlanner(EnergyModel::paper_11mbps());
+}
+
+FileEstimate estimate(double size_mb, double f_deflate, double f_lzw,
+                      double f_bwt) {
+  FileEstimate e;
+  e.size_mb = size_mb;
+  e.factors = {{"deflate", f_deflate}, {"lzw", f_lzw}, {"bwt", f_bwt}};
+  return e;
+}
+
+TEST(Planner, TinyFileShipsRaw) {
+  // Below the 3900-byte threshold nothing beats raw.
+  const auto plan = make_planner().plan(estimate(0.002, 2.0, 1.5, 2.2));
+  EXPECT_EQ(plan.chosen.strategy, Strategy::Uncompressed);
+  EXPECT_NEAR(plan.saving_fraction, 0.0, 1e-9);
+}
+
+TEST(Planner, IncompressibleFileShipsRaw) {
+  const auto plan = make_planner().plan(estimate(4.0, 1.0, 0.82, 1.0));
+  EXPECT_EQ(plan.chosen.strategy, Strategy::Uncompressed);
+}
+
+TEST(Planner, TypicalTextPrefersDeflateOverBwtDespiteFactor) {
+  // Table 2-shaped: bzip2 compresses deeper but decodes far slower; the
+  // paper's central finding is that gzip wins on energy.
+  const auto plan = make_planner().plan(estimate(3.0, 3.8, 3.0, 6.9));
+  EXPECT_EQ(plan.chosen.codec, "deflate");
+  EXPECT_GT(plan.saving_fraction, 0.4);
+}
+
+TEST(Planner, HighFactorPrefersSleepOverInterleave) {
+  // F > 4.6: sequential decompress with the radio sleeping wins (§4.2).
+  const auto plan = make_planner().plan(estimate(3.0, 12.0, 6.0, 1.0));
+  EXPECT_EQ(plan.chosen.codec, "deflate");
+  EXPECT_EQ(plan.chosen.strategy, Strategy::SequentialSleep);
+}
+
+TEST(Planner, ModerateFactorPrefersInterleaveOverPlainSequential) {
+  const auto planner = make_planner();
+  const auto plan = planner.plan(estimate(3.0, 2.0, 1.5, 2.2));
+  // Find the deflate candidates and compare directly.
+  double seq = 0, inter = 0;
+  for (const auto& c : plan.considered) {
+    if (c.codec == "deflate" && c.strategy == Strategy::Sequential)
+      seq = c.predicted_energy_j;
+    if (c.codec == "deflate" && c.strategy == Strategy::Interleaved)
+      inter = c.predicted_energy_j;
+  }
+  EXPECT_LT(inter, seq);
+}
+
+TEST(Planner, ConsidersEveryCandidate) {
+  const auto plan = make_planner().plan(estimate(1.0, 3.0, 2.0, 4.0));
+  // 1 raw + 3 codecs × 3 strategies.
+  EXPECT_EQ(plan.considered.size(), 10u);
+  // Chosen is the minimum of considered.
+  for (const auto& c : plan.considered)
+    EXPECT_GE(c.predicted_energy_j, plan.chosen.predicted_energy_j - 1e-12);
+}
+
+TEST(Planner, RejectsBadInputs) {
+  const auto planner = make_planner();
+  FileEstimate neg;
+  neg.size_mb = -1.0;
+  EXPECT_THROW(planner.plan(neg), Error);
+  EXPECT_THROW(planner.plan(estimate(1.0, 0.0, 1.0, 1.0)), Error);
+}
+
+TEST(EstimateFactor, PrefixSampleTracksWholeFileFactor) {
+  const Bytes file = workload::generate_kind(workload::FileKind::Xml,
+                                             800000, /*seed=*/3, 0.3);
+  const compress::DeflateCodec codec;
+  const double sampled = estimate_factor(codec, file, 64 * 1024);
+  const double full = compress::compression_factor(codec, file);
+  EXPECT_NEAR(sampled, full, 0.35 * full);
+  EXPECT_EQ(estimate_factor(codec, {}), 1.0);
+}
+
+TEST(SelectivePolicyFromModel, EncodesPaperThresholds) {
+  const auto model = EnergyModel::paper_11mbps();
+  const auto policy = make_selective_policy(model);
+  // Size threshold lands near 3900 bytes.
+  EXPECT_NEAR(static_cast<double>(policy.min_block_bytes), 3900.0, 500.0);
+  // A 128 KB block at factor 1.05 fails; at factor 2 passes.
+  EXPECT_FALSE(policy.energy_test(131072, 124830));
+  EXPECT_TRUE(policy.energy_test(131072, 65536));
+  // Expansion never passes.
+  EXPECT_FALSE(policy.energy_test(1000, 1200));
+  EXPECT_FALSE(policy.energy_test(1000, 0));
+}
+
+TEST(Strategy, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(Strategy::Uncompressed), "uncompressed");
+  EXPECT_STREQ(to_string(Strategy::Sequential), "sequential");
+  EXPECT_STREQ(to_string(Strategy::SequentialSleep), "sequential+sleep");
+  EXPECT_STREQ(to_string(Strategy::Interleaved), "interleaved");
+}
+
+}  // namespace
+}  // namespace ecomp::core

@@ -1,0 +1,279 @@
+// Selective container (Fig. 10) and the streaming interleaved decoder.
+#include <gtest/gtest.h>
+
+#include "compress/selective.h"
+#include "core/interleave.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace ecomp {
+namespace {
+
+using compress::SelectivePolicy;
+using workload::FileKind;
+
+Bytes mixed_input(std::size_t size, std::uint64_t seed) {
+  return workload::generate_kind(FileKind::TarMixed, size, seed, 0.0);
+}
+
+TEST(Selective, AlwaysPolicyRoundTrips) {
+  const Bytes input = mixed_input(700000, 1);
+  const auto r = compress::selective_compress(input, SelectivePolicy::always());
+  EXPECT_EQ(compress::selective_decompress(r.container), input);
+  EXPECT_EQ(r.blocks.size(), (input.size() + 128 * 1024 - 1) / (128 * 1024));
+}
+
+TEST(Selective, NeverPolicyStoresRawAndRoundTrips) {
+  const Bytes input = mixed_input(300000, 2);
+  const auto r = compress::selective_compress(input, SelectivePolicy::never());
+  for (const auto& b : r.blocks) {
+    EXPECT_FALSE(b.compressed);
+    EXPECT_EQ(b.payload_size, b.raw_size);
+  }
+  EXPECT_EQ(compress::selective_decompress(r.container), input);
+  // Overhead of the raw container must be tiny.
+  EXPECT_LT(r.container.size(), input.size() + 64);
+}
+
+TEST(Selective, EmptyInput) {
+  const auto r = compress::selective_compress({}, SelectivePolicy::always());
+  EXPECT_TRUE(r.blocks.empty());
+  EXPECT_EQ(compress::selective_decompress(r.container), Bytes{});
+}
+
+TEST(Selective, MixedContentGetsMixedDecisions) {
+  // tar-mixed alternates compressible and random members, so an
+  // always-when-smaller policy must choose differently across blocks.
+  const Bytes input = mixed_input(1500000, 3);
+  const auto r = compress::selective_compress(input, SelectivePolicy::always());
+  std::size_t compressed = 0, raw = 0;
+  for (const auto& b : r.blocks) (b.compressed ? compressed : raw)++;
+  EXPECT_GT(compressed, 0u);
+  EXPECT_GT(raw, 0u);
+  EXPECT_EQ(compress::selective_decompress(r.container), input);
+}
+
+TEST(Selective, MinBlockBytesShipsSmallBlocksRaw) {
+  SelectivePolicy policy = SelectivePolicy::always();
+  policy.min_block_bytes = 3900;  // the paper's threshold
+  // 10 KB input in 2 KB blocks: every block is under the threshold.
+  const Bytes input =
+      workload::generate_kind(FileKind::Xml, 10000, 4, 0.5);
+  const auto r =
+      compress::selective_compress(input, policy, /*block_size=*/2048);
+  for (const auto& b : r.blocks) EXPECT_FALSE(b.compressed);
+  EXPECT_EQ(compress::selective_decompress(r.container), input);
+}
+
+TEST(Selective, CustomEnergyTestDrivesDecisions) {
+  SelectivePolicy policy;
+  policy.min_block_bytes = 0;
+  // Require at least factor 3 per block.
+  policy.energy_test = [](std::size_t raw, std::size_t comp) {
+    return static_cast<double>(raw) / static_cast<double>(comp) >= 3.0;
+  };
+  const Bytes xml = workload::generate_kind(FileKind::Xml, 400000, 5, 0.6);
+  const Bytes media = workload::generate_kind(FileKind::Media, 400000, 6, 0.0);
+  const auto r_xml = compress::selective_compress(xml, policy);
+  const auto r_media = compress::selective_compress(media, policy);
+  for (const auto& b : r_xml.blocks) EXPECT_TRUE(b.compressed);
+  for (const auto& b : r_media.blocks) EXPECT_FALSE(b.compressed);
+}
+
+TEST(Selective, BlockInfoMatchesCompressionOutput) {
+  const Bytes input = mixed_input(500000, 7);
+  const auto r = compress::selective_compress(input, SelectivePolicy::always());
+  const auto infos = compress::selective_block_info(r.container);
+  ASSERT_EQ(infos.size(), r.blocks.size());
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_EQ(infos[i].raw_size, r.blocks[i].raw_size);
+    EXPECT_EQ(infos[i].payload_size, r.blocks[i].payload_size);
+    EXPECT_EQ(infos[i].compressed, r.blocks[i].compressed);
+  }
+}
+
+TEST(Selective, TruncatedContainerThrows) {
+  const Bytes input = mixed_input(300000, 8);
+  auto r = compress::selective_compress(input, SelectivePolicy::always());
+  r.container.resize(r.container.size() - 10);
+  EXPECT_THROW(compress::selective_decompress(r.container), Error);
+}
+
+TEST(Selective, CorruptCrcDetected) {
+  const Bytes input = mixed_input(200000, 9);
+  auto r = compress::selective_compress(input, SelectivePolicy::never());
+  // Flip a raw payload byte far from any header.
+  r.container[r.container.size() / 2] ^= 1;
+  EXPECT_THROW(compress::selective_decompress(r.container), Error);
+}
+
+TEST(Selective, ZeroBlockSizeRejected) {
+  EXPECT_THROW(
+      compress::selective_compress({}, SelectivePolicy::always(), 0), Error);
+}
+
+TEST(Selective, PolicyWithoutTestRejected) {
+  SelectivePolicy p;  // energy_test unset
+  EXPECT_THROW(compress::selective_compress({}, p), Error);
+}
+
+class SelectiveBlockSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SelectiveBlockSizes, RoundTrips) {
+  const Bytes input = mixed_input(400000, 10);
+  const auto r = compress::selective_compress(
+      input, SelectivePolicy::always(), GetParam());
+  EXPECT_EQ(compress::selective_decompress(r.container), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SelectiveBlockSizes,
+                         ::testing::Values(1024, 4096, 32 * 1024, 128 * 1024,
+                                           512 * 1024, 1024 * 1024));
+
+// ---------------------------------------------------- streaming encoder
+
+TEST(StreamEncoder, ChunksConcatenateToTheBatchContainer) {
+  const Bytes input = mixed_input(500000, 20);
+  const auto batch =
+      compress::selective_compress(input, SelectivePolicy::always());
+  compress::SelectiveStreamEncoder enc(input, SelectivePolicy::always());
+  Bytes streamed;
+  std::size_t chunks = 0;
+  while (!enc.done()) {
+    const Bytes c = enc.next_chunk();
+    streamed.insert(streamed.end(), c.begin(), c.end());
+    ++chunks;
+  }
+  EXPECT_EQ(streamed, batch.container);
+  // header + one chunk per block
+  EXPECT_EQ(chunks, 1 + batch.blocks.size());
+  ASSERT_EQ(enc.blocks().size(), batch.blocks.size());
+  for (std::size_t i = 0; i < batch.blocks.size(); ++i)
+    EXPECT_EQ(enc.blocks()[i].compressed, batch.blocks[i].compressed);
+}
+
+TEST(StreamEncoder, PipesDirectlyIntoStreamDecoder) {
+  const Bytes input = mixed_input(300000, 21);
+  compress::SelectiveStreamEncoder enc(
+      input, SelectivePolicy::always(), 32 * 1024);
+  core::SelectiveStreamDecoder dec;
+  Bytes out;
+  while (!enc.done()) {
+    dec.feed(enc.next_chunk());
+    while (auto block = dec.poll())
+      out.insert(out.end(), block->begin(), block->end());
+  }
+  EXPECT_TRUE(dec.finished());
+  dec.verify();
+  EXPECT_EQ(out, input);
+}
+
+TEST(StreamEncoder, EmptyInputIsHeaderOnly) {
+  compress::SelectiveStreamEncoder enc({}, SelectivePolicy::always());
+  const Bytes header = enc.next_chunk();
+  EXPECT_FALSE(header.empty());
+  EXPECT_TRUE(enc.done());
+  EXPECT_EQ(compress::selective_decompress(header), Bytes{});
+}
+
+TEST(StreamEncoder, InvalidConfigRejected) {
+  EXPECT_THROW(compress::SelectiveStreamEncoder({},
+                                                SelectivePolicy::always(), 0),
+               Error);
+  EXPECT_THROW(
+      compress::SelectiveStreamEncoder({}, compress::SelectivePolicy{}),
+      Error);
+}
+
+// ---------------------------------------------------- streaming decoder
+
+TEST(StreamDecoder, DecodesBlocksAsTheyArrive) {
+  const Bytes input = mixed_input(600000, 11);
+  const auto r = compress::selective_compress(input, SelectivePolicy::always());
+
+  core::SelectiveStreamDecoder dec;
+  Bytes reassembled;
+  std::size_t blocks_seen = 0;
+  Rng rng(12);
+  std::size_t off = 0;
+  while (off < r.container.size()) {
+    const std::size_t n = std::min<std::size_t>(1 + rng.below(9000),
+                                                r.container.size() - off);
+    dec.feed(ByteSpan(r.container).subspan(off, n));
+    off += n;
+    while (auto block = dec.poll()) {
+      ++blocks_seen;
+      reassembled.insert(reassembled.end(), block->begin(), block->end());
+    }
+  }
+  EXPECT_TRUE(dec.finished());
+  EXPECT_EQ(blocks_seen, r.blocks.size());
+  EXPECT_EQ(reassembled, input);
+  EXPECT_NO_THROW(dec.verify());
+}
+
+TEST(StreamDecoder, ByteAtATime) {
+  const Bytes input = workload::generate_kind(FileKind::Xml, 50000, 13, 0.3);
+  const auto r = compress::selective_compress(input, SelectivePolicy::always(),
+                                              8 * 1024);
+  core::SelectiveStreamDecoder dec;
+  Bytes out;
+  for (std::uint8_t b : r.container) {
+    dec.feed(ByteSpan(&b, 1));
+    while (auto block = dec.poll())
+      out.insert(out.end(), block->begin(), block->end());
+  }
+  EXPECT_EQ(out, input);
+  dec.verify();
+}
+
+TEST(StreamDecoder, VerifyBeforeFinishThrows) {
+  core::SelectiveStreamDecoder dec;
+  EXPECT_THROW(dec.verify(), Error);
+}
+
+TEST(StreamDecoder, BadMagicThrows) {
+  core::SelectiveStreamDecoder dec;
+  const Bytes junk = {0xde, 0xad, 0xbe, 0xef};
+  dec.feed(junk);
+  EXPECT_THROW(dec.poll(), Error);
+}
+
+TEST(InterleavedDownloader, RunsFromChunkSource) {
+  const Bytes input = mixed_input(400000, 14);
+  const auto r = compress::selective_compress(input, SelectivePolicy::always());
+  std::size_t off = 0;
+  std::size_t block_events = 0;
+  core::InterleavedDownloader dl(4096);
+  const Bytes out = dl.run(
+      [&](std::uint8_t* dst, std::size_t max) -> std::size_t {
+        const std::size_t n = std::min(max, r.container.size() - off);
+        std::copy_n(r.container.begin() + static_cast<std::ptrdiff_t>(off), n,
+                    dst);
+        off += n;
+        return n;
+      },
+      [&](ByteSpan) { ++block_events; });
+  EXPECT_EQ(out, input);
+  EXPECT_EQ(block_events, r.blocks.size());
+}
+
+TEST(InterleavedDownloader, TruncatedSourceThrows) {
+  const Bytes input = mixed_input(200000, 15);
+  const auto r = compress::selective_compress(input, SelectivePolicy::always());
+  std::size_t off = 0;
+  const std::size_t cutoff = r.container.size() / 2;
+  core::InterleavedDownloader dl;
+  EXPECT_THROW(
+      dl.run([&](std::uint8_t* dst, std::size_t max) -> std::size_t {
+        const std::size_t n = std::min(max, cutoff - off);
+        std::copy_n(r.container.begin() + static_cast<std::ptrdiff_t>(off), n,
+                    dst);
+        off += n;
+        return n;
+      }),
+      Error);
+}
+
+}  // namespace
+}  // namespace ecomp

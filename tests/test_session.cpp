@@ -1,0 +1,109 @@
+// Browsing-session simulation and battery lifetime projection.
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "util/bytes.h"
+
+namespace ecomp::core {
+namespace {
+
+SessionSimulator make_sim() {
+  return SessionSimulator(TransferPlanner(EnergyModel::paper_11mbps()),
+                          sim::TransferSimulator{}, SessionConfig{});
+}
+
+std::vector<SessionRequest> mixed_requests() {
+  // A browsing mix: pages (compressible), images (not), one big doc.
+  return {
+      {"page1.html", 0.08, {{"deflate", 4.0}, {"lzw", 2.5}, {"bwt", 4.5}}},
+      {"photo.jpg", 0.9, {{"deflate", 1.02}, {"lzw", 0.85}, {"bwt", 1.03}}},
+      {"page2.html", 0.12, {{"deflate", 3.5}, {"lzw", 2.2}, {"bwt", 4.0}}},
+      {"spec.pdf", 2.5, {{"deflate", 2.8}, {"lzw", 2.0}, {"bwt", 3.0}}},
+      {"tiny.txt", 0.002, {{"deflate", 2.0}, {"lzw", 1.5}, {"bwt", 1.8}}},
+  };
+}
+
+TEST(Session, PlannedBeatsRawAndNaiveGzip) {
+  const auto sim = make_sim();
+  const auto reqs = mixed_requests();
+  const auto raw = sim.run(reqs, SessionPolicy::Raw);
+  const auto gz = sim.run(reqs, SessionPolicy::AlwaysDeflate);
+  const auto planned = sim.run(reqs, SessionPolicy::Planned);
+  // Naive gzip already beats raw on this mix…
+  EXPECT_LT(gz.total_energy_j(), raw.total_energy_j());
+  // …and the planner beats both (it skips the jpeg and the tiny file).
+  EXPECT_LT(planned.total_energy_j(), gz.total_energy_j());
+  EXPECT_EQ(planned.requests, reqs.size());
+}
+
+TEST(Session, AllIncompressibleMakesGzipWorseThanRaw) {
+  const auto sim = make_sim();
+  std::vector<SessionRequest> reqs = {
+      {"a.jpg", 1.0, {{"deflate", 1.01}}},
+      {"b.mp3", 2.0, {{"deflate", 1.02}}},
+  };
+  const auto raw = sim.run(reqs, SessionPolicy::Raw);
+  const auto gz = sim.run(reqs, SessionPolicy::AlwaysDeflate);
+  const auto planned = sim.run(reqs, SessionPolicy::Planned);
+  EXPECT_GT(gz.total_energy_j(), raw.total_energy_j());
+  // The planner must fall back to raw (within rounding).
+  EXPECT_NEAR(planned.transfer_energy_j, raw.transfer_energy_j,
+              0.01 * raw.transfer_energy_j);
+}
+
+TEST(Session, ThinkTimeChargedAtIdlePower) {
+  SessionConfig cfg;
+  cfg.think_time_s = 10.0;
+  cfg.power_saving_idle = true;
+  const SessionSimulator sim(TransferPlanner(EnergyModel::paper_11mbps()),
+                             sim::TransferSimulator{}, cfg);
+  const auto rep = sim.run({{"x", 0.1, {{"deflate", 2.0}}}},
+                           SessionPolicy::Raw);
+  EXPECT_NEAR(rep.think_energy_j, 10.0 * 0.55, 1e-9);  // 110 mA @ 5 V
+}
+
+TEST(Session, PowerSavingIdleSavesThinkEnergy) {
+  SessionConfig on;
+  on.power_saving_idle = true;
+  SessionConfig off;
+  off.power_saving_idle = false;
+  const TransferPlanner planner{EnergyModel::paper_11mbps()};
+  const auto a = SessionSimulator(planner, sim::TransferSimulator{}, on)
+                     .run(mixed_requests(), SessionPolicy::Raw);
+  const auto b = SessionSimulator(planner, sim::TransferSimulator{}, off)
+                     .run(mixed_requests(), SessionPolicy::Raw);
+  EXPECT_LT(a.think_energy_j, b.think_energy_j);
+}
+
+TEST(Session, RejectsNegativeSize) {
+  const auto sim = make_sim();
+  EXPECT_THROW(sim.run({{"bad", -1.0, {}}}, SessionPolicy::Raw), Error);
+}
+
+TEST(Battery, CapacityAndLifetimeArithmetic) {
+  const sim::BatteryModel b = sim::BatteryModel::ipaq();
+  // 1400 mAh × 5 V × 0.9 usable = 22.68 kJ.
+  EXPECT_NEAR(b.capacity_j(), 22680.0, 1.0);
+  EXPECT_NEAR(b.charges_per_task(22.68), 1000.0, 0.1);
+  EXPECT_EQ(b.charges_per_task(0.0), 0.0);
+}
+
+TEST(Battery, SessionsPerChargeOrdersLikeEnergy) {
+  const auto sim = make_sim();
+  const auto reqs = mixed_requests();
+  const sim::BatteryModel battery;
+  const double raw =
+      sim.run(reqs, SessionPolicy::Raw).sessions_per_charge(battery);
+  const double planned =
+      sim.run(reqs, SessionPolicy::Planned).sessions_per_charge(battery);
+  EXPECT_GT(planned, raw);
+}
+
+TEST(Session, PolicyNames) {
+  EXPECT_STREQ(to_string(SessionPolicy::Raw), "raw");
+  EXPECT_STREQ(to_string(SessionPolicy::AlwaysDeflate), "always-gzip");
+  EXPECT_STREQ(to_string(SessionPolicy::Planned), "planned");
+}
+
+}  // namespace
+}  // namespace ecomp::core

@@ -1,0 +1,332 @@
+// Simulator layer: power table (Table 1), radio model, timeline
+// accounting, and the transfer scenarios' agreement with the paper's
+// published equations.
+#include <gtest/gtest.h>
+
+#include "sim/device.h"
+#include "sim/timeline.h"
+#include "sim/transfer.h"
+#include "util/bytes.h"
+
+namespace ecomp::sim {
+namespace {
+
+// ------------------------------------------------------------- PowerModel
+
+TEST(PowerModel, Table1Rows) {
+  const auto pm = PowerModel::ipaq_wavelan();
+  EXPECT_DOUBLE_EQ(pm.current_ma(CpuState::Idle, RadioState::Sleep, false),
+                   90);
+  EXPECT_DOUBLE_EQ(pm.current_ma(CpuState::Busy, RadioState::Sleep, false),
+                   310);
+  EXPECT_DOUBLE_EQ(pm.current_ma(CpuState::Idle, RadioState::Idle, false),
+                   310);
+  EXPECT_DOUBLE_EQ(pm.current_ma(CpuState::Idle, RadioState::Idle, true),
+                   110);
+  EXPECT_DOUBLE_EQ(pm.current_ma(CpuState::Busy, RadioState::Idle, false),
+                   570);
+  EXPECT_DOUBLE_EQ(pm.current_ma(CpuState::Busy, RadioState::Idle, true),
+                   340);
+  EXPECT_DOUBLE_EQ(pm.current_ma(CpuState::Idle, RadioState::Recv, false),
+                   430);
+  EXPECT_DOUBLE_EQ(pm.current_ma(CpuState::Idle, RadioState::Recv, true),
+                   400);
+}
+
+TEST(PowerModel, PaperPowerConstants) {
+  // pi = 1.55 W, pd = 2.85 W, pd_sleep = 1.70 W at 5 V.
+  const auto d = DeviceModel::ipaq_11mbps();
+  EXPECT_NEAR(d.gap_power_w(false), 1.55, 1e-9);
+  EXPECT_NEAR(d.decompress_power_w(false), 2.85, 1e-9);
+  EXPECT_NEAR(d.decompress_power_w(true), 1.70, 1e-9);
+}
+
+TEST(PowerModel, ReceiveEnergyMatchesPaperM) {
+  // m = 2.486 J/MB (the calibrated receive+copy mix).
+  const auto d = DeviceModel::ipaq_11mbps();
+  EXPECT_NEAR(d.recv_energy_per_mb(false), 2.486, 0.005);
+}
+
+TEST(PowerModel, PowerIsCurrentTimesVoltage) {
+  const auto pm = PowerModel::ipaq_wavelan();
+  EXPECT_NEAR(pm.power_w(CpuState::Idle, RadioState::Idle, false),
+              5.0 * 310 / 1000.0, 1e-12);
+}
+
+// ------------------------------------------------------------- RadioModel
+
+TEST(RadioModel, EffectiveRatesMatchPaper) {
+  const auto r11 = RadioModel::wavelan_11mbps();
+  EXPECT_NEAR(r11.rate_mb_per_s(false), 0.6, 1e-9);
+  EXPECT_NEAR(r11.idle_fraction(false), 0.4, 1e-9);
+  const auto r2 = RadioModel::wavelan_2mbps();
+  EXPECT_NEAR(r2.rate_mb_per_s(false), 0.18, 1e-9);
+  EXPECT_NEAR(r2.idle_fraction(false), 0.815, 1e-9);
+}
+
+TEST(RadioModel, PowerSavingDeratesRate) {
+  const auto r = RadioModel::wavelan_11mbps();
+  EXPECT_NEAR(r.rate_mb_per_s(true), 0.45, 1e-9);
+  // Slower delivery means a larger idle fraction.
+  EXPECT_GT(r.idle_fraction(true), r.idle_fraction(false));
+}
+
+// --------------------------------------------------------------- Timeline
+
+TEST(Timeline, EnergyIsPowerTimesTime) {
+  Timeline t;
+  t.add(2.0, 1.5, "recv");
+  t.add(1.0, 0.5, "gap");
+  t.add_energy(0.012, "startup");
+  EXPECT_NEAR(t.total_time_s(), 3.0, 1e-12);
+  EXPECT_NEAR(t.total_energy_j(), 2.0 * 1.5 + 0.5 + 0.012, 1e-12);
+}
+
+TEST(Timeline, DropsNonPositiveDurations) {
+  Timeline t;
+  t.add(0.0, 5.0, "zero");
+  t.add(-1.0, 5.0, "negative");
+  EXPECT_TRUE(t.phases().empty());
+}
+
+TEST(Timeline, PrefixQueries) {
+  Timeline t;
+  t.add(1.0, 2.0, "recv:first");
+  t.add(2.0, 2.0, "recv:rest");
+  t.add(1.0, 1.0, "gap:rest");
+  EXPECT_NEAR(t.energy_with_prefix("recv"), 6.0, 1e-12);
+  EXPECT_NEAR(t.time_with_prefix("recv"), 3.0, 1e-12);
+  EXPECT_NEAR(t.energy_with_prefix("gap"), 1.0, 1e-12);
+}
+
+TEST(Timeline, AsciiRenderUsesLabelInitials) {
+  Timeline t;
+  t.add(1.0, 1.0, "recv");
+  t.add(0.5, 1.0, "gap");
+  const std::string bar = t.render_ascii(0.5);
+  EXPECT_EQ(bar, "rrg");
+}
+
+// ------------------------------------------------------ TransferSimulator
+
+TEST(Transfer, UncompressedMatchesPaperEq1) {
+  // E = 3.519·s + 0.012 with avg error well under the paper's 7.2%.
+  const TransferSimulator sim;
+  for (double s : {0.1, 0.5, 1.0, 2.0, 5.0, 9.5}) {
+    const auto r = sim.download_uncompressed(s);
+    EXPECT_NEAR(r.energy_j, 3.519 * s + 0.012, 0.02 * (3.519 * s + 0.012))
+        << "s=" << s;
+    EXPECT_NEAR(r.time_s, s / 0.6, 1e-9);
+  }
+}
+
+TEST(Transfer, SequentialMatchesEq2) {
+  const TransferSimulator sim;
+  const double s = 2.0, sc = 0.5;
+  TransferOptions opt;  // defaults: sequential, no PS
+  const auto r = sim.download_compressed(s, sc, "deflate", opt);
+  const double td = 0.161 * s + 0.161 * sc + 0.004;
+  const double ti = 0.4 / 0.6 * sc;
+  const double expect = 2.486 * sc + 0.012 + ti * 1.55 + td * 2.85;
+  EXPECT_NEAR(r.energy_j, expect, 0.01 * expect);
+}
+
+TEST(Transfer, InterleavedMatchesEq3BothBranches) {
+  const TransferSimulator sim;
+  TransferOptions opt;
+  opt.interleave = true;
+
+  // High factor (F=10): decompression spills past the gaps (ti' <= td).
+  {
+    const double s = 2.0, sc = 0.2;
+    const auto r = sim.download_compressed(s, sc, "deflate", opt);
+    const double td = 0.161 * s + 0.161 * sc + 0.004;
+    const double ti1 = 0.4 / 0.6 * (0.128 * sc / s);
+    const double expect = 2.486 * sc + 0.012 + td * 2.85 + ti1 * 1.55;
+    EXPECT_NEAR(r.energy_j, expect, 0.01 * expect);
+  }
+  // Low factor (F=1.25): gaps exceed decompression (ti' > td).
+  {
+    const double s = 2.0, sc = 1.6;
+    const auto r = sim.download_compressed(s, sc, "deflate", opt);
+    const double td = 0.161 * s + 0.161 * sc + 0.004;
+    const double ti = 0.4 / 0.6 * sc;
+    const double ti1 = 0.4 / 0.6 * (0.128 * sc / s);
+    const double ti_rest = ti - ti1;
+    const double expect =
+        2.486 * sc + 0.012 + td * 2.85 + (ti_rest - td + ti1) * 1.55;
+    EXPECT_NEAR(r.energy_j, expect, 0.01 * expect);
+  }
+}
+
+TEST(Transfer, InterleavingNeverSlowerOrCostlierThanSequential) {
+  const TransferSimulator sim;
+  for (double f : {1.2, 2.0, 4.0, 8.0, 16.0}) {
+    const double s = 3.0, sc = s / f;
+    TransferOptions seq;
+    TransferOptions inter;
+    inter.interleave = true;
+    const auto a = sim.download_compressed(s, sc, "deflate", seq);
+    const auto b = sim.download_compressed(s, sc, "deflate", inter);
+    EXPECT_LE(b.time_s, a.time_s + 1e-9) << "F=" << f;
+    EXPECT_LE(b.energy_j, a.energy_j + 1e-9) << "F=" << f;
+  }
+}
+
+TEST(Transfer, SmallFileHasNoFillableGaps) {
+  // s <= block: interleave degenerates to sequential (ti' = 0, Eq. 4).
+  const TransferSimulator sim;
+  const double s = 0.1, sc = 0.05;
+  TransferOptions seq;
+  TransferOptions inter;
+  inter.interleave = true;
+  const auto a = sim.download_compressed(s, sc, "deflate", seq);
+  const auto b = sim.download_compressed(s, sc, "deflate", inter);
+  EXPECT_NEAR(a.energy_j, b.energy_j, 1e-9);
+}
+
+TEST(Transfer, BzipStyleSleepReducesTailEnergy) {
+  const TransferSimulator sim;
+  const double s = 3.0, sc = 0.6;
+  TransferOptions plain;
+  TransferOptions sleep;
+  sleep.sleep_during_decompress = true;
+  const auto a = sim.download_compressed(s, sc, "bwt", plain);
+  const auto b = sim.download_compressed(s, sc, "bwt", sleep);
+  EXPECT_LT(b.energy_j, a.energy_j);
+  EXPECT_NEAR(a.energy_j - b.energy_j,
+              a.decompress_time_s * (2.85 - 1.70), 1e-6);
+}
+
+TEST(Transfer, OnDemandSequentialAddsProxyWait) {
+  const TransferSimulator sim;
+  const double s = 2.0, sc = 0.5;
+  TransferOptions pre;
+  TransferOptions od;
+  od.on_demand = OnDemand::Sequential;
+  const auto a = sim.download_compressed(s, sc, "deflate", pre);
+  const auto b = sim.download_compressed(s, sc, "deflate", od);
+  EXPECT_GT(b.time_s, a.time_s);
+  EXPECT_GT(b.energy_j, a.energy_j);
+  EXPECT_GT(b.wait_time_s, 0.0);
+  // The wait is charged at idle power.
+  EXPECT_NEAR(b.wait_energy_j, b.wait_time_s * 1.55, 1e-9);
+}
+
+TEST(Transfer, OnDemandOverlappedMasksFastCodecs) {
+  // gzip on the P-III compresses faster than the link drains, so the
+  // only extra cost vs precompressed is the first block's latency (§5).
+  const TransferSimulator sim;
+  const double s = 4.0, sc = 1.0;
+  TransferOptions pre;
+  pre.interleave = true;
+  TransferOptions od;
+  od.interleave = true;
+  od.on_demand = OnDemand::Overlapped;
+  const auto a = sim.download_compressed(s, sc, "deflate", pre);
+  const auto b = sim.download_compressed(s, sc, "deflate", od);
+  EXPECT_NEAR(b.time_s - a.time_s, b.wait_time_s, 1e-9);
+  EXPECT_LT(b.wait_time_s, 0.1);  // one 128 KB block at proxy speed
+}
+
+TEST(Transfer, OnDemandOverlappedThrottlesSlowCodecs) {
+  // bzip2 cannot keep up with the link; delivery slows to proxy rate.
+  const TransferSimulator sim;
+  const double s = 4.0, sc = 1.0;
+  TransferOptions pre;
+  pre.interleave = true;
+  TransferOptions od = pre;
+  od.on_demand = OnDemand::Overlapped;
+  const auto a = sim.download_compressed(s, sc, "bwt", pre);
+  const auto b = sim.download_compressed(s, sc, "bwt", od);
+  EXPECT_GT(b.download_time_s, a.download_time_s * 1.5);
+}
+
+TEST(Transfer, SelectiveRawBlocksPayOnlyCopy) {
+  const TransferSimulator sim;
+  std::vector<BlockTransfer> raw_blocks = {{0.128, 0.128, false},
+                                           {0.128, 0.128, false}};
+  TransferOptions opt;
+  opt.interleave = true;
+  const auto r = sim.download_selective(raw_blocks, "deflate", opt);
+  const auto plain = sim.download_uncompressed(0.256);
+  // Nearly identical to a raw download: copy cost only.
+  EXPECT_NEAR(r.energy_j, plain.energy_j, 0.05 * plain.energy_j);
+}
+
+TEST(Transfer, SelectiveMixedBlocksBetweenRawAndFull) {
+  const TransferSimulator sim;
+  TransferOptions opt;
+  opt.interleave = true;
+  std::vector<BlockTransfer> mixed = {
+      {0.128, 0.02, true}, {0.128, 0.128, false}, {0.128, 0.03, true}};
+  const auto r = sim.download_selective(mixed, "deflate", opt);
+  const auto raw = sim.download_uncompressed(0.384);
+  EXPECT_LT(r.energy_j, raw.energy_j);
+}
+
+TEST(Transfer, PowerSavingTradesRateForGapPower) {
+  const TransferSimulator sim;
+  const auto off = sim.download_uncompressed(1.0, false);
+  const auto on = sim.download_uncompressed(1.0, true);
+  EXPECT_GT(on.time_s, off.time_s);       // 25% rate penalty
+  EXPECT_LT(on.energy_j, off.energy_j);   // cheaper gaps win
+}
+
+TEST(Transfer, NegativeSizeRejected) {
+  const TransferSimulator sim;
+  EXPECT_THROW(sim.download_uncompressed(-1.0), Error);
+  EXPECT_THROW(
+      sim.download_compressed(-1.0, 0.5, "deflate", TransferOptions{}),
+      Error);
+}
+
+TEST(Transfer, UnknownCodecRejected) {
+  const TransferSimulator sim;
+  EXPECT_THROW(
+      sim.download_compressed(1.0, 0.5, "zstd", TransferOptions{}), Error);
+}
+
+TEST(Transfer, DeterministicResults) {
+  const TransferSimulator sim;
+  TransferOptions opt;
+  opt.interleave = true;
+  const auto a = sim.download_compressed(2.0, 0.5, "deflate", opt);
+  const auto b = sim.download_compressed(2.0, 0.5, "deflate", opt);
+  EXPECT_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.time_s, b.time_s);
+}
+
+TEST(CpuModelCosts, DecompressMatchesPaperGzipFit) {
+  const auto cpu = CpuModel::ipaq();
+  // td(sc=0.5, s=2.0) = 0.161·2 + 0.161·0.5 + 0.004
+  EXPECT_NEAR(cpu.decompress_time_s("deflate", 0.5, 2.0),
+              0.161 * 2.0 + 0.161 * 0.5 + 0.004, 1e-12);
+}
+
+TEST(CpuModelCosts, BwtDecodeSlowerThanDeflate) {
+  const auto cpu = CpuModel::ipaq();
+  const double g = cpu.decompress_time_s("deflate", 0.5, 2.0);
+  const double b = cpu.decompress_time_s("bwt", 0.5, 2.0);
+  EXPECT_GT(b, 4.0 * g);
+}
+
+TEST(ProxyModelCosts, CompressionKeepsUpWithLinkForFastCodecs) {
+  // §5: gzip/compress overlap transmission almost completely. Sending
+  // 0.6 MB/s of compressed output at factor F consumes 0.6·F MB/s of
+  // raw input, so "keeps up at F" means s_per_raw_mb ≤ 1/(0.6·F).
+  const auto proxy = ProxyModel::dell_p3();
+  const double factor = 3.0, ratio = 1.0 / factor;
+  const double budget_s_per_raw_mb = 1.0 / (0.6 * factor);
+  for (const char* codec : {"deflate", "lzw"}) {
+    const auto c = proxy.compress_cost(codec);
+    EXPECT_LT(c.s_per_mb_in + c.s_per_mb_out * ratio, budget_s_per_raw_mb)
+        << codec;
+  }
+  const auto bwt = proxy.compress_cost("bwt");
+  EXPECT_GT(bwt.s_per_mb_in + bwt.s_per_mb_out * ratio,
+            budget_s_per_raw_mb);  // bzip2 throttles the link
+}
+
+}  // namespace
+}  // namespace ecomp::sim

@@ -1,0 +1,127 @@
+// Upload extension: simulator scenarios and the UploadModel closed
+// forms (the paper's stated future-work direction).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/upload_model.h"
+#include "sim/transfer.h"
+#include "util/bytes.h"
+
+namespace ecomp {
+namespace {
+
+using core::UploadModel;
+using sim::TransferOptions;
+using sim::TransferSimulator;
+
+TEST(UploadSim, RawUploadSymmetricToDownload) {
+  const TransferSimulator sim;
+  const auto up = sim.upload_uncompressed(2.0);
+  const auto down = sim.download_uncompressed(2.0);
+  EXPECT_NEAR(up.energy_j, down.energy_j, 1e-9);
+  EXPECT_NEAR(up.time_s, down.time_s, 1e-9);
+}
+
+TEST(UploadSim, SequentialPaysCompressionUpFront) {
+  const TransferSimulator sim;
+  TransferOptions opt;
+  const auto r = sim.upload_compressed(2.0, 0.5, "deflate", opt);
+  const double tc =
+      sim.device().cpu.compress_cost("deflate").time_s(2.0, 0.5);
+  EXPECT_NEAR(r.decompress_time_s, tc, 1e-9);  // reported as CPU work
+  EXPECT_GT(r.time_s, tc);                     // compress then send
+}
+
+TEST(UploadSim, SleepDuringCompressionSavesEnergy) {
+  const TransferSimulator sim;
+  TransferOptions plain;
+  TransferOptions sleep;
+  sleep.sleep_during_decompress = true;
+  const auto a = sim.upload_compressed(2.0, 0.5, "deflate", plain);
+  const auto b = sim.upload_compressed(2.0, 0.5, "deflate", sleep);
+  EXPECT_LT(b.energy_j, a.energy_j);
+}
+
+TEST(UploadSim, InterleavingNeverWorseThanSequential) {
+  const TransferSimulator sim;
+  for (double f : {1.5, 3.0, 8.0}) {
+    TransferOptions seq;
+    TransferOptions intl;
+    intl.interleave = true;
+    const auto a = sim.upload_compressed(3.0, 3.0 / f, "deflate", seq);
+    const auto b = sim.upload_compressed(3.0, 3.0 / f, "deflate", intl);
+    EXPECT_LE(b.time_s, a.time_s + 1e-9) << f;
+    EXPECT_LE(b.energy_j, a.energy_j + 1e-9) << f;
+  }
+}
+
+TEST(UploadSim, SlowCodecIsCpuBound) {
+  // bwt compression on the iPAQ is far slower than the link: the wall
+  // time approaches compression time, not send time.
+  const TransferSimulator sim;
+  TransferOptions intl;
+  intl.interleave = true;
+  const auto r = sim.upload_compressed(2.0, 0.5, "bwt", intl);
+  const double tc = sim.device().cpu.compress_cost("bwt").time_s(2.0, 0.5);
+  EXPECT_GT(r.time_s, 0.9 * tc);
+}
+
+TEST(UploadSim, RejectsNegativeSizes) {
+  const TransferSimulator sim;
+  EXPECT_THROW(sim.upload_uncompressed(-1.0), Error);
+  EXPECT_THROW(sim.upload_compressed(-1.0, 0.5, "deflate", {}), Error);
+}
+
+TEST(UploadModelTest, MatchesSimulator) {
+  const auto model = UploadModel::ipaq_11mbps();
+  const TransferSimulator sim;
+  for (double f : {1.5, 3.0, 10.0}) {
+    const double s = 3.0, sc = s / f;
+    TransferOptions seq;
+    TransferOptions intl;
+    intl.interleave = true;
+    EXPECT_NEAR(model.sequential_energy_j(s, sc),
+                sim.upload_compressed(s, sc, "deflate", seq).energy_j,
+                0.02 * model.sequential_energy_j(s, sc))
+        << f;
+    EXPECT_NEAR(model.interleaved_energy_j(s, sc),
+                sim.upload_compressed(s, sc, "deflate", intl).energy_j,
+                0.02 * model.interleaved_energy_j(s, sc))
+        << f;
+  }
+  EXPECT_NEAR(model.upload_energy_j(2.0),
+              sim.upload_uncompressed(2.0).energy_j, 0.02);
+}
+
+TEST(UploadModelTest, ThresholdFactorMuchHigherThanDownload) {
+  const auto up = UploadModel::ipaq_11mbps();
+  const auto down = core::EnergyModel::paper_11mbps();
+  const double f_up = up.min_factor(3.0);
+  const double f_down = down.min_factor(3.0);
+  EXPECT_GT(f_up, 2.0 * f_down);  // device compression is expensive
+  EXPECT_LT(f_up, 100.0);         // but deep compression still pays
+}
+
+TEST(UploadModelTest, BwtNeverPaysOnUpload) {
+  // bwt compression costs ~6 s/MB on the iPAQ — no realistic factor
+  // recovers that at 0.6 MB/s.
+  const UploadModel model(core::EnergyParams{},
+                          sim::CpuModel::ipaq().compress_cost("bwt"));
+  EXPECT_FALSE(model.should_compress(3.0, 10.0));
+}
+
+TEST(UploadModelTest, DegenerateInputsRejected) {
+  const auto model = UploadModel::ipaq_11mbps();
+  EXPECT_FALSE(model.should_compress(0.0, 3.0));
+  EXPECT_FALSE(model.should_compress(1.0, 0.0));
+}
+
+TEST(UploadModelTest, InfiniteWhenNothingHelps) {
+  const UploadModel model(core::EnergyParams{},
+                          sim::CpuModel::ipaq().compress_cost("bwt"));
+  EXPECT_TRUE(std::isinf(model.min_factor(1.0)));
+}
+
+}  // namespace
+}  // namespace ecomp

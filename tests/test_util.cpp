@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ecomp {
+namespace {
+
+// ------------------------------------------------------------------ CRC-32
+
+TEST(Crc32, KnownVectors) {
+  // Standard IEEE CRC-32 check values.
+  EXPECT_EQ(crc32(as_bytes(std::string("123456789"))), 0xCBF43926u);
+  EXPECT_EQ(crc32(as_bytes(std::string(""))), 0x00000000u);
+  EXPECT_EQ(crc32(as_bytes(std::string("a"))), 0xE8B7BE43u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Rng rng(5);
+  Bytes data(10000);
+  for (auto& b : data) b = rng.byte();
+  Crc32 inc;
+  inc.update(ByteSpan(data).subspan(0, 3333));
+  inc.update(ByteSpan(data).subspan(3333, 4444));
+  inc.update(ByteSpan(data).subspan(7777));
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, ByteAtATimeMatches) {
+  const std::string s = "wireless handheld energy";
+  Crc32 c;
+  for (char ch : s) c.update(static_cast<std::uint8_t>(ch));
+  EXPECT_EQ(c.value(), crc32(as_bytes(s)));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  Bytes data(256);
+  Rng rng(6);
+  for (auto& b : data) b = rng.byte();
+  const std::uint32_t good = crc32(data);
+  data[100] ^= 0x04;
+  EXPECT_NE(crc32(data), good);
+}
+
+// --------------------------------------------------------------------- RNG
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto r = rng.range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+  }
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, MeanVarianceStddev) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(stats::mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(stats::variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stats::stddev(v), 2.0);
+}
+
+TEST(Stats, LinearFitRecoversExactLine) {
+  std::vector<double> x, y;
+  for (double xi = 0; xi < 10; xi += 0.5) {
+    x.push_back(xi);
+    y.push_back(3.519 * xi + 0.012);
+  }
+  const auto fit = stats::linear_fit(x, y);
+  EXPECT_NEAR(fit.coef[0], 3.519, 1e-9);
+  EXPECT_NEAR(fit.coef[1], 0.012, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitWithNoise) {
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = rng.uniform() * 10.0;
+    x.push_back(xi);
+    y.push_back(2.0 * xi + 1.0 + (rng.uniform() - 0.5) * 0.01);
+  }
+  const auto fit = stats::linear_fit(x, y);
+  EXPECT_NEAR(fit.coef[0], 2.0, 0.01);
+  EXPECT_NEAR(fit.coef[1], 1.0, 0.01);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(Stats, MultivariateRecoversPlane) {
+  // td = 0.161 s + 0.161 sc + 0.004, the paper's decompression fit.
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (double s = 0.1; s < 5.0; s += 0.3)
+    for (double f = 1.2; f < 10.0; f += 1.1) {
+      const double sc = s / f;
+      x.push_back({s, sc, 1.0});
+      y.push_back(0.161 * s + 0.161 * sc + 0.004);
+    }
+  const auto fit = stats::least_squares(x, y);
+  EXPECT_NEAR(fit.coef[0], 0.161, 1e-9);
+  EXPECT_NEAR(fit.coef[1], 0.161, 1e-9);
+  EXPECT_NEAR(fit.coef[2], 0.004, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, SingularSystemThrows) {
+  // Two identical columns.
+  std::vector<std::vector<double>> x = {{1, 1}, {2, 2}, {3, 3}};
+  std::vector<double> y = {1, 2, 3};
+  EXPECT_THROW(stats::least_squares(x, y), Error);
+}
+
+TEST(Stats, ShapeMismatchThrows) {
+  EXPECT_THROW(stats::least_squares({{1.0}}, {1.0, 2.0}), Error);
+  EXPECT_THROW(stats::least_squares({}, {}), Error);
+}
+
+TEST(Stats, SolveLinearSystem) {
+  // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+  auto sol = stats::solve_linear_system({{2, 1}, {1, -1}}, {5, 1});
+  ASSERT_EQ(sol.size(), 2u);
+  EXPECT_NEAR(sol[0], 2.0, 1e-12);
+  EXPECT_NEAR(sol[1], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ecomp

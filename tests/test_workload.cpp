@@ -1,0 +1,146 @@
+// Workload generators and the Table 2 corpus reconstruction.
+#include <gtest/gtest.h>
+
+#include "compress/codec.h"
+#include "workload/corpus.h"
+#include "workload/generator.h"
+
+namespace ecomp::workload {
+namespace {
+
+TEST(Generator, DeterministicAcrossCalls) {
+  const Bytes a = generate_kind(FileKind::Xml, 50000, 42, 0.3);
+  const Bytes b = generate_kind(FileKind::Xml, 50000, 42, 0.3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generator, SeedChangesContent) {
+  EXPECT_NE(generate_kind(FileKind::Log, 20000, 1, 0.0),
+            generate_kind(FileKind::Log, 20000, 2, 0.0));
+}
+
+TEST(Generator, ExactSizes) {
+  for (auto kind : {FileKind::Xml, FileKind::Binary, FileKind::Wav,
+                    FileKind::Random, FileKind::TarMixed})
+    for (std::size_t size : {1u, 100u, 4096u, 100000u})
+      EXPECT_EQ(generate_kind(kind, size, 7, 0.0).size(), size)
+          << to_string(kind) << " " << size;
+}
+
+TEST(Generator, PositiveTuneRaisesFactor) {
+  const auto codec = compress::make_deflate(6);
+  const Bytes flat = generate_kind(FileKind::Binary, 200000, 5, 0.0);
+  const Bytes tuned = generate_kind(FileKind::Binary, 200000, 5, 0.8);
+  EXPECT_GT(compress::compression_factor(*codec, tuned),
+            compress::compression_factor(*codec, flat) * 1.5);
+}
+
+TEST(Generator, NegativeTuneLowersFactor) {
+  const auto codec = compress::make_deflate(6);
+  const Bytes flat = generate_kind(FileKind::Xml, 200000, 6, 0.0);
+  const Bytes noisy = generate_kind(FileKind::Xml, 200000, 6, -0.8);
+  EXPECT_LT(compress::compression_factor(*codec, noisy),
+            compress::compression_factor(*codec, flat) * 0.6);
+}
+
+TEST(Generator, KindsHaveCharacteristicEntropy) {
+  const auto codec = compress::make_deflate(6);
+  const double f_xml = compress::compression_factor(
+      *codec, generate_kind(FileKind::Xml, 300000, 8, 0.0));
+  const double f_bin = compress::compression_factor(
+      *codec, generate_kind(FileKind::Binary, 300000, 8, 0.0));
+  const double f_media = compress::compression_factor(
+      *codec, generate_kind(FileKind::Media, 300000, 8, 0.0));
+  const double f_rand = compress::compression_factor(
+      *codec, generate_kind(FileKind::Random, 300000, 8, 0.0));
+  EXPECT_GT(f_xml, f_bin);
+  EXPECT_GT(f_bin, f_media);
+  EXPECT_GE(f_media, f_rand * 0.98);
+  EXPECT_NEAR(f_rand, 1.0, 0.02);
+}
+
+TEST(Generator, TuneForFactorHitsTargets) {
+  const auto codec = compress::make_deflate(9);
+  for (double target : {1.5, 3.0, 8.0}) {
+    const double tune =
+        tune_for_factor(FileKind::Source, 300000, 9, target);
+    const Bytes data = generate_kind(FileKind::Source, 300000, 9, tune);
+    const double got = compress::compression_factor(*codec, data);
+    EXPECT_NEAR(got, target, 0.25 * target) << "target " << target;
+  }
+}
+
+TEST(Generator, SeedFromNameIsStable) {
+  EXPECT_EQ(seed_from_name("news96.xml"), seed_from_name("news96.xml"));
+  EXPECT_NE(seed_from_name("news96.xml"), seed_from_name("M31C.xml"));
+}
+
+TEST(Generator, TarMixedHasHeterogeneousBlocks) {
+  const auto codec = compress::make_deflate(6);
+  const Bytes data = generate_kind(FileKind::TarMixed, 1500000, 10, 0.0);
+  double min_f = 1e9, max_f = 0;
+  const std::size_t block = 128 * 1024;
+  for (std::size_t off = 0; off + block <= data.size(); off += block) {
+    const double f = compress::compression_factor(
+        *codec, ByteSpan(data).subspan(off, block));
+    min_f = std::min(min_f, f);
+    max_f = std::max(max_f, f);
+  }
+  // The whole point of this kind: block factors vary a lot (§4.3).
+  EXPECT_GT(max_f, 2.0 * min_f);
+}
+
+// -------------------------------------------------------------- corpus
+
+TEST(Corpus, Table2HasAllRows) {
+  EXPECT_EQ(table2().size(), 37u);
+  std::size_t large = 0, small = 0;
+  for (const auto& f : table2()) (f.large ? large : small)++;
+  EXPECT_EQ(large, 23u);
+  EXPECT_EQ(small, 14u);
+}
+
+TEST(Corpus, LookupByName) {
+  const auto& f = table2_entry("M31C.xml");
+  EXPECT_EQ(f.size_bytes, 8391571u);
+  EXPECT_NEAR(f.paper_gzip, 14.64, 1e-9);
+  EXPECT_THROW(table2_entry("nonexistent"), Error);
+}
+
+TEST(Corpus, PaperFactorOrderingHolds) {
+  // In nearly every Table 2 row bzip2 ≥ gzip ≥ compress; the audio file
+  // is the one place compress beats gzip (LZW likes PCM), as in the
+  // paper's own sclerp.wav row.
+  for (const auto& f : table2()) {
+    EXPECT_GE(f.paper_bwt, f.paper_lzw * 0.95) << f.name;
+    const double slack = f.kind == FileKind::Wav ? 0.75 : 0.9;
+    EXPECT_GE(f.paper_gzip, f.paper_lzw * slack) << f.name;
+  }
+}
+
+TEST(Corpus, GeneratedFactorsTrackPaperGzipColumn) {
+  // Spot-check one file per regime at reduced scale.
+  const auto codec = compress::make_deflate(9);
+  for (const char* name :
+       {"M31Csmall.xml", "proxy.ps", "NTBACKUP.EXE", "input.random"}) {
+    const auto& entry = table2_entry(name);
+    const Bytes data = generate(entry, /*scale=*/0.1);
+    const double f = compress::compression_factor(*codec, data);
+    EXPECT_NEAR(f, entry.paper_gzip, 0.3 * entry.paper_gzip) << name;
+  }
+}
+
+TEST(Corpus, CacheReturnsSameBuffer) {
+  Corpus corpus(0.02);
+  const Bytes& a = corpus.file("mail0");
+  const Bytes& b = corpus.file("mail0");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Corpus, ScaledSizeFloorsAt4K) {
+  Corpus corpus(0.001);
+  EXPECT_EQ(corpus.scaled_size(table2_entry("mail0")), 4096u);
+}
+
+}  // namespace
+}  // namespace ecomp::workload

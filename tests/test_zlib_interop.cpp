@@ -1,0 +1,113 @@
+// RFC 1950 zlib stream format: Adler-32 vectors, self round-trip, and
+// differential interop against Python's zlib module where available.
+#include "compress/zlib_format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "cli/cli.h"
+#include "workload/generator.h"
+
+namespace ecomp::compress {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Adler32Test, KnownVectors) {
+  // RFC 1950: Adler-32 of "Wikipedia" is 0x11E60398.
+  EXPECT_EQ(adler32(as_bytes(std::string("Wikipedia"))), 0x11E60398u);
+  EXPECT_EQ(adler32({}), 1u);  // initial value
+  EXPECT_EQ(adler32(as_bytes(std::string("a"))), 0x00620062u);
+}
+
+TEST(Adler32Test, IncrementalMatchesOneShot) {
+  const Bytes data =
+      workload::generate_kind(workload::FileKind::Log, 100000, 1, 0.0);
+  Adler32 inc;
+  inc.update(ByteSpan(data).subspan(0, 33333));
+  inc.update(ByteSpan(data).subspan(33333));
+  EXPECT_EQ(inc.value(), adler32(data));
+}
+
+TEST(ZlibFormat, SelfRoundTrip) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const Bytes input = workload::generate_kind(workload::FileKind::Source,
+                                                120000, seed, 0.2);
+    const Bytes z = zlib_compress(input);
+    EXPECT_TRUE(looks_like_zlib(z));
+    EXPECT_EQ(zlib_decompress(z), input);
+  }
+}
+
+TEST(ZlibFormat, HeaderCheckBitsValidAtEveryLevel) {
+  const Bytes input = to_bytes("check bits");
+  for (int level : {1, 3, 6, 9}) {
+    const Bytes z = zlib_compress(input, level);
+    const unsigned header = (unsigned{z[0]} << 8) | z[1];
+    EXPECT_EQ(header % 31, 0u) << level;
+    EXPECT_EQ(zlib_decompress(z), input);
+  }
+}
+
+TEST(ZlibFormat, RejectsCorruption) {
+  Bytes z = zlib_compress(to_bytes("some zlib data to protect"));
+  Bytes bad_header = z;
+  bad_header[1] ^= 0x01;  // breaks FCHECK
+  EXPECT_THROW(zlib_decompress(bad_header), Error);
+  Bytes bad_adler = z;
+  bad_adler[bad_adler.size() - 1] ^= 0xff;
+  EXPECT_THROW(zlib_decompress(bad_adler), Error);
+  Bytes tiny = {0x78, 0x9c};
+  EXPECT_THROW(zlib_decompress(tiny), Error);
+}
+
+class PythonZlibInterop : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::system("python3 -c 'import zlib' >/dev/null 2>&1") != 0)
+      GTEST_SKIP() << "python3 zlib not available";
+    dir_ = fs::temp_directory_path() /
+           ("ecomp_zlib_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    if (!dir_.empty()) fs::remove_all(dir_);
+  }
+  fs::path dir_;
+};
+
+TEST_F(PythonZlibInterop, PythonReadsOurStreams) {
+  const Bytes input = workload::generate_kind(workload::FileKind::Xml,
+                                              200000, 4, 0.3);
+  cli::write_file((dir_ / "ours.zz").string(), zlib_compress(input));
+  const std::string cmd =
+      "python3 -c \"import zlib,sys;"
+      "sys.stdout.buffer.write(zlib.decompress(open('" +
+      (dir_ / "ours.zz").string() + "','rb').read()))\" > " +
+      (dir_ / "out").string() + " 2>/dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << "python zlib rejected us";
+  EXPECT_EQ(cli::read_file((dir_ / "out").string()), input);
+}
+
+TEST_F(PythonZlibInterop, WeReadPythonStreams) {
+  const Bytes input = workload::generate_kind(workload::FileKind::Log,
+                                              150000, 5, 0.0);
+  cli::write_file((dir_ / "raw").string(), input);
+  for (int level : {1, 6, 9}) {
+    const std::string cmd =
+        "python3 -c \"import zlib,sys;"
+        "sys.stdout.buffer.write(zlib.compress(open('" +
+        (dir_ / "raw").string() + "','rb').read()," +
+        std::to_string(level) + "))\" > " + (dir_ / "theirs.zz").string() +
+        " 2>/dev/null";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    EXPECT_EQ(zlib_decompress(cli::read_file((dir_ / "theirs.zz").string())),
+              input)
+        << level;
+  }
+}
+
+}  // namespace
+}  // namespace ecomp::compress

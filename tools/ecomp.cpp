@@ -1,0 +1,11 @@
+// ecomp — command-line front end (see src/cli/cli.h for the commands).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return ecomp::cli::run(args, std::cout, std::cerr);
+}
