@@ -4,6 +4,7 @@
 // absolute MB/s (the paper's device is a 206 MHz StrongARM).
 #include <benchmark/benchmark.h>
 
+#include "common.h"
 #include "compress/codec.h"
 #include "workload/generator.h"
 
@@ -53,6 +54,49 @@ BENCHMARK_CAPTURE(BM_Decompress, gz, "gz");
 BENCHMARK_CAPTURE(BM_Decompress, unix_Z, "Z");
 BENCHMARK_CAPTURE(BM_Decompress, bz2, "bz2");
 
+// Console reporter that also captures each run's per-iteration real time
+// (seconds) into the BENCH_codec_throughput.json sidecar; scripts/check.sh
+// compares these numbers between ECOMP_OBS=ON and =OFF builds to enforce
+// the instrumentation-overhead budget.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(ecomp::bench::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      // Aggregate rows (mean/median/stddev under --benchmark_repetitions)
+      // arrive with "_<aggregate>" appended to the name; record them the
+      // same way — scripts/check.sh keys its overhead gate off "_median".
+      // Per-repetition rows all share one name, so keep only the
+      // aggregates when repetitions are on (no duplicate JSON keys).
+      if (run.run_type != Run::RT_Aggregate && run.repetitions > 1) continue;
+      const double seconds = run.GetAdjustedRealTime() /
+                             benchmark::GetTimeUnitMultiplier(run.time_unit);
+      report_->headline(run.benchmark_name() + ".real_s", seconds);
+      const auto it = run.counters.find("bytes_per_second");
+      if (it != run.counters.end())
+        report_->headline(run.benchmark_name() + ".bytes_per_s",
+                          it->second.value);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  ecomp::bench::BenchReport* report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ecomp::bench::BenchReport report("codec_throughput");
+  report.note("obs_enabled", ecomp::obs::kObsEnabled ? "on" : "off");
+  CapturingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.write();
+  return 0;
+}

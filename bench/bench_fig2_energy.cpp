@@ -63,5 +63,11 @@ int main() {
       "central §3 finding: decompression efficiency, not compression "
       "depth, decides energy).\n",
       gzip_wins, rows);
+
+  BenchReport report("fig2_energy");
+  report.headline("files", rows);
+  report.headline("gzip_wins", gzip_wins);
+  report.note("power_saving", "bzip2 only (paper §3.2)");
+  report.write();
   return 0;
 }

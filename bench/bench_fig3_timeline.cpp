@@ -4,9 +4,14 @@
 // Rendered from the simulator's actual phase ledger.
 //   r = receiving (active), g = idle gap, d = decompressing
 #include <cstdio>
+#include <fstream>
 
+#include "common.h"
+#include "obs/trace.h"
+#include "sim/timeline_trace.h"
 #include "sim/transfer.h"
 
+using namespace ecomp;
 using namespace ecomp::sim;
 
 namespace {
@@ -23,29 +28,57 @@ void show(const char* title, const TransferResult& r, double s_per_char) {
 int main() {
   const TransferSimulator sim;
   const double scale = 0.05;  // seconds per character
+  obs::Tracer::global().enable();
 
   std::printf("=== Figure 3: download then decompress (no interleaving) ===\n\n");
   TransferOptions seq;
-  show("2 MB file, factor 3, sequential:",
-       sim.download_compressed(2.0, 2.0 / 3.0, "deflate", seq), scale);
+  const auto r_seq = sim.download_compressed(2.0, 2.0 / 3.0, "deflate", seq);
+  show("2 MB file, factor 3, sequential:", r_seq, scale);
 
   std::printf(
       "=== Figure 4(a): interleaving, decompression faster than the "
       "gaps (low factor => lots of idle) ===\n\n");
   TransferOptions inter;
   inter.interleave = true;
-  show("2 MB file, factor 1.25, interleaved:",
-       sim.download_compressed(2.0, 1.6, "deflate", inter), scale);
+  const auto r_fast = sim.download_compressed(2.0, 1.6, "deflate", inter);
+  show("2 MB file, factor 1.25, interleaved:", r_fast, scale);
 
   std::printf(
       "=== Figure 4(b): interleaving, decompression slower than the "
       "gaps (high factor => little idle) ===\n\n");
-  show("2 MB file, factor 10, interleaved:",
-       sim.download_compressed(2.0, 0.2, "deflate", inter), scale);
+  const auto r_slow = sim.download_compressed(2.0, 0.2, "deflate", inter);
+  show("2 MB file, factor 10, interleaved:", r_slow, scale);
 
   std::printf(
       "reading: interleaving converts 'g' time into 'd' time; with a "
       "high factor the gaps fill completely and the tail spills past the "
       "download (Eq. 3's two branches).\n");
+
+  // Stack the three scenario timelines on the simulated-seconds track of
+  // one Chrome trace so they can be compared side by side in Perfetto.
+  auto& tracer = obs::Tracer::global();
+  double off = 0.0;
+  off += timeline_to_trace(r_seq.timeline, tracer, "fig3.sequential", off) + 1.0;
+  off += timeline_to_trace(r_fast.timeline, tracer, "fig4a.interleaved", off) + 1.0;
+  timeline_to_trace(r_slow.timeline, tracer, "fig4b.interleaved", off);
+
+  const std::string trace_path =
+      bench::bench_output_dir() + "/BENCH_fig3_timeline.trace.json";
+  std::ofstream trace_out(trace_path, std::ios::trunc);
+  if (trace_out) {
+    trace_out << tracer.to_chrome_json() << "\n";
+    std::fprintf(stderr, "wrote %s\n", trace_path.c_str());
+  }
+
+  bench::BenchReport report("fig3_timeline");
+  report.headline("sequential_time_s", r_seq.time_s);
+  report.headline("sequential_energy_j", r_seq.energy_j);
+  report.headline("interleave_fast_time_s", r_fast.time_s);
+  report.headline("interleave_fast_energy_j", r_fast.energy_j);
+  report.headline("interleave_slow_time_s", r_slow.time_s);
+  report.headline("interleave_slow_energy_j", r_slow.energy_j);
+  report.headline("trace_events", static_cast<double>(tracer.event_count()));
+  report.note("trace", trace_path);
+  report.write();
   return 0;
 }

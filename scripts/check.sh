@@ -1,0 +1,88 @@
+#!/bin/sh
+# Pre-merge gate: build the default and sanitizer presets, run the full
+# test suite under both, then verify the observability layer's overhead
+# budget — instrumented (ECOMP_OBS=ON) codec throughput may regress at
+# most ECOMP_OBS_BUDGET_PCT percent (default 3) against an =OFF build.
+#
+#   scripts/check.sh
+#
+# Environment:
+#   ECOMP_CHECK_JOBS       parallel build jobs (default: nproc)
+#   ECOMP_OBS_BUDGET_PCT   overhead budget in percent (default: 3)
+#   ECOMP_CHECK_SKIP_BENCH set to 1 to skip the overhead gate
+set -e
+cd "$(dirname "$0")/.."
+
+JOBS="${ECOMP_CHECK_JOBS:-$(nproc)}"
+BUDGET="${ECOMP_OBS_BUDGET_PCT:-3}"
+
+echo "== preset 1: default (ECOMP_OBS=ON) =="
+cmake -B build-check -S . -DECOMP_OBS=ON >/dev/null
+cmake --build build-check -j "$JOBS"
+ctest --test-dir build-check --output-on-failure -j "$JOBS"
+
+echo
+echo "== preset 2: ASan+UBSan (ECOMP_OBS=ON) =="
+cmake -B build-check-asan -S . -DECOMP_OBS=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+  >/dev/null
+cmake --build build-check-asan -j "$JOBS"
+ctest --test-dir build-check-asan --output-on-failure -j "$JOBS"
+
+if [ "${ECOMP_CHECK_SKIP_BENCH:-0}" = "1" ]; then
+  echo "overhead gate skipped (ECOMP_CHECK_SKIP_BENCH=1)"
+  exit 0
+fi
+
+echo
+echo "== overhead gate: bench_codec_throughput ON vs OFF (budget ${BUDGET}%) =="
+cmake -B build-check-obsoff -S . -DECOMP_OBS=OFF >/dev/null
+cmake --build build-check-obsoff -j "$JOBS" --target bench_codec_throughput
+
+BENCH_ARGS="--benchmark_repetitions=3 --benchmark_min_time=0.2"
+mkdir -p build-check/obs_gate/on build-check/obs_gate/off
+# Interleave would be fairer, but gbench binaries run all repetitions in
+# one process; run OFF first so the ON numbers see a warmed file cache.
+ECOMP_BENCH_DIR=build-check/obs_gate/off \
+  build-check-obsoff/bench/bench_codec_throughput $BENCH_ARGS >/dev/null
+ECOMP_BENCH_DIR=build-check/obs_gate/on \
+  build-check/bench/bench_codec_throughput $BENCH_ARGS >/dev/null
+
+python3 - "$BUDGET" <<'EOF'
+import json, math, sys
+
+budget_pct = float(sys.argv[1])
+on = json.load(open("build-check/obs_gate/on/BENCH_codec_throughput.json"))
+off = json.load(open("build-check/obs_gate/off/BENCH_codec_throughput.json"))
+
+def medians(report):
+    out = {}
+    for key, value in report["headline"].items():
+        if key.endswith("_median.real_s"):
+            out[key[: -len("_median.real_s")]] = value
+    return out
+
+m_on, m_off = medians(on), medians(off)
+common = sorted(set(m_on) & set(m_off))
+if not common:
+    sys.exit("overhead gate: no common median measurements found")
+
+log_sum = 0.0
+print(f"{'benchmark':32s} {'off (ms)':>10s} {'on (ms)':>10s} {'ratio':>7s}")
+for name in common:
+    ratio = m_on[name] / m_off[name]
+    log_sum += math.log(ratio)
+    print(f"{name:32s} {m_off[name]*1e3:10.2f} {m_on[name]*1e3:10.2f} "
+          f"{ratio:7.3f}")
+geo = math.exp(log_sum / len(common))
+overhead_pct = (geo - 1.0) * 100.0
+print(f"geometric-mean overhead: {overhead_pct:+.2f}% (budget {budget_pct}%)")
+if overhead_pct > budget_pct:
+    sys.exit(f"FAIL: instrumentation overhead {overhead_pct:.2f}% exceeds "
+             f"budget {budget_pct}%")
+print("overhead gate: OK")
+EOF
+
+echo
+echo "check.sh: all gates passed"

@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -17,6 +18,8 @@
 #include "compress/zlib_format.h"
 #include "core/energy_model.h"
 #include "core/planner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/corpus.h"
 
 namespace ecomp::cli {
@@ -29,7 +32,11 @@ constexpr const char* kUsage =
     "  ecomp decompress IN OUT\n"
     "  ecomp inspect    IN\n"
     "  ecomp plan       [-r 11|2] IN\n"
-    "  ecomp corpus     [-s SCALE] OUTDIR\n";
+    "  ecomp corpus     [-s SCALE] OUTDIR\n"
+    "observability (any command):\n"
+    "  --trace FILE     write a Chrome trace-event JSON (Perfetto-loadable);\n"
+    "                   the ECOMP_TRACE env var sets a default path\n"
+    "  --metrics FILE   write the metrics registry snapshot as JSON\n";
 
 struct ArgParser {
   std::vector<std::string> positional;
@@ -38,6 +45,8 @@ struct ArgParser {
   std::size_t block = compress::kDefaultBlockSize;
   double scale = 0.05;
   int rate = 11;
+  std::string trace_path;    // --trace / ECOMP_TRACE
+  std::string metrics_path;  // --metrics
 
   /// Returns empty string on success, or an error message.
   std::string parse(const std::vector<std::string>& args, std::size_t from) {
@@ -59,6 +68,10 @@ struct ArgParser {
           scale = std::stod(value("-s"));
         } else if (a == "-r") {
           rate = std::stoi(value("-r"));
+        } else if (a == "--trace") {
+          trace_path = value("--trace");
+        } else if (a == "--metrics") {
+          metrics_path = value("--metrics");
         } else if (!a.empty() && a[0] == '-') {
           return "unknown flag: " + a;
         } else {
@@ -68,6 +81,8 @@ struct ArgParser {
         return std::string("bad argument: ") + e.what();
       }
     }
+    if (trace_path.empty())
+      if (const char* env = std::getenv("ECOMP_TRACE")) trace_path = env;
     return "";
   }
 };
@@ -86,7 +101,12 @@ core::EnergyModel model_for_rate(int rate) {
 
 int cmd_compress(const ArgParser& p, std::ostream& out) {
   if (p.positional.size() != 2) throw Error("compress needs IN and OUT");
-  const Bytes input = read_file(p.positional[0]);
+  const Bytes input = [&] {
+    ECOMP_TRACE_SPAN("read_input", "cli");
+    return read_file(p.positional[0]);
+  }();
+  ECOMP_COUNT_N("cli.bytes_in", input.size());
+  ECOMP_TRACE_SPAN("compress", "cli");
   Bytes packed;
   if (p.codec == "gz") {
     packed = compress::gzip_compress(input, p.level);
@@ -109,7 +129,11 @@ int cmd_compress(const ArgParser& p, std::ostream& out) {
   } else {
     packed = compress::make_codec(p.codec)->compress(input);
   }
-  write_file(p.positional[1], packed);
+  ECOMP_COUNT_N("cli.bytes_out", packed.size());
+  {
+    ECOMP_TRACE_SPAN("write_output", "cli");
+    write_file(p.positional[1], packed);
+  }
   char buf[128];
   std::snprintf(buf, sizeof buf, "%zu -> %zu bytes (factor %.3f)\n",
                 input.size(), packed.size(),
@@ -191,7 +215,17 @@ int cmd_inspect(const ArgParser& p, std::ostream& out) {
       out << "  block " << i << ": raw " << infos[i].raw_size << " stored "
           << infos[i].payload_size
           << (infos[i].compressed ? " (compressed)\n" : " (raw)\n");
+    return 0;
   }
+  // Raw containers: the header alone can't reveal payload truncation, so
+  // verify by decoding (throws -> exit 2 on a damaged payload).
+  const Bytes decoded =
+      magic == compress::kDeflateMagic
+          ? compress::DeflateCodec().decompress(input)
+          : magic == compress::kLzwMagic
+                ? compress::LzwCodec().decompress(input)
+                : compress::BwtCodec().decompress(input);
+  out << "payload: verified, " << decoded.size() << " bytes (crc ok)\n";
   return 0;
 }
 
@@ -260,6 +294,37 @@ void write_file(const std::string& path, ByteSpan data) {
   if (!out) throw Error("short write: " + path);
 }
 
+namespace {
+
+/// Write the trace/metrics files requested via --trace/--metrics (or
+/// ECOMP_TRACE). Returns false (with a message on `err`) if a write
+/// fails; telemetry is flushed even when the command itself failed, so
+/// a crash-adjacent run still leaves its counters behind.
+bool flush_obs_outputs(const ArgParser& p, std::ostream& err) {
+  bool ok = true;
+  if (!p.trace_path.empty()) {
+    try {
+      const std::string json = obs::Tracer::global().to_chrome_json();
+      write_file(p.trace_path, as_bytes(json));
+    } catch (const std::exception& e) {
+      err << "error: writing trace: " << e.what() << "\n";
+      ok = false;
+    }
+  }
+  if (!p.metrics_path.empty()) {
+    try {
+      const std::string json = obs::Registry::global().to_json();
+      write_file(p.metrics_path, as_bytes(json));
+    } catch (const std::exception& e) {
+      err << "error: writing metrics: " << e.what() << "\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   if (args.empty()) {
@@ -272,19 +337,38 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     err << msg << "\n" << kUsage;
     return 1;
   }
+  if (!p.trace_path.empty()) obs::Tracer::global().enable();
+
+  int code;
   try {
     const std::string& cmd = args[0];
-    if (cmd == "compress") return cmd_compress(p, out);
-    if (cmd == "decompress") return cmd_decompress(p, out);
-    if (cmd == "inspect") return cmd_inspect(p, out);
-    if (cmd == "plan") return cmd_plan(p, out);
-    if (cmd == "corpus") return cmd_corpus(p, out);
-    err << "unknown command: " << cmd << "\n" << kUsage;
-    return 1;
+    ECOMP_TRACE_SPAN("ecomp", "cli");
+    if (cmd == "compress") {
+      code = cmd_compress(p, out);
+    } else if (cmd == "decompress") {
+      code = cmd_decompress(p, out);
+    } else if (cmd == "inspect") {
+      code = cmd_inspect(p, out);
+    } else if (cmd == "plan") {
+      code = cmd_plan(p, out);
+    } else if (cmd == "corpus") {
+      code = cmd_corpus(p, out);
+    } else {
+      err << "unknown command: " << cmd << "\n" << kUsage;
+      return 1;
+    }
   } catch (const Error& e) {
     err << "error: " << e.what() << "\n";
-    return 2;
+    code = 2;
+  } catch (const std::exception& e) {
+    // Corrupt input can surface as std::bad_alloc / length_error from a
+    // lying size field before a codec's own validation catches it; that
+    // is still "corrupt input", not a crash.
+    err << "error: corrupt or unreadable input (" << e.what() << ")\n";
+    code = 2;
   }
+  if (!flush_obs_outputs(p, err) && code == 0) code = 2;
+  return code;
 }
 
 }  // namespace ecomp::cli

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace ecomp::compress {
 
 Bytes bwt_forward(ByteSpan block, std::uint32_t& primary) {
   const std::size_t n = block.size();
+  ECOMP_COUNT("bwt.block_sorts");
+  ECOMP_OBSERVE("bwt.block_bytes", ::ecomp::obs::pow2_bounds(21), n);
   primary = 0;
   if (n == 0) return {};
   if (n == 1) return Bytes(block.begin(), block.end());

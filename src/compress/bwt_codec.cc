@@ -5,6 +5,8 @@
 #include "compress/bwt.h"
 #include "compress/container.h"
 #include "compress/huffman.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bitio.h"
 #include "util/crc32.h"
 
@@ -199,6 +201,8 @@ BwtCodec::BwtCodec(int level, int max_tables)
       max_tables_(std::clamp(max_tables, 1, kMaxTables)) {}
 
 Bytes BwtCodec::compress(ByteSpan input) const {
+  ECOMP_TRACE_SPAN("bwt.compress", "codec");
+  ECOMP_COUNT_N("bwt.bytes_in", input.size());
   Bytes out;
   write_header(out, kBwtMagic, input.size(), crc32(input));
   const Bytes rle = rle1_encode(input);
@@ -220,10 +224,12 @@ Bytes BwtCodec::compress(ByteSpan input) const {
     out.insert(out.end(), blk.begin(), blk.end());
     off += len;
   }
+  ECOMP_COUNT_N("bwt.bytes_out", out.size());
   return out;
 }
 
 Bytes BwtCodec::decompress(ByteSpan input) const {
+  ECOMP_TRACE_SPAN("bwt.decompress", "codec");
   const Header h = read_header(input, kBwtMagic);
   std::size_t pos = h.payload_offset;
   const std::uint64_t rle_size = get_varint(input, pos);

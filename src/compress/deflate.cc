@@ -5,6 +5,8 @@
 
 #include "compress/container.h"
 #include "compress/huffman.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 
 namespace ecomp::compress {
@@ -273,6 +275,9 @@ constexpr std::size_t kMaxBlockTokens = 48 * 1024;
 
 void deflate_raw(ByteSpan input, const Lz77Params& params,
                  BitWriterLsb& out) {
+  ECOMP_TRACE_SPAN("deflate.raw", "codec");
+  ECOMP_COUNT_N("deflate.bytes_in", input.size());
+  const std::uint64_t bits_before = out.bit_count();
   if (input.empty()) {
     // Single empty stored block.
     out.put(1, 1);
@@ -280,6 +285,7 @@ void deflate_raw(ByteSpan input, const Lz77Params& params,
     out.align_to_byte();
     out.put(0, 16);
     out.put(0xffff, 16);
+    ECOMP_COUNT_N("deflate.bytes_out", (out.bit_count() - bits_before + 7) / 8);
     return;
   }
   const auto tokens = lz77_tokenize(input, params);
@@ -301,10 +307,13 @@ void deflate_raw(ByteSpan input, const Lz77Params& params,
                tok_begin, tok_end, final);
     tok_begin = tok_end;
     raw_begin = raw_end;
+    ECOMP_COUNT("deflate.blocks");
   }
+  ECOMP_COUNT_N("deflate.bytes_out", (out.bit_count() - bits_before + 7) / 8);
 }
 
 Bytes inflate_raw(BitReaderLsb& in, std::size_t size_hint) {
+  ECOMP_TRACE_SPAN("inflate.raw", "codec");
   Bytes out;
   out.reserve(size_hint);
   const auto fixed_lit = fixed_litlen_lengths();
@@ -395,6 +404,7 @@ Bytes inflate_raw(BitReaderLsb& in, std::size_t size_hint) {
 }
 
 Bytes DeflateCodec::compress(ByteSpan input) const {
+  ECOMP_TRACE_SPAN("deflate.compress", "codec");
   Bytes out;
   write_header(out, kDeflateMagic, input.size(), crc32(input));
   BitWriterLsb bw;
@@ -405,6 +415,7 @@ Bytes DeflateCodec::compress(ByteSpan input) const {
 }
 
 Bytes DeflateCodec::decompress(ByteSpan input) const {
+  ECOMP_TRACE_SPAN("deflate.decompress", "codec");
   const Header h = read_header(input, kDeflateMagic);
   BitReaderLsb br(input.subspan(h.payload_offset));
   Bytes out = inflate_raw(br, h.original_size);

@@ -4,12 +4,15 @@
 #include <numeric>
 #include <queue>
 
+#include "obs/metrics.h"
+
 namespace ecomp::huffman {
 
 std::vector<std::uint8_t> build_code_lengths(
     const std::vector<std::uint64_t>& freqs, int max_len) {
   const std::size_t n = freqs.size();
   if (max_len <= 0 || max_len > 31) throw Error("huffman: bad max_len");
+  ECOMP_COUNT("huffman.table_builds");
   std::vector<std::uint8_t> lengths(n, 0);
 
   std::vector<std::uint32_t> live;

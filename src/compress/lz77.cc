@@ -1,6 +1,9 @@
 #include "compress/lz77.h"
 
 #include <algorithm>
+#include <array>
+
+#include "obs/metrics.h"
 
 namespace ecomp::compress {
 
@@ -40,14 +43,38 @@ inline int match_length(const std::uint8_t* a, const std::uint8_t* b,
   return n;
 }
 
+// Bucket count for the probes-per-find histogram (pow2 bounds 1..2^11,
+// matching the largest max_chain of 4096 within two buckets).
+constexpr int kChainHistBuckets = 12;
+
 struct Matcher {
   ByteSpan in;
   Lz77Params params;
   std::vector<std::int32_t> head;  // hash -> most recent position
   std::vector<std::int32_t> prev;  // position -> previous with same hash
 
+  // Search statistics, accumulated locally (plain integers — the chain
+  // walk is the hottest loop in deflate) and flushed to the registry
+  // once per tokenize call.
+  mutable std::uint64_t stat_probes = 0;
+  mutable std::uint64_t stat_finds = 0;
+  mutable std::uint64_t stat_matches = 0;
+  mutable std::array<std::uint64_t, kChainHistBuckets + 1> chain_hist{};
+
   explicit Matcher(ByteSpan input, const Lz77Params& p)
       : in(input), params(p), head(kHashSize, -1), prev(input.size(), -1) {}
+
+  void flush_stats() const {
+    if constexpr (obs::kObsEnabled) {
+      auto& reg = obs::Registry::global();
+      reg.counter("lz77.match_probes").add(stat_probes);
+      reg.counter("lz77.match_finds").add(stat_finds);
+      reg.counter("lz77.matches_found").add(stat_matches);
+      reg.histogram("lz77.chain_len", obs::pow2_bounds(kChainHistBuckets))
+          .merge_buckets(chain_hist.data(), chain_hist.size(),
+                         static_cast<double>(stat_probes));
+    }
+  }
 
   void insert(std::size_t pos) {
     if (pos + kLzMinMatch > in.size()) return;
@@ -73,8 +100,10 @@ struct Matcher {
     std::int32_t cand = head[hash3(cur)];
     const std::int64_t limit =
         static_cast<std::int64_t>(pos) - params.window_size;
+    std::uint64_t probes = 0;
     while (cand >= 0 && cand > limit && chain-- > 0) {
       if (best_len >= max_len) break;  // cannot improve; also guards reads
+      if constexpr (obs::kObsEnabled) ++probes;
       if (static_cast<std::size_t>(cand) != pos) {
         const std::uint8_t* cp = in.data() + cand;
         // Quick reject on the byte that would extend the best match.
@@ -89,7 +118,13 @@ struct Matcher {
       }
       cand = prev[cand];
     }
+    if constexpr (obs::kObsEnabled) {
+      stat_probes += probes;
+      ++stat_finds;
+      ++chain_hist[obs::pow2_bucket(probes, kChainHistBuckets)];
+    }
     if (best_dist == 0 || best_len < kLzMinMatch) return {0, 0};
+    if constexpr (obs::kObsEnabled) ++stat_matches;
     return {best_len, best_dist};
   }
 };
@@ -168,6 +203,8 @@ std::vector<Lz77Token> lz77_tokenize(ByteSpan input,
     // Input ended while a match was pending: it is still valid.
     emit_match(prev_len, prev_dist);
   }
+  m.flush_stats();
+  ECOMP_COUNT_N("lz77.tokens", tokens.size());
   return tokens;
 }
 

@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "compress/container.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/bitio.h"
 #include "util/crc32.h"
 
@@ -46,10 +48,15 @@ LzwCodec::LzwCodec(int max_bits) : max_bits_(max_bits) {
 }
 
 Bytes LzwCodec::compress(ByteSpan input) const {
+  ECOMP_TRACE_SPAN("lzw.compress", "codec");
+  ECOMP_COUNT_N("lzw.bytes_in", input.size());
   Bytes out;
   write_header(out, kLzwMagic, input.size(), crc32(input));
   out.push_back(static_cast<std::uint8_t>(max_bits_));
-  if (input.empty()) return out;
+  if (input.empty()) {
+    ECOMP_COUNT_N("lzw.bytes_out", out.size());
+    return out;
+  }
 
   const std::uint32_t max_code = (1u << max_bits_) - 1;
   BitWriterLsb bw;
@@ -92,6 +99,7 @@ Bytes LzwCodec::compress(ByteSpan input) const {
       if (factor > best_factor) {
         best_factor = factor;
       } else {
+        ECOMP_COUNT("lzw.dict_resets");
         emit(kClearCode);
         dict.clear();
         next_code = kFirstCode;
@@ -104,10 +112,12 @@ Bytes LzwCodec::compress(ByteSpan input) const {
 
   Bytes payload = bw.take();
   out.insert(out.end(), payload.begin(), payload.end());
+  ECOMP_COUNT_N("lzw.bytes_out", out.size());
   return out;
 }
 
 Bytes LzwCodec::decompress(ByteSpan input) const {
+  ECOMP_TRACE_SPAN("lzw.decompress", "codec");
   const Header h = read_header(input, kLzwMagic);
   std::size_t pos = h.payload_offset;
   if (pos >= input.size()) throw Error("lzw: truncated stream");

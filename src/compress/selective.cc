@@ -4,6 +4,8 @@
 
 #include "compress/container.h"
 #include "compress/deflate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/crc32.h"
 
 namespace ecomp::compress {
@@ -27,6 +29,7 @@ SelectivePolicy SelectivePolicy::never() {
 SelectiveResult selective_compress(ByteSpan input,
                                    const SelectivePolicy& policy,
                                    std::size_t block_size, int level) {
+  ECOMP_TRACE_SPAN("selective.compress", "codec");
   if (block_size == 0) throw Error("selective: block_size must be > 0");
   if (!policy.energy_test)
     throw Error("selective: policy requires an energy_test");
@@ -52,6 +55,12 @@ SelectiveResult selective_compress(ByteSpan input,
       compressed = codec.compress(block);
       use_compressed = policy.energy_test(len, compressed.size());
     }
+    // Note: the name passed to ECOMP_COUNT must be a fixed literal (the
+    // macro caches the instrument per call site).
+    if (use_compressed)
+      ECOMP_COUNT("selective.blocks_compressed");
+    else
+      ECOMP_COUNT("selective.blocks_raw");
 
     BlockInfo info;
     info.raw_size = len;
@@ -123,6 +132,7 @@ ParsedContainer parse(ByteSpan container) {
 }  // namespace
 
 Bytes selective_decompress(ByteSpan container) {
+  ECOMP_TRACE_SPAN("selective.decompress", "codec");
   const ParsedContainer pc = parse(container);
   const DeflateCodec codec;
   Bytes out;
@@ -194,6 +204,10 @@ Bytes SelectiveStreamEncoder::next_chunk() {
     compressed = DeflateCodec(level_).compress(block);
     use_compressed = policy_.energy_test(len, compressed.size());
   }
+  if (use_compressed)
+    ECOMP_COUNT("selective.blocks_compressed");
+  else
+    ECOMP_COUNT("selective.blocks_raw");
 
   Bytes chunk;
   BlockInfo info;

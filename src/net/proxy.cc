@@ -5,6 +5,8 @@
 
 #include "compress/deflate.h"
 #include "core/interleave.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ecomp::net {
 
@@ -64,6 +66,7 @@ void ProxyServer::serve() {
 }
 
 void ProxyServer::handle(Socket client) {
+  ECOMP_COUNT("net.proxy.requests");
   const Bytes req = recv_frame(client);
   std::istringstream iss(to_string(req));
   std::string verb, mode, name;
@@ -153,6 +156,8 @@ void ProxyServer::handle(Socket client) {
 
 Bytes download(std::uint16_t port, const std::string& name,
                const std::string& mode, DownloadStats* stats) {
+  ECOMP_TRACE_SPAN("net.download", "net");
+  ECOMP_COUNT("net.round_trips");
   Socket s = connect_local(port);
   send_frame(s, as_bytes("GET " + mode + " " + name));
   const std::string status = to_string(recv_frame(s));
@@ -185,6 +190,8 @@ Bytes download(std::uint16_t port, const std::string& name,
 
 std::size_t upload(std::uint16_t port, const std::string& name,
                    ByteSpan data, const compress::SelectivePolicy& policy) {
+  ECOMP_TRACE_SPAN("net.upload", "net");
+  ECOMP_COUNT("net.round_trips");
   Socket s = connect_local(port);
   send_frame(s, as_bytes("PUT " + name));
   compress::SelectiveStreamEncoder enc(data, policy);

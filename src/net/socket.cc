@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace ecomp::net {
 namespace {
 
@@ -47,6 +49,8 @@ void Socket::send_all(ByteSpan data) const {
     }
     off += static_cast<std::size_t>(n);
   }
+  ECOMP_COUNT_N("net.bytes_sent", data.size());
+  ECOMP_COUNT("net.sends");
 }
 
 std::size_t Socket::recv_some(std::uint8_t* dst, std::size_t max) const {
@@ -56,6 +60,7 @@ std::size_t Socket::recv_some(std::uint8_t* dst, std::size_t max) const {
       if (errno == EINTR) continue;
       fail("recv");
     }
+    ECOMP_COUNT_N("net.bytes_recv", n);
     return static_cast<std::size_t>(n);
   }
 }
@@ -113,6 +118,7 @@ Socket connect_local(std::uint16_t port) {
   addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
     fail("connect");
+  ECOMP_COUNT("net.connections");
   return s;
 }
 

@@ -1,0 +1,124 @@
+#include "obs/trace.h"
+
+#include <map>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace ecomp::obs {
+namespace {
+
+/// Small dense thread ids for the trace (Chrome tids), first-use order.
+int this_thread_tid() {
+  static std::atomic<int> next{1};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+Tracer::Tracer() : t0_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::enable() {
+  {
+    std::lock_guard lock(mu_);
+    t0_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  events_.clear();
+}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+void Tracer::add_complete(std::string_view name, std::string_view cat,
+                          double ts_us, double dur_us, int pid) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::string(name);
+  e.cat = std::string(cat);
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.pid = pid;
+  e.tid = pid == kSimPid ? 1 : this_thread_tid();
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::add_sim_complete(std::string_view name, std::string_view cat,
+                              double start_s, double dur_s) {
+  add_complete(name, cat, start_s * 1e6, dur_s * 1e6, kSimPid);
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Track-name metadata so Perfetto labels the two timebases.
+  os << "{\"ph\":\"M\",\"pid\":" << kWallPid
+     << ",\"name\":\"process_name\",\"args\":{\"name\":\"wall\"}},";
+  os << "{\"ph\":\"M\",\"pid\":" << kSimPid
+     << ",\"name\":\"process_name\",\"args\":{\"name\":\"sim\"}}";
+  for (const auto& e : events_) {
+    os << ",{\"name\":" << json_quote(e.name)
+       << ",\"cat\":" << json_quote(e.cat.empty() ? "ecomp" : e.cat)
+       << ",\"ph\":\"X\",\"ts\":" << json_number(e.ts_us)
+       << ",\"dur\":" << json_number(e.dur_us) << ",\"pid\":" << e.pid
+       << ",\"tid\":" << e.tid << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Tracer::summary_text() const {
+  std::lock_guard lock(mu_);
+  struct Agg {
+    std::size_t count = 0;
+    double total_us = 0.0;
+  };
+  std::map<std::string, Agg> agg;
+  for (const auto& e : events_) {
+    Agg& a = agg[std::string(e.pid == kSimPid ? "sim " : "wall ") + e.cat +
+                 " " + e.name];
+    ++a.count;
+    a.total_us += e.dur_us;
+  }
+  std::ostringstream os;
+  for (const auto& [key, a] : agg)
+    os << key << " count=" << a.count
+       << " total_ms=" << json_number(a.total_us / 1e3) << "\n";
+  return os.str();
+}
+
+Span::Span(std::string_view name, std::string_view cat)
+    : name_(name), cat_(cat) {
+  Tracer& t = Tracer::global();
+  if (!t.enabled()) return;
+  active_ = true;
+  start_us_ = t.now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Tracer& t = Tracer::global();
+  t.add_complete(name_, cat_, start_us_, t.now_us() - start_us_);
+}
+
+}  // namespace ecomp::obs

@@ -1,0 +1,99 @@
+// obs::Tracer — span tracing over a dual timebase, exported as Chrome
+// trace-event JSON (loadable in Perfetto / chrome://tracing) or a flat
+// text summary.
+//
+// Two tracks (Chrome "processes") keep the timebases apart:
+//   * pid 1 "wall" — real wall-clock spans around actual codec/CLI work,
+//     recorded via RAII obs::Span (or the ECOMP_TRACE_SPAN macro).
+//   * pid 2 "sim"  — simulated seconds from sim::Timeline phases, mapped
+//     1 s -> 1e6 trace-us so Perfetto renders them at natural scale.
+//
+// The tracer is disabled by default: Span construction is a single
+// relaxed atomic load until enable() is called, and the ECOMP_TRACE_SPAN
+// macro disappears entirely in ECOMP_OBS=OFF builds.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecomp::obs {
+
+inline constexpr int kWallPid = 1;  ///< wall-clock track
+inline constexpr int kSimPid = 2;   ///< simulated-seconds track
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  double ts_us = 0.0;   ///< start, microseconds in the track's timebase
+  double dur_us = 0.0;  ///< duration; 0 renders as an instant
+  int pid = kWallPid;
+  int tid = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  void enable();
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void clear();
+
+  /// Microseconds since enable() (or first use) on the wall track.
+  double now_us() const;
+
+  void add_complete(std::string_view name, std::string_view cat,
+                    double ts_us, double dur_us, int pid = kWallPid);
+  /// Simulated-timebase complete event, in seconds.
+  void add_sim_complete(std::string_view name, std::string_view cat,
+                        double start_s, double dur_s);
+
+  std::size_t event_count() const;
+
+  /// Chrome trace-event JSON: {"traceEvents":[...],"displayTimeUnit":..}.
+  std::string to_chrome_json() const;
+  /// Per-(track, category, name) count/total-duration summary lines.
+  std::string summary_text() const;
+
+ private:
+  Tracer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII wall-clock span: records a complete event on destruction. Cheap
+/// when the tracer is disabled (one relaxed load, no clock read).
+class Span {
+ public:
+  Span(std::string_view name, std::string_view cat);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string_view name_;
+  std::string_view cat_;
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace ecomp::obs
+
+#if defined(ECOMP_OBS_ENABLED)
+#define ECOMP_OBS_CONCAT_(a, b) a##b
+#define ECOMP_OBS_CONCAT(a, b) ECOMP_OBS_CONCAT_(a, b)
+/// Scoped span over the rest of the enclosing block.
+#define ECOMP_TRACE_SPAN(name, cat) \
+  ::ecomp::obs::Span ECOMP_OBS_CONCAT(ecomp_obs_span_, __LINE__)(name, cat)
+#else
+#define ECOMP_TRACE_SPAN(name, cat) \
+  do { (void)sizeof(name); (void)sizeof(cat); } while (0)
+#endif

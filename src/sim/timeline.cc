@@ -43,6 +43,10 @@ double Timeline::time_with_prefix(const std::string& prefix) const {
 
 std::string Timeline::render_ascii(double s_per_char) const {
   std::string bar;
+  // Zero, negative, or NaN scales have no sensible rendering (and would
+  // divide by zero below); return an empty bar rather than attempting a
+  // huge or negative append.
+  if (!(s_per_char > 0.0)) return bar;
   for (const auto& p : phases_) {
     if (p.duration_s <= 0.0) continue;
     const int chars = std::max(

@@ -40,7 +40,8 @@ class Timeline {
 
   /// Fixed-width ASCII rendering (one char per `s_per_char` seconds,
   /// each phase drawn with the first letter of its label) for the
-  /// Fig. 3/4 style diagrams.
+  /// Fig. 3/4 style diagrams. Non-positive (or NaN) `s_per_char`
+  /// returns an empty string.
   std::string render_ascii(double s_per_char) const;
 
  private:

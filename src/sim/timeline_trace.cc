@@ -1,0 +1,22 @@
+#include "sim/timeline_trace.h"
+
+namespace ecomp::sim {
+
+double timeline_to_trace(const Timeline& timeline, obs::Tracer& tracer,
+                         std::string_view cat, double offset_s) {
+  double t = offset_s;
+  for (const auto& p : timeline.phases()) {
+    const std::string_view name =
+        p.label.empty() ? std::string_view("(unlabeled)") : p.label;
+    if (p.duration_s > 0.0) {
+      tracer.add_sim_complete(name, cat, t, p.duration_s);
+      t += p.duration_s;
+    } else {
+      // Instantaneous charge (e.g. the cs network start-up term).
+      tracer.add_sim_complete(name, cat, t, 0.0);
+    }
+  }
+  return t - offset_s;
+}
+
+}  // namespace ecomp::sim

@@ -1,0 +1,22 @@
+// Timeline -> trace bridge: replays a sim::Timeline's phase ledger onto
+// the tracer's simulated-seconds track, so every Fig. 3/4-style phase
+// diagram can also be opened in Perfetto next to the wall-clock spans.
+#pragma once
+
+#include <string_view>
+
+#include "obs/trace.h"
+#include "sim/timeline.h"
+
+namespace ecomp::sim {
+
+/// Emit one sim-track complete event per timed phase (cumulative start
+/// offsets, labels as event names) and one zero-duration instant per
+/// fixed-energy charge. `cat` groups the timeline's events in the
+/// viewer; `offset_s` shifts the whole timeline (for laying several
+/// scenarios side by side). Returns the timeline's total duration so
+/// callers can stack the next one after it.
+double timeline_to_trace(const Timeline& timeline, obs::Tracer& tracer,
+                         std::string_view cat, double offset_s = 0.0);
+
+}  // namespace ecomp::sim

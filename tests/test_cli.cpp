@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "workload/generator.h"
 
 namespace ecomp::cli {
@@ -116,6 +117,117 @@ TEST_F(CliFixture, BadCodecNameFails) {
   EXPECT_EQ(
       run_cli({"compress", "-c", "zstd", in_path_, (dir_ / "o").string()}),
       2);
+}
+
+// ------------------------------------------------- corrupt-input handling
+// decompress/inspect on damaged containers must report exit 2 with a
+// clear message — never crash, never succeed silently (except benign
+// byte flips a format can't detect, which may still round-trip).
+
+TEST_F(CliFixture, TruncatedContainersFailCleanly) {
+  // ".Z" is absent: the real compress(1) format carries no length or
+  // checksum, so a cut at a code boundary decodes cleanly by design
+  // (it is covered by the byte-flip test below instead).
+  for (const std::string codec :
+       {"deflate", "lzw", "bwt", "selective", "gz", "bz2"}) {
+    const std::string packed = (dir_ / (codec + ".ec")).string();
+    ASSERT_EQ(run_cli({"compress", "-c", codec, in_path_, packed}), 0)
+        << err_.str();
+    const Bytes full = read_file(packed);
+    // Cut at a spread of points: inside the magic, inside the header,
+    // and at several places in the payload.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{7},
+          full.size() / 4, full.size() / 2, full.size() - 1}) {
+      if (keep >= full.size()) continue;
+      const std::string cut = (dir_ / "cut.bin").string();
+      write_file(cut, Bytes(full.begin(), full.begin() + keep));
+      const int code =
+          run_cli({"decompress", cut, (dir_ / "cut.out").string()});
+      EXPECT_EQ(code, 2) << codec << " truncated to " << keep
+                         << " bytes: exit " << code << "\n"
+                         << err_.str();
+      EXPECT_FALSE(err_.str().empty()) << codec << " @" << keep;
+      EXPECT_EQ(run_cli({"inspect", cut}), 2) << codec << " @" << keep;
+    }
+  }
+}
+
+TEST_F(CliFixture, CorruptedMagicFailsCleanly) {
+  for (const std::string codec : {"selective", "gz", "Z", "bz2"}) {
+    const std::string packed = (dir_ / (codec + ".ec")).string();
+    ASSERT_EQ(run_cli({"compress", "-c", codec, in_path_, packed}), 0);
+    Bytes data = read_file(packed);
+    data[0] ^= 0xff;  // break the magic
+    const std::string bad = (dir_ / "bad.bin").string();
+    write_file(bad, data);
+    EXPECT_EQ(run_cli({"decompress", bad, (dir_ / "bad.out").string()}), 2)
+        << codec;
+    EXPECT_FALSE(err_.str().empty());
+    EXPECT_EQ(run_cli({"inspect", bad}), 2) << codec;
+  }
+}
+
+TEST_F(CliFixture, PayloadByteFlipsNeverCrash) {
+  // Deeper damage: flip bytes throughout the container. Formats with
+  // checksums must reject (2); at worst a flip is benign and the file
+  // still round-trips (0) — but no exit code other than 0/2 and no
+  // crash is acceptable.
+  for (const std::string codec : {"selective", "gz", "bz2", "Z"}) {
+    const std::string packed = (dir_ / (codec + ".ec")).string();
+    ASSERT_EQ(run_cli({"compress", "-c", codec, in_path_, packed}), 0);
+    const Bytes full = read_file(packed);
+    for (std::size_t i = 1; i < full.size(); i += full.size() / 13 + 1) {
+      Bytes data = full;
+      data[i] ^= 0x5a;
+      const std::string bad = (dir_ / "flip.bin").string();
+      write_file(bad, data);
+      const int code =
+          run_cli({"decompress", bad, (dir_ / "flip.out").string()});
+      EXPECT_TRUE(code == 0 || code == 2)
+          << codec << " flip @" << i << ": exit " << code << "\n"
+          << err_.str();
+    }
+  }
+}
+
+// --------------------------------------------------- telemetry emission
+
+TEST_F(CliFixture, TraceAndMetricsFlagsWriteJson) {
+  const std::string packed = (dir_ / "out.ec").string();
+  const std::string trace = (dir_ / "trace.json").string();
+  const std::string metrics = (dir_ / "metrics.json").string();
+  ASSERT_EQ(run_cli({"compress", "--trace", trace, "--metrics", metrics,
+                     in_path_, packed}),
+            0)
+      << err_.str();
+  const std::string tj = to_string(read_file(trace));
+  EXPECT_NE(tj.find("\"traceEvents\""), std::string::npos);
+  const std::string mj = to_string(read_file(metrics));
+  EXPECT_NE(mj.find("\"counters\""), std::string::npos);
+  // Span/counter content only exists when instrumentation is compiled in.
+  if (obs::kObsEnabled) {
+    EXPECT_NE(tj.find("\"compress\""), std::string::npos);
+    EXPECT_NE(mj.find("\"cli.bytes_in\""), std::string::npos);
+  }
+}
+
+TEST_F(CliFixture, TraceEnvFallback) {
+  const std::string trace = (dir_ / "env_trace.json").string();
+  ::setenv("ECOMP_TRACE", trace.c_str(), 1);
+  const int code =
+      run_cli({"compress", in_path_, (dir_ / "out.ec").string()});
+  ::unsetenv("ECOMP_TRACE");
+  ASSERT_EQ(code, 0) << err_.str();
+  EXPECT_NE(to_string(read_file(trace)).find("\"traceEvents\""),
+            std::string::npos);
+}
+
+TEST_F(CliFixture, UnwritableTraceFileFails) {
+  EXPECT_EQ(run_cli({"compress", "--trace", "/nonexistent-dir/t.json",
+                     in_path_, (dir_ / "out.ec").string()}),
+            2);
+  EXPECT_FALSE(err_.str().empty());
 }
 
 }  // namespace

@@ -1,0 +1,372 @@
+// The observability layer: metrics registry semantics, concurrent
+// recording, trace JSON well-formedness, and the disabled-build no-ops.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ecomp::obs {
+namespace {
+
+// ------------------------------------------------------------- mini JSON
+// A strict structural validator (not a full parser): enough to prove the
+// exporters emit grammatically valid JSON, including escaping.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_])))
+              return false;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(const std::string& s) { return JsonChecker(s).valid(); }
+
+TEST(ObsJson, CheckerSanity) {
+  EXPECT_TRUE(is_valid_json(R"({"a":[1,2.5,-3e4],"b":"x\n\"y"})"));
+  EXPECT_FALSE(is_valid_json(R"({"a":1)"));
+  EXPECT_FALSE(is_valid_json("{'a':1}"));
+  EXPECT_FALSE(is_valid_json("{\"a\":\"\x01\"}"));  // raw control char
+}
+
+TEST(ObsJson, QuoteEscapes) {
+  EXPECT_EQ(json_quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_TRUE(is_valid_json(json_quote(std::string("\x01\x1f tab\t"))));
+}
+
+TEST(ObsJson, NumberIsAlwaysValid) {
+  EXPECT_TRUE(is_valid_json(json_number(1.5)));
+  EXPECT_TRUE(is_valid_json(json_number(-0.0)));
+  // Non-finite values must not leak "inf"/"nan" tokens into the JSON.
+  EXPECT_TRUE(is_valid_json(json_number(1.0 / 0.0)));
+  EXPECT_TRUE(is_valid_json(json_number(0.0 / 0.0)));
+}
+
+// ------------------------------------------------------------ instruments
+
+TEST(ObsMetrics, CounterBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetrics, GaugeBasics) {
+  Gauge g;
+  g.set(-7);
+  EXPECT_EQ(g.value(), -7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndSum) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);  // bucket 0 (<=1)
+  h.observe(1.0);  // bucket 0
+  h.observe(3.0);  // bucket 2 (<=4)
+  h.observe(99);   // overflow bucket
+  EXPECT_EQ(h.bucket_count(), 4u);
+  EXPECT_EQ(h.bucket_values(), (std::vector<std::uint64_t>{2, 0, 1, 1}));
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 3.0 + 99.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(ObsMetrics, HistogramMergeBuckets) {
+  Histogram h(pow2_bounds(3));  // bounds {1,2,4}, 4 buckets
+  const std::uint64_t local[4] = {5, 0, 2, 1};
+  h.merge_buckets(local, 4, 123.0);
+  h.merge_buckets(local, 4, 1.0);
+  EXPECT_EQ(h.bucket_values(), (std::vector<std::uint64_t>{10, 0, 4, 2}));
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_DOUBLE_EQ(h.sum(), 124.0);
+}
+
+TEST(ObsMetrics, Pow2BucketMatchesObserve) {
+  // The local fast-path index must agree with Histogram::observe's
+  // lower_bound placement for every small value.
+  constexpr int n = 8;
+  const auto bounds = pow2_bounds(n);
+  ASSERT_EQ(bounds.size(), static_cast<std::size_t>(n));
+  for (std::uint64_t v = 0; v <= 600; ++v) {
+    Histogram h(bounds);
+    h.observe(static_cast<double>(v));
+    const auto placed = h.bucket_values();
+    std::size_t observed = 0;
+    for (std::size_t i = 0; i < placed.size(); ++i)
+      if (placed[i]) observed = i;
+    EXPECT_EQ(pow2_bucket(v, n), observed) << "v=" << v;
+  }
+}
+
+TEST(ObsMetrics, RegistryDedupAndSnapshot) {
+  auto& r = Registry::global();
+  Counter& a = r.counter("test.obs.dedup");
+  Counter& b = r.counter("test.obs.dedup");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.add(7);
+  const auto snap = r.counter_values();
+  ASSERT_TRUE(snap.count("test.obs.dedup"));
+  EXPECT_EQ(snap.at("test.obs.dedup"), 7u);
+
+  // Bounds apply on first registration only; later calls reuse them.
+  Histogram& h1 = r.histogram("test.obs.h", {1.0, 2.0});
+  Histogram& h2 = r.histogram("test.obs.h", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(ObsMetrics, ResetKeepsReferencesValid) {
+  auto& r = Registry::global();
+  Counter& c = r.counter("test.obs.reset_ref");
+  c.add(3);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // the macro-cached static pattern relies on this
+  EXPECT_EQ(r.counter("test.obs.reset_ref").value(), 2u);
+}
+
+TEST(ObsMetrics, ExportsAreWellFormed) {
+  auto& r = Registry::global();
+  r.counter("test.obs.\"quoted\"\nname").add(1);
+  r.gauge("test.obs.gauge").set(-5);
+  r.histogram("test.obs.export_h", {1.0, 8.0}).observe(3.0);
+  const std::string json = r.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  const std::string text = r.to_text();
+  EXPECT_NE(text.find("test.obs.gauge"), std::string::npos);
+}
+
+TEST(ObsMetrics, ConcurrentIncrementsDontLose) {
+  auto& r = Registry::global();
+  Counter& c = r.counter("test.obs.mt_counter");
+  Histogram& h = r.histogram("test.obs.mt_hist", pow2_bounds(4));
+  c.reset();
+  h.reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(static_cast<double>(t % 5));
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t total = 0;
+  for (const auto v : h.bucket_values()) total += v;
+  EXPECT_EQ(total, h.count());
+}
+
+// ----------------------------------------------------------------- tracer
+
+/// Restores a clean disabled/empty tracer however the test exits.
+struct TracerGuard {
+  ~TracerGuard() {
+    Tracer::global().disable();
+    Tracer::global().clear();
+  }
+};
+
+TEST(ObsTrace, DisabledRecordsNothing) {
+  TracerGuard guard;
+  auto& tr = Tracer::global();
+  tr.disable();
+  tr.clear();
+  { Span s("ignored", "test"); }
+  tr.add_complete("ignored", "test", 0.0, 1.0);
+  tr.add_sim_complete("ignored", "test", 0.0, 1.0);
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
+TEST(ObsTrace, SpanRecordsWallEvent) {
+  TracerGuard guard;
+  auto& tr = Tracer::global();
+  tr.enable();
+  { Span s("unit_span", "test"); }
+  EXPECT_EQ(tr.event_count(), 1u);
+  const std::string json = tr.to_chrome_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"unit_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ObsTrace, SimEventsMapSecondsToMicros) {
+  TracerGuard guard;
+  auto& tr = Tracer::global();
+  tr.enable();
+  tr.add_sim_complete("phase", "sim_test", 1.5, 0.25);
+  const std::string json = tr.to_chrome_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  // 1.5 s -> 1.5e6 us on the sim track (pid 2).
+  EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":250000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  const std::string summary = tr.summary_text();
+  EXPECT_NE(summary.find("phase"), std::string::npos);
+}
+
+TEST(ObsTrace, ClearEmptiesEventLog) {
+  TracerGuard guard;
+  auto& tr = Tracer::global();
+  tr.enable();
+  tr.add_complete("x", "test", 0.0, 1.0);
+  ASSERT_GT(tr.event_count(), 0u);
+  tr.clear();
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
+// ----------------------------------------------------- build-mode no-ops
+
+TEST(ObsMacros, MacrosCompileInThisBuildMode) {
+#if defined(ECOMP_OBS_ENABLED)
+  Registry::global().counter("test.obs.macro").reset();
+#endif
+  ECOMP_COUNT("test.obs.macro");
+  ECOMP_COUNT_N("test.obs.macro", 4);
+  ECOMP_GAUGE_SET("test.obs.macro_gauge", 11);
+  ECOMP_OBSERVE("test.obs.macro_hist", pow2_bounds(4), 3);
+  ECOMP_TRACE_SPAN("test.obs.macro_span", "test");
+#if defined(ECOMP_OBS_ENABLED)
+  static_assert(kObsEnabled);
+  EXPECT_EQ(Registry::global().counter("test.obs.macro").value(), 5u);
+  EXPECT_EQ(Registry::global().gauge("test.obs.macro_gauge").value(), 11);
+#else
+  // ECOMP_OBS=OFF: the macros must evaluate nothing — names never reach
+  // the registry.
+  static_assert(!kObsEnabled);
+  EXPECT_FALSE(Registry::global().counter_values().count("test.obs.macro"));
+#endif
+}
+
+}  // namespace
+}  // namespace ecomp::obs

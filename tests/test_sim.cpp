@@ -3,6 +3,8 @@
 // published equations.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sim/device.h"
 #include "sim/timeline.h"
 #include "sim/transfer.h"
@@ -105,6 +107,18 @@ TEST(Timeline, AsciiRenderUsesLabelInitials) {
   t.add(0.5, 1.0, "gap");
   const std::string bar = t.render_ascii(0.5);
   EXPECT_EQ(bar, "rrg");
+}
+
+TEST(Timeline, AsciiRenderRejectsNonPositiveScale) {
+  // Regression: s_per_char <= 0 used to divide by zero; any such scale
+  // (zero, negative, NaN) now yields an empty bar instead.
+  Timeline t;
+  t.add(1.0, 1.0, "recv");
+  EXPECT_EQ(t.render_ascii(0.0), "");
+  EXPECT_EQ(t.render_ascii(-0.5), "");
+  EXPECT_EQ(t.render_ascii(std::numeric_limits<double>::quiet_NaN()), "");
+  // An empty timeline renders empty at any scale.
+  EXPECT_EQ(Timeline{}.render_ascii(0.5), "");
 }
 
 // ------------------------------------------------------ TransferSimulator
