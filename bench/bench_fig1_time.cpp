@@ -30,6 +30,7 @@ int main() {
 
   bool small_header = false;
   std::map<std::string, double> rel_sum;
+  std::map<std::string, sim::Timeline> scheme_timeline;
   int rows = 0;
   for (const auto& f : files) {
     if (!f.entry.large && !small_header) {
@@ -47,6 +48,7 @@ int main() {
       std::printf(" %5.2f + %5.2f = %5.2f |", r.download_time_s / t_raw,
                   r.decompress_time_s / t_raw, r.time_s / t_raw);
       rel_sum[label] += r.time_s / t_raw;
+      scheme_timeline[label].extend(r.timeline);
     }
     ++rows;
     std::printf("\n");
@@ -59,6 +61,10 @@ int main() {
   report.headline("files", rows);
   for (const auto& [label, sum] : rel_sum)
     report.headline("mean_rel_time_" + label, sum / rows);
+  // Whole-corpus attributed energy per scheme: where the joules go when
+  // every Table 2 file is downloaded with this scheme.
+  for (const auto& [label, timeline] : scheme_timeline)
+    report.energy(label, timeline);
   report.write();
   return 0;
 }

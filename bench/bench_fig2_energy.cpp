@@ -29,22 +29,25 @@ int main() {
 
   int gzip_wins = 0, rows = 0;
   bool small_header = false;
+  std::map<std::string, sim::Timeline> scheme_timeline;
   for (const auto& f : files) {
     if (!f.entry.large && !small_header) {
       std::printf("%-24s (small files, increasing size)\n", "");
       small_header = true;
     }
     const double s = f.mb();
-    const double e_raw = simulator.download_uncompressed(s).energy_j;
+    const auto raw = simulator.download_uncompressed(s);
+    const double e_raw = raw.energy_j;
+    scheme_timeline["raw"].extend(raw.timeline);
 
     auto rel = [&](const std::string& codec, bool power_saving) {
       sim::TransferOptions opt;
       opt.power_saving = power_saving;
       opt.sleep_during_decompress = power_saving;
-      return simulator.download_compressed(s, f.compressed_mb(codec), codec,
-                                           opt)
-                 .energy_j /
-             e_raw;
+      const auto r =
+          simulator.download_compressed(s, f.compressed_mb(codec), codec, opt);
+      scheme_timeline[codec].extend(r.timeline);
+      return r.energy_j / e_raw;
     };
     const double g = rel("deflate", false);
     const double c = rel("lzw", false);
@@ -68,6 +71,12 @@ int main() {
   report.headline("files", rows);
   report.headline("gzip_wins", gzip_wins);
   report.note("power_saving", "bzip2 only (paper §3.2)");
+  // Whole-corpus attributed energy per scheme, plus the raw baseline.
+  for (const auto& [scheme, timeline] : scheme_timeline) {
+    report.headline("total_energy_" + scheme + "_j",
+                    timeline.total_energy_j());
+    report.energy(scheme, timeline);
+  }
   report.write();
   return 0;
 }

@@ -79,6 +79,9 @@ int main() {
   report.headline("interleave_slow_energy_j", r_slow.energy_j);
   report.headline("trace_events", static_cast<double>(tracer.event_count()));
   report.note("trace", trace_path);
+  report.energy("sequential", r_seq.timeline);
+  report.energy("interleave_fast", r_fast.timeline);
+  report.energy("interleave_slow", r_slow.timeline);
   report.write();
   return 0;
 }

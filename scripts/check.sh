@@ -1,6 +1,8 @@
 #!/bin/sh
 # Pre-merge gate: build the default and sanitizer presets, run the full
-# test suite under both, then verify the observability layer's overhead
+# test suite under both, run the energy regression gate (benchdiff of
+# fresh fig1/fig2/fig3 sidecars against bench/baselines — see
+# scripts/bench_gate.sh), then verify the observability layer's overhead
 # budget — instrumented (ECOMP_OBS=ON) codec throughput may regress at
 # most ECOMP_OBS_BUDGET_PCT percent (default 3) against an =OFF build.
 #
@@ -31,9 +33,13 @@ cmake --build build-check-asan -j "$JOBS"
 ctest --test-dir build-check-asan --output-on-failure -j "$JOBS"
 
 if [ "${ECOMP_CHECK_SKIP_BENCH:-0}" = "1" ]; then
-  echo "overhead gate skipped (ECOMP_CHECK_SKIP_BENCH=1)"
+  echo "overhead + energy gates skipped (ECOMP_CHECK_SKIP_BENCH=1)"
   exit 0
 fi
+
+echo
+echo "== energy regression gate: benchdiff vs bench/baselines =="
+scripts/bench_gate.sh build-check
 
 echo
 echo "== overhead gate: bench_codec_throughput ON vs OFF (budget ${BUDGET}%) =="

@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -17,9 +18,12 @@
 #include "compress/z_format.h"
 #include "compress/zlib_format.h"
 #include "core/energy_model.h"
+#include "core/interleave.h"
 #include "core/planner.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/energy_ledger.h"
 #include "workload/corpus.h"
 
 namespace ecomp::cli {
@@ -32,6 +36,7 @@ constexpr const char* kUsage =
     "  ecomp decompress IN OUT\n"
     "  ecomp inspect    IN\n"
     "  ecomp plan       [-r 11|2] IN\n"
+    "  ecomp energy     [-r 11|2] [-c CODEC] [--breakdown] [--json] IN\n"
     "  ecomp corpus     [-s SCALE] OUTDIR\n"
     "observability (any command):\n"
     "  --trace FILE     write a Chrome trace-event JSON (Perfetto-loadable);\n"
@@ -47,6 +52,8 @@ struct ArgParser {
   int rate = 11;
   std::string trace_path;    // --trace / ECOMP_TRACE
   std::string metrics_path;  // --metrics
+  bool breakdown = false;    // energy: per-component ledger table
+  bool json = false;         // energy: machine-readable output
 
   /// Returns empty string on success, or an error message.
   std::string parse(const std::vector<std::string>& args, std::size_t from) {
@@ -72,6 +79,10 @@ struct ArgParser {
           trace_path = value("--trace");
         } else if (a == "--metrics") {
           metrics_path = value("--metrics");
+        } else if (a == "--breakdown") {
+          breakdown = true;
+        } else if (a == "--json") {
+          json = true;
         } else if (!a.empty() && a[0] == '-') {
           return "unknown flag: " + a;
         } else {
@@ -263,6 +274,74 @@ int cmd_plan(const ArgParser& p, std::ostream& out) {
   return 0;
 }
 
+int cmd_energy(const ArgParser& p, std::ostream& out) {
+  if (p.positional.size() != 1) throw Error("energy needs IN");
+  const Bytes input = read_file(p.positional[0]);
+
+  sim::DeviceModel device = sim::DeviceModel::ipaq_11mbps();
+  if (p.rate == 2)
+    device = sim::DeviceModel::ipaq_2mbps();
+  else if (p.rate != 11)
+    throw Error("rate must be 11 or 2 (Mb/s)");
+  const sim::TransferSimulator simulator(device);
+
+  // Selective containers replay the exact blocks on disk; anything else
+  // is simulated from a sampled compression-factor estimate.
+  sim::TransferResult result;
+  std::string scenario;
+  double original_mb = static_cast<double>(input.size()) / 1e6;
+  if (input.size() >= 2 &&
+      sniff_magic(input) == compress::kSelectiveMagic) {
+    const auto infos = compress::selective_block_info(input);
+    double raw_bytes = 0.0;
+    for (const auto& b : infos) raw_bytes += static_cast<double>(b.raw_size);
+    original_mb = raw_bytes / 1e6;
+    sim::TransferOptions opt;
+    opt.interleave = true;
+    result = core::simulate_decoded_stream(infos, simulator, p.codec, opt);
+    scenario = "selective-replay(" + std::to_string(infos.size()) + " blocks)";
+  } else {
+    const auto codec = compress::make_codec(p.codec);
+    const double factor =
+        std::max(core::estimate_factor(*codec, input), 1e-9);
+    sim::TransferOptions opt;
+    opt.interleave = true;
+    result = simulator.download_compressed(original_mb, original_mb / factor,
+                                           p.codec, opt);
+    scenario = "interleaved(" + p.codec + ")";
+  }
+  const auto raw = simulator.download_uncompressed(original_mb);
+
+  const auto ledger = sim::EnergyLedger::from_timeline(result.timeline);
+  const std::string violation = ledger.validate(result.timeline);
+  if (!violation.empty())
+    throw Error("energy ledger invariant violated: " + violation);
+
+  if (p.json) {
+    out << "{\"scenario\":" << obs::json_quote(scenario)
+        << ",\"rate_mbps\":" << p.rate
+        << ",\"codec\":" << obs::json_quote(p.codec)
+        << ",\"original_mb\":" << obs::json_number(original_mb)
+        << ",\"raw_energy_j\":" << obs::json_number(raw.energy_j)
+        << ",\"ledger\":" << ledger.to_json() << "}\n";
+    return 0;
+  }
+
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "scenario: %s at %d Mb/s\n"
+                "energy: %.4f J over %.3f s (raw download: %.4f J, "
+                "saves %.1f%%)\n",
+                scenario.c_str(), p.rate, ledger.total_energy_j(),
+                ledger.total_time_s(), raw.energy_j,
+                raw.energy_j > 0.0
+                    ? 100.0 * (1.0 - ledger.total_energy_j() / raw.energy_j)
+                    : 0.0);
+  out << buf;
+  if (p.breakdown) out << ledger.to_text();
+  return 0;
+}
+
 int cmd_corpus(const ArgParser& p, std::ostream& out) {
   if (p.positional.size() != 1) throw Error("corpus needs OUTDIR");
   const std::filesystem::path dir(p.positional[0]);
@@ -323,6 +402,17 @@ bool flush_obs_outputs(const ArgParser& p, std::ostream& err) {
   return ok;
 }
 
+/// Reject an unwritable --trace/--metrics destination before any work
+/// runs (exit 2), instead of doing the whole command and then losing
+/// the telemetry at flush time. Returns an error message, or "" if the
+/// path is writable. The probe opens in append mode so an existing
+/// file's contents are untouched.
+std::string probe_writable(const std::string& path) {
+  std::ofstream probe(path, std::ios::binary | std::ios::app);
+  if (!probe) return "cannot open for writing: " + path;
+  return "";
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -336,6 +426,14 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   if (!msg.empty()) {
     err << msg << "\n" << kUsage;
     return 1;
+  }
+  for (const std::string* path : {&p.trace_path, &p.metrics_path}) {
+    if (path->empty()) continue;
+    const std::string werr = probe_writable(*path);
+    if (!werr.empty()) {
+      err << "error: " << werr << "\n";
+      return 2;
+    }
   }
   if (!p.trace_path.empty()) obs::Tracer::global().enable();
 
@@ -351,6 +449,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       code = cmd_inspect(p, out);
     } else if (cmd == "plan") {
       code = cmd_plan(p, out);
+    } else if (cmd == "energy") {
+      code = cmd_energy(p, out);
     } else if (cmd == "corpus") {
       code = cmd_corpus(p, out);
     } else {

@@ -1,11 +1,39 @@
 #include "core/energy_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "util/bytes.h"
 
 namespace ecomp::core {
+namespace {
+
+/// Shared receive front of Eqs. 1-3: the cs startup charge plus the
+/// active-receive phase carrying the m·s energy. The m J/MB constant
+/// folds the radio's receive power into per-MB energy, so the phase's
+/// power is m·s spread over the active (non-idle) share of the
+/// download time.
+void add_receive(sim::Timeline& t, const EnergyParams& p, double sc) {
+  t.add_energy(p.cs, "startup",
+               {"radio/startup", sim::CpuState::Idle, sim::RadioState::Idle});
+  const sim::Attribution recv{"radio/recv/active", sim::CpuState::Busy,
+                              sim::RadioState::Recv};
+  const double active = (1.0 - p.idle_fraction) / p.rate * sc;
+  if (active > 0.0)
+    t.add(active, p.m * sc / active, "recv:active", recv);
+  else if (p.m * sc > 0.0)
+    t.add_energy(p.m * sc, "recv:active", recv);
+}
+
+sim::Attribution attr_decomp(bool overlapped, std::string_view codec) {
+  return {(overlapped ? "overlap/decompress/" : "cpu/decompress/") +
+              std::string(codec),
+          sim::CpuState::Busy,
+          overlapped ? sim::RadioState::Recv : sim::RadioState::Idle};
+}
+
+}  // namespace
 
 EnergyModel EnergyModel::from_device(const sim::DeviceModel& device,
                                      std::string_view codec) {
@@ -66,6 +94,42 @@ double EnergyModel::interleaved_energy_j(double s, double sc) const {
   }
   // Gaps fully filled; decompression spills past the download.
   return p_.m * sc + p_.cs + td * p_.pd + ti_first * p_.pi;
+}
+
+sim::Timeline EnergyModel::download_timeline(double s) const {
+  sim::Timeline t;
+  add_receive(t, p_, s);
+  t.add(idle_time_s(s), p_.pi, "gap:idle",
+        {"idle/gap", sim::CpuState::Idle, sim::RadioState::Idle});
+  return t;
+}
+
+sim::Timeline EnergyModel::sequential_timeline(double s, double sc, bool sleep,
+                                               std::string_view codec) const {
+  sim::Timeline t;
+  add_receive(t, p_, sc);
+  t.add(idle_time_s(sc), p_.pi, "gap:idle",
+        {"idle/gap", sim::CpuState::Idle, sim::RadioState::Idle});
+  t.add(decompress_time_s(s, sc), sleep ? p_.pd_sleep : p_.pd, "decomp:tail",
+        attr_decomp(false, codec));
+  return t;
+}
+
+sim::Timeline EnergyModel::interleaved_timeline(double s, double sc,
+                                                std::string_view codec) const {
+  sim::Timeline t;
+  add_receive(t, p_, sc);
+  const double td = decompress_time_s(s, sc);
+  double ti_rest = 0.0, ti_first = 0.0;
+  idle_split(s, sc, ti_rest, ti_first);
+  const double filled = std::min(td, ti_rest);
+  t.add(ti_first, p_.pi, "gap:first",
+        {"idle/gap/first", sim::CpuState::Idle, sim::RadioState::Idle});
+  t.add(filled, p_.pd, "decomp:interleaved", attr_decomp(true, codec));
+  t.add(ti_rest - filled, p_.pi, "gap:rest",
+        {"idle/gap/rest", sim::CpuState::Idle, sim::RadioState::Idle});
+  t.add(td - filled, p_.pd, "decomp:tail", attr_decomp(false, codec));
+  return t;
 }
 
 bool EnergyModel::should_compress(double s_mb, double factor) const {

@@ -18,6 +18,7 @@
 
 #include "sim/cpu.h"
 #include "sim/device.h"
+#include "sim/timeline.h"
 
 namespace ecomp::core {
 
@@ -80,6 +81,27 @@ class EnergyModel {
 
   /// Eq. 3 (equivalently Eq. 5 with this model's constants).
   double interleaved_energy_j(double s, double sc) const;
+
+  // ---- attributed timelines -----------------------------------------
+  // The same closed forms, decomposed into phase ledgers so the energy
+  // can be attributed per component (sim::EnergyLedger) and rendered as
+  // Perfetto power/energy counter tracks. Each timeline's
+  // total_energy_j() equals the corresponding *_energy_j() closed form
+  // up to floating-point summation order.
+
+  /// Eq. 1 as a timeline: startup charge, active receive, idle gaps.
+  sim::Timeline download_timeline(double s) const;
+
+  /// Eq. 2 as a timeline; the decompress tail is attributed to
+  /// cpu/decompress/<codec>.
+  sim::Timeline sequential_timeline(double s, double sc, bool sleep = false,
+                                    std::string_view codec = "deflate") const;
+
+  /// Eq. 3 as a timeline; gap-filling decompression is attributed to
+  /// overlap/decompress/<codec>, any spill past the download to
+  /// cpu/decompress/<codec>.
+  sim::Timeline interleaved_timeline(double s, double sc,
+                                     std::string_view codec = "deflate") const;
 
   // ---- thresholds (Eq. 6 and §4.2 derivations) -----------------------
 

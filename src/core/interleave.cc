@@ -137,4 +137,25 @@ Bytes InterleavedDownloader::run(const ChunkSource& read_chunk,
   return out;
 }
 
+std::vector<sim::BlockTransfer> to_block_transfers(
+    const std::vector<compress::BlockInfo>& infos) {
+  std::vector<sim::BlockTransfer> blocks;
+  blocks.reserve(infos.size());
+  for (const auto& info : infos) {
+    sim::BlockTransfer b;
+    b.raw_mb = static_cast<double>(info.raw_size) / 1e6;
+    b.payload_mb = static_cast<double>(info.payload_size) / 1e6;
+    b.compressed = info.compressed;
+    blocks.push_back(b);
+  }
+  return blocks;
+}
+
+sim::TransferResult simulate_decoded_stream(
+    const std::vector<compress::BlockInfo>& infos,
+    const sim::TransferSimulator& sim, const std::string& codec,
+    const sim::TransferOptions& opt) {
+  return sim.download_selective(to_block_transfers(infos), codec, opt);
+}
+
 }  // namespace ecomp::core

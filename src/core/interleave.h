@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "compress/selective.h"
+#include "sim/transfer.h"
 #include "util/bytes.h"
 #include "util/crc32.h"
 
@@ -85,5 +86,18 @@ class InterleavedDownloader {
  private:
   std::size_t chunk_bytes_;
 };
+
+/// Convert the per-block sizes/decisions of a decoded selective
+/// container into the transfer simulator's MB-denominated blocks.
+std::vector<sim::BlockTransfer> to_block_transfers(
+    const std::vector<compress::BlockInfo>& infos);
+
+/// Replay a decoded selective stream through the transfer simulator:
+/// the attributed timeline (and per-component energy breakdown) for
+/// exactly the container that was just decoded, block for block.
+sim::TransferResult simulate_decoded_stream(
+    const std::vector<compress::BlockInfo>& infos,
+    const sim::TransferSimulator& sim, const std::string& codec,
+    const sim::TransferOptions& opt);
 
 }  // namespace ecomp::core

@@ -63,6 +63,10 @@ SessionReport SessionSimulator::run(
     report.think_energy_j += config_.think_time_s * think_power;
     report.total_time_s += config_.think_time_s;
     ++report.requests;
+    report.timeline.extend(t.timeline);
+    report.timeline.add(config_.think_time_s, think_power, "think",
+                        {"idle/think", sim::CpuState::Idle,
+                         sim::RadioState::Idle});
   }
   return report;
 }

@@ -39,6 +39,10 @@ struct SessionReport {
   double think_energy_j = 0.0;
   double total_time_s = 0.0;
   std::size_t requests = 0;
+  /// Every transfer's phases plus the think-time phases, concatenated
+  /// in session order — feeds sim::EnergyLedger for the per-component
+  /// breakdown of a whole browsing session.
+  sim::Timeline timeline;
 
   double total_energy_j() const { return transfer_energy_j + think_energy_j; }
   /// Sessions like this one per battery charge.

@@ -4,6 +4,36 @@
 #include <limits>
 
 namespace ecomp::core {
+namespace {
+
+/// Send front shared by all three upload forms: startup charge plus the
+/// active-send phase carrying the m·s energy (send modelled symmetric
+/// to receive on the WaveLAN card).
+void add_send(sim::Timeline& t, const EnergyParams& p, double sc) {
+  t.add_energy(p.cs, "startup",
+               {"radio/startup", sim::CpuState::Idle, sim::RadioState::Idle});
+  const sim::Attribution send{"radio/send/active", sim::CpuState::Busy,
+                              sim::RadioState::Send};
+  const double active = (1.0 - p.idle_fraction) / p.rate * sc;
+  if (active > 0.0)
+    t.add(active, p.m * sc / active, "send:active", send);
+  else if (p.m * sc > 0.0)
+    t.add_energy(p.m * sc, "send:active", send);
+}
+
+sim::Attribution attr_comp(bool overlapped, std::string_view codec) {
+  return {(overlapped ? "overlap/compress/" : "cpu/compress/") +
+              std::string(codec),
+          sim::CpuState::Busy,
+          overlapped ? sim::RadioState::Send : sim::RadioState::Idle};
+}
+
+sim::Attribution attr_gap(const char* sub) {
+  return {std::string("idle/gap/") + sub, sim::CpuState::Idle,
+          sim::RadioState::Idle};
+}
+
+}  // namespace
 
 double UploadModel::upload_energy_j(double s) const {
   return p_.m * s + p_.cs + p_.idle_fraction / p_.rate * s * p_.pi;
@@ -30,6 +60,43 @@ double UploadModel::interleaved_energy_j(double s, double sc) const {
   // CPU-bound: no idle remains; everything beyond active send is
   // compression at busy power.
   return tc1 * p_.pd + send_active_energy + p_.cs + work * p_.pd;
+}
+
+sim::Timeline UploadModel::upload_timeline(double s) const {
+  sim::Timeline t;
+  add_send(t, p_, s);
+  t.add(p_.idle_fraction / p_.rate * s, p_.pi, "gap:send", attr_gap("send"));
+  return t;
+}
+
+sim::Timeline UploadModel::sequential_timeline(double s, double sc, bool sleep,
+                                               std::string_view codec) const {
+  sim::Timeline t;
+  t.add(compress_time_s(s, sc), sleep ? p_.pd_sleep : p_.pd, "compress:front",
+        attr_comp(false, codec));
+  add_send(t, p_, sc);
+  t.add(p_.idle_fraction / p_.rate * sc, p_.pi, "gap:send", attr_gap("send"));
+  return t;
+}
+
+sim::Timeline UploadModel::interleaved_timeline(double s, double sc,
+                                                std::string_view codec) const {
+  sim::Timeline t;
+  const double tc = compress_time_s(s, sc);
+  const double tc1 = s > 0.0 ? tc * std::min(p_.block_mb, s) / s : tc;
+  const double gaps = p_.idle_fraction / p_.rate * sc;
+  const double work = tc - tc1;
+  t.add(tc1, p_.pd, "compress:first", attr_comp(false, codec));
+  add_send(t, p_, sc);
+  if (work <= gaps) {
+    t.add(work, p_.pd, "compress:interleaved", attr_comp(true, codec));
+    t.add(gaps - work, p_.pi, "gap:send", attr_gap("send"));
+  } else {
+    // CPU-bound: every gap is filled and compression spills past the
+    // send; no idle remains.
+    t.add(work, p_.pd, "compress:interleaved", attr_comp(true, codec));
+  }
+  return t;
 }
 
 bool UploadModel::should_compress(double s_mb, double factor) const {

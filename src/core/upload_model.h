@@ -42,6 +42,19 @@ class UploadModel {
   /// keep up the send stretches to the compression rate.
   double interleaved_energy_j(double s, double sc) const;
 
+  // ---- attributed timelines -----------------------------------------
+  // Phase-ledger decompositions of the three closed forms above, with
+  // device-side compression attributed to cpu/compress/<codec> (up
+  // front) or overlap/compress/<codec> (hidden in send gaps). Each
+  // timeline's total_energy_j() equals the matching *_energy_j() up to
+  // floating-point summation order.
+
+  sim::Timeline upload_timeline(double s) const;
+  sim::Timeline sequential_timeline(double s, double sc, bool sleep = false,
+                                    std::string_view codec = "deflate") const;
+  sim::Timeline interleaved_timeline(double s, double sc,
+                                     std::string_view codec = "deflate") const;
+
   /// True when compressing at `factor` before uploading is predicted to
   /// save energy (taking the cheaper of sequential+sleep/interleaved).
   bool should_compress(double s_mb, double factor) const;

@@ -1,0 +1,255 @@
+#include "obs/benchdiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace ecomp::obs {
+namespace {
+
+/// A metric gates when a larger value means worse: times (_s), energies
+/// (_j), and every energy-ledger component (all joules/seconds).
+bool headline_gates(const std::string& key) {
+  auto ends_with = [&](std::string_view suf) {
+    return key.size() >= suf.size() &&
+           key.compare(key.size() - suf.size(), suf.size(), suf) == 0;
+  };
+  return ends_with("_s") || ends_with("_j");
+}
+
+/// Flatten the comparable numeric metrics of one sidecar document:
+/// headline.* plus energy.<scenario>.{total,<component>} energies.
+std::map<std::string, std::pair<double, bool>> comparable_metrics(
+    const JsonValue& doc) {
+  std::map<std::string, std::pair<double, bool>> out;
+  if (const JsonValue* headline = doc.find("headline")) {
+    for (const auto& [key, v] : headline->object)
+      if (v.is_number())
+        out["headline." + key] = {v.number, headline_gates(key)};
+  }
+  if (const JsonValue* energy = doc.find("energy")) {
+    for (const auto& [scenario, ledger] : energy->object) {
+      if (!ledger.is_object()) continue;
+      out["energy." + scenario + ".total"] = {
+          ledger.number_or("total_energy_j", 0.0), true};
+      if (const JsonValue* comps = ledger.find("components")) {
+        for (const auto& [path, node] : comps->object)
+          out["energy." + scenario + "." + path] = {
+              node.number_or("energy_j", 0.0), true};
+      }
+    }
+  }
+  return out;
+}
+
+std::string fmt_pct(double pct) {
+  if (std::isinf(pct)) return pct > 0 ? "+inf%" : "-inf%";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.2f%%", pct);
+  return buf;
+}
+
+}  // namespace
+
+double MetricDelta::delta_pct() const {
+  if (baseline == 0.0) {
+    if (current == 0.0) return 0.0;
+    return current > 0.0 ? std::numeric_limits<double>::infinity()
+                         : -std::numeric_limits<double>::infinity();
+  }
+  return (current - baseline) / std::fabs(baseline) * 100.0;
+}
+
+std::vector<const MetricDelta*> BenchDiff::regressions(
+    double threshold_pct) const {
+  std::vector<const MetricDelta*> out;
+  for (const auto& d : deltas)
+    if (d.gated && d.delta_pct() > threshold_pct) out.push_back(&d);
+  return out;
+}
+
+std::map<std::string, JsonValue> load_bench_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  if (!fs::is_directory(dir))
+    throw Error("benchdiff: not a directory: " + dir);
+  std::map<std::string, JsonValue> out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string fname = entry.path().filename().string();
+    if (fname.rfind("BENCH_", 0) != 0) continue;
+    // Skip non-sidecar artifacts like BENCH_*.trace.json.
+    if (fname.size() < 5 || fname.substr(fname.size() - 5) != ".json")
+      continue;
+    if (fname.find(".trace.json") != std::string::npos) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    JsonValue doc;
+    try {
+      doc = parse_json(ss.str());
+    } catch (const Error& e) {
+      throw Error("benchdiff: " + fname + ": " + e.what());
+    }
+    const JsonValue* name = doc.find("bench");
+    out[name && name->is_string()
+            ? name->string
+            : fname.substr(6, fname.size() - 11)] = std::move(doc);
+  }
+  return out;
+}
+
+BenchDiff diff_benches(const std::map<std::string, JsonValue>& baseline,
+                       const std::map<std::string, JsonValue>& current) {
+  BenchDiff diff;
+  for (const auto& [bench, base_doc] : baseline) {
+    const auto cur_it = current.find(bench);
+    if (cur_it == current.end()) {
+      diff.missing.push_back(bench);
+      continue;
+    }
+    const auto base_metrics = comparable_metrics(base_doc);
+    const auto cur_metrics = comparable_metrics(cur_it->second);
+    for (const auto& [metric, bv] : base_metrics) {
+      const auto cm = cur_metrics.find(metric);
+      if (cm == cur_metrics.end()) {
+        diff.missing.push_back(bench + "." + metric);
+        continue;
+      }
+      MetricDelta d;
+      d.bench = bench;
+      d.metric = metric;
+      d.baseline = bv.first;
+      d.current = cm->second.first;
+      d.gated = bv.second;
+      diff.deltas.push_back(std::move(d));
+    }
+    for (const auto& [metric, cv] : cur_metrics)
+      if (!base_metrics.count(metric))
+        diff.added.push_back(bench + "." + metric);
+  }
+  for (const auto& [bench, doc] : current)
+    if (!baseline.count(bench)) diff.added.push_back(bench);
+  // std::map iteration already sorts deltas by (bench, metric).
+  return diff;
+}
+
+std::string format_table(const BenchDiff& diff, double threshold_pct) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "%-14s %-44s %14s %14s %10s  %s\n", "bench",
+                "metric", "baseline", "current", "delta", "status");
+  os << buf;
+  os << std::string(110, '-') << "\n";
+  std::size_t gated = 0, regressed = 0, improved = 0;
+  for (const auto& d : diff.deltas) {
+    const double pct = d.delta_pct();
+    const char* status = "";
+    if (d.gated) {
+      ++gated;
+      if (pct > threshold_pct) {
+        status = "REGRESSION";
+        ++regressed;
+      } else if (pct < 0.0) {
+        status = "improved";
+        ++improved;
+      } else {
+        status = "ok";
+      }
+    }
+    std::snprintf(buf, sizeof buf, "%-14s %-44s %14.6g %14.6g %10s  %s\n",
+                  d.bench.c_str(), d.metric.c_str(), d.baseline, d.current,
+                  fmt_pct(pct).c_str(), status);
+    os << buf;
+  }
+  for (const auto& m : diff.missing) os << "MISSING: " << m << "\n";
+  for (const auto& a : diff.added) os << "new (not in baseline): " << a << "\n";
+  std::snprintf(buf, sizeof buf,
+                "benchdiff: %zu metrics (%zu gated at %.1f%%): "
+                "%zu regressed, %zu improved, %zu missing\n",
+                diff.deltas.size(), gated, threshold_pct, regressed, improved,
+                diff.missing.size());
+  os << buf;
+  return os.str();
+}
+
+std::string format_json(const BenchDiff& diff, double threshold_pct) {
+  std::ostringstream os;
+  os << "{\"threshold_pct\":" << json_number(threshold_pct) << ",\"deltas\":[";
+  for (std::size_t i = 0; i < diff.deltas.size(); ++i) {
+    const auto& d = diff.deltas[i];
+    os << (i ? "," : "") << "{\"bench\":" << json_quote(d.bench)
+       << ",\"metric\":" << json_quote(d.metric)
+       << ",\"baseline\":" << json_number(d.baseline)
+       << ",\"current\":" << json_number(d.current)
+       << ",\"delta_pct\":" << json_number(d.delta_pct())
+       << ",\"gated\":" << (d.gated ? "true" : "false")
+       << ",\"regressed\":"
+       << (d.gated && d.delta_pct() > threshold_pct ? "true" : "false")
+       << "}";
+  }
+  os << "],\"missing\":[";
+  for (std::size_t i = 0; i < diff.missing.size(); ++i)
+    os << (i ? "," : "") << json_quote(diff.missing[i]);
+  os << "],\"added\":[";
+  for (std::size_t i = 0; i < diff.added.size(); ++i)
+    os << (i ? "," : "") << json_quote(diff.added[i]);
+  os << "]}";
+  return os.str();
+}
+
+int benchdiff_main(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err) {
+  constexpr const char* kUsage =
+      "usage: benchdiff [--threshold PCT] [--json] BASELINE_DIR CURRENT_DIR\n"
+      "exit: 0 pass, 1 usage, 2 regression beyond threshold, 3 missing\n"
+      "      benchmark or metric\n";
+  double threshold = 5.0;
+  bool json = false;
+  std::vector<std::string> dirs;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--threshold") {
+      if (++i >= args.size()) {
+        err << "missing value for --threshold\n" << kUsage;
+        return 1;
+      }
+      char* end = nullptr;
+      threshold = std::strtod(args[i].c_str(), &end);
+      if (end != args[i].c_str() + args[i].size() || threshold < 0.0) {
+        err << "bad threshold: " << args[i] << "\n" << kUsage;
+        return 1;
+      }
+    } else if (a == "--json") {
+      json = true;
+    } else if (!a.empty() && a[0] == '-') {
+      err << "unknown flag: " << a << "\n" << kUsage;
+      return 1;
+    } else {
+      dirs.push_back(a);
+    }
+  }
+  if (dirs.size() != 2) {
+    err << kUsage;
+    return 1;
+  }
+  BenchDiff diff;
+  try {
+    diff = diff_benches(load_bench_dir(dirs[0]), load_bench_dir(dirs[1]));
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+  out << (json ? format_json(diff, threshold) + "\n"
+               : format_table(diff, threshold));
+  if (!diff.missing.empty()) return 3;
+  if (!diff.regressions(threshold).empty()) return 2;
+  return 0;
+}
+
+}  // namespace ecomp::obs

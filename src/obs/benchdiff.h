@@ -1,0 +1,64 @@
+// benchdiff — regression gating over BENCH_*.json sidecars.
+//
+// Loads a baseline directory and a current directory of sidecars,
+// matches benchmarks by name, and compares every numeric headline
+// metric plus every energy-ledger component. Metrics whose larger value
+// means "worse" (names ending in _s or _j, and all energy components)
+// gate: a delta beyond the threshold is a regression and the diff exits
+// non-zero. Everything else (counts, ratios) is reported but never
+// fails the gate. `provenance`, `notes`, and `metrics` blocks differ
+// run to run by design and are ignored.
+//
+// Exit codes (benchdiff_main): 0 pass, 1 usage error, 2 regression
+// beyond threshold, 3 benchmark/metric present in the baseline but
+// missing from the current run.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.h"
+
+namespace ecomp::obs {
+
+struct MetricDelta {
+  std::string bench;    ///< sidecar name, e.g. "fig2_energy"
+  std::string metric;   ///< "headline.files", "energy.gzip.radio/recv", ...
+  double baseline = 0.0;
+  double current = 0.0;
+  bool gated = false;   ///< larger-is-worse; counts toward the gate
+
+  /// Signed percent change vs baseline; +inf when a zero baseline grew.
+  double delta_pct() const;
+};
+
+struct BenchDiff {
+  std::vector<MetricDelta> deltas;     ///< sorted by (bench, metric)
+  std::vector<std::string> missing;    ///< in baseline, absent in current
+  std::vector<std::string> added;      ///< in current, absent in baseline
+
+  std::vector<const MetricDelta*> regressions(double threshold_pct) const;
+};
+
+/// Sidecar name -> parsed document. Reads every BENCH_*.json directly
+/// inside `dir` (throws Error if the directory is unreadable or a
+/// sidecar is malformed).
+std::map<std::string, JsonValue> load_bench_dir(const std::string& dir);
+
+/// Compare two sidecar sets (keys are bench names from the documents).
+BenchDiff diff_benches(const std::map<std::string, JsonValue>& baseline,
+                       const std::map<std::string, JsonValue>& current);
+
+/// Human-oriented diff table plus a one-line verdict.
+std::string format_table(const BenchDiff& diff, double threshold_pct);
+/// Machine-readable rendering of the same information.
+std::string format_json(const BenchDiff& diff, double threshold_pct);
+
+/// Full CLI: benchdiff [--threshold PCT] [--json] BASELINE_DIR CURRENT_DIR.
+/// Factored out of the tool's main() so tests can drive it in-process.
+int benchdiff_main(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err);
+
+}  // namespace ecomp::obs

@@ -1,5 +1,6 @@
 // Tiny JSON emission helpers shared by the metrics and trace exporters.
-// Emission only — ecomp has no JSON parser and doesn't need one.
+// The matching parser (for reading bench sidecars back) lives in
+// obs/json_parse.h.
 #pragma once
 
 #include <cmath>

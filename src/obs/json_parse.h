@@ -1,0 +1,45 @@
+// Minimal JSON parser for reading ecomp's own machine-readable outputs
+// back in (bench sidecars, metrics snapshots, energy ledgers). Objects
+// preserve key insertion order so diffs and goldens stay stable.
+//
+// This is a strict parser for the subset our emitters produce (plus
+// standard escapes); it throws ecomp::Error with an offset on anything
+// malformed rather than guessing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace ecomp::obs {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Key/value pairs in document order.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// find() + number coercion; `fallback` when absent/not a number.
+  double number_or(std::string_view key, double fallback) const;
+};
+
+/// Parse a complete JSON document (throws Error on malformed input or
+/// trailing garbage).
+JsonValue parse_json(std::string_view text);
+
+}  // namespace ecomp::obs

@@ -1,0 +1,52 @@
+#include "obs/provenance.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <ctime>
+
+#include "obs/json.h"
+
+#ifndef ECOMP_GIT_SHA
+#define ECOMP_GIT_SHA "unknown"
+#endif
+#ifndef ECOMP_BUILD_TYPE
+#define ECOMP_BUILD_TYPE "unknown"
+#endif
+
+namespace ecomp::obs {
+
+Provenance collect_provenance() {
+  Provenance p;
+  const char* env_sha = std::getenv("ECOMP_GIT_SHA");
+  p.git_sha = (env_sha && *env_sha) ? env_sha : ECOMP_GIT_SHA;
+
+  std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char ts[32];
+  std::strftime(ts, sizeof ts, "%Y-%m-%dT%H:%M:%SZ", &utc);
+  p.timestamp = ts;
+
+  char host[256] = {0};
+  if (gethostname(host, sizeof host - 1) == 0 && host[0]) p.hostname = host;
+  else p.hostname = "unknown";
+
+  p.build_type = ECOMP_BUILD_TYPE;
+#if defined(ECOMP_OBS_ENABLED)
+  p.obs_enabled = true;
+#endif
+  return p;
+}
+
+std::string to_json(const Provenance& p) {
+  std::string out = "{\"git_sha\":" + json_quote(p.git_sha) +
+                    ",\"timestamp\":" + json_quote(p.timestamp) +
+                    ",\"hostname\":" + json_quote(p.hostname) +
+                    ",\"build_type\":" + json_quote(p.build_type) +
+                    ",\"obs_enabled\":" +
+                    (p.obs_enabled ? "true" : "false") + "}";
+  return out;
+}
+
+}  // namespace ecomp::obs

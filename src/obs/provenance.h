@@ -1,0 +1,28 @@
+// Build/run provenance for machine-readable telemetry. Every bench
+// sidecar embeds this block so a number can always be traced back to
+// the commit, build configuration, and host that produced it — the
+// precondition for benchdiff gating sidecars across PRs.
+#pragma once
+
+#include <string>
+
+namespace ecomp::obs {
+
+struct Provenance {
+  std::string git_sha;     ///< commit id, or "unknown"
+  std::string timestamp;   ///< UTC, ISO 8601 (e.g. "2026-08-06T12:00:00Z")
+  std::string hostname;    ///< machine that ran the binary
+  std::string build_type;  ///< CMAKE_BUILD_TYPE at compile time
+  bool obs_enabled = false;  ///< ECOMP_OBS instrumentation compiled in
+};
+
+/// Collect provenance for the current process. The git SHA comes from
+/// the ECOMP_GIT_SHA environment variable when set (CI override), else
+/// from the value CMake captured at configure time.
+Provenance collect_provenance();
+
+/// {"git_sha":..,"timestamp":..,"hostname":..,"build_type":..,
+///  "obs_enabled":..} — stable key order.
+std::string to_json(const Provenance& p);
+
+}  // namespace ecomp::obs

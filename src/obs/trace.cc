@@ -62,6 +62,26 @@ void Tracer::add_sim_complete(std::string_view name, std::string_view cat,
   add_complete(name, cat, start_s * 1e6, dur_s * 1e6, kSimPid);
 }
 
+void Tracer::add_counter(std::string_view name, std::string_view cat,
+                         double ts_us, double value, int pid) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = std::string(name);
+  e.cat = std::string(cat);
+  e.ts_us = ts_us;
+  e.pid = pid;
+  e.tid = pid == kSimPid ? 1 : this_thread_tid();
+  e.ph = 'C';
+  e.value = value;
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::add_sim_counter(std::string_view name, std::string_view cat,
+                             double t_s, double value) {
+  add_counter(name, cat, t_s * 1e6, value, kSimPid);
+}
+
 std::size_t Tracer::event_count() const {
   std::lock_guard lock(mu_);
   return events_.size();
@@ -78,10 +98,15 @@ std::string Tracer::to_chrome_json() const {
      << ",\"name\":\"process_name\",\"args\":{\"name\":\"sim\"}}";
   for (const auto& e : events_) {
     os << ",{\"name\":" << json_quote(e.name)
-       << ",\"cat\":" << json_quote(e.cat.empty() ? "ecomp" : e.cat)
-       << ",\"ph\":\"X\",\"ts\":" << json_number(e.ts_us)
-       << ",\"dur\":" << json_number(e.dur_us) << ",\"pid\":" << e.pid
-       << ",\"tid\":" << e.tid << "}";
+       << ",\"cat\":" << json_quote(e.cat.empty() ? "ecomp" : e.cat);
+    if (e.ph == 'C') {
+      os << ",\"ph\":\"C\",\"ts\":" << json_number(e.ts_us)
+         << ",\"args\":{\"value\":" << json_number(e.value) << "}";
+    } else {
+      os << ",\"ph\":\"X\",\"ts\":" << json_number(e.ts_us)
+         << ",\"dur\":" << json_number(e.dur_us);
+    }
+    os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << "}";
   }
   os << "]}";
   return os.str();
@@ -95,6 +120,7 @@ std::string Tracer::summary_text() const {
   };
   std::map<std::string, Agg> agg;
   for (const auto& e : events_) {
+    if (e.ph == 'C') continue;  // counters have no duration to summarize
     Agg& a = agg[std::string(e.pid == kSimPid ? "sim " : "wall ") + e.cat +
                  " " + e.name];
     ++a.count;

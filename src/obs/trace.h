@@ -33,6 +33,8 @@ struct TraceEvent {
   double dur_us = 0.0;  ///< duration; 0 renders as an instant
   int pid = kWallPid;
   int tid = 0;
+  char ph = 'X';        ///< 'X' complete span, 'C' counter sample
+  double value = 0.0;   ///< counter value when ph == 'C'
 };
 
 class Tracer {
@@ -52,6 +54,15 @@ class Tracer {
   /// Simulated-timebase complete event, in seconds.
   void add_sim_complete(std::string_view name, std::string_view cat,
                         double start_s, double dur_s);
+
+  /// Counter sample (Chrome "C" event) — renders as a step-function
+  /// counter track named `name` on the given pid. Perfetto holds the
+  /// value until the next sample, so emit one per change point.
+  void add_counter(std::string_view name, std::string_view cat,
+                   double ts_us, double value, int pid = kWallPid);
+  /// Simulated-timebase counter sample, in seconds.
+  void add_sim_counter(std::string_view name, std::string_view cat,
+                       double t_s, double value);
 
   std::size_t event_count() const;
 

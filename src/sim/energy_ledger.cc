@@ -1,0 +1,167 @@
+#include "sim/energy_ledger.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace ecomp::sim {
+namespace {
+
+/// "a/b/c" -> {"a", "a/b", "a/b/c"}.
+std::vector<std::string> ancestry(const std::string& path) {
+  std::vector<std::string> out;
+  for (std::size_t pos = path.find('/'); pos != std::string::npos;
+       pos = path.find('/', pos + 1))
+    out.push_back(path.substr(0, pos));
+  out.push_back(path);
+  return out;
+}
+
+bool is_child_of(const std::string& path, std::string_view parent) {
+  if (parent.empty())  // roots: no '/' at all
+    return path.find('/') == std::string::npos;
+  if (path.size() <= parent.size() + 1) return false;
+  if (path.compare(0, parent.size(), parent) != 0) return false;
+  if (path[parent.size()] != '/') return false;
+  return path.find('/', parent.size() + 1) == std::string::npos;
+}
+
+}  // namespace
+
+EnergyLedger EnergyLedger::from_timeline(const Timeline& timeline) {
+  EnergyLedger ledger;
+  for (const auto& p : timeline.phases()) {
+    const std::string& component =
+        p.attr.component.empty() ? attribution_for_label(p.label).component
+                                 : p.attr.component;
+    const double e = p.energy_j();
+    ledger.total_energy_j_ += e;
+    ledger.total_time_s_ += p.duration_s;
+    int depth = 0;
+    for (const auto& node_path : ancestry(component)) {
+      LedgerNode& node = ledger.by_path_[node_path];
+      if (node.component.empty()) {
+        node.component = node_path;
+        node.depth = depth;
+        node.leaf = true;
+      }
+      node.energy_j += e;
+      node.time_s += p.duration_s;
+      ++depth;
+    }
+  }
+  // Mark interior nodes: any node that is a proper prefix of another.
+  for (auto& [path, node] : ledger.by_path_) {
+    const auto next = ledger.by_path_.upper_bound(path);
+    if (next != ledger.by_path_.end() &&
+        next->first.rfind(path + "/", 0) == 0)
+      node.leaf = false;
+  }
+  ledger.nodes_.reserve(ledger.by_path_.size());
+  for (const auto& [_, node] : ledger.by_path_) ledger.nodes_.push_back(node);
+  return ledger;
+}
+
+double EnergyLedger::energy_j(std::string_view component) const {
+  const auto it = by_path_.find(std::string(component));
+  return it == by_path_.end() ? 0.0 : it->second.energy_j;
+}
+
+double EnergyLedger::time_s(std::string_view component) const {
+  const auto it = by_path_.find(std::string(component));
+  return it == by_path_.end() ? 0.0 : it->second.time_s;
+}
+
+std::vector<const LedgerNode*> EnergyLedger::children(
+    std::string_view component) const {
+  std::vector<const LedgerNode*> out;
+  for (const auto& [path, node] : by_path_)
+    if (is_child_of(path, component)) out.push_back(&node);
+  return out;
+}
+
+std::string EnergyLedger::validate(const Timeline& timeline,
+                                   double tol) const {
+  char buf[256];
+  // 1. The ledger total must equal the timeline's independent sum.
+  const double timeline_total = timeline.total_energy_j();
+  double root_sum = 0.0;
+  for (const auto* root : children(""))
+    root_sum += root->energy_j;
+  if (std::abs(root_sum - timeline_total) > tol) {
+    std::snprintf(buf, sizeof buf,
+                  "ledger roots sum to %.12g J but timeline total is %.12g J",
+                  root_sum, timeline_total);
+    return buf;
+  }
+  if (std::abs(total_energy_j_ - timeline_total) > tol) {
+    std::snprintf(buf, sizeof buf,
+                  "ledger total %.12g J != timeline total %.12g J",
+                  total_energy_j_, timeline_total);
+    return buf;
+  }
+  // 2. Children sum to their parent.
+  for (const auto& [path, node] : by_path_) {
+    if (node.leaf) continue;
+    double child_sum = 0.0;
+    for (const auto* child : children(path)) child_sum += child->energy_j;
+    if (std::abs(child_sum - node.energy_j) > tol) {
+      std::snprintf(buf, sizeof buf,
+                    "children of '%s' sum to %.12g J but parent has %.12g J",
+                    path.c_str(), child_sum, node.energy_j);
+      return buf;
+    }
+  }
+  // 3. No component carries negative energy or time.
+  for (const auto& [path, node] : by_path_) {
+    if (node.energy_j < -tol || node.time_s < -tol) {
+      std::snprintf(buf, sizeof buf, "component '%s' is negative (%.12g J)",
+                    path.c_str(), node.energy_j);
+      return buf;
+    }
+  }
+  return "";
+}
+
+std::string EnergyLedger::to_text() const {
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-36s %12s %7s %10s\n", "component",
+                "energy (J)", "share", "time (s)");
+  os << buf;
+  for (const auto& node : nodes_) {
+    const std::string name =
+        std::string(static_cast<std::size_t>(2 * node.depth), ' ') +
+        node.component.substr(node.component.find_last_of('/') + 1);
+    const double share =
+        total_energy_j_ > 0.0 ? node.energy_j / total_energy_j_ : 0.0;
+    std::snprintf(buf, sizeof buf, "%-36s %12.6f %6.1f%% %10.4f\n",
+                  name.c_str(), node.energy_j, 100.0 * share, node.time_s);
+    os << buf;
+  }
+  std::snprintf(buf, sizeof buf, "%-36s %12.6f %6.1f%% %10.4f\n", "total",
+                total_energy_j_, 100.0, total_time_s_);
+  os << buf;
+  return os.str();
+}
+
+std::string EnergyLedger::to_json() const {
+  std::ostringstream os;
+  os << "{\"total_energy_j\":" << obs::json_number(total_energy_j_)
+     << ",\"total_time_s\":" << obs::json_number(total_time_s_)
+     << ",\"components\":{";
+  bool first = true;
+  for (const auto& node : nodes_) {
+    if (!first) os << ",";
+    first = false;
+    os << obs::json_quote(node.component)
+       << ":{\"energy_j\":" << obs::json_number(node.energy_j)
+       << ",\"time_s\":" << obs::json_number(node.time_s) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace ecomp::sim

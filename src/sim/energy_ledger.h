@@ -1,0 +1,74 @@
+// EnergyLedger — hierarchical energy attribution over a sim::Timeline.
+//
+// Every timeline phase carries an Attribution whose component is a
+// slash path ("radio/recv/first", "cpu/decompress/deflate"); the ledger
+// aggregates joules and seconds for every node of that tree, so a
+// scenario's energy can be read at any granularity:
+//
+//   radio            4.97 J          cpu               1.05 J
+//     radio/recv     4.96 J            cpu/decompress  1.05 J
+//     radio/startup  0.01 J
+//
+// Invariants (validate()): every interior node equals the sum of its
+// children, the root total equals Timeline::total_energy_j() to 1e-9,
+// and no component carries negative energy. The paper's argument is a
+// claim about exactly this breakdown (receive vs decompress vs idle
+// overlap), so the ledger is the quantity benches export and benchdiff
+// gates across PRs.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/timeline.h"
+
+namespace ecomp::sim {
+
+struct LedgerNode {
+  std::string component;  ///< full slash path, e.g. "radio/recv/first"
+  int depth = 0;          ///< 0 for roots ("radio"), 1 for "radio/recv", ...
+  bool leaf = false;      ///< no child components below this node
+  double energy_j = 0.0;
+  double time_s = 0.0;
+};
+
+class EnergyLedger {
+ public:
+  /// Aggregate a timeline's phases into the component tree.
+  static EnergyLedger from_timeline(const Timeline& timeline);
+
+  double total_energy_j() const { return total_energy_j_; }
+  double total_time_s() const { return total_time_s_; }
+
+  /// Energy/time under a component path (0 when the path is absent).
+  double energy_j(std::string_view component) const;
+  double time_s(std::string_view component) const;
+
+  /// All nodes in depth-first (lexicographic) order, ancestors before
+  /// descendants.
+  const std::vector<LedgerNode>& nodes() const { return nodes_; }
+
+  /// Direct children of `component` ("" for the roots).
+  std::vector<const LedgerNode*> children(std::string_view component) const;
+
+  /// Check the ledger invariants against the timeline it came from.
+  /// Returns an empty string when everything holds, otherwise a
+  /// description of the first violation. `tol` is the absolute energy
+  /// tolerance in joules.
+  std::string validate(const Timeline& timeline, double tol = 1e-9) const;
+
+  /// Indented table: component, energy, share of total, time.
+  std::string to_text() const;
+  /// {"total_energy_j":..,"total_time_s":..,"components":{path:{...}}}.
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, LedgerNode> by_path_;
+  std::vector<LedgerNode> nodes_;
+  double total_energy_j_ = 0.0;
+  double total_time_s_ = 0.0;
+};
+
+}  // namespace ecomp::sim

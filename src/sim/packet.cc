@@ -58,12 +58,17 @@ TransferResult PacketLevelSimulator::download(
   }
 
   Timeline t;
-  t.add_energy(device_.radio.startup_energy_j, "startup");
-  t.add(recv_s, device_.recv_active_power_w(ps), "recv:packets");
-  t.add(gap_decomp_s, device_.decompress_power_w(ps), "decomp:interleaved");
-  t.add(gap_idle_s, device_.gap_power_w(ps), "gap:packets");
+  t.add_energy(device_.radio.startup_energy_j, "startup",
+               {"radio/startup", CpuState::Idle, RadioState::Idle});
+  t.add(recv_s, device_.recv_active_power_w(ps), "recv:packets",
+        {"radio/recv/packets", CpuState::Busy, RadioState::Recv});
+  t.add(gap_decomp_s, device_.decompress_power_w(ps), "decomp:interleaved",
+        {"overlap/decompress/" + codec, CpuState::Busy, RadioState::Recv});
+  t.add(gap_idle_s, device_.gap_power_w(ps), "gap:packets",
+        {"idle/gap/packets", CpuState::Idle, RadioState::Idle});
   if (backlog > 0.0)
-    t.add(backlog, device_.decompress_power_w(ps), "decomp:tail");
+    t.add(backlog, device_.decompress_power_w(ps), "decomp:tail",
+          {"cpu/decompress/" + codec, CpuState::Busy, RadioState::Idle});
 
   TransferResult r;
   r.timeline = std::move(t);
@@ -71,10 +76,12 @@ TransferResult PacketLevelSimulator::download(
   r.energy_j = r.timeline.total_energy_j();
   r.download_time_s = payload / rate;
   r.decompress_time_s = total_work;
-  r.download_energy_j = r.timeline.energy_with_prefix("recv") +
-                        r.timeline.energy_with_prefix("gap") +
-                        r.timeline.energy_with_prefix("startup");
-  r.decompress_energy_j = r.timeline.energy_with_prefix("decomp");
+  static const std::vector<std::string> kPrefixes = {"recv", "gap", "startup",
+                                                     "decomp"};
+  const auto totals = r.timeline.totals_with_prefixes(kPrefixes);
+  r.download_energy_j =
+      totals[0].energy_j + totals[1].energy_j + totals[2].energy_j;
+  r.decompress_energy_j = totals[3].energy_j;
   return r;
 }
 

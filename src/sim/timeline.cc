@@ -4,15 +4,86 @@
 #include <cmath>
 
 namespace ecomp::sim {
+namespace {
+
+/// "recv:first" -> "first"; "" when the label has no subpath.
+std::string subpath(const std::string& label) {
+  const auto colon = label.find(':');
+  if (colon == std::string::npos) return "";
+  std::string sub = label.substr(colon + 1);
+  std::replace(sub.begin(), sub.end(), ':', '/');
+  return sub;
+}
+
+std::string join(const char* root, const std::string& sub) {
+  return sub.empty() ? root : root + ("/" + sub);
+}
+
+}  // namespace
+
+Attribution attribution_for_label(const std::string& label) {
+  const auto has = [&](const char* prefix) {
+    return label.rfind(prefix, 0) == 0;
+  };
+  const std::string sub = subpath(label);
+  if (has("recv"))
+    return {join("radio/recv", sub), CpuState::Busy, RadioState::Recv};
+  if (has("send"))
+    return {join("radio/send", sub), CpuState::Busy, RadioState::Send};
+  if (has("startup"))
+    return {join("radio/startup", sub), CpuState::Idle, RadioState::Idle};
+  if (has("gap"))
+    return {join("idle/gap", sub), CpuState::Idle, RadioState::Idle};
+  if (has("wait"))
+    return {join("idle/wait", sub), CpuState::Idle, RadioState::Idle};
+  if (has("think"))
+    return {join("idle/think", sub), CpuState::Idle, RadioState::Idle};
+  if (has("decomp")) {
+    // Interleaved decompression runs inside receive gaps — the paper's
+    // overlap term; the tail runs with the radio merely idle.
+    if (sub.rfind("interleaved", 0) == 0)
+      return {"overlap/decompress", CpuState::Busy, RadioState::Recv};
+    return {"cpu/decompress", CpuState::Busy, RadioState::Idle};
+  }
+  if (has("compress")) {
+    if (sub.rfind("interleaved", 0) == 0)
+      return {"overlap/compress", CpuState::Busy, RadioState::Send};
+    return {"cpu/compress", CpuState::Busy, RadioState::Idle};
+  }
+  // Unknown label family: keep it attributable without guessing states.
+  std::string head = label.substr(0, label.find(':'));
+  if (head.empty()) head = "unlabeled";
+  return {join("other", head), CpuState::Idle, RadioState::Idle};
+}
 
 void Timeline::add(double duration_s, double power_w, std::string label) {
   if (duration_s <= 0.0) return;
-  phases_.push_back({duration_s, power_w, 0.0, std::move(label)});
+  Attribution attr = attribution_for_label(label);
+  phases_.push_back(
+      {duration_s, power_w, 0.0, std::move(label), std::move(attr)});
+}
+
+void Timeline::add(double duration_s, double power_w, std::string label,
+                   Attribution attr) {
+  if (duration_s <= 0.0) return;
+  phases_.push_back(
+      {duration_s, power_w, 0.0, std::move(label), std::move(attr)});
 }
 
 void Timeline::add_energy(double energy_j, std::string label) {
   if (energy_j <= 0.0) return;
-  phases_.push_back({0.0, 0.0, energy_j, std::move(label)});
+  Attribution attr = attribution_for_label(label);
+  phases_.push_back({0.0, 0.0, energy_j, std::move(label), std::move(attr)});
+}
+
+void Timeline::add_energy(double energy_j, std::string label,
+                          Attribution attr) {
+  if (energy_j <= 0.0) return;
+  phases_.push_back({0.0, 0.0, energy_j, std::move(label), std::move(attr)});
+}
+
+void Timeline::extend(const Timeline& other) {
+  phases_.insert(phases_.end(), other.phases_.begin(), other.phases_.end());
 }
 
 double Timeline::total_time_s() const {
@@ -39,6 +110,19 @@ double Timeline::time_with_prefix(const std::string& prefix) const {
   for (const auto& p : phases_)
     if (p.label.rfind(prefix, 0) == 0) t += p.duration_s;
   return t;
+}
+
+std::vector<Timeline::PrefixTotals> Timeline::totals_with_prefixes(
+    const std::vector<std::string>& prefixes) const {
+  std::vector<PrefixTotals> out(prefixes.size());
+  for (const auto& p : phases_) {
+    for (std::size_t i = 0; i < prefixes.size(); ++i) {
+      if (p.label.rfind(prefixes[i], 0) != 0) continue;
+      out[i].energy_j += p.energy_j();
+      out[i].time_s += p.duration_s;
+    }
+  }
+  return out;
 }
 
 std::string Timeline::render_ascii(double s_per_char) const {

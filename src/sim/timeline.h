@@ -2,18 +2,42 @@
 // sequence of (duration, power, label) phases; energy is the integral.
 // Keeping the phases explicit lets benches print the Fig. 3/4 style
 // breakdowns and lets tests assert on structure, not just totals.
+//
+// Each phase additionally carries an Attribution — a slash-separated
+// component path ("radio/recv/first", "cpu/decompress/deflate",
+// "overlap/decompress/deflate") plus the (CpuState, RadioState) pair the
+// device sits in during the phase — which EnergyLedger aggregates into
+// the paper's where-do-the-joules-go breakdown (Eqs. 1-5, Tables 1-3).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "sim/power.h"
+
 namespace ecomp::sim {
+
+/// Energy-attribution tag for a phase. `component` is a slash path
+/// rooted at one of: radio/ (receive, send, startup), idle/ (gaps,
+/// proxy waits, think time), cpu/ (decompress/compress with the radio
+/// otherwise idle), overlap/ (CPU work hidden inside radio gaps).
+struct Attribution {
+  std::string component;
+  CpuState cpu = CpuState::Idle;
+  RadioState radio = RadioState::Idle;
+};
+
+/// Default attribution derived from a phase label ("recv:first" ->
+/// radio/recv/first, "decomp:tail" -> cpu/decompress, ...). Callers
+/// that know more (e.g. the codec name) pass an explicit Attribution.
+Attribution attribution_for_label(const std::string& label);
 
 struct Phase {
   double duration_s = 0.0;
   double power_w = 0.0;
   double fixed_energy_j = 0.0;  ///< instantaneous charge (e.g. cs)
   std::string label;
+  Attribution attr;
 
   double energy_j() const { return duration_s * power_w + fixed_energy_j; }
 };
@@ -22,11 +46,20 @@ class Timeline {
  public:
   /// Append a phase. Zero/negative durations are dropped (they arise
   /// naturally from degenerate scenarios, e.g. no idle gap remaining).
+  /// The attribution is derived from the label (attribution_for_label).
   void add(double duration_s, double power_w, std::string label);
+  /// Append a phase with an explicit attribution.
+  void add(double duration_s, double power_w, std::string label,
+           Attribution attr);
 
   /// Add an instantaneous energy cost (e.g. the cs network start-up
   /// term, which the paper models as a constant charge, not a phase).
   void add_energy(double energy_j, std::string label);
+  void add_energy(double energy_j, std::string label, Attribution attr);
+
+  /// Append every phase of `other` (session-style aggregation of
+  /// several transfers into one attributable timeline).
+  void extend(const Timeline& other);
 
   double total_time_s() const;
   double total_energy_j() const;
@@ -35,6 +68,17 @@ class Timeline {
   double energy_with_prefix(const std::string& prefix) const;
   /// Sum of time over phases whose label starts with `prefix`.
   double time_with_prefix(const std::string& prefix) const;
+
+  struct PrefixTotals {
+    double energy_j = 0.0;
+    double time_s = 0.0;
+  };
+  /// Single-pass equivalent of calling {energy,time}_with_prefix once
+  /// per entry of `prefixes`: result[i] sums phases whose label starts
+  /// with prefixes[i]. Use this in per-iteration code — the per-prefix
+  /// queries above scan the whole phase list each call.
+  std::vector<PrefixTotals> totals_with_prefixes(
+      const std::vector<std::string>& prefixes) const;
 
   const std::vector<Phase>& phases() const { return phases_; }
 

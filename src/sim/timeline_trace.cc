@@ -5,16 +5,29 @@ namespace ecomp::sim {
 double timeline_to_trace(const Timeline& timeline, obs::Tracer& tracer,
                          std::string_view cat, double offset_s) {
   double t = offset_s;
+  double cumulative_j = 0.0;
   for (const auto& p : timeline.phases()) {
     const std::string_view name =
         p.label.empty() ? std::string_view("(unlabeled)") : p.label;
     if (p.duration_s > 0.0) {
       tracer.add_sim_complete(name, cat, t, p.duration_s);
+      tracer.add_sim_counter("power_w", cat, t, p.power_w);
+      tracer.add_sim_counter("energy_j", cat, t, cumulative_j);
       t += p.duration_s;
     } else {
-      // Instantaneous charge (e.g. the cs network start-up term).
+      // Instantaneous charge (e.g. the cs network start-up term): a
+      // zero-duration instant plus an energy step; power is untouched
+      // (the charge has no duration to spread it over).
       tracer.add_sim_complete(name, cat, t, 0.0);
+      tracer.add_sim_counter("energy_j", cat, t, cumulative_j);
     }
+    cumulative_j += p.energy_j();
+  }
+  if (!timeline.phases().empty()) {
+    // Close the step functions at the end of the timeline so Perfetto
+    // draws the final phase's power and the total energy reached.
+    tracer.add_sim_counter("power_w", cat, t, 0.0);
+    tracer.add_sim_counter("energy_j", cat, t, cumulative_j);
   }
   return t - offset_s;
 }

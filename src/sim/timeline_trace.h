@@ -1,6 +1,11 @@
 // Timeline -> trace bridge: replays a sim::Timeline's phase ledger onto
 // the tracer's simulated-seconds track, so every Fig. 3/4-style phase
 // diagram can also be opened in Perfetto next to the wall-clock spans.
+//
+// Besides one complete event per phase, the bridge emits two counter
+// tracks on the sim pid — instantaneous power ("power_w") and running
+// cumulative energy ("energy_j") — so the energy story renders directly
+// under the span story (fig3/fig5 traces).
 #pragma once
 
 #include <string_view>
@@ -12,7 +17,8 @@ namespace ecomp::sim {
 
 /// Emit one sim-track complete event per timed phase (cumulative start
 /// offsets, labels as event names) and one zero-duration instant per
-/// fixed-energy charge. `cat` groups the timeline's events in the
+/// fixed-energy charge, plus "power_w" / "energy_j" counter samples at
+/// every phase boundary. `cat` groups the timeline's events in the
 /// viewer; `offset_s` shifts the whole timeline (for laying several
 /// scenarios side by side). Returns the timeline's total duration so
 /// callers can stack the next one after it.

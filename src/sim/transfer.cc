@@ -7,6 +7,41 @@
 namespace ecomp::sim {
 namespace {
 
+// Attribution helpers. Component paths follow the scheme documented in
+// docs/OBSERVABILITY.md: radio/ (receive, send, startup), idle/ (gaps,
+// proxy waits), cpu/<work>/<codec> for CPU work with the radio idle,
+// overlap/<work>/<codec> for CPU work hidden inside radio gaps.
+
+Attribution attr_recv(const char* sub) {
+  return {std::string("radio/recv/") + sub, CpuState::Busy, RadioState::Recv};
+}
+
+Attribution attr_send() {
+  return {"radio/send", CpuState::Busy, RadioState::Send};
+}
+
+Attribution attr_gap(const char* sub) {
+  return {std::string("idle/gap/") + sub, CpuState::Idle, RadioState::Idle};
+}
+
+Attribution attr_wait(const char* sub) {
+  return {std::string("idle/wait/") + sub, CpuState::Idle, RadioState::Idle};
+}
+
+Attribution attr_startup() {
+  return {"radio/startup", CpuState::Idle, RadioState::Idle};
+}
+
+Attribution attr_decomp(bool overlapped, const std::string& codec) {
+  return {(overlapped ? "overlap/decompress/" : "cpu/decompress/") + codec,
+          CpuState::Busy, overlapped ? RadioState::Recv : RadioState::Idle};
+}
+
+Attribution attr_comp(bool overlapped, const std::string& codec) {
+  return {(overlapped ? "overlap/compress/" : "cpu/compress/") + codec,
+          CpuState::Busy, overlapped ? RadioState::Send : RadioState::Idle};
+}
+
 TransferResult finish(Timeline&& t, double download_time_s,
                       double decompress_time_s) {
   TransferResult r;
@@ -15,12 +50,17 @@ TransferResult finish(Timeline&& t, double download_time_s,
   r.energy_j = r.timeline.total_energy_j();
   r.download_time_s = download_time_s;
   r.decompress_time_s = decompress_time_s;
-  r.wait_time_s = r.timeline.time_with_prefix("wait");
-  r.download_energy_j = r.timeline.energy_with_prefix("recv") +
-                        r.timeline.energy_with_prefix("gap") +
-                        r.timeline.energy_with_prefix("startup");
-  r.decompress_energy_j = r.timeline.energy_with_prefix("decomp");
-  r.wait_energy_j = r.timeline.energy_with_prefix("wait");
+  // One pass over the phase list for all five breakdown prefixes —
+  // finish() runs once per simulated scenario and the benches simulate
+  // thousands of scenarios per run.
+  static const std::vector<std::string> kPrefixes = {"recv", "gap", "startup",
+                                                     "decomp", "wait"};
+  const auto totals = r.timeline.totals_with_prefixes(kPrefixes);
+  r.download_energy_j =
+      totals[0].energy_j + totals[1].energy_j + totals[2].energy_j;
+  r.decompress_energy_j = totals[3].energy_j;
+  r.wait_energy_j = totals[4].energy_j;
+  r.wait_time_s = totals[4].time_s;
   return r;
 }
 
@@ -44,8 +84,8 @@ void TransferSimulator::run_download(Timeline& t, const DownloadSpec& spec,
   // decompress yet) — the paper's ti1 term.
   if (first > 0.0) {
     const double ta = first / rate;
-    t.add((1.0 - f) * ta, p_active, "recv:first");
-    t.add(f * ta, p_gap, "gap:first");
+    t.add((1.0 - f) * ta, p_active, "recv:first", attr_recv("first"));
+    t.add(f * ta, p_gap, "gap:first", attr_gap("first"));
   }
 
   // Remaining download: gaps (the paper's ti') are filled with
@@ -53,11 +93,12 @@ void TransferSimulator::run_download(Timeline& t, const DownloadSpec& spec,
   double work = spec.decompress_work_s;
   if (rest > 0.0) {
     const double tb = rest / rate;
-    t.add((1.0 - f) * tb, p_active, "recv:rest");
+    t.add((1.0 - f) * tb, p_active, "recv:rest", attr_recv("rest"));
     const double gap = f * tb;
     const double filled = std::min(work, gap);
-    t.add(filled, p_decomp, "decomp:interleaved");
-    t.add(gap - filled, p_gap, "gap:rest");
+    t.add(filled, p_decomp, "decomp:interleaved",
+          attr_decomp(true, spec.codec));
+    t.add(gap - filled, p_gap, "gap:rest", attr_gap("rest"));
     work -= filled;
   }
 
@@ -65,7 +106,7 @@ void TransferSimulator::run_download(Timeline& t, const DownloadSpec& spec,
   if (work > 0.0) {
     const double p_tail =
         device_.decompress_power_w(sleep_during_tail ? true : ps);
-    t.add(work, p_tail, "decomp:tail");
+    t.add(work, p_tail, "decomp:tail", attr_decomp(false, spec.codec));
   }
 }
 
@@ -73,7 +114,7 @@ TransferResult TransferSimulator::download_uncompressed(
     double mb, bool power_saving) const {
   if (mb < 0.0) throw Error("download_uncompressed: negative size");
   Timeline t;
-  t.add_energy(device_.radio.startup_energy_j, "startup");
+  t.add_energy(device_.radio.startup_energy_j, "startup", attr_startup());
   DownloadSpec spec;
   spec.payload_mb = mb;
   spec.rate_mb_s = device_.radio.rate_mb_per_s(power_saving);
@@ -90,7 +131,7 @@ TransferResult TransferSimulator::download_compressed(
   if (original_mb < 0.0 || compressed_mb < 0.0)
     throw Error("download_compressed: negative size");
   Timeline t;
-  t.add_energy(device_.radio.startup_energy_j, "startup");
+  t.add_energy(device_.radio.startup_energy_j, "startup", attr_startup());
 
   const double td =
       device_.cpu.decompress_time_s(codec, compressed_mb, original_mb);
@@ -100,7 +141,8 @@ TransferResult TransferSimulator::download_compressed(
     // Device waits idle while the proxy compresses the whole file.
     const double tc =
         proxy_.compress_time_s(codec, original_mb, compressed_mb);
-    t.add(tc, device_.gap_power_w(opt.power_saving), "wait:proxy");
+    t.add(tc, device_.gap_power_w(opt.power_saving), "wait:proxy",
+          attr_wait("proxy"));
   } else if (opt.on_demand == OnDemand::Overlapped) {
     // Proxy compresses block-by-block behind the send. The device pays
     // the first block's compression latency; afterwards delivery is
@@ -111,7 +153,8 @@ TransferResult TransferSimulator::download_compressed(
     const double first_raw = std::min(opt.block_mb, original_mb);
     const double tc1 =
         proxy_.compress_time_s(codec, first_raw, first_raw * ratio);
-    t.add(tc1, device_.gap_power_w(opt.power_saving), "wait:proxy-first");
+    t.add(tc1, device_.gap_power_w(opt.power_saving), "wait:proxy-first",
+          attr_wait("proxy-first"));
     const auto cost = proxy_.compress_cost(codec);
     const double s_per_raw_mb =
         cost.s_per_mb_in + cost.s_per_mb_out * ratio;
@@ -126,6 +169,7 @@ TransferResult TransferSimulator::download_compressed(
   spec.rate_mb_s = rate;
   spec.power_saving = opt.power_saving;
   spec.decompress_work_s = td;
+  spec.codec = codec;
   if (opt.interleave) {
     const double ratio =
         original_mb > 0.0 ? compressed_mb / original_mb : 1.0;
@@ -141,7 +185,7 @@ TransferResult TransferSimulator::download_selective(
     const std::vector<BlockTransfer>& blocks, const std::string& codec,
     const TransferOptions& opt) const {
   Timeline t;
-  t.add_energy(device_.radio.startup_energy_j, "startup");
+  t.add_energy(device_.radio.startup_energy_j, "startup", attr_startup());
 
   double payload = 0.0, raw = 0.0, total_work = 0.0;
   const auto cost = device_.cpu.decompress_cost(codec);
@@ -158,11 +202,13 @@ TransferResult TransferSimulator::download_selective(
   double rate = device_.radio.rate_mb_per_s(opt.power_saving);
   if (opt.on_demand == OnDemand::Sequential) {
     const double tc = proxy_.compress_time_s(codec, raw, payload);
-    t.add(tc, device_.gap_power_w(opt.power_saving), "wait:proxy");
+    t.add(tc, device_.gap_power_w(opt.power_saving), "wait:proxy",
+          attr_wait("proxy"));
   } else if (opt.on_demand == OnDemand::Overlapped && !blocks.empty()) {
     const double tc1 = proxy_.compress_time_s(codec, blocks[0].raw_mb,
                                               blocks[0].payload_mb);
-    t.add(tc1, device_.gap_power_w(opt.power_saving), "wait:proxy-first");
+    t.add(tc1, device_.gap_power_w(opt.power_saving), "wait:proxy-first",
+          attr_wait("proxy-first"));
     const auto pcost = proxy_.compress_cost(codec);
     const double ratio = raw > 0.0 ? payload / raw : 1.0;
     const double s_per_raw_mb =
@@ -186,18 +232,18 @@ TransferResult TransferSimulator::download_selective(
   double backlog_s = 0.0;  // decode work ready to run
   for (const auto& b : blocks) {
     const double ti = b.payload_mb / rate;
-    t.add((1.0 - f) * ti, p_active, "recv:block");
+    t.add((1.0 - f) * ti, p_active, "recv:block", attr_recv("block"));
     const double gap = f * ti;
     const double filled = opt.interleave ? std::min(backlog_s, gap) : 0.0;
-    t.add(filled, p_decomp, "decomp:interleaved");
-    t.add(gap - filled, p_gap, "gap:block");
+    t.add(filled, p_decomp, "decomp:interleaved", attr_decomp(true, codec));
+    t.add(gap - filled, p_gap, "gap:block", attr_gap("block"));
     backlog_s -= filled;
     backlog_s += block_work(b);
   }
   if (backlog_s > 0.0) {
     const double p_tail = device_.decompress_power_w(
         (opt.sleep_during_decompress && !opt.interleave) ? true : ps);
-    t.add(backlog_s, p_tail, "decomp:tail");
+    t.add(backlog_s, p_tail, "decomp:tail", attr_decomp(false, codec));
   }
   return finish(std::move(t), payload / rate, total_work);
 }
@@ -206,14 +252,15 @@ TransferResult TransferSimulator::upload_uncompressed(
     double mb, bool power_saving) const {
   if (mb < 0.0) throw Error("upload_uncompressed: negative size");
   Timeline t;
-  t.add_energy(device_.radio.startup_energy_j, "startup");
+  t.add_energy(device_.radio.startup_energy_j, "startup", attr_startup());
   const double rate = device_.radio.rate_mb_per_s(power_saving);
   const double f =
       std::max(0.0, 1.0 - device_.radio.cpu_active_s_per_mb * rate);
   const double total = mb / rate;
   t.add((1.0 - f) * total, device_.recv_active_power_w(power_saving),
-        "send:active");
-  t.add(f * total, device_.gap_power_w(power_saving), "gap:send");
+        "send:active", attr_send());
+  t.add(f * total, device_.gap_power_w(power_saving), "gap:send",
+        attr_gap("send"));
   return finish(std::move(t), total, 0.0);
 }
 
@@ -223,7 +270,7 @@ TransferResult TransferSimulator::upload_compressed(
   if (original_mb < 0.0 || compressed_mb < 0.0)
     throw Error("upload_compressed: negative size");
   Timeline t;
-  t.add_energy(device_.radio.startup_energy_j, "startup");
+  t.add_energy(device_.radio.startup_energy_j, "startup", attr_startup());
 
   const bool ps = opt.power_saving;
   const double rate = device_.radio.rate_mb_per_s(ps);
@@ -241,9 +288,9 @@ TransferResult TransferSimulator::upload_compressed(
     // Compress everything up front (radio may sleep), then send.
     const double p_front = device_.decompress_power_w(
         opt.sleep_during_decompress ? true : ps);
-    t.add(tc, p_front, "compress:front");
-    t.add((1.0 - f) * send_time, p_active, "send:active");
-    t.add(f * send_time, p_gap, "gap:send");
+    t.add(tc, p_front, "compress:front", attr_comp(false, codec));
+    t.add((1.0 - f) * send_time, p_active, "send:active", attr_send());
+    t.add(f * send_time, p_gap, "gap:send", attr_gap("send"));
     return finish(std::move(t), send_time, tc);
   }
 
@@ -251,22 +298,22 @@ TransferResult TransferSimulator::upload_compressed(
   // starts; the rest competes with the sender for the CPU's gap time.
   const double first_raw = std::min(opt.block_mb, original_mb);
   const double tc1 = original_mb > 0.0 ? tc * first_raw / original_mb : tc;
-  t.add(tc1, p_comp, "compress:first");
+  t.add(tc1, p_comp, "compress:first", attr_comp(false, codec));
 
   const double gap_budget = f * send_time;
   const double work = tc - tc1;
   if (work <= gap_budget) {
     // CPU keeps up: send runs at full rate.
-    t.add((1.0 - f) * send_time, p_active, "send:active");
-    t.add(work, p_comp, "compress:interleaved");
-    t.add(gap_budget - work, p_gap, "gap:send");
+    t.add((1.0 - f) * send_time, p_active, "send:active", attr_send());
+    t.add(work, p_comp, "compress:interleaved", attr_comp(true, codec));
+    t.add(gap_budget - work, p_gap, "gap:send", attr_gap("send"));
     return finish(std::move(t), send_time, tc);
   }
   // CPU-bound: sending stalls on compression; the wall clock stretches
   // to active-send + remaining compression, with no idle at all.
   const double active_send = (1.0 - f) * send_time;
-  t.add(active_send, p_active, "send:active");
-  t.add(work, p_comp, "compress:interleaved");
+  t.add(active_send, p_active, "send:active", attr_send());
+  t.add(work, p_comp, "compress:interleaved", attr_comp(true, codec));
   return finish(std::move(t), active_send + work, tc);
 }
 

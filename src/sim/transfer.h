@@ -113,6 +113,7 @@ class TransferSimulator {
     double first_block_mb = 0.0;   ///< portion whose gaps cannot be filled
     double decompress_work_s = 0.0;///< CPU work available to fill gaps
     bool power_saving = false;
+    std::string codec = "raw";     ///< codec name for energy attribution
   };
   /// Shared engine: download with optional gap-filling decompression,
   /// then a decompress tail for whatever work remains.

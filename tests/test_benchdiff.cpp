@@ -1,0 +1,247 @@
+// benchdiff: the JSON reader it is built on, the diff/gating semantics,
+// and the CLI contract (golden output fragments + exit codes) that
+// scripts/bench_gate.sh relies on.
+#include "obs/benchdiff.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json_parse.h"
+#include "util/bytes.h"
+
+namespace ecomp::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------------- parse_json
+
+TEST(JsonParse, ObjectsPreserveInsertionOrder) {
+  const JsonValue doc = parse_json(R"({"zz":1,"aa":2,"mm":{"k":[1,2,3]}})");
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_EQ(doc.object.size(), 3u);
+  EXPECT_EQ(doc.object[0].first, "zz");
+  EXPECT_EQ(doc.object[1].first, "aa");
+  EXPECT_EQ(doc.object[2].first, "mm");
+  const JsonValue* arr = doc.object[2].second.find("k");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(arr->is_array());
+  ASSERT_EQ(arr->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->array[2].number, 3.0);
+}
+
+TEST(JsonParse, NumbersBoolsNullsAndEscapes) {
+  const JsonValue doc = parse_json(
+      R"({"neg":-12.5,"exp":1.5e3,"t":true,"f":false,"n":null,)"
+      R"("s":"a\"b\\c\ndA"})");
+  EXPECT_DOUBLE_EQ(doc.number_or("neg", 0.0), -12.5);
+  EXPECT_DOUBLE_EQ(doc.number_or("exp", 0.0), 1500.0);
+  EXPECT_TRUE(doc.find("t")->boolean);
+  EXPECT_FALSE(doc.find("f")->boolean);
+  EXPECT_EQ(doc.find("n")->kind, JsonValue::Kind::Null);
+  EXPECT_EQ(doc.find("s")->string, "a\"b\\c\ndA");
+  EXPECT_DOUBLE_EQ(doc.number_or("absent", 7.0), 7.0);
+  EXPECT_EQ(doc.find("absent"), nullptr);
+}
+
+TEST(JsonParse, MalformedInputThrowsWithOffset) {
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json("{\"a\":}"), Error);
+  EXPECT_THROW(parse_json("[1,2,]"), Error);
+  EXPECT_THROW(parse_json("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(parse_json("'single'"), Error);
+  try {
+    parse_json("{\"a\":nope}");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------- fixtures
+
+/// Two temp sidecar directories (baseline/current) torn down per test.
+class BenchDiffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            ("ecomp_benchdiff_" + std::to_string(::getpid()) + "_" +
+             info->name());
+    fs::remove_all(root_);
+    base_ = root_ / "baseline";
+    cur_ = root_ / "current";
+    fs::create_directories(base_);
+    fs::create_directories(cur_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  static void write_file(const fs::path& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    ASSERT_TRUE(out.good()) << path;
+  }
+
+  /// Schema-2 sidecar with one gated time, one ungated count, and one
+  /// energy ledger scenario ("seq") with radio/cpu components.
+  static std::string sidecar(const std::string& bench, double total_s,
+                             double files, double radio_j, double cpu_j) {
+    std::ostringstream os;
+    os << "{\"bench\":\"" << bench << "\",\"schema\":2,"
+       << "\"provenance\":{\"git_sha\":\"test\",\"timestamp\":\"t\"},"
+       << "\"headline\":{\"total_s\":" << total_s << ",\"files\":" << files
+       << "},\"energy\":{\"seq\":{\"total_energy_j\":" << (radio_j + cpu_j)
+       << ",\"total_time_s\":" << total_s << ",\"components\":{"
+       << "\"cpu\":{\"energy_j\":" << cpu_j << ",\"time_s\":1.0},"
+       << "\"radio\":{\"energy_j\":" << radio_j << ",\"time_s\":2.0}}}}}";
+    return os.str();
+  }
+
+  int run(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return benchdiff_main(args, out_, err_);
+  }
+  std::string dirs_baseline() const { return base_.string(); }
+  std::string dirs_current() const { return cur_.string(); }
+
+  fs::path root_, base_, cur_;
+  std::ostringstream out_, err_;
+};
+
+// --------------------------------------------------------- exit codes
+
+TEST_F(BenchDiffTest, IdenticalSidecarsPass) {
+  write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  write_file(cur_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0);
+  EXPECT_NE(out_.str().find("0 regressed, 0 improved, 0 missing"),
+            std::string::npos)
+      << out_.str();
+}
+
+TEST_F(BenchDiffTest, ImprovementPassesAndIsLabelled) {
+  write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  write_file(cur_ / "BENCH_fig.json", sidecar("fig", 2.0, 5, 3.0, 0.5));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0);
+  EXPECT_NE(out_.str().find("improved"), std::string::npos) << out_.str();
+  EXPECT_EQ(out_.str().find("REGRESSION"), std::string::npos) << out_.str();
+}
+
+TEST_F(BenchDiffTest, WithinThresholdPasses) {
+  write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  // +2% on every gated metric, inside the default 5%.
+  write_file(cur_ / "BENCH_fig.json", sidecar("fig", 3.06, 5, 4.08, 1.02));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0);
+  EXPECT_EQ(out_.str().find("REGRESSION"), std::string::npos) << out_.str();
+}
+
+TEST_F(BenchDiffTest, RegressionBeyondThresholdFails) {
+  write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  write_file(cur_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.6, 1.0));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 2);
+  const std::string table = out_.str();
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos) << table;
+  EXPECT_NE(table.find("energy.seq.radio"), std::string::npos) << table;
+  // The ledger total moved too (+12%), so both lines gate.
+  EXPECT_NE(table.find("energy.seq.total"), std::string::npos) << table;
+}
+
+TEST_F(BenchDiffTest, ThresholdFlagLoosensTheGate) {
+  write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  write_file(cur_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.6, 1.0));
+  EXPECT_EQ(run({"--threshold", "20", dirs_baseline(), dirs_current()}), 0);
+}
+
+TEST_F(BenchDiffTest, UngatedMetricsNeverFail) {
+  write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  // "files" doubles but is a count (no _s/_j suffix): report, don't gate.
+  write_file(cur_ / "BENCH_fig.json", sidecar("fig", 3.0, 10, 4.0, 1.0));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0);
+  EXPECT_NE(out_.str().find("headline.files"), std::string::npos);
+}
+
+TEST_F(BenchDiffTest, MissingBenchmarkExitsThree) {
+  write_file(base_ / "BENCH_a.json", sidecar("a", 3.0, 5, 4.0, 1.0));
+  write_file(base_ / "BENCH_b.json", sidecar("b", 1.0, 1, 1.0, 0.1));
+  write_file(cur_ / "BENCH_a.json", sidecar("a", 3.0, 5, 4.0, 1.0));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 3);
+  EXPECT_NE(out_.str().find("MISSING: b"), std::string::npos) << out_.str();
+}
+
+TEST_F(BenchDiffTest, MissingMetricExitsThreeAndNewMetricsAreReported) {
+  write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  // Current run renamed the scenario: old metrics missing, new ones added.
+  std::string renamed = sidecar("fig", 3.0, 5, 4.0, 1.0);
+  const auto pos = renamed.find("\"seq\"");
+  ASSERT_NE(pos, std::string::npos);
+  renamed.replace(pos, 5, "\"int\"");
+  write_file(cur_ / "BENCH_fig.json", renamed);
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 3);
+  EXPECT_NE(out_.str().find("MISSING: fig.energy.seq.total"),
+            std::string::npos)
+      << out_.str();
+  EXPECT_NE(out_.str().find("new (not in baseline): fig.energy.int.total"),
+            std::string::npos)
+      << out_.str();
+}
+
+TEST_F(BenchDiffTest, UsageErrorsExitOne) {
+  EXPECT_EQ(run({}), 1);
+  EXPECT_NE(err_.str().find("usage:"), std::string::npos);
+  EXPECT_EQ(run({dirs_baseline()}), 1);
+  EXPECT_EQ(run({"--threshold", "nope", dirs_baseline(), dirs_current()}), 1);
+  EXPECT_EQ(run({"--threshold", "-3", dirs_baseline(), dirs_current()}), 1);
+  EXPECT_EQ(run({"--bogus", dirs_baseline(), dirs_current()}), 1);
+  EXPECT_EQ(run({dirs_baseline(), (root_ / "no_such_dir").string()}), 1);
+}
+
+TEST_F(BenchDiffTest, JsonOutputParsesAndFlagsTheRegression) {
+  write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  write_file(cur_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.6, 1.0));
+  EXPECT_EQ(run({"--json", dirs_baseline(), dirs_current()}), 2);
+  const JsonValue doc = parse_json(out_.str());
+  EXPECT_DOUBLE_EQ(doc.number_or("threshold_pct", 0.0), 5.0);
+  const JsonValue* deltas = doc.find("deltas");
+  ASSERT_NE(deltas, nullptr);
+  bool saw_regression = false;
+  for (const auto& d : deltas->array) {
+    const JsonValue* metric = d.find("metric");
+    ASSERT_NE(metric, nullptr);
+    if (metric->string == "energy.seq.radio") {
+      EXPECT_TRUE(d.find("regressed")->boolean);
+      EXPECT_NEAR(d.number_or("delta_pct", 0.0), 15.0, 1e-9);
+      saw_regression = true;
+    }
+  }
+  EXPECT_TRUE(saw_regression);
+}
+
+TEST_F(BenchDiffTest, TraceArtifactsAndForeignFilesAreIgnored) {
+  write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  write_file(cur_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  write_file(cur_ / "BENCH_fig.trace.json", "{not json at all");
+  write_file(cur_ / "notes.txt", "hello");
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0);
+}
+
+TEST(MetricDelta, ZeroBaselineGrowthIsInfinite) {
+  MetricDelta d;
+  d.baseline = 0.0;
+  d.current = 1.0;
+  EXPECT_TRUE(std::isinf(d.delta_pct()));
+  EXPECT_GT(d.delta_pct(), 0.0);
+  d.current = 0.0;
+  EXPECT_DOUBLE_EQ(d.delta_pct(), 0.0);
+}
+
+}  // namespace
+}  // namespace ecomp::obs

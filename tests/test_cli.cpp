@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "obs/json_parse.h"
 #include "obs/metrics.h"
 #include "workload/generator.h"
 
@@ -223,11 +224,110 @@ TEST_F(CliFixture, TraceEnvFallback) {
             std::string::npos);
 }
 
-TEST_F(CliFixture, UnwritableTraceFileFails) {
+TEST_F(CliFixture, UnwritableTelemetryPathsRejectedUpFront) {
+  // --trace and --metrics destinations are probed before any work runs:
+  // exit 2, a clear message, and no output artifact is produced.
+  const std::string packed = (dir_ / "out.ec").string();
   EXPECT_EQ(run_cli({"compress", "--trace", "/nonexistent-dir/t.json",
-                     in_path_, (dir_ / "out.ec").string()}),
+                     in_path_, packed}),
             2);
-  EXPECT_FALSE(err_.str().empty());
+  EXPECT_NE(err_.str().find("cannot open for writing"), std::string::npos)
+      << err_.str();
+  EXPECT_FALSE(fs::exists(packed));
+  EXPECT_EQ(run_cli({"compress", "--metrics", "/nonexistent-dir/m.json",
+                     in_path_, packed}),
+            2);
+  EXPECT_NE(err_.str().find("cannot open for writing"), std::string::npos)
+      << err_.str();
+  EXPECT_FALSE(fs::exists(packed));
+}
+
+TEST_F(CliFixture, UnwritableProbeLeavesExistingFilesIntact) {
+  // The probe opens in append mode, so pointing --trace at an existing
+  // file must not clobber it when the command later fails.
+  const std::string trace = (dir_ / "keep.json").string();
+  write_file(trace, Bytes{'x', 'y', 'z'});
+  EXPECT_EQ(run_cli({"compress", "--trace", trace, (dir_ / "nope").string(),
+                     (dir_ / "out.ec").string()}),
+            2);  // input missing -> command fails after the probe
+  // The failed run still flushes a (valid) trace; the probe itself must
+  // not have truncated the file before that point. Easiest check: run a
+  // command that fails argument parsing, where nothing is flushed.
+  write_file(trace, Bytes{'x', 'y', 'z'});
+  EXPECT_EQ(run_cli({"compress", "--trace", trace, "-c"}), 1);
+  EXPECT_EQ(read_file(trace), (Bytes{'x', 'y', 'z'}));
+}
+
+// --------------------------------------------------- energy attribution
+
+TEST_F(CliFixture, EnergyReportsSavingsForCompressibleInput) {
+  ASSERT_EQ(run_cli({"energy", in_path_}), 0) << err_.str();
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("scenario: interleaved(deflate) at 11 Mb/s"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("saves"), std::string::npos);
+  // Plain run prints no per-component table.
+  EXPECT_EQ(text.find("component"), std::string::npos);
+}
+
+TEST_F(CliFixture, EnergyBreakdownPrintsTheComponentTree) {
+  ASSERT_EQ(run_cli({"energy", "--breakdown", "-r", "2", "-c", "lzw",
+                     in_path_}),
+            0)
+      << err_.str();
+  const std::string text = out_.str();
+  EXPECT_NE(text.find("scenario: interleaved(lzw) at 2 Mb/s"),
+            std::string::npos)
+      << text;
+  // The table prints the tree with indented short names: a "radio" root
+  // with "recv"/"startup" children, the codec under "decompress", and a
+  // closing total row.
+  EXPECT_NE(text.find("component"), std::string::npos) << text;
+  EXPECT_NE(text.find("radio"), std::string::npos) << text;
+  EXPECT_NE(text.find("recv"), std::string::npos) << text;
+  EXPECT_NE(text.find("startup"), std::string::npos) << text;
+  EXPECT_NE(text.find("decompress"), std::string::npos) << text;
+  EXPECT_NE(text.find("lzw"), std::string::npos) << text;
+  EXPECT_NE(text.find("total"), std::string::npos) << text;
+}
+
+TEST_F(CliFixture, EnergyJsonCarriesAValidatedLedger) {
+  ASSERT_EQ(run_cli({"energy", "--json", in_path_}), 0) << err_.str();
+  const auto doc = obs::parse_json(out_.str());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("scenario")->string, "interleaved(deflate)");
+  EXPECT_DOUBLE_EQ(doc.number_or("rate_mbps", 0.0), 11.0);
+  EXPECT_NEAR(doc.number_or("original_mb", 0.0), 0.2, 1e-12);
+  const obs::JsonValue* ledger = doc.find("ledger");
+  ASSERT_NE(ledger, nullptr);
+  const double total = ledger->number_or("total_energy_j", -1.0);
+  EXPECT_GT(total, 0.0);
+  EXPECT_LT(total, doc.number_or("raw_energy_j", 0.0));
+  // Root components sum to the total (the ledger invariant, end to end).
+  const obs::JsonValue* comps = ledger->find("components");
+  ASSERT_NE(comps, nullptr);
+  double roots = 0.0;
+  for (const auto& [path, node] : comps->object)
+    if (path.find('/') == std::string::npos)
+      roots += node.number_or("energy_j", 0.0);
+  EXPECT_NEAR(roots, total, 1e-9);
+}
+
+TEST_F(CliFixture, EnergyReplaysSelectiveContainers) {
+  const std::string packed = (dir_ / "sel.ec").string();
+  ASSERT_EQ(run_cli({"compress", "-c", "selective", "-b", "32768", in_path_,
+                     packed}),
+            0);
+  ASSERT_EQ(run_cli({"energy", packed}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("selective-replay(7 blocks)"), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(CliFixture, EnergyUsageErrors) {
+  EXPECT_EQ(run_cli({"energy"}), 2);                      // missing IN
+  EXPECT_EQ(run_cli({"energy", "-r", "5", in_path_}), 2); // bad rate
+  EXPECT_EQ(run_cli({"energy", (dir_ / "nope").string()}), 2);
 }
 
 }  // namespace

@@ -1,0 +1,387 @@
+// Energy attribution: the ledger's invariants over every simulator and
+// the closed-form model timelines, plus the Perfetto counter tracks.
+#include "sim/energy_ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/energy_model.h"
+#include "core/planner.h"
+#include "core/session.h"
+#include "core/upload_model.h"
+#include "obs/json_parse.h"
+#include "obs/trace.h"
+#include "sim/packet.h"
+#include "sim/timeline_trace.h"
+#include "sim/transfer.h"
+#include "util/rng.h"
+
+namespace ecomp::sim {
+namespace {
+
+void expect_near_rel(double a, double b, const std::string& what) {
+  const double tol = 1e-9 * std::max(1.0, std::max(std::fabs(a),
+                                                   std::fabs(b)));
+  EXPECT_NEAR(a, b, tol) << what;
+}
+
+/// Assert every ledger invariant against its source timeline and return
+/// the ledger for further checks.
+EnergyLedger checked_ledger(const Timeline& t, const std::string& what) {
+  const EnergyLedger ledger = EnergyLedger::from_timeline(t);
+  EXPECT_EQ(ledger.validate(t), "") << what;
+  for (const auto& node : ledger.nodes()) {
+    EXPECT_GE(node.energy_j, 0.0) << what << ": " << node.component;
+    EXPECT_GE(node.time_s, 0.0) << what << ": " << node.component;
+  }
+  expect_near_rel(ledger.total_energy_j(), t.total_energy_j(), what);
+  return ledger;
+}
+
+// --------------------------------------------------------- attribution
+
+TEST(Attribution, LabelDefaultsFollowTheNamingScheme) {
+  EXPECT_EQ(attribution_for_label("recv:first").component, "radio/recv/first");
+  EXPECT_EQ(attribution_for_label("send:active").component,
+            "radio/send/active");
+  EXPECT_EQ(attribution_for_label("startup").component, "radio/startup");
+  EXPECT_EQ(attribution_for_label("gap:rest").component, "idle/gap/rest");
+  EXPECT_EQ(attribution_for_label("wait:proxy").component, "idle/wait/proxy");
+  EXPECT_EQ(attribution_for_label("think").component, "idle/think");
+  EXPECT_EQ(attribution_for_label("decomp:interleaved").component,
+            "overlap/decompress");
+  EXPECT_EQ(attribution_for_label("decomp:tail").component, "cpu/decompress");
+  EXPECT_EQ(attribution_for_label("compress:front").component, "cpu/compress");
+  EXPECT_EQ(attribution_for_label("compress:interleaved").component,
+            "overlap/compress");
+  EXPECT_EQ(attribution_for_label("mystery:x").component, "other/mystery");
+
+  EXPECT_EQ(attribution_for_label("recv:first").radio, RadioState::Recv);
+  EXPECT_EQ(attribution_for_label("recv:first").cpu, CpuState::Busy);
+  EXPECT_EQ(attribution_for_label("gap:rest").radio, RadioState::Idle);
+  EXPECT_EQ(attribution_for_label("decomp:interleaved").radio,
+            RadioState::Recv);
+}
+
+TEST(Timeline, MultiPrefixQueryMatchesPerPrefixScans) {
+  Rng rng(7);
+  const std::vector<std::string> labels = {
+      "recv:first", "recv:rest", "gap:first", "gap:rest",
+      "decomp:interleaved", "decomp:tail", "wait:proxy", "startup", "think"};
+  Timeline t;
+  for (int i = 0; i < 200; ++i)
+    t.add(rng.uniform() * 3.0, 0.5 + rng.uniform() * 3.0,
+          labels[rng.below(labels.size())]);
+  t.add_energy(0.012, "startup");
+  const std::vector<std::string> prefixes = {"recv", "gap", "startup",
+                                             "decomp", "wait", "absent"};
+  const auto totals = t.totals_with_prefixes(prefixes);
+  ASSERT_EQ(totals.size(), prefixes.size());
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(totals[i].energy_j, t.energy_with_prefix(prefixes[i]))
+        << prefixes[i];
+    EXPECT_DOUBLE_EQ(totals[i].time_s, t.time_with_prefix(prefixes[i]))
+        << prefixes[i];
+  }
+}
+
+TEST(Timeline, ExtendConcatenatesPhasesAndTotals) {
+  Timeline a, b;
+  a.add(1.0, 2.0, "recv:first");
+  b.add(0.5, 1.0, "decomp:tail");
+  b.add_energy(0.012, "startup");
+  Timeline all;
+  all.extend(a);
+  all.extend(b);
+  EXPECT_EQ(all.phases().size(), 3u);
+  expect_near_rel(all.total_energy_j(),
+                  a.total_energy_j() + b.total_energy_j(), "extend energy");
+  expect_near_rel(all.total_time_s(), a.total_time_s() + b.total_time_s(),
+                  "extend time");
+}
+
+// --------------------------------------------------------------- ledger
+
+TEST(EnergyLedger, AggregatesAncestorsAndMarksLeaves) {
+  Timeline t;
+  t.add(1.0, 2.0, "recv:first",
+        {"radio/recv/first", CpuState::Busy, RadioState::Recv});
+  t.add(2.0, 1.0, "recv:rest",
+        {"radio/recv/rest", CpuState::Busy, RadioState::Recv});
+  t.add_energy(0.5, "startup",
+               {"radio/startup", CpuState::Idle, RadioState::Idle});
+  t.add(1.0, 2.85, "decomp:tail",
+        {"cpu/decompress/deflate", CpuState::Busy, RadioState::Idle});
+
+  const EnergyLedger ledger = checked_ledger(t, "hand-built");
+  EXPECT_DOUBLE_EQ(ledger.energy_j("radio/recv/first"), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.energy_j("radio/recv"), 4.0);
+  EXPECT_DOUBLE_EQ(ledger.energy_j("radio"), 4.5);
+  EXPECT_DOUBLE_EQ(ledger.energy_j("cpu"), 2.85);
+  EXPECT_DOUBLE_EQ(ledger.energy_j("no/such/component"), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.time_s("radio/recv"), 3.0);
+
+  const auto roots = ledger.children("");
+  ASSERT_EQ(roots.size(), 2u);  // cpu, radio
+  EXPECT_EQ(roots[0]->component, "cpu");
+  EXPECT_EQ(roots[1]->component, "radio");
+  const auto recv_kids = ledger.children("radio/recv");
+  ASSERT_EQ(recv_kids.size(), 2u);
+  EXPECT_TRUE(recv_kids[0]->leaf);
+
+  // nodes() is depth-first: every ancestor precedes its descendants.
+  const auto& nodes = ledger.nodes();
+  for (std::size_t i = 1; i < nodes.size(); ++i)
+    EXPECT_LT(nodes[i - 1].component, nodes[i].component);
+}
+
+TEST(EnergyLedger, ToJsonRoundTripsThroughTheParser) {
+  Timeline t;
+  t.add(1.0, 2.0, "recv:first");
+  t.add(0.5, 2.85, "decomp:tail");
+  const EnergyLedger ledger = checked_ledger(t, "to_json");
+  const obs::JsonValue doc = obs::parse_json(ledger.to_json());
+  ASSERT_TRUE(doc.is_object());
+  expect_near_rel(doc.number_or("total_energy_j", -1.0),
+                  ledger.total_energy_j(), "json total");
+  const obs::JsonValue* comps = doc.find("components");
+  ASSERT_NE(comps, nullptr);
+  ASSERT_TRUE(comps->is_object());
+  EXPECT_EQ(comps->object.size(), ledger.nodes().size());
+  for (const auto& node : ledger.nodes()) {
+    const obs::JsonValue* entry = comps->find(node.component);
+    ASSERT_NE(entry, nullptr) << node.component;
+    expect_near_rel(entry->number_or("energy_j", -1.0), node.energy_j,
+                    node.component);
+  }
+}
+
+// ------------------------------------- randomized simulator scenarios
+
+TEST(EnergyLedger, RandomizedTransferScenariosAlwaysSum) {
+  Rng rng(42);
+  const TransferSimulator sim;
+  const std::vector<std::string> codecs = {"deflate", "lzw", "bwt"};
+  for (int i = 0; i < 300; ++i) {
+    const double s = rng.uniform() * 8.0;
+    const double factor = 1.0 + rng.uniform() * 9.0;
+    const double sc = s / factor;
+    const std::string codec = codecs[rng.below(codecs.size())];
+    TransferOptions opt;
+    opt.interleave = rng.chance(0.5);
+    opt.power_saving = rng.chance(0.3);
+    opt.sleep_during_decompress = rng.chance(0.3);
+    const int od = static_cast<int>(rng.below(3));
+    opt.on_demand = od == 0   ? OnDemand::None
+                    : od == 1 ? OnDemand::Sequential
+                              : OnDemand::Overlapped;
+
+    const std::string what = "i=" + std::to_string(i) + " codec=" + codec;
+    checked_ledger(sim.download_uncompressed(s, opt.power_saving).timeline,
+                   what + " raw");
+    checked_ledger(sim.download_compressed(s, sc, codec, opt).timeline,
+                   what + " compressed");
+    checked_ledger(sim.upload_uncompressed(s, opt.power_saving).timeline,
+                   what + " upload-raw");
+    checked_ledger(sim.upload_compressed(s, sc, codec, opt).timeline,
+                   what + " upload");
+  }
+}
+
+TEST(EnergyLedger, RandomizedSelectiveAndPacketScenariosAlwaysSum) {
+  Rng rng(43);
+  const TransferSimulator sim;
+  const PacketLevelSimulator packet_sim;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<BlockTransfer> blocks;
+    const int n = 1 + static_cast<int>(rng.below(12));
+    for (int b = 0; b < n; ++b) {
+      BlockTransfer bt;
+      bt.raw_mb = 0.128 * (0.2 + rng.uniform());
+      const bool compressed = rng.chance(0.7);
+      bt.compressed = compressed;
+      bt.payload_mb = compressed ? bt.raw_mb / (1.0 + rng.uniform() * 4.0)
+                                 : bt.raw_mb;
+      blocks.push_back(bt);
+    }
+    TransferOptions opt;
+    opt.interleave = rng.chance(0.5);
+    opt.power_saving = rng.chance(0.3);
+    const std::string what = "selective i=" + std::to_string(i);
+    checked_ledger(sim.download_selective(blocks, "deflate", opt).timeline,
+                   what);
+    PacketSimOptions popt;
+    popt.interleave = opt.interleave;
+    popt.power_saving = opt.power_saving;
+    checked_ledger(packet_sim.download(blocks, "deflate", popt).timeline,
+                   what + " packet");
+  }
+}
+
+TEST(EnergyLedger, CodecNameReachesTheComponentTree) {
+  const TransferSimulator sim;
+  TransferOptions opt;
+  opt.interleave = true;
+  const auto r = sim.download_compressed(2.0, 0.4, "bwt", opt);
+  const EnergyLedger ledger = checked_ledger(r.timeline, "codec path");
+  EXPECT_GT(ledger.energy_j("cpu/decompress/bwt") +
+                ledger.energy_j("overlap/decompress/bwt"),
+            0.0);
+  EXPECT_DOUBLE_EQ(ledger.energy_j("cpu/decompress/deflate"), 0.0);
+}
+
+// ------------------------------------------ model timelines == closed forms
+
+TEST(EnergyModelTimelines, MatchClosedFormsOnRandomInputs) {
+  Rng rng(44);
+  const auto model = core::EnergyModel::paper_11mbps();
+  for (int i = 0; i < 200; ++i) {
+    const double s = rng.uniform() * 10.0;
+    const double sc = s / (1.0 + rng.uniform() * 9.0);
+    const bool sleep = rng.chance(0.5);
+
+    const Timeline dl = model.download_timeline(s);
+    checked_ledger(dl, "model download");
+    expect_near_rel(dl.total_energy_j(), model.download_energy_j(s),
+                    "download s=" + std::to_string(s));
+
+    const Timeline seq = model.sequential_timeline(s, sc, sleep);
+    checked_ledger(seq, "model sequential");
+    expect_near_rel(seq.total_energy_j(),
+                    model.sequential_energy_j(s, sc, sleep), "sequential");
+
+    const Timeline inter = model.interleaved_timeline(s, sc);
+    checked_ledger(inter, "model interleaved");
+    expect_near_rel(inter.total_energy_j(), model.interleaved_energy_j(s, sc),
+                    "interleaved");
+  }
+}
+
+TEST(UploadModelTimelines, MatchClosedFormsOnRandomInputs) {
+  Rng rng(45);
+  const auto model = core::UploadModel::ipaq_11mbps();
+  for (int i = 0; i < 200; ++i) {
+    const double s = rng.uniform() * 10.0;
+    const double sc = s / (1.0 + rng.uniform() * 9.0);
+    const bool sleep = rng.chance(0.5);
+
+    const Timeline up = model.upload_timeline(s);
+    checked_ledger(up, "model upload");
+    expect_near_rel(up.total_energy_j(), model.upload_energy_j(s), "upload");
+
+    const Timeline seq = model.sequential_timeline(s, sc, sleep);
+    checked_ledger(seq, "model upload sequential");
+    expect_near_rel(seq.total_energy_j(),
+                    model.sequential_energy_j(s, sc, sleep),
+                    "upload sequential");
+
+    const Timeline inter = model.interleaved_timeline(s, sc);
+    checked_ledger(inter, "model upload interleaved");
+    expect_near_rel(inter.total_energy_j(), model.interleaved_energy_j(s, sc),
+                    "upload interleaved");
+  }
+}
+
+TEST(EnergyModelTimelines, ComponentsTellTheInterleavingStory) {
+  const auto model = core::EnergyModel::paper_11mbps();
+  // High factor: gaps fill completely, tail spills past the download.
+  const auto high = EnergyLedger::from_timeline(
+      model.interleaved_timeline(2.0, 0.2, "deflate"));
+  EXPECT_GT(high.energy_j("overlap/decompress/deflate"), 0.0);
+  EXPECT_GT(high.energy_j("cpu/decompress/deflate"), 0.0);
+  EXPECT_DOUBLE_EQ(high.energy_j("idle/gap/rest"), 0.0);
+  // Low factor: decompression fits, leftover idle remains, no tail.
+  const auto low = EnergyLedger::from_timeline(
+      model.interleaved_timeline(2.0, 1.6, "deflate"));
+  EXPECT_GT(low.energy_j("idle/gap/rest"), 0.0);
+  EXPECT_DOUBLE_EQ(low.energy_j("cpu/decompress/deflate"), 0.0);
+}
+
+// ---------------------------------------------------------------- session
+
+TEST(SessionTimeline, AggregatesTransfersAndThinkTime) {
+  core::SessionConfig config;
+  config.think_time_s = 5.0;
+  const core::SessionSimulator sessions(
+      core::TransferPlanner(core::EnergyModel::paper_11mbps()),
+      TransferSimulator(), config);
+  std::vector<core::SessionRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    core::SessionRequest r;
+    r.name = "file" + std::to_string(i);
+    r.size_mb = 0.5 + 0.5 * i;
+    r.factors = {{"deflate", 3.0}, {"lzw", 2.0}, {"bwt", 3.5}};
+    requests.push_back(r);
+  }
+  for (const auto policy :
+       {core::SessionPolicy::Raw, core::SessionPolicy::AlwaysDeflate,
+        core::SessionPolicy::Planned}) {
+    const auto report = sessions.run(requests, policy);
+    const EnergyLedger ledger =
+        checked_ledger(report.timeline, core::to_string(policy));
+    expect_near_rel(ledger.total_energy_j(), report.total_energy_j(),
+                    "session total");
+    expect_near_rel(ledger.energy_j("idle/think"), report.think_energy_j,
+                    "think energy");
+    expect_near_rel(report.timeline.total_time_s(), report.total_time_s,
+                    "session time");
+  }
+}
+
+// --------------------------------------------------------- counter tracks
+
+TEST(TimelineTrace, EmitsPowerAndCumulativeEnergyCounters) {
+  auto& tracer = obs::Tracer::global();
+  tracer.disable();
+  tracer.clear();
+  tracer.enable();
+
+  Timeline t;
+  t.add_energy(0.012, "startup");
+  t.add(1.0, 2.0, "recv:first");
+  t.add(0.5, 2.85, "decomp:tail");
+  const double dur = timeline_to_trace(t, tracer, "test", 0.0);
+  expect_near_rel(dur, t.total_time_s(), "trace duration");
+
+  const obs::JsonValue doc = obs::parse_json(tracer.to_chrome_json());
+  tracer.disable();
+  tracer.clear();
+
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::vector<std::pair<double, double>> power, energy;  // (ts, value)
+  for (const auto& e : events->array) {
+    const obs::JsonValue* ph = e.find("ph");
+    if (!ph || ph->string != "C") continue;
+    EXPECT_DOUBLE_EQ(e.number_or("pid", 0.0), 2.0);  // sim track
+    const obs::JsonValue* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    const double ts = e.number_or("ts", -1.0);
+    const double value = args->number_or("value", -1.0);
+    if (e.find("name")->string == "power_w") power.emplace_back(ts, value);
+    else energy.emplace_back(ts, value);
+  }
+  // One power sample per timed phase plus the closing zero.
+  ASSERT_EQ(power.size(), 3u);
+  EXPECT_DOUBLE_EQ(power[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(power[1].second, 2.85);
+  EXPECT_DOUBLE_EQ(power[2].second, 0.0);
+  // Energy samples step from 0 to the total; the last closes at
+  // total_energy_j at the timeline's end (1.5 s -> 1.5e6 us).
+  ASSERT_GE(energy.size(), 2u);
+  EXPECT_DOUBLE_EQ(energy.front().second, 0.0);
+  expect_near_rel(energy.back().second, t.total_energy_j(), "final energy");
+  EXPECT_DOUBLE_EQ(energy.back().first, 1.5e6);
+  // Samples arrive in time order.
+  for (std::size_t i = 1; i < energy.size(); ++i) {
+    EXPECT_LE(energy[i - 1].first, energy[i].first);
+    EXPECT_LE(energy[i - 1].second, energy[i].second);
+  }
+}
+
+}  // namespace
+}  // namespace ecomp::sim

@@ -262,6 +262,31 @@ TEST(ObsMetrics, ExportsAreWellFormed) {
   EXPECT_NE(text.find("test.obs.gauge"), std::string::npos);
 }
 
+TEST(ObsMetrics, SnapshotOrderIsSortedByName) {
+  // benchdiff and the golden sidecar tests rely on snapshots being
+  // deterministic: instruments appear sorted by name no matter the
+  // registration order.
+  auto& r = Registry::global();
+  r.counter("test.order.zz").add(1);
+  r.counter("test.order.aa").add(1);
+  r.counter("test.order.mm").add(1);
+  r.gauge("test.order.g2").set(2);
+  r.gauge("test.order.g1").set(1);
+  for (const std::string& s : {r.to_json(), r.to_text()}) {
+    const auto a = s.find("test.order.aa");
+    const auto m = s.find("test.order.mm");
+    const auto z = s.find("test.order.zz");
+    ASSERT_NE(a, std::string::npos) << s;
+    ASSERT_NE(m, std::string::npos);
+    ASSERT_NE(z, std::string::npos);
+    EXPECT_LT(a, m) << "snapshot not sorted:\n" << s;
+    EXPECT_LT(m, z) << "snapshot not sorted:\n" << s;
+    EXPECT_LT(s.find("test.order.g1"), s.find("test.order.g2"));
+  }
+  // Same registry, same contents -> byte-identical snapshot.
+  EXPECT_EQ(r.to_json(), r.to_json());
+}
+
 TEST(ObsMetrics, ConcurrentIncrementsDontLose) {
   auto& r = Registry::global();
   Counter& c = r.counter("test.obs.mt_counter");
@@ -333,6 +358,33 @@ TEST(ObsTrace, SimEventsMapSecondsToMicros) {
   EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
   const std::string summary = tr.summary_text();
   EXPECT_NE(summary.find("phase"), std::string::npos);
+}
+
+TEST(ObsTrace, CounterEventsCarryValueNotDuration) {
+  TracerGuard guard;
+  auto& tr = Tracer::global();
+  tr.enable();
+  // 2.5 is exactly representable, so %.17g prints it without cruft.
+  tr.add_sim_counter("power_w", "test", 1.5, 2.5);
+  const std::string json = tr.to_chrome_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"args\":{\"value\":2.5}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"dur\""), std::string::npos)
+      << "counter events must not carry a duration: " << json;
+  // Counters have no duration; the span summary must skip them.
+  EXPECT_EQ(tr.summary_text().find("power_w"), std::string::npos);
+}
+
+TEST(ObsTrace, DisabledIgnoresCounters) {
+  TracerGuard guard;
+  auto& tr = Tracer::global();
+  tr.disable();
+  tr.clear();
+  tr.add_counter("c", "test", 0.0, 1.0);
+  tr.add_sim_counter("c", "test", 0.0, 1.0);
+  EXPECT_EQ(tr.event_count(), 0u);
 }
 
 TEST(ObsTrace, ClearEmptiesEventLog) {

@@ -1,0 +1,12 @@
+// benchdiff — compare BENCH_*.json sidecar sets and gate regressions.
+// See obs/benchdiff.h for the policy and exit codes.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/benchdiff.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return ecomp::obs::benchdiff_main(args, std::cout, std::cerr);
+}
