@@ -22,6 +22,7 @@ set(ECOMP_BENCHES
   bench_ablation_bwt
   bench_ablation_window
   bench_ablation_lz
+  bench_ext_loss_sweep
   bench_ext_packet
   bench_ext_rate_sweep
   bench_ext_tool_parity

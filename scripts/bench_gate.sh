@@ -1,9 +1,10 @@
 #!/bin/sh
-# Energy/perf regression gate: run the fig1/fig2/fig3 benches with the
-# pinned corpus scale, then benchdiff the fresh sidecars against the
-# committed baselines under bench/baselines/. Every gated number is
-# produced by the deterministic simulator (no wall-clock noise), so any
-# delta beyond the threshold is a real model change.
+# Energy/perf regression gate: run the fig1/fig2/fig3 benches plus the
+# loss-sweep extension with the pinned corpus scale, then benchdiff the
+# fresh sidecars against the committed baselines under bench/baselines/.
+# Every gated number is produced by the deterministic simulator (no
+# wall-clock noise; lossy runs are seeded), so any delta beyond the
+# threshold is a real model change.
 #
 #   scripts/bench_gate.sh [BUILD_DIR]
 #
@@ -13,7 +14,7 @@
 #   ECOMP_BENCH_THRESHOLD_PCT  regression threshold (default: 5)
 #
 # Refreshing baselines after an INTENTIONAL model change (see
-# docs/BENCHDIFF.md): rerun the three benches with
+# docs/BENCHDIFF.md): rerun the gated benches with
 # ECOMP_CORPUS_SCALE=0.05 and ECOMP_BENCH_DIR=bench/baselines, review
 # the diff, and commit the updated sidecars together with the change
 # that explains them.
@@ -29,7 +30,10 @@ if [ ! -d "$BASELINES" ]; then
   echo "bench_gate: no baselines at $BASELINES, nothing to gate" >&2
   exit 0
 fi
-for bin in bench_fig1_time bench_fig2_energy bench_fig3_timeline benchdiff; do
+GATED_BENCHES="bench_fig1_time bench_fig2_energy bench_fig3_timeline \
+bench_ext_loss_sweep"
+
+for bin in $GATED_BENCHES benchdiff; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ] && [ ! -x "$BUILD_DIR/tools/$bin" ]; then
     echo "bench_gate: $bin missing under $BUILD_DIR (build it first)" >&2
     exit 1
@@ -41,7 +45,7 @@ rm -f "$OUT"/BENCH_*.json
 
 # Pin the corpus scale: baselines are recorded at 0.05 and the gated
 # numbers depend on the exact corpus bytes.
-for bin in bench_fig1_time bench_fig2_energy bench_fig3_timeline; do
+for bin in $GATED_BENCHES; do
   ECOMP_CORPUS_SCALE=0.05 ECOMP_BENCH_DIR="$OUT" \
     "$BUILD_DIR/bench/$bin" >/dev/null
 done

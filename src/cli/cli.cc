@@ -20,10 +20,13 @@
 #include "core/energy_model.h"
 #include "core/interleave.h"
 #include "core/planner.h"
+#include "net/proxy.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/channel.h"
 #include "sim/energy_ledger.h"
+#include "sim/packet.h"
 #include "workload/corpus.h"
 
 namespace ecomp::cli {
@@ -34,9 +37,13 @@ constexpr const char* kUsage =
     "  ecomp compress   [-c deflate|lzw|bwt|selective|gz|Z|bz2|zz] [-l LEVEL]"
     " [-b BYTES] IN OUT\n"
     "  ecomp decompress IN OUT\n"
-    "  ecomp inspect    IN\n"
-    "  ecomp plan       [-r 11|2] IN\n"
-    "  ecomp energy     [-r 11|2] [-c CODEC] [--breakdown] [--json] IN\n"
+    "  ecomp inspect    [--salvage] IN [OUT]\n"
+    "  ecomp plan       [-r 11|2] [--loss P] IN\n"
+    "  ecomp energy     [-r 11|2] [-c CODEC] [--loss P] [--breakdown]"
+    " [--json] IN\n"
+    "  ecomp download   --port PORT [-m raw|full|selective] [--resume]\n"
+    "                   [--max-retries N] [--timeout-ms MS] [--salvage]"
+    " NAME OUT\n"
     "  ecomp corpus     [-s SCALE] OUTDIR\n"
     "observability (any command):\n"
     "  --trace FILE     write a Chrome trace-event JSON (Perfetto-loadable);\n"
@@ -54,6 +61,13 @@ struct ArgParser {
   std::string metrics_path;  // --metrics
   bool breakdown = false;    // energy: per-component ledger table
   bool json = false;         // energy: machine-readable output
+  std::string mode = "selective";  // download: -m wire mode
+  int port = 0;                    // download: --port
+  int max_retries = 4;             // download: --max-retries
+  std::uint32_t timeout_ms = 2000; // download: --timeout-ms
+  bool resume = false;             // download: --resume
+  bool salvage = false;            // download/inspect: --salvage
+  double loss = 0.0;               // plan/energy: --loss packet-loss rate
 
   /// Returns empty string on success, or an error message.
   std::string parse(const std::vector<std::string>& args, std::size_t from) {
@@ -83,6 +97,21 @@ struct ArgParser {
           breakdown = true;
         } else if (a == "--json") {
           json = true;
+        } else if (a == "-m") {
+          mode = value("-m");
+        } else if (a == "--port") {
+          port = std::stoi(value("--port"));
+        } else if (a == "--max-retries") {
+          max_retries = std::stoi(value("--max-retries"));
+        } else if (a == "--timeout-ms") {
+          timeout_ms =
+              static_cast<std::uint32_t>(std::stoul(value("--timeout-ms")));
+        } else if (a == "--resume") {
+          resume = true;
+        } else if (a == "--salvage") {
+          salvage = true;
+        } else if (a == "--loss") {
+          loss = std::stod(value("--loss"));
         } else if (!a.empty() && a[0] == '-') {
           return "unknown flag: " + a;
         } else {
@@ -204,7 +233,28 @@ int cmd_decompress(const ArgParser& p, std::ostream& out) {
   return 0;
 }
 
+/// Shared report printer for inspect --salvage and download --salvage.
+void print_recovery(const compress::RecoveryReport& rep, std::ostream& out) {
+  out << "salvage: " << rep.blocks_recovered << "/" << rep.blocks_total
+      << " blocks recovered, " << rep.bytes_recovered << " bytes ("
+      << rep.bytes_lost << " lost"
+      << (rep.framing_truncated ? ", tail truncated" : "")
+      << (rep.crc_ok ? ", crc ok" : ", crc FAILED") << ")\n";
+}
+
 int cmd_inspect(const ArgParser& p, std::ostream& out) {
+  if (p.salvage) {
+    // Tolerant path: never throws on damaged content; reports what a
+    // best-effort decode can pull out of the container.
+    if (p.positional.empty() || p.positional.size() > 2)
+      throw Error("inspect --salvage needs IN [OUT]");
+    const Bytes input = read_file(p.positional[0]);
+    const auto sr = compress::selective_salvage(input);
+    print_recovery(sr.report, out);
+    if (p.positional.size() == 2) write_file(p.positional[1], sr.data);
+    if (sr.report.complete()) return 0;
+    return sr.report.bytes_recovered > 0 ? 3 : 2;
+  }
   if (p.positional.size() != 1) throw Error("inspect needs IN");
   const Bytes input = read_file(p.positional[0]);
   const std::uint16_t magic = sniff_magic(input);
@@ -243,7 +293,9 @@ int cmd_inspect(const ArgParser& p, std::ostream& out) {
 int cmd_plan(const ArgParser& p, std::ostream& out) {
   if (p.positional.size() != 1) throw Error("plan needs IN");
   const Bytes input = read_file(p.positional[0]);
-  const auto model = model_for_rate(p.rate);
+  // Loss shifts Eq. 6: every delivered MB costs 1/(1-q) transmissions,
+  // so compression starts paying at smaller factors.
+  const auto model = model_for_rate(p.rate).with_loss(p.loss);
 
   core::FileEstimate est;
   est.size_mb = static_cast<double>(input.size()) / 1e6;
@@ -254,6 +306,13 @@ int cmd_plan(const ArgParser& p, std::ostream& out) {
   const core::Plan plan = core::TransferPlanner(model).plan(est);
 
   out << "file: " << p.positional[0] << " (" << input.size() << " bytes)\n";
+  if (p.loss > 0.0) {
+    char lbuf[96];
+    std::snprintf(lbuf, sizeof lbuf,
+                  "channel: %.1f%% loss -> %.2f transmissions/packet\n",
+                  100.0 * p.loss, 1.0 / (1.0 - p.loss));
+    out << lbuf;
+  }
   out << "sampled factors:";
   for (const auto& [name, f] : est.factors) {
     char buf[48];
@@ -290,12 +349,14 @@ int cmd_energy(const ArgParser& p, std::ostream& out) {
   sim::TransferResult result;
   std::string scenario;
   double original_mb = static_cast<double>(input.size()) / 1e6;
+  std::vector<sim::BlockTransfer> blocks;
   if (input.size() >= 2 &&
       sniff_magic(input) == compress::kSelectiveMagic) {
     const auto infos = compress::selective_block_info(input);
     double raw_bytes = 0.0;
     for (const auto& b : infos) raw_bytes += static_cast<double>(b.raw_size);
     original_mb = raw_bytes / 1e6;
+    blocks = core::to_block_transfers(infos);
     sim::TransferOptions opt;
     opt.interleave = true;
     result = core::simulate_decoded_stream(infos, simulator, p.codec, opt);
@@ -304,13 +365,34 @@ int cmd_energy(const ArgParser& p, std::ostream& out) {
     const auto codec = compress::make_codec(p.codec);
     const double factor =
         std::max(core::estimate_factor(*codec, input), 1e-9);
+    blocks.push_back({original_mb, original_mb / factor, true});
     sim::TransferOptions opt;
     opt.interleave = true;
     result = simulator.download_compressed(original_mb, original_mb / factor,
                                            p.codec, opt);
     scenario = "interleaved(" + p.codec + ")";
   }
-  const auto raw = simulator.download_uncompressed(original_mb);
+  sim::TransferResult raw = simulator.download_uncompressed(original_mb);
+
+  if (p.loss > 0.0) {
+    // Re-run both sides on the packet-level simulator over a bursty
+    // channel at the requested average loss, so the comparison includes
+    // the radio/retransmit energy neither closed form sees.
+    const sim::PacketLevelSimulator psim(device);
+    sim::PacketSimOptions popt;
+    popt.interleave = true;
+    popt.channel = sim::ChannelModel::gilbert_elliott_avg(p.loss);
+    result = psim.download(blocks, p.codec, popt);
+    sim::PacketSimOptions raw_opt;
+    raw_opt.channel = popt.channel;
+    // The uncompressed block never decodes, but the codec name must be
+    // one the CpuModel knows.
+    raw = psim.download({{original_mb, original_mb, false}}, p.codec,
+                        raw_opt);
+    char lbuf[64];
+    std::snprintf(lbuf, sizeof lbuf, "+loss(%.3f)", p.loss);
+    scenario += lbuf;
+  }
 
   const auto ledger = sim::EnergyLedger::from_timeline(result.timeline);
   const std::string violation = ledger.validate(result.timeline);
@@ -339,6 +421,32 @@ int cmd_energy(const ArgParser& p, std::ostream& out) {
                     : 0.0);
   out << buf;
   if (p.breakdown) out << ledger.to_text();
+  return 0;
+}
+
+int cmd_download(const ArgParser& p, std::ostream& out) {
+  if (p.positional.size() != 2) throw Error("download needs NAME and OUT");
+  if (p.port <= 0 || p.port > 0xffff)
+    throw Error("download needs --port of a running proxy");
+  net::TransferPolicy tp;
+  tp.max_retries = p.max_retries;
+  tp.timeout_ms = p.timeout_ms;
+  tp.resume = p.resume;
+  tp.salvage = p.salvage;
+  const auto outcome = net::download_resilient(
+      static_cast<std::uint16_t>(p.port), p.positional[0], p.mode, tp);
+  write_file(p.positional[1], outcome.data);
+  out << p.positional[0] << ": " << outcome.stats.bytes_on_wire
+      << " wire bytes -> " << outcome.data.size() << " bytes in "
+      << outcome.attempts << " attempt"
+      << (outcome.attempts == 1 ? "" : "s");
+  if (outcome.resumed_bytes)
+    out << " (resumed " << outcome.resumed_bytes << " bytes)";
+  out << "\n";
+  if (!outcome.complete) {
+    print_recovery(outcome.recovery, out);
+    return 3;  // partial data on disk — distinct from clean (0)/error (2)
+  }
   return 0;
 }
 
@@ -451,6 +559,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       code = cmd_plan(p, out);
     } else if (cmd == "energy") {
       code = cmd_energy(p, out);
+    } else if (cmd == "download") {
+      code = cmd_download(p, out);
     } else if (cmd == "corpus") {
       code = cmd_corpus(p, out);
     } else {

@@ -167,6 +167,100 @@ Bytes selective_decode_block(const BlockInfo& info, ByteSpan payload,
   return DeflateCodec().decompress(payload);
 }
 
+SalvageResult selective_salvage(ByteSpan container) {
+  ECOMP_TRACE_SPAN("selective.salvage", "codec");
+  SalvageResult res;
+  RecoveryReport& rep = res.report;
+
+  Header h;
+  std::size_t pos = 0;
+  std::uint64_t block_size = 0, n_blocks = 0;
+  try {
+    h = read_header(container, kSelectiveMagic);
+    pos = h.payload_offset;
+    block_size = get_varint(container, pos);
+    n_blocks = get_varint(container, pos);
+  } catch (const Error&) {
+    rep.framing_truncated = true;
+    return res;
+  }
+  // A corrupted header varint can claim an absurd size; don't let it
+  // drive zero-fill allocations. A real container never expands a block
+  // by more than ~1032x (deflate's stored-block bound is far tighter).
+  constexpr std::uint64_t kMaxExpansion = 4096;
+  if (block_size == 0 || n_blocks > container.size() ||
+      h.original_size / kMaxExpansion > container.size()) {
+    rep.framing_truncated = true;
+    return res;
+  }
+
+  const DeflateCodec codec;
+  Bytes& out = res.data;
+  out.reserve(h.original_size);
+  for (std::uint64_t b = 0; b < n_blocks; ++b) {
+    const std::uint64_t done = b * block_size;
+    if (done >= h.original_size) break;  // over-declared block count
+    const std::uint64_t expected_raw =
+        std::min<std::uint64_t>(block_size, h.original_size - done);
+
+    // Parse this block's framing. If it is gone, so is every boundary
+    // after it: the tail cannot be located and is lost outright.
+    std::uint8_t flag = 0;
+    std::uint64_t payload_size = 0;
+    std::size_t payload_off = 0;
+    try {
+      if (pos >= container.size()) throw Error("selective: truncated");
+      flag = container[pos];
+      std::size_t p = pos + 1;
+      payload_size = get_varint(container, p);
+      payload_off = p;
+      if (payload_off + payload_size > container.size())
+        throw Error("selective: truncated block payload");
+    } catch (const Error&) {
+      rep.framing_truncated = true;
+      rep.blocks_lost += n_blocks - b;
+      rep.bytes_lost += h.original_size - done;
+      rep.blocks_total = n_blocks;
+      rep.crc_ok = false;
+      return res;
+    }
+    pos = payload_off + payload_size;
+    ++rep.blocks_total;
+
+    // Decode. A corrupted flag, a failed inflate, a member-CRC mismatch
+    // or a wrong decoded size all cost exactly this block: zero-fill to
+    // the expected size and continue at the next boundary.
+    Bytes raw;
+    bool ok = flag <= 1;
+    if (ok) {
+      try {
+        const ByteSpan payload = container.subspan(payload_off, payload_size);
+        raw = flag == 1 ? codec.decompress(payload)
+                        : Bytes(payload.begin(), payload.end());
+        ok = raw.size() == expected_raw;
+      } catch (const Error&) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      out.insert(out.end(), raw.begin(), raw.end());
+      ++rep.blocks_recovered;
+      rep.bytes_recovered += raw.size();
+    } else {
+      out.insert(out.end(), static_cast<std::size_t>(expected_raw), 0);
+      ++rep.blocks_lost;
+      rep.bytes_lost += expected_raw;
+    }
+  }
+  if (out.size() < h.original_size) {
+    // Fewer blocks declared than the size needs: missing tail.
+    rep.framing_truncated = true;
+    rep.bytes_lost += h.original_size - out.size();
+  }
+  rep.crc_ok = out.size() == h.original_size && crc32(out) == h.crc;
+  return res;
+}
+
 SelectiveStreamEncoder::SelectiveStreamEncoder(ByteSpan input,
                                                SelectivePolicy policy,
                                                std::size_t block_size,

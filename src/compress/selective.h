@@ -69,6 +69,39 @@ std::vector<BlockInfo> selective_block_info(ByteSpan container);
 Bytes selective_decode_block(const BlockInfo& info, ByteSpan payload,
                              bool is_compressed);
 
+/// What a tolerant decode of a damaged container managed to recover.
+/// Because blocks are independently decodable, one corrupted payload
+/// loses one block, not the file: the decoder skips to the next block
+/// boundary and zero-fills the gap so every surviving byte keeps its
+/// original offset. Only when the framing itself (a flag byte's varint
+/// or a payload length) is destroyed does the remaining tail go with it.
+struct RecoveryReport {
+  std::size_t blocks_total = 0;      ///< blocks the framing declared
+  std::size_t blocks_recovered = 0;  ///< decoded and inserted verbatim
+  std::size_t blocks_lost = 0;       ///< zero-filled or missing
+  std::size_t bytes_recovered = 0;
+  std::size_t bytes_lost = 0;        ///< zero-filled + missing tail
+  bool framing_truncated = false;    ///< block table broke before the end
+  bool crc_ok = false;               ///< container CRC verified
+  /// True only for an undamaged container (salvage found nothing wrong).
+  bool complete() const {
+    return blocks_lost == 0 && !framing_truncated && crc_ok;
+  }
+};
+
+struct SalvageResult {
+  /// Reconstructed data, original_size bytes unless the tail was lost;
+  /// lost blocks are zero-filled so offsets are preserved.
+  Bytes data;
+  RecoveryReport report;
+};
+
+/// Best-effort decode of a corrupted or truncated selective container.
+/// Never throws on damaged content: whatever blocks still decode are
+/// salvaged and the report says what was lost. (A container whose
+/// header is unreadable yields zero bytes and a fully-lost report.)
+SalvageResult selective_salvage(ByteSpan container);
+
 /// Incremental producer of a selective container: emits the header,
 /// then one encoded block per pull. This is the proxy side of §5's
 /// compression-on-demand overlap — the server ships block i while

@@ -60,6 +60,16 @@ EnergyModel EnergyModel::with_codec_cost(const sim::CodecCost& cost) const {
   return EnergyModel(p);
 }
 
+EnergyModel EnergyModel::with_loss(double packet_loss_rate) const {
+  if (!(packet_loss_rate >= 0.0 && packet_loss_rate < 1.0))
+    throw Error("EnergyModel: loss rate must be in [0, 1)");
+  EnergyParams p = p_;
+  const double n = 1.0 / (1.0 - packet_loss_rate);
+  p.m *= n;      // every delivered MB is received n times
+  p.rate /= n;   // effective goodput shrinks by the same factor
+  return EnergyModel(p);
+}
+
 void EnergyModel::idle_split(double s, double sc, double& ti_rest,
                              double& ti_first) const {
   const double ti = idle_time_s(sc);

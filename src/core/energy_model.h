@@ -16,6 +16,7 @@
 
 #include <string_view>
 
+#include "sim/channel.h"
 #include "sim/cpu.h"
 #include "sim/device.h"
 #include "sim/timeline.h"
@@ -54,6 +55,19 @@ class EnergyModel {
   /// Copy of this model with the td fit replaced by another codec's
   /// cost (td_a = out-cost, td_b = in-cost, td_c = startup).
   EnergyModel with_codec_cost(const sim::CodecCost& cost) const;
+
+  /// Copy of this model with an average per-packet loss rate q folded
+  /// in: every delivered MB costs n = 1/(1-q) transmissions, so the
+  /// receive energy scales by n and the effective delivery rate drops
+  /// by n while the CPU's idle share of each wall-second stays put.
+  /// This is how Eq. 6's compress-or-not thresholds become functions
+  /// of channel quality. Throws Error unless 0 <= q < 1.
+  EnergyModel with_loss(double packet_loss_rate) const;
+
+  /// with_loss using a channel model's long-run average loss rate.
+  EnergyModel with_channel(const sim::ChannelModel& channel) const {
+    return with_loss(channel.avg_loss_rate());
+  }
 
   // ---- closed forms -------------------------------------------------
 

@@ -1,5 +1,7 @@
 #include "core/interleave.h"
 
+#include <algorithm>
+
 #include "compress/container.h"
 #include "compress/deflate.h"
 #include "compress/selective.h"
@@ -69,17 +71,42 @@ std::optional<Bytes> SelectiveStreamDecoder::poll() {
   std::size_t p = pos_;
   if (buf_.size() - p < 1) return std::nullopt;
   const std::uint8_t flag = buf_[p++];
-  if (flag > 1) throw Error("stream: bad block flag");
+  if (flag > 1 && !tolerant_) throw Error("stream: bad block flag");
   const auto payload_size = try_varint(buf_, p);
   if (!payload_size) return std::nullopt;
   if (buf_.size() - p < *payload_size) return std::nullopt;
 
   const ByteSpan payload = ByteSpan(buf_).subspan(p, *payload_size);
+  // What this block must decode to for downstream offsets to line up —
+  // the zero-fill size when a damaged block is skipped in tolerant mode.
+  const std::uint64_t expected =
+      std::min<std::uint64_t>(block_size_,
+                              original_size_ > decoded_bytes_
+                                  ? original_size_ - decoded_bytes_
+                                  : 0);
   Bytes block;
-  if (flag == 1) {
-    block = compress::DeflateCodec().decompress(payload);
+  bool ok = flag <= 1;
+  if (ok) {
+    try {
+      if (flag == 1) {
+        block = compress::DeflateCodec().decompress(payload);
+      } else {
+        block.assign(payload.begin(), payload.end());
+      }
+      if (tolerant_ && block.size() != expected) ok = false;
+    } catch (const Error&) {
+      if (!tolerant_) throw;
+      ok = false;
+    }
+  }
+  ++recovery_.blocks_total;
+  if (!ok) {
+    block.assign(static_cast<std::size_t>(expected), 0);
+    ++recovery_.blocks_lost;
+    recovery_.bytes_lost += expected;
   } else {
-    block.assign(payload.begin(), payload.end());
+    ++recovery_.blocks_recovered;
+    recovery_.bytes_recovered += block.size();
   }
   pos_ = p + *payload_size;
   ++blocks_done_;
@@ -97,8 +124,11 @@ std::optional<Bytes> SelectiveStreamDecoder::poll() {
   return block;
 }
 
-void SelectiveStreamDecoder::verify() const {
+void SelectiveStreamDecoder::verify() {
   if (!finished()) throw Error("stream: verify before stream finished");
+  recovery_.crc_ok = decoded_bytes_ == original_size_ &&
+                     running_crc_.value() == expected_crc_;
+  if (tolerant_) return;
   if (decoded_bytes_ != original_size_)
     throw Error("stream: decoded size mismatch");
   if (running_crc_.value() != expected_crc_)

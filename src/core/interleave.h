@@ -27,6 +27,17 @@ class SelectiveStreamDecoder {
   /// Decode the next complete block if its payload has fully arrived.
   std::optional<Bytes> poll();
 
+  /// Tolerant mode: a block whose payload fails to decode (bad flag,
+  /// inflate error, member-CRC mismatch, wrong size) is zero-filled to
+  /// its expected size instead of throwing, so the stream skips to the
+  /// next block boundary and keeps going; verify() records the CRC
+  /// outcome in recovery() instead of throwing. Framing damage still
+  /// throws — a destroyed boundary ends the stream either way.
+  void set_tolerant(bool on) { tolerant_ = on; }
+
+  /// What was lost and recovered so far (meaningful in tolerant mode).
+  const compress::RecoveryReport& recovery() const { return recovery_; }
+
   /// True once every block of the container has been decoded.
   bool finished() const { return header_done_ && blocks_done_ == n_blocks_; }
 
@@ -36,8 +47,9 @@ class SelectiveStreamDecoder {
   std::uint64_t bytes_buffered() const { return buf_.size() - pos_; }
 
   /// Verify the container CRC over everything decoded so far; call once
-  /// finished(). Throws on mismatch or if not finished.
-  void verify() const;
+  /// finished(). Throws on mismatch or if not finished (tolerant mode
+  /// records the outcome in recovery().crc_ok instead of throwing).
+  void verify();
 
   /// Per-block sizes/decisions observed so far (one entry per block
   /// already returned by poll()); feeds the transfer simulator.
@@ -60,6 +72,8 @@ class SelectiveStreamDecoder {
   Crc32 running_crc_;
   std::uint64_t decoded_bytes_ = 0;
   std::vector<compress::BlockInfo> infos_;
+  bool tolerant_ = false;
+  compress::RecoveryReport recovery_;
 };
 
 /// Pulls chunks from `read_chunk` (returning the number of bytes it

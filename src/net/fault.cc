@@ -1,0 +1,64 @@
+#include "net/fault.h"
+
+namespace ecomp::net {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::None: return "none";
+    case FaultKind::Drop: return "drop";
+    case FaultKind::Truncate: return "truncate";
+    case FaultKind::Delay: return "delay";
+    case FaultKind::Corrupt: return "corrupt";
+  }
+  return "?";
+}
+
+std::size_t FaultChannel::plan_send(std::uint8_t* data, std::size_t n,
+                                    std::uint32_t* sleep_ms,
+                                    FaultKind* abort_after) {
+  *sleep_ms = 0;
+  *abort_after = FaultKind::None;
+  const std::size_t start = offset_;
+  offset_ += n;
+  if (fired_ || spec_.kind == FaultKind::None || n == 0) return n;
+  // The trigger fires when its offset falls inside this buffer's
+  // [start, start + n) span of the outbound stream.
+  if (spec_.at_byte >= start + n) return n;
+  const std::size_t rel = spec_.at_byte > start ? spec_.at_byte - start : 0;
+  fired_ = true;
+  switch (spec_.kind) {
+    case FaultKind::None:
+      break;
+    case FaultKind::Drop:
+    case FaultKind::Truncate:
+      *abort_after = spec_.kind;  // send the prefix, then kill the link
+      return rel;
+    case FaultKind::Delay:
+      *sleep_ms = spec_.delay_ms;
+      break;
+    case FaultKind::Corrupt:
+      data[rel] ^= 0xff;
+      break;
+  }
+  return n;
+}
+
+std::shared_ptr<FaultChannel> FaultInjector::next_channel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (remaining_ <= 0) return nullptr;
+  --remaining_;
+  ++armed_;
+  return std::make_shared<FaultChannel>(spec_);
+}
+
+int FaultInjector::remaining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remaining_;
+}
+
+int FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_;
+}
+
+}  // namespace ecomp::net

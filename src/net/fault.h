@@ -1,0 +1,89 @@
+// Deterministic network fault injection for loopback testing — the
+// adversarial half of the robustness story. A FaultInjector armed on
+// the proxy plants a FaultChannel on the first N accepted connections;
+// the channel watches the outbound byte stream and, at a chosen byte
+// offset, drops the connection (RST), truncates it (early FIN), stalls
+// it, or flips a byte. Because the trigger is an exact offset and
+// arming is per-connection, every failure is reproducible and a retry
+// against an unarmed connection can succeed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "util/bytes.h"
+
+namespace ecomp::net {
+
+/// An injected fault firing server-side. Distinct from Error so tests
+/// can tell a planted failure from a real one.
+class FaultError : public Error {
+ public:
+  explicit FaultError(const std::string& what) : Error("fault: " + what) {}
+};
+
+enum class FaultKind {
+  None,
+  Drop,      ///< abort the connection (RST) at the trigger offset
+  Truncate,  ///< close cleanly (FIN) after sending the trigger prefix
+  Delay,     ///< stall for delay_ms at the trigger offset, then continue
+  Corrupt,   ///< XOR-flip the byte at the trigger offset, then continue
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::None;
+  std::size_t at_byte = 0;       ///< outbound-stream offset of the trigger
+  std::uint32_t delay_ms = 100;  ///< Delay only
+};
+
+/// Per-connection fault state. The owning Socket consults it on every
+/// send; the channel tracks the outbound offset and says what to do.
+class FaultChannel {
+ public:
+  explicit FaultChannel(FaultSpec spec) : spec_(spec) {}
+
+  /// Plan the next send of `n` bytes (mutating `data` in place for
+  /// Corrupt). Returns how many bytes of the buffer to actually put on
+  /// the wire; sets *sleep_ms when the send must stall first, and
+  /// *abort_after to Drop/Truncate when the connection must die after
+  /// the prefix goes out.
+  std::size_t plan_send(std::uint8_t* data, std::size_t n,
+                        std::uint32_t* sleep_ms, FaultKind* abort_after);
+
+  const FaultSpec& spec() const { return spec_; }
+  bool fired() const { return fired_; }
+
+ private:
+  FaultSpec spec_;
+  std::size_t offset_ = 0;  // outbound bytes seen so far
+  bool fired_ = false;
+};
+
+/// Hands out FaultChannels for accepted connections: the first
+/// `arm_count` connections get the spec, later ones run clean — which
+/// is exactly what lets a bounded-retry client recover. Thread-safe
+/// (the proxy's accept loop calls in from its own thread).
+class FaultInjector {
+ public:
+  FaultInjector(FaultSpec spec, int arm_count = 1)
+      : spec_(spec), remaining_(arm_count) {}
+
+  /// Channel for the next accepted connection; nullptr once disarmed.
+  std::shared_ptr<FaultChannel> next_channel();
+
+  /// Connections still to be armed.
+  int remaining() const;
+  /// Connections armed so far.
+  int armed() const;
+
+ private:
+  mutable std::mutex mu_;
+  FaultSpec spec_;
+  int remaining_ = 0;
+  int armed_ = 0;
+};
+
+}  // namespace ecomp::net

@@ -1,12 +1,16 @@
 #include "net/proxy.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "compress/deflate.h"
 #include "core/interleave.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/crc32.h"
+#include "util/rng.h"
 
 namespace ecomp::net {
 
@@ -53,26 +57,76 @@ void ProxyServer::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+void ProxyServer::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_injector_ = std::move(injector);
+}
+
 void ProxyServer::serve() {
   while (!stopping_.load()) {
-    Socket client = listener_.accept();
+    Socket client;
+    try {
+      client = listener_.accept();
+    } catch (const std::exception&) {
+      if (stopping_.load()) break;
+      continue;  // a failed accept must not kill the server
+    }
     if (stopping_.load()) break;
+    {
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      if (fault_injector_)
+        if (auto ch = fault_injector_->next_channel())
+          client.inject(std::move(ch));
+    }
     try {
       handle(std::move(client));
-    } catch (const Error&) {
-      // Per-connection failures don't take the server down.
+    } catch (const std::exception&) {
+      // Per-connection failures — injected or real — never take the
+      // server down; the next accept proceeds.
     }
   }
 }
 
 void ProxyServer::handle(Socket client) {
   ECOMP_COUNT("net.proxy.requests");
-  const Bytes req = recv_frame(client);
-  std::istringstream iss(to_string(req));
-  std::string verb, mode, name;
+  Bytes req;
+  try {
+    req = recv_frame(client);
+  } catch (const Error&) {
+    // A corrupted length prefix (recv_frame caps control frames) or a
+    // broken read. Answer if the peer can still hear us, then give up
+    // on this connection only.
+    try {
+      send_frame(client, as_bytes(std::string("ERR bad frame")));
+    } catch (const Error&) {
+    }
+    return;
+  }
+  bool streaming = false;
+  try {
+    handle_request(client, ecomp::to_string(req), &streaming);
+  } catch (const FaultError&) {
+    throw;  // injected kill: the connection is already dead by design
+  } catch (const std::exception& e) {
+    // Anything a request trips over (missing file, bad upload, codec
+    // error) is that request's problem: reply ERR unless the status
+    // frame already went out and the peer now expects stream bytes.
+    if (streaming) return;
+    try {
+      send_frame(client, as_bytes(std::string("ERR ") + e.what()));
+    } catch (const Error&) {
+    }
+  }
+}
+
+void ProxyServer::handle_request(Socket& client, const std::string& req,
+                                 bool* streaming) {
+  std::istringstream iss(req);
+  std::string verb;
   iss >> verb;
 
   if (verb == "PUT") {
+    std::string name;
     iss >> name;
     if (name.empty()) {
       send_frame(client, as_bytes(std::string("ERR bad request")));
@@ -104,9 +158,13 @@ void ProxyServer::handle(Socket client) {
     return;
   }
 
+  std::string mode, name;
   iss >> mode >> name;
-  if (verb != "GET" || name.empty() ||
-      (mode != "raw" && mode != "full" && mode != "selective")) {
+  const bool ranged = verb == "GET-RANGE";
+  std::uint64_t offset = 0;
+  if ((verb != "GET" && !ranged) || name.empty() ||
+      (mode != "raw" && mode != "full" && mode != "selective") ||
+      (ranged && !(iss >> offset))) {
     send_frame(client, as_bytes(std::string("ERR bad request")));
     return;
   }
@@ -115,21 +173,49 @@ void ProxyServer::handle(Socket client) {
     return;
   }
   const Bytes& original = store_.get(name);
+  constexpr std::size_t kChunk = 32 * 1024;
 
   if (mode == "selective") {
-    send_frame(client, as_bytes(std::string("OK stream")));
-    if (const auto it = selective_cache_.find(name);
-        it != selective_cache_.end()) {
-      // Precompressed a priori (§3): ship the stored container.
-      client.send_all(it->second);
+    if (!ranged) {
+      *streaming = true;
+      send_frame(client, as_bytes(std::string("OK stream")));
+      if (const auto it = selective_cache_.find(name);
+          it != selective_cache_.end()) {
+        // Precompressed a priori (§3): ship the stored container.
+        client.send_all(it->second);
+        return;
+      }
+      // Compression on demand, overlapped with sending: each block goes
+      // on the wire as soon as it is encoded (§5's zlib arrangement).
+      compress::SelectiveStreamEncoder enc(original, policy_, block_size_);
+      while (!enc.done()) {
+        const Bytes chunk = enc.next_chunk();
+        if (!chunk.empty()) client.send_all(chunk);
+      }
       return;
     }
-    // Compression on demand, overlapped with sending: each block goes
-    // on the wire as soon as it is encoded (§5's zlib arrangement).
-    compress::SelectiveStreamEncoder enc(original, policy_, block_size_);
-    while (!enc.done()) {
-      const Bytes chunk = enc.next_chunk();
-      if (!chunk.empty()) client.send_all(chunk);
+    // Resume: the container bytes must be identical across attempts, so
+    // use the cache or build the whole thing now (deflate is
+    // deterministic, so a rebuild matches the earlier stream).
+    const Bytes* container = nullptr;
+    Bytes built;
+    if (const auto it = selective_cache_.find(name);
+        it != selective_cache_.end()) {
+      container = &it->second;
+    } else {
+      built = compress::selective_compress(original, policy_, block_size_)
+                  .container;
+      container = &built;
+    }
+    if (offset > container->size()) {
+      send_frame(client, as_bytes(std::string("ERR bad offset")));
+      return;
+    }
+    *streaming = true;
+    send_frame(client, as_bytes(std::string("OK stream")));
+    for (std::size_t off = offset; off < container->size(); off += kChunk) {
+      const std::size_t n = std::min(kChunk, container->size() - off);
+      client.send_all(ByteSpan(*container).subspan(off, n));
     }
     return;
   }
@@ -143,12 +229,23 @@ void ProxyServer::handle(Socket client) {
   } else {
     payload = compress::DeflateCodec().compress(original);
   }
+  if (ranged && offset > payload.size()) {
+    send_frame(client, as_bytes(std::string("ERR bad offset")));
+    return;
+  }
+  const std::size_t remaining = payload.size() - (ranged ? offset : 0);
   std::ostringstream status;
-  status << "OK " << payload.size();
+  if (ranged) {
+    status << "OK " << remaining << " " << payload.size() << " "
+           << crc32(payload);
+  } else {
+    status << "OK " << payload.size();
+  }
+  *streaming = true;
   send_frame(client, as_bytes(status.str()));
-  send_frame_header(client, static_cast<std::uint32_t>(payload.size()));
-  constexpr std::size_t kChunk = 32 * 1024;
-  for (std::size_t off = 0; off < payload.size(); off += kChunk) {
+  send_frame_header(client, static_cast<std::uint32_t>(remaining));
+  for (std::size_t off = ranged ? offset : 0; off < payload.size();
+       off += kChunk) {
     const std::size_t n = std::min(kChunk, payload.size() - off);
     client.send_all(ByteSpan(payload).subspan(off, n));
   }
@@ -160,7 +257,7 @@ Bytes download(std::uint16_t port, const std::string& name,
   ECOMP_COUNT("net.round_trips");
   Socket s = connect_local(port);
   send_frame(s, as_bytes("GET " + mode + " " + name));
-  const std::string status = to_string(recv_frame(s));
+  const std::string status = ecomp::to_string(recv_frame(s));
   if (status.rfind("OK ", 0) != 0) throw Error("download: " + status);
 
   DownloadStats local;
@@ -188,11 +285,19 @@ Bytes download(std::uint16_t port, const std::string& name,
   return result;
 }
 
-std::size_t upload(std::uint16_t port, const std::string& name,
-                   ByteSpan data, const compress::SelectivePolicy& policy) {
+namespace {
+
+std::size_t upload_once(std::uint16_t port, const std::string& name,
+                        ByteSpan data,
+                        const compress::SelectivePolicy& policy,
+                        std::uint32_t timeout_ms) {
   ECOMP_TRACE_SPAN("net.upload", "net");
   ECOMP_COUNT("net.round_trips");
   Socket s = connect_local(port);
+  if (timeout_ms) {
+    s.set_recv_timeout_ms(timeout_ms);
+    s.set_send_timeout_ms(timeout_ms);
+  }
   send_frame(s, as_bytes("PUT " + name));
   compress::SelectiveStreamEncoder enc(data, policy);
   std::size_t sent = 0;
@@ -203,9 +308,183 @@ std::size_t upload(std::uint16_t port, const std::string& name,
       sent += chunk.size();
     }
   }
-  const std::string status = to_string(recv_frame(s));
+  const std::string status = ecomp::to_string(recv_frame(s));
   if (status.rfind("OK stored", 0) != 0) throw Error("upload: " + status);
   return sent;
+}
+
+/// Exponential backoff with ±50% deterministic jitter, in ms, before
+/// retry `attempt` (1-based).
+std::uint32_t backoff_ms(const TransferPolicy& p, int attempt, Rng& rng) {
+  double ms = p.backoff_base_ms;
+  for (int i = 1; i < attempt && ms < p.backoff_max_ms; ++i) ms *= 2.0;
+  ms = std::min(ms, static_cast<double>(p.backoff_max_ms));
+  return static_cast<std::uint32_t>(ms * (0.5 + rng.uniform()));
+}
+
+}  // namespace
+
+std::size_t upload(std::uint16_t port, const std::string& name,
+                   ByteSpan data, const compress::SelectivePolicy& policy) {
+  return upload_once(port, name, data, policy, 0);
+}
+
+DownloadOutcome download_resilient(std::uint16_t port,
+                                   const std::string& name,
+                                   const std::string& mode,
+                                   const TransferPolicy& policy) {
+  if (mode != "raw" && mode != "full" && mode != "selective")
+    throw Error("download: bad mode " + mode);
+  ECOMP_TRACE_SPAN("net.download_resilient", "net");
+
+  DownloadOutcome out;
+  Rng rng(policy.jitter_seed);
+  // Wire bytes accumulated so far: the framed payload (raw/full) or the
+  // container stream (selective). This is what resume carries across
+  // reconnects — and what salvage digs through when retries run out.
+  Bytes partial;
+  std::uint64_t expected_total = 0;
+  std::uint32_t expected_crc = 0;
+  bool have_total = false;
+  std::string last_error = "no attempts made";
+
+  for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff_ms(policy, attempt, rng)));
+    ++out.attempts;
+    if (!policy.resume) partial.clear();
+    const std::size_t offset = partial.size();
+    if (attempt > 0 && offset > 0)
+      out.resumed_bytes = std::max(out.resumed_bytes, offset);
+
+    try {
+      ECOMP_COUNT("net.round_trips");
+      Socket s = connect_local(port);
+      if (policy.timeout_ms) {
+        s.set_recv_timeout_ms(policy.timeout_ms);
+        s.set_send_timeout_ms(policy.timeout_ms);
+      }
+      send_frame(s, as_bytes("GET-RANGE " + mode + " " + name + " " +
+                             std::to_string(offset)));
+      const std::string status = ecomp::to_string(recv_frame(s));
+
+      if (mode == "selective") {
+        if (status != "OK stream") throw Error("download: " + status);
+        Bytes buf(16 * 1024);
+        while (true) {
+          const std::size_t n = s.recv_some(buf.data(), buf.size());
+          if (n == 0) break;  // server finished (or died; decode decides)
+          partial.insert(partial.end(), buf.begin(), buf.begin() + n);
+        }
+        // Decode the accumulated container from scratch: corruption is
+        // detected here, and a short stream simply isn't finished yet.
+        core::SelectiveStreamDecoder dec;
+        dec.feed(partial);
+        Bytes data;
+        try {
+          while (auto block = dec.poll())
+            data.insert(data.end(), block->begin(), block->end());
+        } catch (const Error&) {
+          partial.clear();  // a block failed to decode: stream poisoned
+          throw;
+        }
+        // Truncated (keep the partial — resume finishes it) vs corrupt
+        // past the block boundaries (clear — no byte is trustworthy).
+        if (!dec.finished()) throw Error("download: stream ended early");
+        try {
+          dec.verify();
+        } catch (const Error&) {
+          partial.clear();
+          throw;
+        }
+        out.data = std::move(data);
+        out.stats.bytes_on_wire = partial.size();
+        out.stats.bytes_decoded = out.data.size();
+        out.stats.blocks = dec.block_infos().size();
+        out.stats.block_infos = dec.block_infos();
+        return out;
+      }
+
+      // raw/full: "OK <remaining> <total> <crc32>"
+      std::istringstream iss(status);
+      std::string ok;
+      std::uint64_t remaining = 0, total = 0;
+      std::uint32_t crc = 0;
+      if (!(iss >> ok >> remaining >> total >> crc) || ok != "OK")
+        throw Error("download: " + status);
+      if (have_total && total != expected_total) {
+        // The file changed server-side between attempts; the partial
+        // prefix no longer belongs to this payload.
+        partial.clear();
+        throw Error("download: payload changed between attempts");
+      }
+      expected_total = total;
+      expected_crc = crc;
+      have_total = true;
+      if (recv_frame_header(s) != remaining)
+        throw Error("download: frame disagrees with status");
+
+      Bytes buf(32 * 1024);
+      std::uint64_t left = remaining;
+      while (left > 0) {
+        const std::size_t n = s.recv_some(
+            buf.data(),
+            static_cast<std::size_t>(std::min<std::uint64_t>(buf.size(),
+                                                             left)));
+        if (n == 0) throw Error("net: peer closed mid-message");
+        partial.insert(partial.end(), buf.begin(), buf.begin() + n);
+        left -= n;
+      }
+      if (partial.size() != expected_total)
+        throw Error("download: size mismatch after reassembly");
+      if (crc32(partial) != expected_crc) {
+        partial.clear();  // corrupted somewhere; no byte is trustworthy
+        throw Error("download: payload CRC mismatch");
+      }
+      out.data = mode == "raw"
+                     ? partial
+                     : compress::DeflateCodec().decompress(partial);
+      out.stats.bytes_on_wire = partial.size();
+      out.stats.bytes_decoded = out.data.size();
+      return out;
+    } catch (const Error& e) {
+      last_error = e.what();
+    }
+  }
+
+  if (mode == "selective" && policy.salvage && !partial.empty()) {
+    auto sr = compress::selective_salvage(partial);
+    out.data = std::move(sr.data);
+    out.recovery = sr.report;
+    out.complete = false;
+    out.stats.bytes_on_wire = partial.size();
+    out.stats.bytes_decoded = out.data.size();
+    return out;
+  }
+  throw Error("download: retries exhausted: " + last_error);
+}
+
+std::size_t upload_resilient(std::uint16_t port, const std::string& name,
+                             ByteSpan data,
+                             const compress::SelectivePolicy& policy,
+                             const TransferPolicy& tp, int* attempts) {
+  Rng rng(tp.jitter_seed);
+  std::string last_error;
+  for (int attempt = 0; attempt <= tp.max_retries; ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff_ms(tp, attempt, rng)));
+    if (attempts) *attempts = attempt + 1;
+    try {
+      // PUT replaces the whole file, so a replay after any failure is
+      // safe — no server-side partial state survives a dead connection.
+      return upload_once(port, name, data, policy, tp.timeout_ms);
+    } catch (const Error& e) {
+      last_error = e.what();
+    }
+  }
+  throw Error("upload: retries exhausted: " + last_error);
 }
 
 }  // namespace ecomp::net

@@ -9,8 +9,17 @@
 //                 unframed while blocks are still being compressed
 //                 (§5's on-demand overlap, for real); the client's
 //                 streaming decoder knows when the container ends.
+//   resume:   "GET-RANGE <mode> <name> <offset>" — re-fetch from a byte
+//     offset of the same wire payload, so an interrupted download keeps
+//     what it has. raw/full → status "OK <remaining> <total> <crc32>"
+//     (crc32 of the whole payload, so even raw mode is verifiable),
+//     then the remaining bytes length-framed; selective → "OK stream",
+//     then container bytes from the offset. Plain GET is unchanged, so
+//     old clients keep working.
 //   upload:   "PUT <name>", then a streamed selective container; reply
 //             "OK stored <bytes>" once decoded and stored.
+//   Malformed, unknown, or failing requests get "ERR <reason>" and the
+//   connection is dropped; the server never dies with a client.
 //
 // raw        — original bytes
 // full       — one deflate member for the whole file
@@ -22,10 +31,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
 #include "compress/selective.h"
+#include "net/fault.h"
 #include "net/socket.h"
 
 namespace ecomp::net {
@@ -61,9 +73,15 @@ class ProxyServer {
   /// Stop accepting and join the server thread (idempotent).
   void stop();
 
+  /// Arm fault injection (testing): subsequent accepted connections ask
+  /// the injector for a FaultChannel. Pass nullptr to disarm.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+
  private:
   void serve();
   void handle(Socket client);
+  void handle_request(Socket& client, const std::string& req,
+                      bool* streaming);
 
   FileStore store_;
   compress::SelectivePolicy policy_;
@@ -73,6 +91,8 @@ class ProxyServer {
   std::map<std::string, Bytes> selective_cache_;
   Listener listener_;
   std::atomic<bool> stopping_{false};
+  std::mutex fault_mu_;
+  std::shared_ptr<FaultInjector> fault_injector_;
   std::thread thread_;
 };
 
@@ -103,5 +123,48 @@ Bytes download(std::uint16_t port, const std::string& name,
 /// Returns the wire bytes sent.
 std::size_t upload(std::uint16_t port, const std::string& name,
                    ByteSpan data, const compress::SelectivePolicy& policy);
+
+/// Client-side resilience knobs for download_resilient/upload_resilient.
+struct TransferPolicy {
+  int max_retries = 4;  ///< reconnect attempts after the first failure
+  std::uint32_t timeout_ms = 2000;  ///< per-socket recv/send deadline; 0 = none
+  std::uint32_t backoff_base_ms = 10;
+  std::uint32_t backoff_max_ms = 250;
+  std::uint64_t jitter_seed = 0x5EEDull;  ///< deterministic backoff jitter
+  bool resume = true;  ///< GET-RANGE from the bytes already received
+  /// Selective mode only: when retries run out mid-container, salvage
+  /// whatever blocks arrived intact instead of throwing.
+  bool salvage = false;
+};
+
+struct DownloadOutcome {
+  Bytes data;
+  DownloadStats stats;
+  int attempts = 0;               ///< connections opened (>= 1)
+  std::size_t resumed_bytes = 0;  ///< bytes carried across reconnects
+  /// False only when retries were exhausted and the partial container
+  /// was salvaged (recovery then says what was lost).
+  bool complete = true;
+  compress::RecoveryReport recovery;
+};
+
+/// download() with deadlines, bounded retries (exponential backoff with
+/// deterministic jitter), and resume-from-offset over GET-RANGE. Every
+/// completed download is CRC-verified — raw mode included. Throws the
+/// last failure once retries are exhausted, unless policy.salvage turns
+/// a partial selective container into a salvaged DownloadOutcome.
+DownloadOutcome download_resilient(std::uint16_t port,
+                                   const std::string& name,
+                                   const std::string& mode,
+                                   const TransferPolicy& policy = {});
+
+/// upload() with deadlines and bounded retries (PUT is idempotent, so a
+/// failed attempt is simply replayed). Returns the wire bytes of the
+/// successful attempt; `attempts` (optional) receives the count.
+std::size_t upload_resilient(std::uint16_t port, const std::string& name,
+                             ByteSpan data,
+                             const compress::SelectivePolicy& policy,
+                             const TransferPolicy& tp = {},
+                             int* attempts = nullptr);
 
 }  // namespace ecomp::net

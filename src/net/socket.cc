@@ -7,15 +7,27 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "net/fault.h"
 #include "obs/metrics.h"
 
 namespace ecomp::net {
 namespace {
 
 [[noreturn]] void fail(const std::string& what) {
+  if (errno == EAGAIN || errno == EWOULDBLOCK) throw TimeoutError(what);
   throw Error("net: " + what + ": " + std::strerror(errno));
+}
+
+void set_timeout(int fd, int which, std::uint32_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, which, &tv, sizeof tv) < 0)
+    fail("setsockopt timeout");
 }
 
 }  // namespace
@@ -27,6 +39,7 @@ Socket& Socket::operator=(Socket&& o) noexcept {
     close();
     fd_ = o.fd_;
     o.fd_ = -1;
+    fault_ = std::move(o.fault_);
   }
   return *this;
 }
@@ -39,6 +52,19 @@ void Socket::close() {
 }
 
 void Socket::send_all(ByteSpan data) const {
+  Bytes faulted;
+  std::size_t send_n = data.size();
+  FaultKind abort_after = FaultKind::None;
+  if (fault_) {
+    faulted.assign(data.begin(), data.end());
+    std::uint32_t sleep_ms = 0;
+    send_n = fault_->plan_send(faulted.data(), faulted.size(), &sleep_ms,
+                               &abort_after);
+    if (sleep_ms)
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    data = ByteSpan(faulted.data(), send_n);
+  }
+
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n =
@@ -51,6 +77,18 @@ void Socket::send_all(ByteSpan data) const {
   }
   ECOMP_COUNT_N("net.bytes_sent", data.size());
   ECOMP_COUNT("net.sends");
+
+  if (abort_after == FaultKind::Truncate) {
+    // Early FIN: the peer sees a clean, but short, stream.
+    ::shutdown(fd_, SHUT_WR);
+    throw FaultError("injected truncate");
+  }
+  if (abort_after == FaultKind::Drop) {
+    // SO_LINGER with zero timeout makes the eventual close send RST.
+    struct linger lg {1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    throw FaultError("injected drop");
+  }
 }
 
 std::size_t Socket::recv_some(std::uint8_t* dst, std::size_t max) const {
@@ -74,6 +112,14 @@ Bytes Socket::recv_exact(std::size_t n) const {
     off += got;
   }
   return out;
+}
+
+void Socket::set_recv_timeout_ms(std::uint32_t ms) const {
+  set_timeout(fd_, SO_RCVTIMEO, ms);
+}
+
+void Socket::set_send_timeout_ms(std::uint32_t ms) const {
+  set_timeout(fd_, SO_SNDTIMEO, ms);
 }
 
 Listener::Listener(std::uint16_t port) {
@@ -143,8 +189,10 @@ void send_frame(const Socket& s, ByteSpan payload) {
   s.send_all(payload);
 }
 
-Bytes recv_frame(const Socket& s) {
-  return s.recv_exact(recv_frame_header(s));
+Bytes recv_frame(const Socket& s, std::uint32_t max_size) {
+  const std::uint32_t n = recv_frame_header(s);
+  if (n > max_size) throw Error("net: frame length exceeds cap");
+  return s.recv_exact(n);
 }
 
 }  // namespace ecomp::net

@@ -5,11 +5,23 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "util/bytes.h"
 
 namespace ecomp::net {
+
+class FaultChannel;
+
+/// A socket deadline expired (SO_RCVTIMEO / SO_SNDTIMEO). Distinct
+/// from Error so retry loops can treat stalls like any other transient
+/// failure while tests can still tell them apart.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what)
+      : Error("net: timed out: " + what) {}
+};
 
 /// Owns a socket file descriptor.
 class Socket {
@@ -17,7 +29,9 @@ class Socket {
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket();
-  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket(Socket&& o) noexcept : fd_(o.fd_), fault_(std::move(o.fault_)) {
+    o.fd_ = -1;
+  }
   Socket& operator=(Socket&& o) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
@@ -25,17 +39,33 @@ class Socket {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
-  /// Send the whole buffer; throws Error on failure.
+  /// Send the whole buffer; throws Error on failure, TimeoutError when
+  /// a send deadline expires.
   void send_all(ByteSpan data) const;
-  /// Receive up to `max` bytes; returns 0 on orderly shutdown.
+  /// Receive up to `max` bytes; returns 0 on orderly shutdown. Throws
+  /// TimeoutError when a receive deadline expires.
   std::size_t recv_some(std::uint8_t* dst, std::size_t max) const;
   /// Receive exactly n bytes; throws if the peer closes early.
   Bytes recv_exact(std::size_t n) const;
+
+  /// Arm SO_RCVTIMEO / SO_SNDTIMEO; 0 clears the deadline.
+  void set_recv_timeout_ms(std::uint32_t ms) const;
+  void set_send_timeout_ms(std::uint32_t ms) const;
+
+  /// Attach a fault channel (testing): every send is routed through it
+  /// and may be delayed, corrupted, or cut short. An armed Drop/Truncate
+  /// fault makes send_all throw FaultError after the planned prefix,
+  /// with the socket set up so closing it RSTs (Drop) or FINs (Truncate)
+  /// the peer.
+  void inject(std::shared_ptr<FaultChannel> fault) {
+    fault_ = std::move(fault);
+  }
 
   void close();
 
  private:
   int fd_ = -1;
+  std::shared_ptr<FaultChannel> fault_;
 };
 
 /// Listening socket bound to 127.0.0.1. Port 0 picks a free port.
@@ -53,9 +83,16 @@ class Listener {
 /// Connect to 127.0.0.1:port.
 Socket connect_local(std::uint16_t port);
 
-/// Length-prefixed frame helpers (u32 LE length + payload).
+/// Control frames (requests, status lines) are short strings; any
+/// length prefix beyond this is a corrupted or hostile header, not a
+/// request, and must be rejected before the allocation it asks for.
+inline constexpr std::uint32_t kMaxControlFrame = 64 * 1024;
+
+/// Length-prefixed frame helpers (u32 LE length + payload). recv_frame
+/// rejects frames whose announced length exceeds `max_size` (throws
+/// Error) instead of allocating up to 4 GiB on a corrupted prefix.
 void send_frame(const Socket& s, ByteSpan payload);
-Bytes recv_frame(const Socket& s);
+Bytes recv_frame(const Socket& s, std::uint32_t max_size = kMaxControlFrame);
 /// Frame header only — callers stream the payload themselves.
 void send_frame_header(const Socket& s, std::uint32_t payload_size);
 std::uint32_t recv_frame_header(const Socket& s);

@@ -1,0 +1,129 @@
+#include "sim/channel.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ecomp::sim {
+namespace {
+
+void check_probability(double p, const char* what) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw Error(std::string("ChannelModel: ") + what +
+                " must be a probability in [0, 1]");
+}
+
+}  // namespace
+
+const char* to_string(ChannelKind kind) {
+  switch (kind) {
+    case ChannelKind::Perfect: return "perfect";
+    case ChannelKind::Bernoulli: return "bernoulli";
+    case ChannelKind::GilbertElliott: return "gilbert-elliott";
+  }
+  return "?";
+}
+
+ChannelModel ChannelModel::bernoulli(double p) {
+  ChannelModel c;
+  c.kind = ChannelKind::Bernoulli;
+  c.loss = p;
+  c.validate();
+  return c;
+}
+
+ChannelModel ChannelModel::gilbert_elliott(double p_gb, double p_bg,
+                                           double loss_good,
+                                           double loss_bad) {
+  ChannelModel c;
+  c.kind = ChannelKind::GilbertElliott;
+  c.p_good_to_bad = p_gb;
+  c.p_bad_to_good = p_bg;
+  c.loss_good = loss_good;
+  c.loss_bad = loss_bad;
+  c.validate();
+  return c;
+}
+
+ChannelModel ChannelModel::gilbert_elliott_avg(double target_loss,
+                                               double mean_burst) {
+  check_probability(target_loss, "target_loss");
+  if (target_loss >= 1.0)
+    throw Error("ChannelModel: target_loss must be < 1");
+  if (!(mean_burst >= 1.0))
+    throw Error("ChannelModel: mean_burst must be >= 1 attempt");
+  if (target_loss <= 0.0) return perfect();
+  // Stationary bad-state occupancy pi_b = p_gb / (p_gb + p_bg); with
+  // loss_good = 0 and loss_bad = 1 the average loss equals pi_b, so
+  // p_gb = q * p_bg / (1 - q).
+  const double p_bg = 1.0 / mean_burst;
+  const double p_gb = target_loss * p_bg / (1.0 - target_loss);
+  return gilbert_elliott(std::min(p_gb, 1.0), p_bg, 0.0, 1.0);
+}
+
+double ChannelModel::avg_loss_rate() const {
+  switch (kind) {
+    case ChannelKind::Perfect:
+      return 0.0;
+    case ChannelKind::Bernoulli:
+      return loss;
+    case ChannelKind::GilbertElliott: {
+      const double denom = p_good_to_bad + p_bad_to_good;
+      if (denom <= 0.0) return loss_good;  // chain never moves
+      const double pi_bad = p_good_to_bad / denom;
+      return (1.0 - pi_bad) * loss_good + pi_bad * loss_bad;
+    }
+  }
+  return 0.0;
+}
+
+double ChannelModel::expected_transmissions() const {
+  const double q = avg_loss_rate();
+  if (q <= 0.0) return 1.0;
+  if (q >= 1.0)
+    throw Error("ChannelModel: average loss rate of 1 never delivers");
+  return 1.0 / (1.0 - q);
+}
+
+void ChannelModel::validate() const {
+  check_probability(loss, "loss");
+  check_probability(p_good_to_bad, "p_good_to_bad");
+  check_probability(p_bad_to_good, "p_bad_to_good");
+  check_probability(loss_good, "loss_good");
+  check_probability(loss_bad, "loss_bad");
+  if (avg_loss_rate() >= 1.0)
+    throw Error("ChannelModel: average loss rate of 1 never delivers");
+}
+
+double ArqParams::backoff_s(int attempt) const {
+  double b = backoff_base_s;
+  for (int i = 0; i < attempt && b < backoff_max_s; ++i) b *= 2.0;
+  return std::min(b, backoff_max_s);
+}
+
+ChannelSampler::ChannelSampler(const ChannelModel& model, std::uint64_t seed)
+    : model_(model), rng_(seed) {
+  model_.validate();
+}
+
+bool ChannelSampler::lose_next() {
+  ++attempts_;
+  bool lost = false;
+  switch (model_.kind) {
+    case ChannelKind::Perfect:
+      break;
+    case ChannelKind::Bernoulli:
+      lost = model_.loss > 0.0 && rng_.chance(model_.loss);
+      break;
+    case ChannelKind::GilbertElliott: {
+      const double p_loss = bad_ ? model_.loss_bad : model_.loss_good;
+      lost = p_loss > 0.0 && rng_.chance(p_loss);
+      const double p_move = bad_ ? model_.p_bad_to_good : model_.p_good_to_bad;
+      if (rng_.chance(p_move)) bad_ = !bad_;
+      break;
+    }
+  }
+  if (lost) ++losses_;
+  return lost;
+}
+
+}  // namespace ecomp::sim

@@ -1,0 +1,108 @@
+// Lossy-channel models for the packet-level simulator — the piece the
+// paper's perfect-loopback testbed leaves out. An 802.11b link drops
+// frames (independently, or in fading bursts), and every retransmission
+// is radio energy the compress-or-not decision (Eq. 6) must account
+// for: at high loss the radio term dominates and compression pays at
+// ever-smaller factors.
+//
+// Two loss processes are modelled:
+//   * Bernoulli       — i.i.d. per-packet loss with probability `loss`
+//   * Gilbert–Elliott — two-state Markov chain (good/bad) with
+//                       per-state loss probabilities; the classic burst
+//                       model for fading radio channels
+// plus ArqParams, the 802.11b-style stop-and-wait recovery: capped
+// retransmissions with binary-exponential backoff. All sampling is
+// seeded through util::rng so every lossy run is reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace ecomp::sim {
+
+enum class ChannelKind { Perfect, Bernoulli, GilbertElliott };
+
+const char* to_string(ChannelKind kind);
+
+struct ChannelModel {
+  ChannelKind kind = ChannelKind::Perfect;
+
+  /// Bernoulli: every transmission attempt is lost i.i.d. with this
+  /// probability. Ignored for the other kinds.
+  double loss = 0.0;
+
+  // Gilbert–Elliott parameters (per transmission attempt):
+  double p_good_to_bad = 0.0;  ///< transition probability good -> bad
+  double p_bad_to_good = 1.0;  ///< transition probability bad -> good
+  double loss_good = 0.0;      ///< loss probability while in `good`
+  double loss_bad = 1.0;       ///< loss probability while in `bad`
+
+  static ChannelModel perfect() { return ChannelModel{}; }
+  static ChannelModel bernoulli(double p);
+  /// Burst-loss chain; mean burst length is 1 / p_bg attempts.
+  static ChannelModel gilbert_elliott(double p_gb, double p_bg,
+                                      double loss_good = 0.0,
+                                      double loss_bad = 1.0);
+  /// Gilbert–Elliott chain with mean burst length `mean_burst` whose
+  /// stationary average loss equals `target_loss` (loss_good = 0,
+  /// loss_bad = 1) — the convenient way to compare burst vs i.i.d.
+  /// loss at the same average rate.
+  static ChannelModel gilbert_elliott_avg(double target_loss,
+                                          double mean_burst = 4.0);
+
+  /// Long-run average per-attempt loss probability (the stationary
+  /// distribution of the chain for Gilbert–Elliott).
+  double avg_loss_rate() const;
+
+  /// Expected transmission attempts per delivered packet, 1/(1 - q).
+  /// The ARQ retry cap bounds per-frame backoff growth, not ultimate
+  /// delivery (the transport above resends), so the truncated and
+  /// untruncated expectations coincide.
+  double expected_transmissions() const;
+
+  bool lossless() const {
+    return kind == ChannelKind::Perfect || avg_loss_rate() <= 0.0;
+  }
+
+  /// Throws Error when any probability is out of range or the chain
+  /// can never deliver (average loss rate of 1).
+  void validate() const;
+};
+
+/// 802.11b-style ARQ recovery parameters. Defaults follow the DSSS PHY:
+/// long retry limit 7; contention window 31..1023 slots of 20 us, so
+/// the mean backoff before retry r is (2^r * 32 - 1)/2 slots, capped.
+struct ArqParams {
+  int max_retries = 7;             ///< link-layer retry cap per frame
+  double backoff_base_s = 310e-6;  ///< mean initial backoff (CWmin/2)
+  double backoff_max_s = 10.23e-3; ///< backoff ceiling (CWmax/2)
+
+  /// Mean backoff delay before retry `attempt` (0-based), capped.
+  double backoff_s(int attempt) const;
+};
+
+/// Stateful per-attempt loss sampler: steps the Gilbert–Elliott chain
+/// (a no-op for the other kinds) and draws losses deterministically
+/// from the seed. Perfect channels never touch the RNG, so a
+/// Perfect-channel run is bit-for-bit the no-channel computation.
+class ChannelSampler {
+ public:
+  ChannelSampler(const ChannelModel& model, std::uint64_t seed);
+
+  /// Sample the fate of the next transmission attempt.
+  bool lose_next();
+
+  std::uint64_t attempts() const { return attempts_; }
+  std::uint64_t losses() const { return losses_; }
+
+ private:
+  ChannelModel model_;
+  Rng rng_;
+  bool bad_ = false;  // current Gilbert–Elliott state
+  std::uint64_t attempts_ = 0;
+  std::uint64_t losses_ = 0;
+};
+
+}  // namespace ecomp::sim

@@ -25,6 +25,16 @@ TransferResult PacketLevelSimulator::download(
                         : TransferSimulator::kRawCopySPerMb * b.raw_mb;
   };
 
+  // Lossy channel: each failed attempt re-occupies the radio for the
+  // packet's active-receive time and adds a backoff gap; the retry cap
+  // bounds the backoff growth, after which the frame escalates to the
+  // transport (a link drop) and starts over with a fresh window.
+  const bool lossy = !opt.channel.lossless();
+  if (lossy) opt.channel.validate();
+  ChannelSampler sampler(opt.channel, opt.channel_seed);
+  double retrans_s = 0.0, backoff_s = 0.0;
+  std::uint64_t retransmissions = 0, link_drops = 0;
+
   // Walk packets; aggregate the per-packet pieces into totals so the
   // timeline stays small regardless of file size.
   double recv_s = 0.0, gap_idle_s = 0.0, gap_decomp_s = 0.0;
@@ -42,6 +52,18 @@ TransferResult PacketLevelSimulator::download(
                                      opt.packet_mb) /
                      opt.packet_mb
                : 1.0;
+      if (lossy) {
+        int attempt = 0;
+        while (sampler.lose_next()) {
+          retrans_s += active * frac;
+          backoff_s += opt.arq.backoff_s(attempt);
+          ++retransmissions;
+          if (++attempt > opt.arq.max_retries) {
+            ++link_drops;
+            attempt = 0;  // transport resend, contention window resets
+          }
+        }
+      }
       recv_s += active * frac;
       double g = gap * frac;
       if (opt.interleave && backlog > 0.0) {
@@ -62,6 +84,14 @@ TransferResult PacketLevelSimulator::download(
                {"radio/startup", CpuState::Idle, RadioState::Idle});
   t.add(recv_s, device_.recv_active_power_w(ps), "recv:packets",
         {"radio/recv/packets", CpuState::Busy, RadioState::Recv});
+  // Retransmissions: the radio is busy re-receiving the lost frame
+  // (radio/retransmit/recv), then sits out the backoff window
+  // (radio/retransmit/backoff). Both are zero-duration — and therefore
+  // absent — on a lossless run.
+  t.add(retrans_s, device_.recv_active_power_w(ps), "recv:retransmit",
+        {"radio/retransmit/recv", CpuState::Busy, RadioState::Recv});
+  t.add(backoff_s, device_.gap_power_w(ps), "gap:backoff",
+        {"radio/retransmit/backoff", CpuState::Idle, RadioState::Idle});
   t.add(gap_decomp_s, device_.decompress_power_w(ps), "decomp:interleaved",
         {"overlap/decompress/" + codec, CpuState::Busy, RadioState::Recv});
   t.add(gap_idle_s, device_.gap_power_w(ps), "gap:packets",
@@ -76,6 +106,11 @@ TransferResult PacketLevelSimulator::download(
   r.energy_j = r.timeline.total_energy_j();
   r.download_time_s = payload / rate;
   r.decompress_time_s = total_work;
+  r.retransmissions = retransmissions;
+  r.link_drops = link_drops;
+  r.retransmit_energy_j =
+      retrans_s * device_.recv_active_power_w(ps) +
+      backoff_s * device_.gap_power_w(ps);
   static const std::vector<std::string> kPrefixes = {"recv", "gap", "startup",
                                                      "decomp"};
   const auto totals = r.timeline.totals_with_prefixes(kPrefixes);

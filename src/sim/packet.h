@@ -12,6 +12,9 @@
 // did.
 #pragma once
 
+#include <cstdint>
+
+#include "sim/channel.h"
 #include "sim/device.h"
 #include "sim/transfer.h"
 
@@ -21,6 +24,14 @@ struct PacketSimOptions {
   double packet_mb = 1480e-6;  ///< MTU payload per packet
   bool interleave = false;
   bool power_saving = false;
+  /// Loss process per transmission attempt. With the default Perfect
+  /// channel the simulation is bit-for-bit the lossless computation
+  /// (no RNG is consulted and no extra phases appear).
+  ChannelModel channel;
+  /// Link-layer recovery: retry cap + binary-exponential backoff.
+  ArqParams arq;
+  /// Seed for the loss sampler; same seed, same losses.
+  std::uint64_t channel_seed = 0x5EEDull;
 };
 
 class PacketLevelSimulator {

@@ -11,6 +11,7 @@
 // closed forms; Figs. 7/9 compare the two.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,12 @@ struct TransferResult {
   double download_energy_j = 0.0;  ///< receive + gap energy
   double decompress_energy_j = 0.0;
   double wait_energy_j = 0.0;
+  // Lossy-channel accounting (packet-level simulator only; zero on a
+  // perfect channel):
+  std::uint64_t retransmissions = 0;  ///< failed link-layer attempts
+  std::uint64_t link_drops = 0;       ///< retry-cap exhaustions (frame
+                                      ///< escalated to the transport)
+  double retransmit_energy_j = 0.0;   ///< energy under radio/retransmit
 };
 
 /// One block of a selective container, in MB.

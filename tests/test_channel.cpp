@@ -1,0 +1,267 @@
+// Lossy-channel model: Gilbert–Elliott statistics, ARQ backoff, the
+// p=0 bit-for-bit guarantee, ledger invariants under loss, and the
+// loss-adjusted Eq. 6 thresholds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/energy_model.h"
+#include "sim/channel.h"
+#include "sim/energy_ledger.h"
+#include "sim/packet.h"
+#include "util/bytes.h"
+
+namespace ecomp::sim {
+namespace {
+
+std::vector<BlockTransfer> uniform_blocks(double raw_mb, double factor,
+                                          double block_mb = 0.128) {
+  std::vector<BlockTransfer> out;
+  double left = raw_mb;
+  while (left > 1e-12) {
+    const double b = std::min(block_mb, left);
+    out.push_back({b, b / factor, true});
+    left -= b;
+  }
+  return out;
+}
+
+TEST(ChannelModel, PerfectIsLossless) {
+  const auto m = ChannelModel::perfect();
+  EXPECT_TRUE(m.lossless());
+  EXPECT_EQ(m.avg_loss_rate(), 0.0);
+  EXPECT_EQ(m.expected_transmissions(), 1.0);
+}
+
+TEST(ChannelModel, BernoulliAverageIsItsParameter) {
+  EXPECT_DOUBLE_EQ(ChannelModel::bernoulli(0.07).avg_loss_rate(), 0.07);
+  EXPECT_NEAR(ChannelModel::bernoulli(0.2).expected_transmissions(), 1.25,
+              1e-12);
+  EXPECT_TRUE(ChannelModel::bernoulli(0.0).lossless());
+}
+
+TEST(ChannelModel, GilbertElliottStationaryAverage) {
+  // pi_bad = p_gb / (p_gb + p_bg); avg = (1-pi)*lg + pi*lb.
+  const auto m = ChannelModel::gilbert_elliott(0.02, 0.18, 0.01, 0.9);
+  const double pi_bad = 0.02 / (0.02 + 0.18);
+  EXPECT_NEAR(m.avg_loss_rate(), (1 - pi_bad) * 0.01 + pi_bad * 0.9, 1e-12);
+}
+
+TEST(ChannelModel, GilbertElliottAvgHitsTargetAndBurstLength) {
+  for (double target : {0.01, 0.05, 0.2}) {
+    const auto m = ChannelModel::gilbert_elliott_avg(target, 4.0);
+    EXPECT_NEAR(m.avg_loss_rate(), target, 1e-12) << target;
+    // Mean sojourn in the bad state is 1 / p_bg attempts.
+    EXPECT_NEAR(1.0 / m.p_bad_to_good, 4.0, 1e-12) << target;
+  }
+  EXPECT_TRUE(ChannelModel::gilbert_elliott_avg(0.0).lossless());
+}
+
+TEST(ChannelModel, ValidateRejectsBadParameters) {
+  EXPECT_THROW(ChannelModel::bernoulli(1.0).validate(), Error);
+  EXPECT_THROW(ChannelModel::bernoulli(-0.1).validate(), Error);
+  EXPECT_THROW(ChannelModel::gilbert_elliott(1.5, 0.2).validate(), Error);
+  // A chain stuck in an always-lose bad state can never deliver.
+  EXPECT_THROW(ChannelModel::gilbert_elliott(1.0, 0.0, 1.0, 1.0).validate(),
+               Error);
+  ChannelModel::gilbert_elliott_avg(0.2).validate();  // fine
+}
+
+TEST(ArqParams, BackoffDoublesThenSaturates) {
+  const ArqParams arq;
+  EXPECT_NEAR(arq.backoff_s(0), 310e-6, 1e-12);
+  EXPECT_NEAR(arq.backoff_s(1), 620e-6, 1e-12);
+  EXPECT_NEAR(arq.backoff_s(2), 1240e-6, 1e-12);
+  EXPECT_NEAR(arq.backoff_s(50), arq.backoff_max_s, 1e-12);
+  EXPECT_LE(arq.backoff_s(5), arq.backoff_max_s + 1e-12);
+}
+
+TEST(ChannelSampler, PerfectNeverLosesAndNeverDrawsRng) {
+  ChannelSampler a(ChannelModel::perfect(), 1);
+  ChannelSampler b(ChannelModel::perfect(), 2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(a.lose_next());
+    EXPECT_FALSE(b.lose_next());
+  }
+  EXPECT_EQ(a.losses(), 0u);
+  EXPECT_EQ(a.attempts(), 1000u);
+}
+
+TEST(ChannelSampler, DeterministicPerSeed) {
+  const auto m = ChannelModel::gilbert_elliott_avg(0.1);
+  ChannelSampler a(m, 42), b(m, 42), c(m, 43);
+  std::vector<bool> fa, fb, fc;
+  for (int i = 0; i < 2000; ++i) {
+    fa.push_back(a.lose_next());
+    fb.push_back(b.lose_next());
+    fc.push_back(c.lose_next());
+  }
+  EXPECT_EQ(fa, fb);
+  EXPECT_NE(fa, fc);  // astronomically unlikely to collide
+}
+
+TEST(ChannelSampler, EmpiricalRateMatchesStationary) {
+  for (const auto& m : {ChannelModel::bernoulli(0.1),
+                        ChannelModel::gilbert_elliott_avg(0.1, 4.0)}) {
+    ChannelSampler s(m, 0xC0FFEE);
+    const int n = 200000;
+    int lost = 0;
+    for (int i = 0; i < n; ++i) lost += s.lose_next() ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(lost) / n, 0.1, 0.01)
+        << to_string(m.kind);
+    EXPECT_EQ(s.attempts(), static_cast<std::uint64_t>(n));
+    EXPECT_EQ(s.losses(), static_cast<std::uint64_t>(lost));
+  }
+}
+
+// --- the p=0 property: enabling the channel machinery must not change
+// --- a single bit of the lossless results.
+
+TEST(ChannelPacketSim, ZeroLossIsBitForBitIdentical) {
+  const PacketLevelSimulator psim;
+  const auto blocks = uniform_blocks(2.0, 2.5);
+  for (const bool interleave : {false, true}) {
+    for (const bool power_saving : {false, true}) {
+      PacketSimOptions base;
+      base.interleave = interleave;
+      base.power_saving = power_saving;
+      const auto ref = psim.download(blocks, "deflate", base);
+
+      for (const auto& ch :
+           {ChannelModel::perfect(), ChannelModel::bernoulli(0.0),
+            ChannelModel::gilbert_elliott_avg(0.0)}) {
+        PacketSimOptions opt = base;
+        opt.channel = ch;
+        const auto got = psim.download(blocks, "deflate", opt);
+        EXPECT_EQ(got.energy_j, ref.energy_j);  // exact, not NEAR
+        EXPECT_EQ(got.time_s, ref.time_s);
+        EXPECT_EQ(got.retransmissions, 0u);
+        EXPECT_EQ(got.link_drops, 0u);
+        EXPECT_EQ(got.retransmit_energy_j, 0.0);
+        ASSERT_EQ(got.timeline.phases().size(), ref.timeline.phases().size());
+        for (std::size_t i = 0; i < ref.timeline.phases().size(); ++i) {
+          const auto& p = got.timeline.phases()[i];
+          const auto& q = ref.timeline.phases()[i];
+          EXPECT_EQ(p.label, q.label);
+          EXPECT_EQ(p.duration_s, q.duration_s);
+          EXPECT_EQ(p.power_w, q.power_w);
+          EXPECT_EQ(p.attr.component, q.attr.component);
+        }
+      }
+    }
+  }
+}
+
+TEST(ChannelPacketSim, LedgerInvariantsHoldAcrossLossRates) {
+  const PacketLevelSimulator psim;
+  const auto blocks = uniform_blocks(3.0, 2.0);
+  for (const double q : {0.0, 0.01, 0.05, 0.2}) {
+    PacketSimOptions opt;
+    opt.interleave = true;
+    if (q > 0.0) opt.channel = ChannelModel::gilbert_elliott_avg(q);
+    const auto r = psim.download(blocks, "deflate", opt);
+    const auto ledger = EnergyLedger::from_timeline(r.timeline);
+    EXPECT_EQ(ledger.validate(r.timeline), "") << q;
+    const double retrans_j = ledger.energy_j("radio/retransmit");
+    if (q == 0.0) {
+      EXPECT_EQ(retrans_j, 0.0);
+    } else if (r.retransmissions > 0) {
+      EXPECT_GT(retrans_j, 0.0) << q;
+      // The result's convenience field is the ledger component.
+      EXPECT_NEAR(retrans_j, r.retransmit_energy_j,
+                  1e-9 + 1e-9 * retrans_j);
+      // Its children sum to it: recv attempts + backoff idling.
+      EXPECT_NEAR(ledger.energy_j("radio/retransmit/recv") +
+                      ledger.energy_j("radio/retransmit/backoff"),
+                  retrans_j, 1e-9);
+    }
+  }
+}
+
+TEST(ChannelPacketSim, LossCostsEnergyMonotonically) {
+  const PacketLevelSimulator psim;
+  const auto blocks = uniform_blocks(3.0, 2.0);
+  double prev_e = -1.0, prev_t = -1.0;
+  for (const double q : {0.0, 0.05, 0.2}) {
+    PacketSimOptions opt;
+    opt.interleave = true;
+    if (q > 0.0) opt.channel = ChannelModel::bernoulli(q);
+    const auto r = psim.download(blocks, "deflate", opt);
+    EXPECT_GT(r.energy_j, prev_e) << q;
+    EXPECT_GT(r.time_s, prev_t) << q;
+    prev_e = r.energy_j;
+    prev_t = r.time_s;
+  }
+}
+
+TEST(ChannelPacketSim, RetryCapEscalatesToLinkDrops) {
+  const PacketLevelSimulator psim;
+  PacketSimOptions opt;
+  // A dreadful channel with a tiny retry budget must record drops but
+  // still terminate and deliver (transport-level resend).
+  opt.channel = ChannelModel::bernoulli(0.9);
+  opt.arq.max_retries = 2;
+  const auto r = psim.download(uniform_blocks(0.2, 2.0), "deflate", opt);
+  EXPECT_GT(r.link_drops, 0u);
+  EXPECT_GT(r.retransmissions, r.link_drops);
+  EXPECT_GT(r.energy_j, 0.0);
+}
+
+TEST(ChannelPacketSim, SameSeedSameResultDifferentSeedDiffers) {
+  const PacketLevelSimulator psim;
+  const auto blocks = uniform_blocks(1.0, 2.0);
+  PacketSimOptions a;
+  a.channel = ChannelModel::gilbert_elliott_avg(0.1);
+  PacketSimOptions b = a;
+  b.channel_seed = a.channel_seed + 1;
+  const auto r1 = psim.download(blocks, "deflate", a);
+  const auto r2 = psim.download(blocks, "deflate", a);
+  const auto r3 = psim.download(blocks, "deflate", b);
+  EXPECT_EQ(r1.energy_j, r2.energy_j);
+  EXPECT_EQ(r1.retransmissions, r2.retransmissions);
+  EXPECT_NE(r1.retransmissions, r3.retransmissions);
+}
+
+// --- loss-adjusted closed form (Eq. 6 thresholds as functions of q).
+
+TEST(EnergyModelLoss, WithLossShiftsThresholdsMonotonically) {
+  const auto model = core::EnergyModel::paper_11mbps();
+  double prev_f = 1e9, prev_mb = 1e9;
+  for (const double q : {0.0, 0.05, 0.1, 0.3}) {
+    const auto lossy = model.with_loss(q);
+    const double f = lossy.min_factor(1.0);
+    const double mb = lossy.min_file_mb();
+    EXPECT_LT(f, prev_f) << q;   // compression pays at smaller factors
+    EXPECT_LT(mb, prev_mb) << q; // and for smaller files
+    prev_f = f;
+    prev_mb = mb;
+  }
+}
+
+TEST(EnergyModelLoss, ZeroLossIsIdentity) {
+  const auto model = core::EnergyModel::paper_11mbps();
+  EXPECT_DOUBLE_EQ(model.with_loss(0.0).min_factor(1.0),
+                   model.min_factor(1.0));
+  EXPECT_DOUBLE_EQ(
+      model.with_channel(ChannelModel::perfect()).min_file_mb(),
+      model.min_file_mb());
+}
+
+TEST(EnergyModelLoss, DownloadEnergyScalesWithExpectedTransmissions) {
+  const auto model = core::EnergyModel::paper_11mbps();
+  const double q = 0.2;
+  // Radio m (J/MB) scales by n = 1/(1-q); rate drops by n.
+  const auto lossy = model.with_loss(q);
+  const double n = 1.0 / (1.0 - q);
+  EXPECT_NEAR(lossy.params().m, model.params().m * n, 1e-12);
+  EXPECT_NEAR(lossy.params().rate, model.params().rate / n, 1e-12);
+}
+
+TEST(EnergyModelLoss, RejectsInvalidLossRates) {
+  const auto model = core::EnergyModel::paper_11mbps();
+  EXPECT_THROW(model.with_loss(-0.1), Error);
+  EXPECT_THROW(model.with_loss(1.0), Error);
+}
+
+}  // namespace
+}  // namespace ecomp::sim

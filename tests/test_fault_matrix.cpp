@@ -1,0 +1,511 @@
+// The fault matrix: every injected failure kind × wire mode × retry
+// policy must end in verified-identical bytes or a clean typed error —
+// never a hang, crash, or silent corruption. Plus the recovery pieces
+// on their own: salvage of damaged containers, the tolerant streaming
+// decoder, proxy hardening against garbage, and the CLI surface.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "cli/cli.h"
+#include "compress/selective.h"
+#include "core/interleave.h"
+#include "core/planner.h"
+#include "net/fault.h"
+#include "net/proxy.h"
+#include "workload/generator.h"
+
+namespace ecomp::net {
+namespace {
+
+using workload::FileKind;
+
+TransferPolicy fast_policy(int max_retries) {
+  TransferPolicy tp;
+  tp.max_retries = max_retries;
+  tp.timeout_ms = 2000;
+  tp.backoff_base_ms = 1;
+  tp.backoff_max_ms = 5;
+  return tp;
+}
+
+class FaultFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = workload::generate_kind(FileKind::Xml, 300000, 7, 0.4);
+    FileStore store;
+    store.put("f.xml", data_);
+    server_ = std::make_unique<ProxyServer>(
+        std::move(store),
+        core::make_selective_policy(core::EnergyModel::paper_11mbps()));
+  }
+
+  void arm(FaultKind kind, std::size_t at_byte, int arm_count = 1,
+           std::uint32_t delay_ms = 100) {
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.at_byte = at_byte;
+    spec.delay_ms = delay_ms;
+    server_->set_fault_injector(
+        std::make_shared<FaultInjector>(spec, arm_count));
+  }
+
+  Bytes data_;
+  std::unique_ptr<ProxyServer> server_;
+};
+
+// --- the matrix itself ------------------------------------------------
+
+TEST_F(FaultFixture, MatrixWithRetriesEveryCellRecovers) {
+  for (const FaultKind kind : {FaultKind::Drop, FaultKind::Truncate,
+                               FaultKind::Delay, FaultKind::Corrupt}) {
+    for (const std::string mode : {"raw", "full", "selective"}) {
+      SCOPED_TRACE(std::string(to_string(kind)) + " x " + mode);
+      arm(kind, 5000);
+      const auto outcome =
+          download_resilient(server_->port(), "f.xml", mode,
+                             fast_policy(4));
+      EXPECT_EQ(outcome.data, data_);
+      EXPECT_TRUE(outcome.complete);
+      if (kind == FaultKind::Delay) {
+        // A 100 ms stall is inside the 2 s deadline: first try wins.
+        EXPECT_EQ(outcome.attempts, 1);
+      } else {
+        EXPECT_GE(outcome.attempts, 2);
+      }
+    }
+  }
+}
+
+TEST_F(FaultFixture, MatrixWithoutRetriesFailsCleanOrSucceeds) {
+  for (const FaultKind kind : {FaultKind::Drop, FaultKind::Truncate,
+                               FaultKind::Delay, FaultKind::Corrupt}) {
+    for (const std::string mode : {"raw", "full", "selective"}) {
+      SCOPED_TRACE(std::string(to_string(kind)) + " x " + mode);
+      arm(kind, 5000);
+      if (kind == FaultKind::Delay) {
+        // The stall is survivable without a retry.
+        const auto outcome = download_resilient(server_->port(), "f.xml",
+                                                mode, fast_policy(0));
+        EXPECT_EQ(outcome.data, data_);
+      } else {
+        // One attempt, one injected failure: a typed error, not a hang.
+        EXPECT_THROW(download_resilient(server_->port(), "f.xml", mode,
+                                        fast_policy(0)),
+                     Error);
+      }
+      // The armed channel is spent either way; the server must still
+      // serve the next client.
+      server_->set_fault_injector(nullptr);
+      EXPECT_EQ(download(server_->port(), "f.xml", "raw"), data_);
+    }
+  }
+}
+
+TEST_F(FaultFixture, DeadlineTurnsLongStallIntoRetry) {
+  // Stall past the client deadline: the first attempt times out; a
+  // later one runs clean once the single-threaded server has burned
+  // through the stall. This is the SO_RCVTIMEO path end to end.
+  auto tp = fast_policy(5);
+  tp.timeout_ms = 250;
+  arm(FaultKind::Delay, 5000, 1, /*delay_ms=*/600);
+  const auto outcome =
+      download_resilient(server_->port(), "f.xml", "raw", tp);
+  EXPECT_EQ(outcome.data, data_);
+  EXPECT_GE(outcome.attempts, 2);
+}
+
+TEST_F(FaultFixture, ResumeCarriesBytesAcrossReconnects) {
+  arm(FaultKind::Truncate, 100000);
+  const auto outcome =
+      download_resilient(server_->port(), "f.xml", "raw", fast_policy(3));
+  EXPECT_EQ(outcome.data, data_);
+  EXPECT_EQ(outcome.attempts, 2);
+  EXPECT_GT(outcome.resumed_bytes, 50000u);  // kept most of attempt 1
+
+  arm(FaultKind::Truncate, 100000);
+  auto tp = fast_policy(3);
+  tp.resume = false;
+  const auto fresh =
+      download_resilient(server_->port(), "f.xml", "raw", tp);
+  EXPECT_EQ(fresh.data, data_);
+  EXPECT_EQ(fresh.resumed_bytes, 0u);
+}
+
+TEST_F(FaultFixture, CorruptionIsDetectedInRawMode) {
+  // Raw mode has no container CRC of its own; GET-RANGE's payload crc32
+  // must catch the flip and force a clean retry.
+  arm(FaultKind::Corrupt, 40000);
+  const auto outcome =
+      download_resilient(server_->port(), "f.xml", "raw", fast_policy(2));
+  EXPECT_EQ(outcome.data, data_);
+  EXPECT_GE(outcome.attempts, 2);
+}
+
+TEST_F(FaultFixture, SalvageReturnsPartialWhenRetriesExhaust) {
+  // Incompressible 300 KB file: its container is ~300 KB of raw blocks,
+  // so three attempts truncated at 60 KB each leave the client with
+  // block 1 intact and the tail missing — retries cannot win.
+  // salvage=false throws; salvage=true yields the intact prefix blocks.
+  const Bytes noise =
+      workload::generate_kind(FileKind::Random, 300000, 12, 0.0);
+  FileStore store;
+  store.put("noise.bin", noise);
+  ProxyServer server(std::move(store),
+                     compress::SelectivePolicy::always());
+  FaultSpec spec;
+  spec.kind = FaultKind::Truncate;
+  spec.at_byte = 60000;
+  server.set_fault_injector(std::make_shared<FaultInjector>(spec, 100));
+  EXPECT_THROW(download_resilient(server.port(), "noise.bin", "selective",
+                                  fast_policy(2)),
+               Error);
+
+  auto tp = fast_policy(2);
+  tp.salvage = true;
+  const auto outcome =
+      download_resilient(server.port(), "noise.bin", "selective", tp);
+  EXPECT_FALSE(outcome.complete);
+  EXPECT_FALSE(outcome.recovery.crc_ok);
+  EXPECT_GT(outcome.recovery.blocks_recovered, 0u);
+  EXPECT_GT(outcome.recovery.bytes_lost, 0u);
+  // Whatever came back is the true prefix, byte for byte.
+  ASSERT_LE(outcome.recovery.bytes_recovered, noise.size());
+  ASSERT_GE(outcome.data.size(), outcome.recovery.bytes_recovered);
+  EXPECT_TRUE(std::equal(outcome.data.begin(),
+                         outcome.data.begin() +
+                             static_cast<std::ptrdiff_t>(
+                                 outcome.recovery.bytes_recovered),
+                         noise.begin()));
+}
+
+TEST_F(FaultFixture, UploadRetriesThroughDroppedReply) {
+  const Bytes v2 = workload::generate_kind(FileKind::Log, 120000, 8, 0.0);
+  arm(FaultKind::Drop, 0);  // kill the server's reply frame
+  int attempts = 0;
+  upload_resilient(server_->port(), "up.log", v2,
+                   compress::SelectivePolicy::always(), fast_policy(3),
+                   &attempts);
+  EXPECT_GE(attempts, 2);
+  EXPECT_EQ(download(server_->port(), "up.log", "raw"), v2);
+}
+
+// --- proxy hardening --------------------------------------------------
+
+TEST_F(FaultFixture, GarbageRequestGetsErrAndServerSurvives) {
+  Socket s = connect_local(server_->port());
+  send_frame(s, to_bytes("NONSENSE utter nonsense"));
+  const std::string reply = ecomp::to_string(recv_frame(s));
+  EXPECT_EQ(reply.rfind("ERR ", 0), 0u) << reply;
+  EXPECT_EQ(download(server_->port(), "f.xml", "raw"), data_);
+}
+
+TEST_F(FaultFixture, OversizedControlFrameIsRejectedNotAllocated) {
+  Socket s = connect_local(server_->port());
+  // A length prefix promising 2 GB: the server must refuse to buffer
+  // it, answer ERR, and keep serving.
+  send_frame_header(s, 0x7FFFFFFFu);
+  const std::string reply = ecomp::to_string(recv_frame(s));
+  EXPECT_EQ(reply, "ERR bad frame");
+  EXPECT_EQ(download(server_->port(), "f.xml", "selective"), data_);
+}
+
+TEST_F(FaultFixture, RecvFrameCapIsClientSideToo) {
+  Listener listener(0);
+  std::thread peer([&] {
+    Socket c = listener.accept();
+    send_frame_header(c, kMaxControlFrame + 1);
+    Bytes dummy(16, 'x');
+    try {
+      c.send_all(dummy);
+    } catch (const Error&) {
+    }
+  });
+  Socket s = connect_local(listener.port());
+  EXPECT_THROW(recv_frame(s), Error);
+  peer.join();
+}
+
+TEST_F(FaultFixture, RecvTimeoutThrowsTimeoutError) {
+  Listener listener(0);
+  std::thread peer([&] {
+    Socket c = listener.accept();
+    // Say nothing; the client's deadline must fire.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  });
+  Socket s = connect_local(listener.port());
+  s.set_recv_timeout_ms(50);
+  EXPECT_THROW(recv_frame(s), TimeoutError);
+  peer.join();
+}
+
+TEST_F(FaultFixture, MissingFileStillReportsCleanError) {
+  EXPECT_THROW(download(server_->port(), "absent.bin", "raw"), Error);
+  EXPECT_EQ(download(server_->port(), "f.xml", "raw"), data_);
+}
+
+// --- fault primitives -------------------------------------------------
+
+TEST(FaultChannel, FiresOnceAtExactOffset) {
+  FaultSpec spec;
+  spec.kind = FaultKind::Corrupt;
+  spec.at_byte = 10;
+  FaultChannel ch(spec);
+  Bytes buf(8, 0x11);
+  std::uint32_t sleep_ms = 0;
+  FaultKind abort_after = FaultKind::None;
+  // Bytes 0..7: before the trigger.
+  EXPECT_EQ(ch.plan_send(buf.data(), buf.size(), &sleep_ms, &abort_after),
+            buf.size());
+  EXPECT_FALSE(ch.fired());
+  // Bytes 8..15 contain offset 10: byte index 2 of this send flips.
+  Bytes second(8, 0x11);
+  EXPECT_EQ(ch.plan_send(second.data(), second.size(), &sleep_ms,
+                         &abort_after),
+            second.size());
+  EXPECT_TRUE(ch.fired());
+  EXPECT_EQ(second[2], 0x11 ^ 0xff);
+  EXPECT_EQ(second[1], 0x11);
+  // Later sends pass untouched.
+  Bytes third(8, 0x11);
+  ch.plan_send(third.data(), third.size(), &sleep_ms, &abort_after);
+  EXPECT_EQ(third, Bytes(8, 0x11));
+}
+
+TEST(FaultChannel, TruncateSendsPrefixThenAborts) {
+  FaultSpec spec;
+  spec.kind = FaultKind::Truncate;
+  spec.at_byte = 5;
+  FaultChannel ch(spec);
+  Bytes buf(20, 0x22);
+  std::uint32_t sleep_ms = 0;
+  FaultKind abort_after = FaultKind::None;
+  EXPECT_EQ(ch.plan_send(buf.data(), buf.size(), &sleep_ms, &abort_after),
+            5u);
+  EXPECT_EQ(abort_after, FaultKind::Truncate);
+}
+
+TEST(FaultInjector, ArmsExactlyNConnections) {
+  FaultSpec spec;
+  spec.kind = FaultKind::Drop;
+  FaultInjector inj(spec, 2);
+  EXPECT_EQ(inj.remaining(), 2);
+  EXPECT_NE(inj.next_channel(), nullptr);
+  EXPECT_NE(inj.next_channel(), nullptr);
+  EXPECT_EQ(inj.next_channel(), nullptr);
+  EXPECT_EQ(inj.armed(), 2);
+  EXPECT_EQ(inj.remaining(), 0);
+}
+
+}  // namespace
+}  // namespace ecomp::net
+
+// --- container salvage + tolerant decoder -----------------------------
+
+namespace ecomp::compress {
+namespace {
+
+Bytes xml_data() {
+  return workload::generate_kind(workload::FileKind::Xml, 300000, 9, 0.4);
+}
+
+TEST(SelectiveSalvage, IntactContainerIsComplete) {
+  const Bytes data = xml_data();
+  const auto res = selective_compress(data, SelectivePolicy::always());
+  const auto sr = selective_salvage(res.container);
+  EXPECT_TRUE(sr.report.complete());
+  EXPECT_TRUE(sr.report.crc_ok);
+  EXPECT_EQ(sr.report.blocks_lost, 0u);
+  EXPECT_EQ(sr.data, data);
+}
+
+TEST(SelectiveSalvage, CorruptPayloadLosesOneBlockKeepsOffsets) {
+  const Bytes data = xml_data();
+  auto container =
+      selective_compress(data, SelectivePolicy::always()).container;
+  // The container's final bytes are the last block's payload: flip one.
+  container[container.size() - 10] ^= 0xff;
+  const auto sr = selective_salvage(container);
+  EXPECT_EQ(sr.report.blocks_lost, 1u);
+  EXPECT_FALSE(sr.report.crc_ok);
+  EXPECT_FALSE(sr.report.framing_truncated);
+  ASSERT_EQ(sr.data.size(), data.size());  // zero-fill preserves offsets
+  const std::size_t last_start =
+      (data.size() / kDefaultBlockSize) * kDefaultBlockSize;
+  EXPECT_TRUE(std::equal(sr.data.begin(),
+                         sr.data.begin() +
+                             static_cast<std::ptrdiff_t>(last_start),
+                         data.begin()));
+  for (std::size_t i = last_start; i < sr.data.size(); ++i)
+    ASSERT_EQ(sr.data[i], 0u) << i;
+  EXPECT_EQ(sr.report.bytes_recovered, last_start);
+  EXPECT_EQ(sr.report.bytes_lost, data.size() - last_start);
+}
+
+TEST(SelectiveSalvage, TruncatedContainerKeepsPrefixBlocks) {
+  const Bytes data = xml_data();
+  auto container =
+      selective_compress(data, SelectivePolicy::always()).container;
+  container.resize(container.size() / 2);
+  const auto sr = selective_salvage(container);
+  EXPECT_TRUE(sr.report.framing_truncated);
+  EXPECT_GT(sr.report.blocks_lost, 0u);
+  EXPECT_GT(sr.report.bytes_lost, 0u);
+  ASSERT_LE(sr.report.bytes_recovered, data.size());
+  EXPECT_TRUE(std::equal(
+      sr.data.begin(),
+      sr.data.begin() +
+          static_cast<std::ptrdiff_t>(sr.report.bytes_recovered),
+      data.begin()));
+}
+
+TEST(SelectiveSalvage, GarbageYieldsFullyLostReportNotThrow) {
+  const Bytes junk(4096, 0xAB);
+  const auto sr = selective_salvage(junk);
+  EXPECT_TRUE(sr.report.framing_truncated);
+  EXPECT_TRUE(sr.data.empty());
+  EXPECT_FALSE(sr.report.complete());
+}
+
+TEST(SelectiveSalvage, AbsurdHeaderSizeIsFramingDamageNotOom) {
+  // A corrupted original_size varint must not drive a giant zero-fill.
+  const Bytes data = xml_data();
+  auto container =
+      selective_compress(data, SelectivePolicy::always()).container;
+  // Bytes 2.. hold the original_size varint; force a huge claim.
+  for (std::size_t i = 2; i < 11; ++i) container[i] = 0xff;
+  container[11] = 0x01;
+  const auto sr = selective_salvage(container);
+  EXPECT_TRUE(sr.report.framing_truncated);
+  EXPECT_LT(sr.data.size(), container.size() * 8);
+}
+
+TEST(TolerantDecoder, ZeroFillsBadBlockAndRecordsRecovery) {
+  const Bytes data = xml_data();
+  auto container =
+      selective_compress(data, SelectivePolicy::always()).container;
+  container[container.size() - 10] ^= 0xff;
+
+  // Strict decoder refuses.
+  {
+    core::SelectiveStreamDecoder dec;
+    dec.feed(container);
+    EXPECT_THROW(
+        {
+          while (auto b = dec.poll()) {
+          }
+        },
+        Error);
+  }
+  // Tolerant decoder degrades gracefully, fed in small chunks.
+  core::SelectiveStreamDecoder dec;
+  dec.set_tolerant(true);
+  Bytes out;
+  for (std::size_t i = 0; i < container.size(); i += 1000) {
+    const std::size_t n = std::min<std::size_t>(1000, container.size() - i);
+    dec.feed(ByteSpan(container.data() + i, n));
+    while (auto b = dec.poll()) out.insert(out.end(), b->begin(), b->end());
+  }
+  EXPECT_TRUE(dec.finished());
+  dec.verify();  // records, does not throw
+  EXPECT_FALSE(dec.recovery().crc_ok);
+  EXPECT_EQ(dec.recovery().blocks_lost, 1u);
+  EXPECT_EQ(dec.recovery().blocks_total,
+            (data.size() + kDefaultBlockSize - 1) / kDefaultBlockSize);
+  ASSERT_EQ(out.size(), data.size());
+}
+
+}  // namespace
+}  // namespace ecomp::compress
+
+// --- CLI surface ------------------------------------------------------
+
+namespace ecomp::cli {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RobustCliFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ecomp_robust_cli_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    data_ = workload::generate_kind(workload::FileKind::Xml, 200000, 5, 0.4);
+    net::FileStore store;
+    store.put("f.xml", data_);
+    server_ = std::make_unique<net::ProxyServer>(
+        std::move(store), compress::SelectivePolicy::always());
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  int run_cli(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return run(args, out_, err_);
+  }
+
+  fs::path dir_;
+  Bytes data_;
+  std::unique_ptr<net::ProxyServer> server_;
+  std::ostringstream out_, err_;
+};
+
+TEST_F(RobustCliFixture, DownloadFetchesThroughInjectedFault) {
+  net::FaultSpec spec;
+  spec.kind = net::FaultKind::Truncate;
+  spec.at_byte = 20000;
+  server_->set_fault_injector(std::make_shared<net::FaultInjector>(spec, 1));
+  const std::string out_path = (dir_ / "got.xml").string();
+  ASSERT_EQ(run_cli({"download", "f.xml", out_path, "--port",
+                     std::to_string(server_->port()), "-m", "raw",
+                     "--resume", "--max-retries", "3"}),
+            0)
+      << err_.str();
+  EXPECT_EQ(read_file(out_path), data_);
+  EXPECT_NE(out_.str().find("attempts"), std::string::npos);
+}
+
+TEST_F(RobustCliFixture, PlanAndEnergyAcceptLossRates) {
+  const std::string in_path = (dir_ / "in.xml").string();
+  write_file(in_path, data_);
+  ASSERT_EQ(run_cli({"plan", "--loss", "0.2", in_path}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("channel: 20.0% loss"), std::string::npos);
+  // Regression: the raw side of the lossy comparison must use a codec
+  // name the CpuModel knows (it used to pass "raw" and throw).
+  ASSERT_EQ(run_cli({"energy", "--loss", "0.05", "--breakdown", in_path}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("+loss(0.050)"), std::string::npos);
+  EXPECT_EQ(run_cli({"energy", "--loss", "1.5", in_path}), 2);
+}
+
+TEST_F(RobustCliFixture, InspectSalvageExitCodesTellTheTruth) {
+  const auto container =
+      compress::selective_compress(data_, compress::SelectivePolicy::always())
+          .container;
+  const std::string intact = (dir_ / "intact.ec").string();
+  write_file(intact, container);
+
+  Bytes damaged = container;
+  damaged[damaged.size() - 10] ^= 0xff;
+  const std::string hurt = (dir_ / "hurt.ec").string();
+  write_file(hurt, damaged);
+
+  const std::string salvaged = (dir_ / "salvaged.bin").string();
+  EXPECT_EQ(run_cli({"inspect", "--salvage", intact}), 0) << err_.str();
+  EXPECT_EQ(run_cli({"inspect", "--salvage", hurt, salvaged}), 3);
+  // The salvaged file still has every intact block at its true offset.
+  const Bytes got = read_file(salvaged);
+  ASSERT_EQ(got.size(), data_.size());
+  EXPECT_TRUE(std::equal(got.begin(),
+                         got.begin() + static_cast<std::ptrdiff_t>(
+                                           compress::kDefaultBlockSize),
+                         data_.begin()));
+}
+
+}  // namespace
+}  // namespace ecomp::cli
