@@ -1,0 +1,137 @@
+// Thread-pool scaling of the selective codec: compress/decompress the
+// whole Table 2 corpus as one stream at 1/2/4/8 pool threads, checking
+// that every thread count produces a byte-identical container (the
+// reorder buffer's determinism guarantee) and reporting the speedup
+// curve over the serial path.
+//
+// Wall-clock speedups are machine-dependent, so the sidecar reports
+// them under ratio keys (no _s suffix) that benchdiff surfaces but
+// never gates on; the identical_t* flags are exact and portable.
+// Exit code 1 if any thread count diverges from the serial bytes.
+#include <chrono>
+#include <cstdio>
+
+#include "common.h"
+#include "compress/selective.h"
+#include "par/thread_pool.h"
+#include "util/crc32.h"
+
+using namespace ecomp;
+using namespace ecomp::bench;
+
+namespace {
+
+double now_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-3 wall time of `fn` (seconds).
+template <class F>
+double best_of_3(F&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double t0 = now_s();
+    fn();
+    best = std::min(best, now_s() - t0);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = corpus_scale();
+  Bytes input;
+  for (const auto& entry : workload::table2()) {
+    const Bytes data = workload::generate(entry, scale);
+    input.insert(input.end(), data.begin(), data.end());
+  }
+  const auto policy = compress::SelectivePolicy::always();
+  constexpr int kLevel = 9;
+
+  const unsigned hw = par::default_threads();
+  std::printf(
+      "=== Parallel selective codec scaling (input %.2f MB, %u hardware "
+      "thread%s) ===\n\n",
+      static_cast<double>(input.size()) / 1e6, hw, hw == 1 ? "" : "s");
+  if (hw < 4)
+    std::printf(
+        "note: speedup saturates at the hardware thread count; on this "
+        "machine expect ~%ux at best.\n\n", hw);
+
+  // Serial reference: the threads==1 call takes the pool-free path, so
+  // it doubles as both the baseline and the 1-thread configuration.
+  Bytes serial;
+  const double t_serial = best_of_3([&] {
+    serial = compress::selective_compress(input, policy,
+                                          compress::kDefaultBlockSize,
+                                          kLevel, 1)
+                 .container;
+  });
+  const std::uint32_t serial_crc = crc32(serial);
+  const std::size_t n_blocks = compress::selective_block_info(serial).size();
+
+  BenchReport report("par_scaling");
+  report.headline("blocks", static_cast<double>(n_blocks));
+  report.headline("input_mb", static_cast<double>(input.size()) / 1e6);
+  report.headline("hw_threads", static_cast<double>(hw));
+
+  std::printf("%8s %10s %9s %10s\n", "threads", "compress", "speedup",
+              "identical");
+  print_rule(44);
+  bool all_identical = true;
+  for (const unsigned t : {1u, 2u, 4u, 8u}) {
+    Bytes container;
+    const double ts = best_of_3([&] {
+      container = compress::selective_compress(
+                      input, policy, compress::kDefaultBlockSize, kLevel, t)
+                      .container;
+    });
+    const bool identical =
+        container.size() == serial.size() && crc32(container) == serial_crc;
+    all_identical = all_identical && identical;
+    const double speedup = ts > 0.0 ? t_serial / ts : 0.0;
+    std::printf("%8u %9.3fs %8.2fx %10s\n", t, ts, speedup,
+                identical ? "yes" : "NO");
+    char key[32];
+    std::snprintf(key, sizeof key, "speedup_t%u", t);
+    report.headline(key, speedup);
+    std::snprintf(key, sizeof key, "identical_t%u", t);
+    report.headline(key, identical ? 1.0 : 0.0);
+    if (t == 1) {
+      // The pool only engages at >= 2 threads, so the 1-thread run IS
+      // the serial path; this measures noise, not pool overhead.
+      const double overhead_pct = 100.0 * (ts / t_serial - 1.0);
+      report.headline("overhead_t1_pct", overhead_pct);
+      std::printf("%8s 1-thread overhead vs serial: %+.1f%%\n", "",
+                  overhead_pct);
+    }
+  }
+
+  // Decompression scales the same way (independently decodable blocks).
+  Bytes decoded_serial;
+  const double td_serial = best_of_3(
+      [&] { decoded_serial = compress::selective_decompress(serial, 1); });
+  Bytes decoded_par;
+  const double td_par = best_of_3(
+      [&] { decoded_par = compress::selective_decompress(serial, 4); });
+  const bool decomp_identical = decoded_par == decoded_serial &&
+                                decoded_serial == input;
+  all_identical = all_identical && decomp_identical;
+  std::printf("\ndecompress: serial %.3fs, 4 threads %.3fs (%.2fx, %s)\n",
+              td_serial, td_par, td_par > 0.0 ? td_serial / td_par : 0.0,
+              decomp_identical ? "identical" : "DIVERGED");
+  report.headline("decomp_speedup_t4",
+                  td_par > 0.0 ? td_serial / td_par : 0.0);
+  report.headline("identical_decomp", decomp_identical ? 1.0 : 0.0);
+  report.write();
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: parallel output diverged from the serial bytes\n");
+    return 1;
+  }
+  return 0;
+}

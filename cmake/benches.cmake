@@ -29,6 +29,7 @@ set(ECOMP_BENCHES
   bench_ext_session
   bench_ext_upload
   bench_codec_throughput
+  bench_par_scaling
 )
 
 foreach(b ${ECOMP_BENCHES})

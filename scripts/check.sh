@@ -32,6 +32,21 @@ cmake -B build-check-asan -S . -DECOMP_OBS=ON \
 cmake --build build-check-asan -j "$JOBS"
 ctest --test-dir build-check-asan --output-on-failure -j "$JOBS"
 
+echo
+echo "== preset 3: TSan (concurrency + robustness labels) =="
+# ThreadSanitizer cannot combine with ASan, so it gets its own tree; it
+# runs the suites that actually spawn threads (the parallel block
+# pipeline, threaded interleaving, shared-instance contracts, and the
+# fault matrix's server/client pairs).
+cmake -B build-check-tsan -S . -DECOMP_OBS=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
+  >/dev/null
+cmake --build build-check-tsan -j "$JOBS" \
+  --target ecomp_concurrency_tests ecomp_robustness_tests
+ctest --test-dir build-check-tsan -L "concurrency|robustness" \
+  --output-on-failure -j "$JOBS"
+
 if [ "${ECOMP_CHECK_SKIP_BENCH:-0}" = "1" ]; then
   echo "overhead + energy gates skipped (ECOMP_CHECK_SKIP_BENCH=1)"
   exit 0

@@ -24,6 +24,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 #include "sim/channel.h"
 #include "sim/energy_ledger.h"
 #include "sim/packet.h"
@@ -35,16 +36,20 @@ namespace {
 constexpr const char* kUsage =
     "usage:\n"
     "  ecomp compress   [-c deflate|lzw|bwt|selective|gz|Z|bz2|zz] [-l LEVEL]"
-    " [-b BYTES] IN OUT\n"
-    "  ecomp decompress IN OUT\n"
+    " [-b BYTES]\n"
+    "                   [--threads N] IN OUT\n"
+    "  ecomp decompress [--threads N] IN OUT\n"
     "  ecomp inspect    [--salvage] IN [OUT]\n"
     "  ecomp plan       [-r 11|2] [--loss P] IN\n"
     "  ecomp energy     [-r 11|2] [-c CODEC] [--loss P] [--breakdown]"
     " [--json] IN\n"
     "  ecomp download   --port PORT [-m raw|full|selective] [--resume]\n"
-    "                   [--max-retries N] [--timeout-ms MS] [--salvage]"
-    " NAME OUT\n"
+    "                   [--max-retries N] [--timeout-ms MS] [--salvage]\n"
+    "                   [--threads N] NAME OUT\n"
     "  ecomp corpus     [-s SCALE] OUTDIR\n"
+    "parallelism (compress/decompress/download, selective containers):\n"
+    "  --threads N      worker threads; 0 = one per hardware thread"
+    " (default)\n"
     "observability (any command):\n"
     "  --trace FILE     write a Chrome trace-event JSON (Perfetto-loadable);\n"
     "                   the ECOMP_TRACE env var sets a default path\n"
@@ -68,6 +73,13 @@ struct ArgParser {
   bool resume = false;             // download: --resume
   bool salvage = false;            // download/inspect: --salvage
   double loss = 0.0;               // plan/energy: --loss packet-loss rate
+  int threads = 0;                 // --threads; 0 = auto (hw concurrency)
+
+  /// The worker-thread count the commands actually use.
+  unsigned resolved_threads() const {
+    return threads <= 0 ? par::default_threads()
+                        : static_cast<unsigned>(threads);
+  }
 
   /// Returns empty string on success, or an error message.
   std::string parse(const std::vector<std::string>& args, std::size_t from) {
@@ -112,6 +124,8 @@ struct ArgParser {
           salvage = true;
         } else if (a == "--loss") {
           loss = std::stod(value("--loss"));
+        } else if (a == "--threads") {
+          threads = std::stoi(value("--threads"));
         } else if (!a.empty() && a[0] == '-') {
           return "unknown flag: " + a;
         } else {
@@ -159,7 +173,8 @@ int cmd_compress(const ArgParser& p, std::ostream& out) {
   } else if (p.codec == "selective") {
     const auto model = core::EnergyModel::paper_11mbps();
     const auto res = compress::selective_compress(
-        input, core::make_selective_policy(model), p.block, p.level);
+        input, core::make_selective_policy(model), p.block, p.level,
+        p.resolved_threads());
     packed = res.container;
     std::size_t raw = 0;
     for (const auto& b : res.blocks)
@@ -223,7 +238,7 @@ int cmd_decompress(const ArgParser& p, std::ostream& out) {
       decoded = compress::BwtCodec().decompress(input);
       break;
     case compress::kSelectiveMagic:
-      decoded = compress::selective_decompress(input);
+      decoded = compress::selective_decompress(input, p.resolved_threads());
       break;
     default:
       throw Error("unrecognized container magic");
@@ -433,6 +448,7 @@ int cmd_download(const ArgParser& p, std::ostream& out) {
   tp.timeout_ms = p.timeout_ms;
   tp.resume = p.resume;
   tp.salvage = p.salvage;
+  tp.threads = p.resolved_threads();
   const auto outcome = net::download_resilient(
       static_cast<std::uint16_t>(p.port), p.positional[0], p.mode, tp);
   write_file(p.positional[1], outcome.data);

@@ -17,21 +17,26 @@ Bytes bwt_forward(ByteSpan block, std::uint32_t& primary) {
 
   // Sort cyclic rotations by prefix doubling. rank[i] is the order class
   // of the rotation starting at i considering its first k characters.
-  std::vector<std::uint32_t> sa(n), rank(n), new_rank(n), tmp(n), cnt;
+  // `rank` is padded to 2n with a copy of itself (rank[n+i] == rank[i])
+  // so the cyclic second key rank[(i+k) % n] becomes the branch- and
+  // division-free rank[i + kk] with kk = k % n reduced once per round.
+  std::vector<std::uint32_t> sa(n), rank(2 * n), new_rank(2 * n), tmp(n), cnt;
   for (std::size_t i = 0; i < n; ++i) {
     sa[i] = static_cast<std::uint32_t>(i);
     rank[i] = block[i];
+    rank[n + i] = block[i];
   }
 
   for (std::size_t k = 1;; k <<= 1) {
+    const std::size_t kk = k % n;
     auto rank_at = [&](std::uint32_t i) { return rank[i]; };
     auto second_key = [&](std::uint32_t i) {
-      return rank[(i + k) % n];
+      return rank[i + kk];
     };
 
     // Radix sort sa by (rank[i], rank[i+k]) — two counting-sort passes.
     const std::uint32_t max_rank =
-        *std::max_element(rank.begin(), rank.end()) + 1;
+        *std::max_element(rank.begin(), rank.begin() + static_cast<std::ptrdiff_t>(n)) + 1;
 
     // Pass 1: by second key.
     cnt.assign(max_rank + 1, 0);
@@ -45,13 +50,16 @@ Bytes bwt_forward(ByteSpan block, std::uint32_t& primary) {
     for (std::size_t i = 1; i < cnt.size(); ++i) cnt[i] += cnt[i - 1];
     for (std::size_t i = n; i-- > 0;) sa[--cnt[rank_at(tmp[i])]] = tmp[i];
 
-    // Re-rank.
+    // Re-rank (writing both halves keeps the padding invariant).
     new_rank[sa[0]] = 0;
+    new_rank[static_cast<std::size_t>(sa[0]) + n] = 0;
     std::uint32_t classes = 1;
     for (std::size_t i = 1; i < n; ++i) {
       const bool same = rank_at(sa[i]) == rank_at(sa[i - 1]) &&
                         second_key(sa[i]) == second_key(sa[i - 1]);
-      new_rank[sa[i]] = same ? classes - 1 : classes++;
+      const std::uint32_t r = same ? classes - 1 : classes++;
+      new_rank[sa[i]] = r;
+      new_rank[static_cast<std::size_t>(sa[i]) + n] = r;
     }
     rank.swap(new_rank);
     if (classes == n) break;
@@ -61,7 +69,7 @@ Bytes bwt_forward(ByteSpan block, std::uint32_t& primary) {
   Bytes last(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (sa[i] == 0) primary = static_cast<std::uint32_t>(i);
-    last[i] = block[(sa[i] + n - 1) % n];
+    last[i] = block[sa[i] == 0 ? n - 1 : sa[i] - 1];
   }
   return last;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
+#include <cstring>
 
 #include "obs/metrics.h"
 
@@ -36,9 +38,25 @@ inline std::uint32_t hash3(const std::uint8_t* p) {
 }
 
 /// Length of the common prefix of a (candidate) and b (current), capped.
+/// Word-at-a-time: compare 8 bytes per step and locate the first
+/// differing byte from the xor. Both pointers have at least max_len
+/// readable bytes (the candidate ends before the current position).
 inline int match_length(const std::uint8_t* a, const std::uint8_t* b,
                         int max_len) {
   int n = 0;
+  while (n + 8 <= max_len) {
+    std::uint64_t va, vb;
+    std::memcpy(&va, a + n, 8);
+    std::memcpy(&vb, b + n, 8);
+    const std::uint64_t x = va ^ vb;
+    if (x != 0) {
+      if constexpr (std::endian::native == std::endian::little)
+        return n + std::countr_zero(x) / 8;
+      else
+        return n + std::countl_zero(x) / 8;
+    }
+    n += 8;
+  }
   while (n < max_len && a[n] == b[n]) ++n;
   return n;
 }
@@ -47,11 +65,39 @@ inline int match_length(const std::uint8_t* a, const std::uint8_t* b,
 // matching the largest max_chain of 4096 within two buckets).
 constexpr int kChainHistBuckets = 12;
 
+/// Reusable hash-chain arenas. One instance lives per thread (see
+/// tokenize_scratch()) so block-by-block callers — selective_compress,
+/// SelectiveStreamEncoder, the pool workers of the parallel pipeline —
+/// pay the 32 K-entry head reset instead of a fresh allocation per
+/// block. `prev` is never cleared: every entry read during a chain walk
+/// was written by insert() in the same tokenize call (head only ever
+/// points at freshly inserted positions), so stale values from an
+/// earlier block are unreachable and the output stays deterministic.
+struct MatcherScratch {
+  std::vector<std::int32_t> head;  // hash -> most recent position
+  std::vector<std::int32_t> prev;  // position -> previous with same hash
+
+  void prepare(std::size_t input_size) {
+    if (head.empty()) {
+      head.assign(kHashSize, -1);
+    } else {
+      ECOMP_COUNT("lz77.scratch_reuse");
+      std::fill(head.begin(), head.end(), -1);
+    }
+    if (prev.size() < input_size) prev.resize(input_size);
+  }
+};
+
+MatcherScratch& tokenize_scratch() {
+  thread_local MatcherScratch scratch;
+  return scratch;
+}
+
 struct Matcher {
   ByteSpan in;
   Lz77Params params;
-  std::vector<std::int32_t> head;  // hash -> most recent position
-  std::vector<std::int32_t> prev;  // position -> previous with same hash
+  std::vector<std::int32_t>& head;
+  std::vector<std::int32_t>& prev;
 
   // Search statistics, accumulated locally (plain integers — the chain
   // walk is the hottest loop in deflate) and flushed to the registry
@@ -61,8 +107,10 @@ struct Matcher {
   mutable std::uint64_t stat_matches = 0;
   mutable std::array<std::uint64_t, kChainHistBuckets + 1> chain_hist{};
 
-  explicit Matcher(ByteSpan input, const Lz77Params& p)
-      : in(input), params(p), head(kHashSize, -1), prev(input.size(), -1) {}
+  Matcher(ByteSpan input, const Lz77Params& p, MatcherScratch& s)
+      : in(input), params(p), head(s.head), prev(s.prev) {
+    s.prepare(input.size());
+  }
 
   void flush_stats() const {
     if constexpr (obs::kObsEnabled) {
@@ -137,7 +185,7 @@ std::vector<Lz77Token> lz77_tokenize(ByteSpan input,
   if (input.empty()) return tokens;
   tokens.reserve(input.size() / 3);
 
-  Matcher m(input, params);
+  Matcher m(input, params, tokenize_scratch());
   std::size_t pos = 0;
 
   // Lazy matching state: a pending match from the previous position.
@@ -209,15 +257,44 @@ std::vector<Lz77Token> lz77_tokenize(ByteSpan input,
 }
 
 Bytes lz77_reconstruct(const std::vector<Lz77Token>& tokens) {
+  std::size_t total = 0;
+  for (const auto& t : tokens)
+    total += t.length == 0 ? 1 : static_cast<std::size_t>(t.length);
+
   Bytes out;
+  out.reserve(total);  // no reallocation below: pointers stay valid
   for (const auto& t : tokens) {
     if (t.length == 0) {
       out.push_back(t.literal);
+      continue;
+    }
+    if (t.distance == 0 || t.distance > out.size())
+      throw Error("lz77: invalid distance");
+    const std::size_t len = t.length;
+    const std::size_t dist = t.distance;
+    const std::size_t start = out.size();
+    out.resize(start + len);
+    std::uint8_t* dst = out.data() + start;
+    const std::uint8_t* src = dst - dist;
+    if (dist >= len) {
+      // Source and destination cannot overlap: one straight copy.
+      std::memcpy(dst, src, len);
+    } else if (dist >= 8) {
+      // Overlapping repeat of a >=8-byte period: copy in chunks whose
+      // stride is a multiple of the period, so each memcpy reads only
+      // bytes already written and never overlaps its destination. The
+      // writable chunk roughly doubles per pass — O(log(len/dist))
+      // memcpys for the whole token.
+      std::size_t w = 0;
+      while (w < len) {
+        const std::size_t stride = ((w + dist) / dist) * dist;
+        const std::size_t n = std::min(stride, len - w);
+        std::memcpy(dst + w, dst + w - stride, n);
+        w += n;
+      }
     } else {
-      if (t.distance == 0 || t.distance > out.size())
-        throw Error("lz77: invalid distance");
-      std::size_t from = out.size() - t.distance;
-      for (int i = 0; i < t.length; ++i) out.push_back(out[from + i]);
+      // Short period (RLE-like): byte loop is already near-optimal.
+      for (std::size_t i = 0; i < len; ++i) dst[i] = src[i];
     }
   }
   return out;

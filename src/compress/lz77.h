@@ -39,6 +39,11 @@ struct Lz77Params {
 };
 
 /// Tokenize `input` greedily (or lazily per params). Deterministic.
+/// The hash-chain arenas (32 K-entry head table + per-position prev
+/// chain) live in a per-thread scratch that is reused across calls, so
+/// block-by-block callers (selective_compress and the parallel block
+/// pipeline's pool workers) do not pay a fresh allocation per block;
+/// the "lz77.scratch_reuse" counter counts the avoided allocations.
 std::vector<Lz77Token> lz77_tokenize(ByteSpan input, const Lz77Params& params);
 
 /// Reconstruct original bytes from tokens (used by tests; the DEFLATE

@@ -1,14 +1,77 @@
 #include "compress/selective.h"
 
 #include <algorithm>
+#include <cstring>
+#include <deque>
+#include <future>
 
 #include "compress/container.h"
 #include "compress/deflate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 #include "util/crc32.h"
 
 namespace ecomp::compress {
+namespace {
+
+/// One fully framed wire chunk (flag | varint payload_size | payload)
+/// plus its decision record — the unit both the serial loop and the
+/// parallel reorder buffer append, so the two paths are byte-identical
+/// by construction.
+struct EncodedBlock {
+  Bytes chunk;
+  BlockInfo info;
+};
+
+/// Encode one block exactly as the serial writer always has. Safe to
+/// call concurrently: the codec's compress() is const-thread-safe and
+/// the policy is required to be (see SelectivePolicy docs).
+EncodedBlock encode_block(const DeflateCodec& codec,
+                          const SelectivePolicy& policy, ByteSpan block) {
+  const std::size_t len = block.size();
+
+  // Fig. 10: small blocks ship raw; otherwise compress and keep the
+  // compressed form only if the energy test passes.
+  bool use_compressed = false;
+  Bytes compressed;
+  if (len >= policy.min_block_bytes) {
+    compressed = codec.compress(block);
+    use_compressed = policy.energy_test(len, compressed.size());
+  }
+  // Note: the name passed to ECOMP_COUNT must be a fixed literal (the
+  // macro caches the instrument per call site).
+  if (use_compressed)
+    ECOMP_COUNT("selective.blocks_compressed");
+  else
+    ECOMP_COUNT("selective.blocks_raw");
+
+  EncodedBlock eb;
+  eb.info.raw_size = len;
+  eb.info.compressed = use_compressed;
+  eb.chunk.push_back(use_compressed ? 1 : 0);
+  if (use_compressed) {
+    eb.info.payload_size = compressed.size();
+    put_varint(eb.chunk, compressed.size());
+    eb.chunk.insert(eb.chunk.end(), compressed.begin(), compressed.end());
+  } else {
+    eb.info.payload_size = len;
+    put_varint(eb.chunk, len);
+    eb.chunk.insert(eb.chunk.end(), block.begin(), block.end());
+  }
+  return eb;
+}
+
+void write_selective_header(Bytes& out, ByteSpan input,
+                            std::size_t block_size) {
+  write_header(out, kSelectiveMagic, input.size(), crc32(input));
+  put_varint(out, block_size);
+  const std::size_t n_blocks =
+      input.empty() ? 0 : (input.size() + block_size - 1) / block_size;
+  put_varint(out, n_blocks);
+}
+
+}  // namespace
 
 SelectivePolicy SelectivePolicy::always() {
   SelectivePolicy p;
@@ -28,7 +91,8 @@ SelectivePolicy SelectivePolicy::never() {
 
 SelectiveResult selective_compress(ByteSpan input,
                                    const SelectivePolicy& policy,
-                                   std::size_t block_size, int level) {
+                                   std::size_t block_size, int level,
+                                   unsigned threads) {
   ECOMP_TRACE_SPAN("selective.compress", "codec");
   if (block_size == 0) throw Error("selective: block_size must be > 0");
   if (!policy.energy_test)
@@ -37,45 +101,40 @@ SelectiveResult selective_compress(ByteSpan input,
 
   SelectiveResult res;
   Bytes& out = res.container;
-  write_header(out, kSelectiveMagic, input.size(), crc32(input));
-  put_varint(out, block_size);
+  write_selective_header(out, input, block_size);
   const std::size_t n_blocks =
       input.empty() ? 0 : (input.size() + block_size - 1) / block_size;
-  put_varint(out, n_blocks);
 
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, n_blocks));
+  if (workers <= 1) {
+    for (std::size_t off = 0; off < input.size(); off += block_size) {
+      const std::size_t len = std::min(block_size, input.size() - off);
+      EncodedBlock eb = encode_block(codec, policy, input.subspan(off, len));
+      out.insert(out.end(), eb.chunk.begin(), eb.chunk.end());
+      res.blocks.push_back(eb.info);
+    }
+    return res;
+  }
+
+  // Parallel mode: every block compresses independently on the pool;
+  // the futures vector is the reorder buffer — results are appended
+  // strictly in block order, so the container bytes match the serial
+  // path exactly. (A worker's exception resurfaces here at its block's
+  // position, after the pool has drained.)
+  std::vector<std::future<EncodedBlock>> pending;
+  pending.reserve(n_blocks);
+  par::ThreadPool pool(workers);
   for (std::size_t off = 0; off < input.size(); off += block_size) {
     const std::size_t len = std::min(block_size, input.size() - off);
     const ByteSpan block = input.subspan(off, len);
-
-    // Fig. 10: small blocks ship raw; otherwise compress and keep the
-    // compressed form only if the energy test passes.
-    bool use_compressed = false;
-    Bytes compressed;
-    if (len >= policy.min_block_bytes) {
-      compressed = codec.compress(block);
-      use_compressed = policy.energy_test(len, compressed.size());
-    }
-    // Note: the name passed to ECOMP_COUNT must be a fixed literal (the
-    // macro caches the instrument per call site).
-    if (use_compressed)
-      ECOMP_COUNT("selective.blocks_compressed");
-    else
-      ECOMP_COUNT("selective.blocks_raw");
-
-    BlockInfo info;
-    info.raw_size = len;
-    info.compressed = use_compressed;
-    out.push_back(use_compressed ? 1 : 0);
-    if (use_compressed) {
-      info.payload_size = compressed.size();
-      put_varint(out, compressed.size());
-      out.insert(out.end(), compressed.begin(), compressed.end());
-    } else {
-      info.payload_size = len;
-      put_varint(out, len);
-      out.insert(out.end(), block.begin(), block.end());
-    }
-    res.blocks.push_back(info);
+    pending.push_back(pool.async(
+        [&codec, &policy, block] { return encode_block(codec, policy, block); }));
+  }
+  for (auto& fut : pending) {
+    EncodedBlock eb = fut.get();
+    out.insert(out.end(), eb.chunk.begin(), eb.chunk.end());
+    res.blocks.push_back(eb.info);
   }
   return res;
 }
@@ -131,22 +190,56 @@ ParsedContainer parse(ByteSpan container) {
 
 }  // namespace
 
-Bytes selective_decompress(ByteSpan container) {
+Bytes selective_decompress(ByteSpan container, unsigned threads) {
   ECOMP_TRACE_SPAN("selective.decompress", "codec");
   const ParsedContainer pc = parse(container);
   const DeflateCodec codec;
-  Bytes out;
-  out.reserve(pc.header.original_size);
+
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(threads, pc.blocks.size()));
+  if (workers <= 1) {
+    Bytes out;
+    out.reserve(pc.header.original_size);
+    for (const auto& blk : pc.blocks) {
+      const ByteSpan payload =
+          container.subspan(blk.payload_offset, blk.info.payload_size);
+      if (blk.info.compressed) {
+        const Bytes raw = codec.decompress(payload);
+        out.insert(out.end(), raw.begin(), raw.end());
+      } else {
+        out.insert(out.end(), payload.begin(), payload.end());
+      }
+    }
+    check_crc(pc.header, out);
+    return out;
+  }
+
+  // Parallel mode: the block table gives every block's output offset up
+  // front (prefix sum of raw sizes), so workers inflate straight into
+  // disjoint slices of the final buffer; raw blocks are plain copies.
+  Bytes out(pc.header.original_size);
+  std::vector<std::future<void>> pending;
+  pending.reserve(pc.blocks.size());
+  par::ThreadPool pool(workers);
+  std::size_t off = 0;
   for (const auto& blk : pc.blocks) {
     const ByteSpan payload =
         container.subspan(blk.payload_offset, blk.info.payload_size);
-    if (blk.info.compressed) {
-      const Bytes raw = codec.decompress(payload);
-      out.insert(out.end(), raw.begin(), raw.end());
-    } else {
-      out.insert(out.end(), payload.begin(), payload.end());
+    std::uint8_t* dst = out.data() + off;
+    const std::size_t expect = blk.info.raw_size;
+    off += expect;
+    if (!blk.info.compressed) {
+      if (!payload.empty()) std::memcpy(dst, payload.data(), payload.size());
+      continue;
     }
+    pending.push_back(pool.async([&codec, payload, dst, expect] {
+      const Bytes raw = codec.decompress(payload);
+      if (raw.size() != expect)
+        throw Error("selective: block decoded to unexpected size");
+      std::memcpy(dst, raw.data(), raw.size());
+    }));
   }
+  for (auto& fut : pending) fut.get();
   check_crc(pc.header, out);
   return out;
 }
@@ -261,10 +354,22 @@ SalvageResult selective_salvage(ByteSpan container) {
   return res;
 }
 
+/// Parallel-mode state: the codec the workers share, the pool, and the
+/// lookahead window of in-flight block futures (the reorder buffer —
+/// chunks are handed out strictly in submission order).
+struct SelectiveStreamEncoder::Pipeline {
+  DeflateCodec codec;
+  std::size_t submit_off = 0;  ///< next block offset to enqueue
+  std::deque<std::future<EncodedBlock>> inflight;
+  par::ThreadPool pool;  // last member: joins before futures/codec die
+
+  Pipeline(int level, unsigned workers) : codec(level), pool(workers) {}
+};
+
 SelectiveStreamEncoder::SelectiveStreamEncoder(ByteSpan input,
                                                SelectivePolicy policy,
                                                std::size_t block_size,
-                                               int level)
+                                               int level, unsigned threads)
     : input_(input),
       policy_(std::move(policy)),
       block_size_(block_size),
@@ -272,53 +377,50 @@ SelectiveStreamEncoder::SelectiveStreamEncoder(ByteSpan input,
   if (block_size_ == 0) throw Error("selective: block_size must be > 0");
   if (!policy_.energy_test)
     throw Error("selective: policy requires an energy_test");
+  const std::size_t n_blocks =
+      input_.empty() ? 0 : (input_.size() + block_size_ - 1) / block_size_;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, n_blocks));
+  if (workers > 1) pipeline_ = std::make_unique<Pipeline>(level_, workers);
 }
+
+SelectiveStreamEncoder::~SelectiveStreamEncoder() = default;
 
 Bytes SelectiveStreamEncoder::next_chunk() {
   if (!header_sent_) {
     header_sent_ = true;
     Bytes header;
-    write_header(header, kSelectiveMagic, input_.size(), crc32(input_));
-    put_varint(header, block_size_);
-    const std::size_t n_blocks =
-        input_.empty() ? 0
-                       : (input_.size() + block_size_ - 1) / block_size_;
-    put_varint(header, n_blocks);
+    write_selective_header(header, input_, block_size_);
     return header;
   }
   if (offset_ >= input_.size()) return {};
 
+  if (pipeline_) {
+    // Keep up to 2 blocks per worker compressing ahead of the wire.
+    Pipeline& pl = *pipeline_;
+    const std::size_t window = 2 * static_cast<std::size_t>(pl.pool.size());
+    while (pl.submit_off < input_.size() && pl.inflight.size() < window) {
+      const std::size_t len =
+          std::min(block_size_, input_.size() - pl.submit_off);
+      const ByteSpan block = input_.subspan(pl.submit_off, len);
+      pl.submit_off += len;
+      pl.inflight.push_back(pl.pool.async([this, &pl, block] {
+        return encode_block(pl.codec, policy_, block);
+      }));
+    }
+    EncodedBlock eb = pl.inflight.front().get();
+    pl.inflight.pop_front();
+    offset_ += eb.info.raw_size;
+    blocks_.push_back(eb.info);
+    return std::move(eb.chunk);
+  }
+
   const std::size_t len = std::min(block_size_, input_.size() - offset_);
   const ByteSpan block = input_.subspan(offset_, len);
   offset_ += len;
-
-  bool use_compressed = false;
-  Bytes compressed;
-  if (len >= policy_.min_block_bytes) {
-    compressed = DeflateCodec(level_).compress(block);
-    use_compressed = policy_.energy_test(len, compressed.size());
-  }
-  if (use_compressed)
-    ECOMP_COUNT("selective.blocks_compressed");
-  else
-    ECOMP_COUNT("selective.blocks_raw");
-
-  Bytes chunk;
-  BlockInfo info;
-  info.raw_size = len;
-  info.compressed = use_compressed;
-  chunk.push_back(use_compressed ? 1 : 0);
-  if (use_compressed) {
-    info.payload_size = compressed.size();
-    put_varint(chunk, compressed.size());
-    chunk.insert(chunk.end(), compressed.begin(), compressed.end());
-  } else {
-    info.payload_size = len;
-    put_varint(chunk, len);
-    chunk.insert(chunk.end(), block.begin(), block.end());
-  }
-  blocks_.push_back(info);
-  return chunk;
+  EncodedBlock eb = encode_block(DeflateCodec(level_), policy_, block);
+  blocks_.push_back(eb.info);
+  return std::move(eb.chunk);
 }
 
 }  // namespace ecomp::compress

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "compress/codec.h"
@@ -29,6 +30,11 @@ inline constexpr std::size_t kDefaultBlockSize = 128 * 1024;
 /// predicted to cost less energy than shipping raw (Eq. 6); blocks
 /// smaller than `min_block_bytes` skip compression outright (the paper's
 /// 3900-byte threshold).
+///
+/// In parallel mode (threads > 1) the energy_test is called from pool
+/// worker threads, possibly concurrently — it must be thread-safe
+/// (pure functions of its two arguments, like the built-ins, trivially
+/// are).
 struct SelectivePolicy {
   std::size_t min_block_bytes = 3900;
   std::function<bool(std::size_t raw_size, std::size_t compressed_size)>
@@ -53,14 +59,22 @@ struct SelectiveResult {
 };
 
 /// Compress `input` block by block per the policy. `level` is the
-/// deflate effort for compressed blocks.
+/// deflate effort for compressed blocks. With `threads` > 1 the blocks
+/// are compressed concurrently on a par::ThreadPool and reassembled
+/// through an ordered-completion reorder buffer; because each block is
+/// encoded independently and deterministically, the container is
+/// byte-identical to the serial (threads == 1) output at any thread
+/// count.
 SelectiveResult selective_compress(ByteSpan input,
                                    const SelectivePolicy& policy,
                                    std::size_t block_size = kDefaultBlockSize,
-                                   int level = 9);
+                                   int level = 9, unsigned threads = 1);
 
-/// Full decode with CRC verification.
-Bytes selective_decompress(ByteSpan container);
+/// Full decode with CRC verification. With `threads` > 1 the
+/// independently decodable blocks are inflated concurrently, each into
+/// its own slice of the output (offsets are known up front from the
+/// block table), then the whole buffer is CRC-checked as usual.
+Bytes selective_decompress(ByteSpan container, unsigned threads = 1);
 
 /// Parse the container's block table without decoding payloads.
 std::vector<BlockInfo> selective_block_info(ByteSpan container);
@@ -107,11 +121,19 @@ SalvageResult selective_salvage(ByteSpan container);
 /// compression-on-demand overlap — the server ships block i while
 /// block i+1 is still being compressed. The input must stay alive for
 /// the encoder's lifetime.
+/// With `threads` > 1 the encoder keeps a lookahead window of blocks
+/// compressing on a pool while next_chunk() hands out finished ones in
+/// order, so the proxy genuinely compresses block i+1..i+w while block
+/// i is on the wire — and the chunk sequence stays byte-identical to
+/// the serial encoder's.
 class SelectiveStreamEncoder {
  public:
   SelectiveStreamEncoder(ByteSpan input, SelectivePolicy policy,
                          std::size_t block_size = kDefaultBlockSize,
-                         int level = 9);
+                         int level = 9, unsigned threads = 1);
+  ~SelectiveStreamEncoder();
+  SelectiveStreamEncoder(const SelectiveStreamEncoder&) = delete;
+  SelectiveStreamEncoder& operator=(const SelectiveStreamEncoder&) = delete;
 
   /// False once every chunk (header + all blocks) has been produced.
   bool done() const { return header_sent_ && offset_ >= input_.size(); }
@@ -124,13 +146,16 @@ class SelectiveStreamEncoder {
   const std::vector<BlockInfo>& blocks() const { return blocks_; }
 
  private:
+  struct Pipeline;  // pool + in-flight block futures (parallel mode)
+
   ByteSpan input_;
   SelectivePolicy policy_;
   std::size_t block_size_;
   int level_;
   bool header_sent_ = false;
-  std::size_t offset_ = 0;
+  std::size_t offset_ = 0;   ///< raw bytes already delivered as chunks
   std::vector<BlockInfo> blocks_;
+  std::unique_ptr<Pipeline> pipeline_;
 };
 
 }  // namespace ecomp::compress

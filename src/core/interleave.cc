@@ -1,10 +1,15 @@
 #include "core/interleave.h"
 
 #include <algorithm>
+#include <exception>
+#include <thread>
 
 #include "compress/container.h"
 #include "compress/deflate.h"
 #include "compress/selective.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "par/spsc_queue.h"
 
 namespace ecomp::core {
 namespace {
@@ -135,24 +140,57 @@ void SelectiveStreamDecoder::verify() {
     throw Error("stream: CRC mismatch");
 }
 
+namespace {
+
+/// Close out a finished-or-truncated stream: verify when complete, and
+/// in tolerant mode fold a truncated tail into the recovery report the
+/// same way selective_salvage accounts a missing tail. Shared by both
+/// execution modes so their outcomes are identical by construction.
+compress::RecoveryReport finalize_stream(SelectiveStreamDecoder& dec,
+                                         const Bytes& out, bool tolerant) {
+  if (dec.finished()) {
+    dec.verify();  // tolerant mode records crc_ok instead of throwing
+    return dec.recovery();
+  }
+  if (!tolerant) throw Error("InterleavedDownloader: source ended early");
+  compress::RecoveryReport rep = dec.recovery();
+  rep.framing_truncated = true;
+  rep.crc_ok = false;
+  rep.blocks_total = dec.blocks_total();
+  rep.blocks_lost += dec.blocks_total() - dec.blocks_decoded();
+  if (dec.original_size() > out.size())
+    rep.bytes_lost += dec.original_size() - out.size();
+  return rep;
+}
+
+}  // namespace
+
 Bytes InterleavedDownloader::run(const ChunkSource& read_chunk,
                                  const BlockSink& on_block,
                                  std::vector<compress::BlockInfo>* infos)
     const {
   if (!read_chunk) throw Error("InterleavedDownloader: null source");
+  recovery_ = {};
+  return opt_.threads >= 2 ? run_pipelined(read_chunk, on_block, infos)
+                           : run_serial(read_chunk, on_block, infos);
+}
+
+Bytes InterleavedDownloader::run_serial(
+    const ChunkSource& read_chunk, const BlockSink& on_block,
+    std::vector<compress::BlockInfo>* infos) const {
   SelectiveStreamDecoder dec;
+  dec.set_tolerant(opt_.tolerant);
   Bytes out;
-  Bytes chunk(chunk_bytes_);
+  Bytes chunk(opt_.chunk_bytes);
   bool eof = false;
   while (!dec.finished()) {
-    // Drain every block that is already complete (this is the work that
-    // overlaps the next receive in a threaded deployment).
+    // Drain every block that is already complete (this is the work the
+    // pipelined mode overlaps with the next receive for real).
     while (auto block = dec.poll()) {
       if (on_block) on_block(*block);
       out.insert(out.end(), block->begin(), block->end());
     }
-    if (dec.finished()) break;
-    if (eof) throw Error("InterleavedDownloader: source ended early");
+    if (dec.finished() || eof) break;
     const std::size_t n = read_chunk(chunk.data(), chunk.size());
     if (n == 0) {
       eof = true;
@@ -162,7 +200,65 @@ Bytes InterleavedDownloader::run(const ChunkSource& read_chunk,
       throw Error("InterleavedDownloader: source overran buffer");
     dec.feed(ByteSpan(chunk.data(), n));
   }
-  dec.verify();
+  recovery_ = finalize_stream(dec, out, opt_.tolerant);
+  if (infos) *infos = dec.block_infos();
+  return out;
+}
+
+Bytes InterleavedDownloader::run_pipelined(
+    const ChunkSource& read_chunk, const BlockSink& on_block,
+    std::vector<compress::BlockInfo>* infos) const {
+  ECOMP_TRACE_SPAN("interleave.pipelined", "core");
+  par::SpscQueue<Bytes> queue(opt_.queue_chunks);
+  std::exception_ptr feed_error;  // read only after join()
+
+  // Feed thread: the "network half" of §4.1 — it keeps receiving while
+  // the calling thread decodes. It stops on EOF, on a source error, or
+  // when the consumer closes the queue after a decode failure. Note it
+  // may read a bounded distance ahead of the decoder, so the source
+  // must return EOF (0) once the stream ends rather than block forever.
+  std::thread feeder([&] {
+    try {
+      while (true) {
+        Bytes chunk(opt_.chunk_bytes);
+        const std::size_t n = read_chunk(chunk.data(), chunk.size());
+        if (n == 0) break;
+        if (n > chunk.size())
+          throw Error("InterleavedDownloader: source overran buffer");
+        chunk.resize(n);
+        ECOMP_COUNT("interleave.chunks_fed");
+        if (!queue.push(std::move(chunk))) return;  // consumer bailed
+      }
+    } catch (...) {
+      feed_error = std::current_exception();
+    }
+    queue.close();
+  });
+
+  SelectiveStreamDecoder dec;
+  dec.set_tolerant(opt_.tolerant);
+  Bytes out;
+  try {
+    while (!dec.finished()) {
+      while (auto block = dec.poll()) {
+        if (on_block) on_block(*block);
+        out.insert(out.end(), block->begin(), block->end());
+      }
+      if (dec.finished()) break;
+      auto chunk = queue.pop();
+      if (!chunk) break;  // EOF (or feeder failed; sorted out below)
+      dec.feed(*chunk);
+    }
+  } catch (...) {
+    queue.close();
+    feeder.join();
+    throw;
+  }
+  queue.close();
+  feeder.join();
+  if (feed_error) std::rethrow_exception(feed_error);
+
+  recovery_ = finalize_stream(dec, out, opt_.tolerant);
   if (infos) *infos = dec.block_infos();
   return out;
 }

@@ -80,14 +80,39 @@ class SelectiveStreamDecoder {
 /// produced; 0 = end of stream), feeding the stream decoder and
 /// collecting decoded blocks. Returns the reassembled original data,
 /// CRC-verified.
+///
+/// Two execution modes:
+///   * serial (threads <= 1): one loop alternating receive and decode —
+///     the original simulated overlap.
+///   * pipelined (threads >= 2): a dedicated feed thread pulls from
+///     `read_chunk` into a bounded SPSC chunk queue while the calling
+///     thread decodes — the paper's §4.1 receive/decompress overlap
+///     physically realized. `read_chunk` runs on the feed thread;
+///     `on_block` stays on the calling thread. Results (bytes, block
+///     infos, CRC verification, recovery report) are identical to the
+///     serial mode's.
 class InterleavedDownloader {
  public:
   using ChunkSource =
       std::function<std::size_t(std::uint8_t* dst, std::size_t max)>;
   using BlockSink = std::function<void(ByteSpan block)>;
 
-  explicit InterleavedDownloader(std::size_t chunk_bytes = 16 * 1024)
-      : chunk_bytes_(chunk_bytes) {}
+  struct Options {
+    std::size_t chunk_bytes = 16 * 1024;
+    /// >= 2 enables the feed-thread/decode-worker pipeline.
+    unsigned threads = 1;
+    /// Tolerant decode: damaged blocks zero-fill instead of throwing,
+    /// a truncated stream returns what arrived; recovery() reports the
+    /// damage (mirrors SelectiveStreamDecoder::set_tolerant).
+    bool tolerant = false;
+    /// Bounded SPSC queue depth, in chunks (pipelined mode).
+    std::size_t queue_chunks = 8;
+  };
+
+  explicit InterleavedDownloader(std::size_t chunk_bytes = 16 * 1024) {
+    opt_.chunk_bytes = chunk_bytes;
+  }
+  explicit InterleavedDownloader(const Options& opt) : opt_(opt) {}
 
   /// Run to completion. `on_block` (optional) observes each decoded
   /// block in order — this is where an application consumes data before
@@ -97,8 +122,19 @@ class InterleavedDownloader {
             const BlockSink& on_block = nullptr,
             std::vector<compress::BlockInfo>* infos = nullptr) const;
 
+  /// What the last run() lost and recovered (meaningful in tolerant
+  /// mode, after run() returned).
+  const compress::RecoveryReport& recovery() const { return recovery_; }
+
  private:
-  std::size_t chunk_bytes_;
+  Bytes run_serial(const ChunkSource& read_chunk, const BlockSink& on_block,
+                   std::vector<compress::BlockInfo>* infos) const;
+  Bytes run_pipelined(const ChunkSource& read_chunk,
+                      const BlockSink& on_block,
+                      std::vector<compress::BlockInfo>* infos) const;
+
+  Options opt_;
+  mutable compress::RecoveryReport recovery_;
 };
 
 /// Convert the per-block sizes/decisions of a decoded selective

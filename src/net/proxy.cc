@@ -29,16 +29,19 @@ bool FileStore::contains(const std::string& name) const {
 }
 
 ProxyServer::ProxyServer(FileStore store, compress::SelectivePolicy policy,
-                         std::size_t block_size, bool precompress)
+                         std::size_t block_size, bool precompress,
+                         unsigned threads)
     : store_(std::move(store)),
       policy_(std::move(policy)),
       block_size_(block_size),
+      threads_(threads == 0 ? 1 : threads),
       listener_(0) {
   if (precompress) {
     for (const auto& [name, data] : store_.files()) {
       full_cache_[name] = compress::DeflateCodec().compress(data);
       selective_cache_[name] =
-          compress::selective_compress(data, policy_, block_size_)
+          compress::selective_compress(data, policy_, block_size_, 9,
+                                       threads_)
               .container;
     }
   }
@@ -187,7 +190,8 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
       }
       // Compression on demand, overlapped with sending: each block goes
       // on the wire as soon as it is encoded (§5's zlib arrangement).
-      compress::SelectiveStreamEncoder enc(original, policy_, block_size_);
+      compress::SelectiveStreamEncoder enc(original, policy_, block_size_,
+                                           9, threads_);
       while (!enc.done()) {
         const Bytes chunk = enc.next_chunk();
         if (!chunk.empty()) client.send_all(chunk);
@@ -203,7 +207,8 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
         it != selective_cache_.end()) {
       container = &it->second;
     } else {
-      built = compress::selective_compress(original, policy_, block_size_)
+      built = compress::selective_compress(original, policy_, block_size_,
+                                           9, threads_)
                   .container;
       container = &built;
     }
@@ -252,7 +257,8 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
 }
 
 Bytes download(std::uint16_t port, const std::string& name,
-               const std::string& mode, DownloadStats* stats) {
+               const std::string& mode, DownloadStats* stats,
+               unsigned threads) {
   ECOMP_TRACE_SPAN("net.download", "net");
   ECOMP_COUNT("net.round_trips");
   Socket s = connect_local(port);
@@ -264,8 +270,14 @@ Bytes download(std::uint16_t port, const std::string& name,
   Bytes result;
   if (mode == "selective") {
     // Unframed stream: the container itself tells the decoder when the
-    // last block has arrived.
-    core::InterleavedDownloader dl(16 * 1024);
+    // last block has arrived. With threads >= 2 the socket reads run on
+    // a feed thread while this thread decodes (§4.1 overlap for real) —
+    // bytes_on_wire is only touched from the feed thread, and the
+    // pipeline joins it before run() returns.
+    core::InterleavedDownloader::Options opt;
+    opt.chunk_bytes = 16 * 1024;
+    opt.threads = threads;
+    core::InterleavedDownloader dl(opt);
     result = dl.run(
         [&](std::uint8_t* dst, std::size_t max) -> std::size_t {
           const std::size_t n = s.recv_some(dst, max);
@@ -376,6 +388,24 @@ DownloadOutcome download_resilient(std::uint16_t port,
           const std::size_t n = s.recv_some(buf.data(), buf.size());
           if (n == 0) break;  // server finished (or died; decode decides)
           partial.insert(partial.end(), buf.begin(), buf.begin() + n);
+        }
+        // Fully received container + parallel decode requested: inflate
+        // the independently decodable blocks concurrently. Any failure
+        // (truncation, corruption) falls through to the streaming
+        // decoder below, which classifies it for retry/resume.
+        if (policy.threads >= 2) {
+          try {
+            out.data = compress::selective_decompress(partial,
+                                                      policy.threads);
+            std::vector<compress::BlockInfo> infos =
+                compress::selective_block_info(partial);
+            out.stats.bytes_on_wire = partial.size();
+            out.stats.bytes_decoded = out.data.size();
+            out.stats.blocks = infos.size();
+            out.stats.block_infos = std::move(infos);
+            return out;
+          } catch (const Error&) {
+          }
         }
         // Decode the accumulated container from scratch: corruption is
         // detected here, and a short stream simply isn't finished yet.

@@ -61,9 +61,12 @@ class FileStore {
 /// on the proxy" arrangement).
 class ProxyServer {
  public:
+  /// `threads` > 1 compresses selective containers on a thread pool
+  /// (both precompressed and on-demand streaming); the wire bytes are
+  /// byte-identical to the serial encoder's at any thread count.
   ProxyServer(FileStore store, compress::SelectivePolicy policy,
               std::size_t block_size = compress::kDefaultBlockSize,
-              bool precompress = false);
+              bool precompress = false, unsigned threads = 1);
   ~ProxyServer();
   ProxyServer(const ProxyServer&) = delete;
   ProxyServer& operator=(const ProxyServer&) = delete;
@@ -86,6 +89,7 @@ class ProxyServer {
   FileStore store_;
   compress::SelectivePolicy policy_;
   std::size_t block_size_;
+  unsigned threads_ = 1;
   /// Precompressed caches (name -> container); empty in on-demand mode.
   std::map<std::string, Bytes> full_cache_;
   std::map<std::string, Bytes> selective_cache_;
@@ -113,9 +117,12 @@ struct DownloadStats {
 
 /// Fetch `name` from a proxy at `port`. mode "selective" uses the
 /// streaming interleaved decoder (decoding each block as it completes);
-/// "full"/"raw" buffer then decode.
+/// "full"/"raw" buffer then decode. `threads` >= 2 runs the selective
+/// decode as a true receive/decompress pipeline (feed thread + decode
+/// worker) — the reconstructed bytes are identical either way.
 Bytes download(std::uint16_t port, const std::string& name,
-               const std::string& mode, DownloadStats* stats = nullptr);
+               const std::string& mode, DownloadStats* stats = nullptr,
+               unsigned threads = 1);
 
 /// Upload `data` as `name`: the client compresses block by block with
 /// `policy` while sending (the paper's upload direction, its stated
@@ -135,6 +142,10 @@ struct TransferPolicy {
   /// Selective mode only: when retries run out mid-container, salvage
   /// whatever blocks arrived intact instead of throwing.
   bool salvage = false;
+  /// Selective mode only: decode a fully received container with this
+  /// many pool threads (1 = serial). Retry/resume classification is
+  /// unchanged — the parallel path is a fast path for intact streams.
+  unsigned threads = 1;
 };
 
 struct DownloadOutcome {

@@ -1,0 +1,71 @@
+// Bounded single-producer / single-consumer queue — the hand-off
+// between the network feed thread and the decode worker in the
+// threaded InterleavedDownloader (the paper's §4.1 receive/decompress
+// overlap, physically realized). Blocking push/pop with a close()
+// escape hatch so either side can shut the pipeline down when it hits
+// an error; mutex + condvar keeps it simple and exact under TSan (the
+// per-item payload is a 16 KB chunk, so lock cost is noise).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace ecomp::par {
+
+template <class T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Blocks while full. Returns false (dropping `v`) once closed.
+  bool push(T v) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty. Returns nullopt once closed AND drained (items
+  /// pushed before close() are still delivered).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Wakes both sides; push() starts failing, pop() drains then ends.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace ecomp::par
