@@ -34,7 +34,8 @@ fi
 # keys benchdiff reports but never gates; its identical_t* digests (and
 # its own exit code) are the correctness gate for the parallel codec.
 GATED_BENCHES="bench_fig1_time bench_fig2_energy bench_fig3_timeline \
-bench_ext_loss_sweep bench_par_scaling"
+bench_ext_loss_sweep bench_par_scaling \
+bench_fig12_ondemand_time bench_fig13_ondemand_energy"
 
 for bin in $GATED_BENCHES benchdiff; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ] && [ ! -x "$BUILD_DIR/tools/$bin" ]; then

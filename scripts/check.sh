@@ -33,18 +33,20 @@ cmake --build build-check-asan -j "$JOBS"
 ctest --test-dir build-check-asan --output-on-failure -j "$JOBS"
 
 echo
-echo "== preset 3: TSan (concurrency + robustness labels) =="
+echo "== preset 3: TSan (concurrency + robustness + observability labels) =="
 # ThreadSanitizer cannot combine with ASan, so it gets its own tree; it
 # runs the suites that actually spawn threads (the parallel block
-# pipeline, threaded interleaving, shared-instance contracts, and the
-# fault matrix's server/client pairs).
+# pipeline, threaded interleaving, shared-instance contracts, the
+# fault matrix's server/client pairs, and the telemetry layer's sharded
+# histograms + proxy/client event logging).
 cmake -B build-check-tsan -S . -DECOMP_OBS=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
   >/dev/null
 cmake --build build-check-tsan -j "$JOBS" \
-  --target ecomp_concurrency_tests ecomp_robustness_tests
-ctest --test-dir build-check-tsan -L "concurrency|robustness" \
+  --target ecomp_concurrency_tests ecomp_robustness_tests \
+  ecomp_observability_tests
+ctest --test-dir build-check-tsan -L "concurrency|robustness|observability" \
   --output-on-failure -j "$JOBS"
 
 if [ "${ECOMP_CHECK_SKIP_BENCH:-0}" = "1" ]; then

@@ -1,12 +1,14 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <thread>
 
 #include "compress/bwt_codec.h"
 #include "compress/bz2_format.h"
@@ -21,6 +23,7 @@
 #include "core/interleave.h"
 #include "core/planner.h"
 #include "net/proxy.h"
+#include "obs/events.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -46,6 +49,8 @@ constexpr const char* kUsage =
     "  ecomp download   --port PORT [-m raw|full|selective] [--resume]\n"
     "                   [--max-retries N] [--timeout-ms MS] [--salvage]\n"
     "                   [--threads N] NAME OUT\n"
+    "  ecomp stats      --port PORT [--json|--prom] [--watch]\n"
+    "                   [--interval-ms MS] [--count N] [--out FILE]\n"
     "  ecomp corpus     [-s SCALE] OUTDIR\n"
     "parallelism (compress/decompress/download, selective containers):\n"
     "  --threads N      worker threads; 0 = one per hardware thread"
@@ -53,7 +58,9 @@ constexpr const char* kUsage =
     "observability (any command):\n"
     "  --trace FILE     write a Chrome trace-event JSON (Perfetto-loadable);\n"
     "                   the ECOMP_TRACE env var sets a default path\n"
-    "  --metrics FILE   write the metrics registry snapshot as JSON\n";
+    "  --metrics FILE   write the metrics registry snapshot as JSON\n"
+    "  --events FILE    write a JSONL connection-lifecycle event log;\n"
+    "                   the ECOMP_EVENTS env var sets a default path\n";
 
 struct ArgParser {
   std::vector<std::string> positional;
@@ -64,8 +71,14 @@ struct ArgParser {
   int rate = 11;
   std::string trace_path;    // --trace / ECOMP_TRACE
   std::string metrics_path;  // --metrics
+  std::string events_path;   // --events / ECOMP_EVENTS
+  std::string out_path;      // stats: --out snapshot destination
   bool breakdown = false;    // energy: per-component ledger table
-  bool json = false;         // energy: machine-readable output
+  bool json = false;         // energy/stats: machine-readable output
+  bool prom = false;         // stats: Prometheus exposition
+  bool watch = false;        // stats: repeat until --count is reached
+  int interval_ms = 1000;    // stats: --watch polling period
+  int count = 0;             // stats: snapshots under --watch (0 = forever)
   std::string mode = "selective";  // download: -m wire mode
   int port = 0;                    // download: --port
   int max_retries = 4;             // download: --max-retries
@@ -105,10 +118,22 @@ struct ArgParser {
           trace_path = value("--trace");
         } else if (a == "--metrics") {
           metrics_path = value("--metrics");
+        } else if (a == "--events") {
+          events_path = value("--events");
+        } else if (a == "--out") {
+          out_path = value("--out");
         } else if (a == "--breakdown") {
           breakdown = true;
         } else if (a == "--json") {
           json = true;
+        } else if (a == "--prom") {
+          prom = true;
+        } else if (a == "--watch") {
+          watch = true;
+        } else if (a == "--interval-ms") {
+          interval_ms = std::stoi(value("--interval-ms"));
+        } else if (a == "--count") {
+          count = std::stoi(value("--count"));
         } else if (a == "-m") {
           mode = value("-m");
         } else if (a == "--port") {
@@ -137,6 +162,8 @@ struct ArgParser {
     }
     if (trace_path.empty())
       if (const char* env = std::getenv("ECOMP_TRACE")) trace_path = env;
+    if (events_path.empty())
+      if (const char* env = std::getenv("ECOMP_EVENTS")) events_path = env;
     return "";
   }
 };
@@ -415,12 +442,18 @@ int cmd_energy(const ArgParser& p, std::ostream& out) {
     throw Error("energy ledger invariant violated: " + violation);
 
   if (p.json) {
-    out << "{\"scenario\":" << obs::json_quote(scenario)
-        << ",\"rate_mbps\":" << p.rate
-        << ",\"codec\":" << obs::json_quote(p.codec)
-        << ",\"original_mb\":" << obs::json_number(original_mb)
-        << ",\"raw_energy_j\":" << obs::json_number(raw.energy_j)
-        << ",\"ledger\":" << ledger.to_json() << "}\n";
+    // Emitted through the shared JsonWriter — the same serializer the
+    // STATS surface uses, so quoting/number formats cannot diverge.
+    obs::JsonWriter w;
+    w.begin_object();
+    w.key("scenario").value(scenario);
+    w.key("rate_mbps").value(p.rate);
+    w.key("codec").value(p.codec);
+    w.key("original_mb").value(original_mb);
+    w.key("raw_energy_j").value(raw.energy_j);
+    w.key("ledger").raw(ledger.to_json());
+    w.end_object();
+    out << w.str() << "\n";
     return 0;
   }
 
@@ -459,10 +492,39 @@ int cmd_download(const ArgParser& p, std::ostream& out) {
   if (outcome.resumed_bytes)
     out << " (resumed " << outcome.resumed_bytes << " bytes)";
   out << "\n";
+  if (outcome.stats.trace_id) {
+    obs::TraceContext ctx;
+    ctx.trace_id = outcome.stats.trace_id;
+    out << "trace: " << ctx.hex()
+        << (outcome.stats.trace_echoed ? "" : " (not echoed by proxy)")
+        << "\n";
+  }
   if (!outcome.complete) {
     print_recovery(outcome.recovery, out);
     return 3;  // partial data on disk — distinct from clean (0)/error (2)
   }
+  return 0;
+}
+
+int cmd_stats(const ArgParser& p, std::ostream& out) {
+  if (!p.positional.empty()) throw Error("stats takes no positional args");
+  if (p.port <= 0 || p.port > 0xffff)
+    throw Error("stats needs --port of a running proxy");
+  if (p.json && p.prom) throw Error("stats: pick one of --json / --prom");
+  const std::string format = p.prom ? "prom" : p.json ? "json" : "text";
+  // One snapshot by default; --watch repeats every --interval-ms until
+  // --count snapshots have been printed (0 = until interrupted).
+  const int reps = p.watch ? p.count : 1;
+  std::string last;
+  for (int i = 0; reps == 0 || i < reps; ++i) {
+    if (i > 0)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(p.interval_ms, 1)));
+    last = net::fetch_stats(static_cast<std::uint16_t>(p.port), format);
+    out << last;
+    if (last.empty() || last.back() != '\n') out << "\n";
+  }
+  if (!p.out_path.empty()) write_file(p.out_path, as_bytes(last));
   return 0;
 }
 
@@ -551,7 +613,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     err << msg << "\n" << kUsage;
     return 1;
   }
-  for (const std::string* path : {&p.trace_path, &p.metrics_path}) {
+  for (const std::string* path :
+       {&p.trace_path, &p.metrics_path, &p.events_path, &p.out_path}) {
     if (path->empty()) continue;
     const std::string werr = probe_writable(*path);
     if (!werr.empty()) {
@@ -560,6 +623,14 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     }
   }
   if (!p.trace_path.empty()) obs::Tracer::global().enable();
+  if (!p.events_path.empty()) {
+    try {
+      obs::EventLog::global().open(p.events_path);
+    } catch (const std::exception& e) {
+      err << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
 
   int code;
   try {
@@ -577,6 +648,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       code = cmd_energy(p, out);
     } else if (cmd == "download") {
       code = cmd_download(p, out);
+    } else if (cmd == "stats") {
+      code = cmd_stats(p, out);
     } else if (cmd == "corpus") {
       code = cmd_corpus(p, out);
     } else {
@@ -594,6 +667,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     code = 2;
   }
   if (!flush_obs_outputs(p, err) && code == 0) code = 2;
+  // The event log is per-invocation: close it so repeated cli::run calls
+  // in one process (tests) don't bleed events across runs.
+  if (!p.events_path.empty()) obs::EventLog::global().close();
   return code;
 }
 

@@ -405,6 +405,7 @@ Bytes inflate_raw(BitReaderLsb& in, std::size_t size_hint) {
 
 Bytes DeflateCodec::compress(ByteSpan input) const {
   ECOMP_TRACE_SPAN("deflate.compress", "codec");
+  ECOMP_SLIDING_TIMER("deflate.compress_us");
   Bytes out;
   write_header(out, kDeflateMagic, input.size(), crc32(input));
   BitWriterLsb bw;
@@ -416,6 +417,7 @@ Bytes DeflateCodec::compress(ByteSpan input) const {
 
 Bytes DeflateCodec::decompress(ByteSpan input) const {
   ECOMP_TRACE_SPAN("deflate.decompress", "codec");
+  ECOMP_SLIDING_TIMER("deflate.decompress_us");
   const Header h = read_header(input, kDeflateMagic);
   BitReaderLsb br(input.subspan(h.payload_offset));
   Bytes out = inflate_raw(br, h.original_size);

@@ -29,6 +29,7 @@ struct EncodedBlock {
 /// the policy is required to be (see SelectivePolicy docs).
 EncodedBlock encode_block(const DeflateCodec& codec,
                           const SelectivePolicy& policy, ByteSpan block) {
+  ECOMP_SLIDING_TIMER("selective.encode_block_us");
   const std::size_t len = block.size();
 
   // Fig. 10: small blocks ship raw; otherwise compress and keep the

@@ -92,6 +92,7 @@ std::optional<Bytes> SelectiveStreamDecoder::poll() {
   Bytes block;
   bool ok = flag <= 1;
   if (ok) {
+    ECOMP_SLIDING_TIMER("selective.decode_block_us");
     try {
       if (flag == 1) {
         block = compress::DeflateCodec().decompress(payload);

@@ -9,10 +9,50 @@
 #include "core/interleave.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/transfer.h"
 #include "util/crc32.h"
 #include "util/rng.h"
 
 namespace ecomp::net {
+namespace {
+
+/// Strip an optional trailing " trace=<16hex>" token off a request
+/// line. Returns the parsed context — invalid (and the line untouched)
+/// when the token is absent or malformed.
+obs::TraceContext strip_trace(std::string* req) {
+  static const std::string kKey = " trace=";
+  const auto pos = req->rfind(kKey);
+  if (pos == std::string::npos) return {};
+  const obs::TraceContext ctx =
+      obs::TraceContext::from_hex(std::string_view(*req).substr(pos + kKey.size()));
+  if (ctx.valid()) req->erase(pos);
+  return ctx;
+}
+
+/// Append the reply-side trace echo when the request carried one.
+std::string with_trace(std::string status, const obs::TraceContext& ctx) {
+  if (ctx.valid()) status += " trace=" + ctx.hex();
+  return status;
+}
+
+/// Parse the echoed trace id out of a reply status (0 when absent).
+std::uint64_t echoed_trace(const std::string& status) {
+  static const std::string kKey = " trace=";
+  const auto pos = status.rfind(kKey);
+  if (pos == std::string::npos) return 0;
+  return obs::TraceContext::from_hex(
+             std::string_view(status).substr(pos + kKey.size()))
+      .trace_id;
+}
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  return static_cast<std::uint64_t>(us < 0 ? 0 : us);
+}
+
+}  // namespace
 
 void FileStore::put(std::string name, Bytes data) {
   files_[std::move(name)] = std::move(data);
@@ -65,6 +105,69 @@ void ProxyServer::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
   fault_injector_ = std::move(injector);
 }
 
+void ProxyServer::set_event_log(obs::EventLog* log) {
+  events_.store(log, std::memory_order_release);
+}
+
+void ProxyServer::emit(const obs::Event& e) const {
+  if (obs::EventLog* log = events_.load(std::memory_order_acquire))
+    log->emit(e);
+}
+
+double ProxyServer::estimate_request_j(const std::string& mode,
+                                       std::size_t raw_bytes,
+                                       std::size_t wire_bytes) const {
+  const double raw_mb = static_cast<double>(raw_bytes) / 1e6;
+  const double wire_mb = static_cast<double>(wire_bytes) / 1e6;
+  if (raw_mb <= 0.0 || wire_mb <= 0.0) return 0.0;
+  try {
+    const sim::TransferSimulator sim;
+    if (mode == "raw") return sim.download_uncompressed(raw_mb).energy_j;
+    sim::TransferOptions opt;
+    opt.interleave = mode == "selective";
+    if (mode == "put")
+      return sim.upload_compressed(raw_mb, wire_mb, "zlib", opt).energy_j;
+    return sim.download_compressed(raw_mb, wire_mb, "zlib", opt).energy_j;
+  } catch (const std::exception&) {
+    return 0.0;  // a ledger estimate must never fail a request
+  }
+}
+
+obs::StatsSnapshot ProxyServer::stats() const {
+  obs::StatsSnapshot s;
+  s.uptime_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - started_)
+                   .count();
+  s.connections_active = conns_active_.load(std::memory_order_relaxed);
+  s.connections_total = conns_total_.load(std::memory_order_relaxed);
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  s.errors_total = errors_total_.load(std::memory_order_relaxed);
+  s.faults_injected = faults_injected_.load(std::memory_order_relaxed);
+  s.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  s.bytes_recv = bytes_recv_.load(std::memory_order_relaxed);
+  s.energy_served_j =
+      static_cast<double>(energy_served_uj_.load(std::memory_order_relaxed)) *
+      1e-6;
+  for (const auto& [name, v] : obs::Registry::global().counter_values())
+    s.counters.emplace_back(name, v);
+  // Instance histograms first, then the process-wide sliding set; one
+  // final sort keeps the rendering byte-stable.
+  s.histograms.push_back({"net.proxy.full_us", full_us_.snapshot()});
+  s.histograms.push_back({"net.proxy.put_us", put_us_.snapshot()});
+  s.histograms.push_back({"net.proxy.raw_us", raw_us_.snapshot()});
+  s.histograms.push_back({"net.proxy.request_us", req_us_.snapshot()});
+  s.histograms.push_back({"net.proxy.selective_us", selective_us_.snapshot()});
+  for (auto& [name, snap] : obs::Registry::global().sliding_snapshots()) {
+    if (name == "net.proxy.request_us") continue;  // instance copy wins
+    s.histograms.push_back({name, snap});
+  }
+  std::sort(s.histograms.begin(), s.histograms.end(),
+            [](const obs::HistStat& a, const obs::HistStat& b) {
+              return a.name < b.name;
+            });
+  return s;
+}
+
 void ProxyServer::serve() {
   while (!stopping_.load()) {
     Socket client;
@@ -75,14 +178,25 @@ void ProxyServer::serve() {
       continue;  // a failed accept must not kill the server
     }
     if (stopping_.load()) break;
+    const std::uint64_t conn =
+        conns_total_.fetch_add(1, std::memory_order_relaxed) + 1;
     {
       std::lock_guard<std::mutex> lock(fault_mu_);
       if (fault_injector_)
-        if (auto ch = fault_injector_->next_channel())
+        if (auto ch = fault_injector_->next_channel()) {
+          faults_injected_.fetch_add(1, std::memory_order_relaxed);
           client.inject(std::move(ch));
+        }
+    }
+    {
+      obs::Event e;
+      e.stage = "accept";
+      e.side = "proxy";
+      e.conn = static_cast<std::int64_t>(conn);
+      emit(e);
     }
     try {
-      handle(std::move(client));
+      handle(std::move(client), conn);
     } catch (const std::exception&) {
       // Per-connection failures — injected or real — never take the
       // server down; the next accept proceeds.
@@ -90,74 +204,185 @@ void ProxyServer::serve() {
   }
 }
 
-void ProxyServer::handle(Socket client) {
+void ProxyServer::handle(Socket client, std::uint64_t conn) {
   ECOMP_COUNT("net.proxy.requests");
+  conns_active_.fetch_add(1, std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  ReqInfo info;
+  obs::TraceContext ctx;
+  std::exception_ptr rethrow;
+
   Bytes req;
+  bool have_req = false;
   try {
     req = recv_frame(client);
+    have_req = true;
   } catch (const Error&) {
     // A corrupted length prefix (recv_frame caps control frames) or a
     // broken read. Answer if the peer can still hear us, then give up
     // on this connection only.
+    info.error = true;
     try {
       send_frame(client, as_bytes(std::string("ERR bad frame")));
     } catch (const Error&) {
     }
-    return;
   }
-  bool streaming = false;
-  try {
-    handle_request(client, ecomp::to_string(req), &streaming);
-  } catch (const FaultError&) {
-    throw;  // injected kill: the connection is already dead by design
-  } catch (const std::exception& e) {
-    // Anything a request trips over (missing file, bad upload, codec
-    // error) is that request's problem: reply ERR unless the status
-    // frame already went out and the peer now expects stream bytes.
-    if (streaming) return;
+  if (have_req) {
+    std::string line = ecomp::to_string(req);
+    ctx = strip_trace(&line);
+    obs::TraceScope scope(ctx);
+    requests_total_.fetch_add(1, std::memory_order_relaxed);
     try {
-      send_frame(client, as_bytes(std::string("ERR ") + e.what()));
-    } catch (const Error&) {
+      handle_request(client, line, &info, conn);
+    } catch (const FaultError& e) {
+      // Injected kill: the connection is already dead by design.
+      info.error = true;
+      obs::Event ev;
+      ev.stage = "error";
+      ev.side = "proxy";
+      ev.trace_id = ctx.trace_id;
+      ev.conn = static_cast<std::int64_t>(conn);
+      ev.name = info.name;
+      ev.mode = info.mode;
+      ev.err = e.what();
+      emit(ev);
+      rethrow = std::current_exception();
+    } catch (const std::exception& e) {
+      // Anything a request trips over (missing file, bad upload, codec
+      // error) is that request's problem: reply ERR unless the status
+      // frame already went out and the peer now expects stream bytes.
+      info.error = true;
+      obs::Event ev;
+      ev.stage = "error";
+      ev.side = "proxy";
+      ev.trace_id = ctx.trace_id;
+      ev.conn = static_cast<std::int64_t>(conn);
+      ev.name = info.name;
+      ev.mode = info.mode;
+      ev.err = e.what();
+      emit(ev);
+      if (!info.streaming) {
+        try {
+          send_frame(client,
+                     as_bytes(with_trace(std::string("ERR ") + e.what(), ctx)));
+        } catch (const Error&) {
+        }
+      }
     }
   }
+
+  const std::uint64_t us = elapsed_us(t0);
+  req_us_.record(us);
+  ECOMP_SLIDING_OBSERVE("net.proxy.request_us", us);
+  if (info.mode == "raw") raw_us_.record(us);
+  else if (info.mode == "full") full_us_.record(us);
+  else if (info.mode == "selective") selective_us_.record(us);
+  else if (info.mode == "put") put_us_.record(us);
+  if (info.error) errors_total_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(client.bytes_sent(), std::memory_order_relaxed);
+  bytes_recv_.fetch_add(client.bytes_recv(), std::memory_order_relaxed);
+  conns_active_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    obs::Event e;
+    e.stage = "close";
+    e.side = "proxy";
+    e.trace_id = ctx.trace_id;
+    e.conn = static_cast<std::int64_t>(conn);
+    e.name = info.name;
+    e.mode = info.mode;
+    e.bytes_wire = static_cast<std::int64_t>(client.bytes_sent());
+    emit(e);
+  }
+  if (rethrow) std::rethrow_exception(rethrow);
 }
 
 void ProxyServer::handle_request(Socket& client, const std::string& req,
-                                 bool* streaming) {
+                                 ReqInfo* info, std::uint64_t conn) {
   std::istringstream iss(req);
   std::string verb;
   iss >> verb;
+  const obs::TraceContext ctx = obs::current_trace();
+  const auto reply = [&](std::string status) {
+    send_frame(client, as_bytes(with_trace(std::move(status), ctx)));
+  };
+  const auto fail = [&](std::string status) {
+    info->error = true;
+    reply(std::move(status));
+  };
+  const auto event = [&](obs::Event e) {
+    e.side = "proxy";
+    e.trace_id = ctx.trace_id;
+    e.conn = static_cast<std::int64_t>(conn);
+    if (e.name.empty()) e.name = info->name;
+    if (e.mode.empty()) e.mode = info->mode;
+    emit(e);
+  };
+  // Ledger the device-side energy a served transfer represents and
+  // stamp it into the stream event.
+  const auto ledger = [&](obs::Event e) {
+    const double j = estimate_request_j(info->mode, info->raw_bytes,
+                                        info->wire_bytes);
+    energy_served_uj_.fetch_add(static_cast<std::uint64_t>(j * 1e6),
+                                std::memory_order_relaxed);
+    e.j_est = j;
+    event(std::move(e));
+  };
+
+  if (verb == "STATS") {
+    info->mode = "stats";
+    std::string format;
+    iss >> format;
+    const std::string payload =
+        obs::render_stats(stats(), obs::parse_stats_format(format));
+    reply("OK " + std::to_string(payload.size()));
+    info->streaming = true;
+    send_frame(client, as_bytes(payload));  // may exceed the control cap
+    return;
+  }
 
   if (verb == "PUT") {
     std::string name;
     iss >> name;
     if (name.empty()) {
-      send_frame(client, as_bytes(std::string("ERR bad request")));
+      fail("ERR bad request");
       return;
     }
+    info->mode = "put";
+    info->name = name;
+    event({.stage = "parse"});
     // Receive a streamed selective container, decoding block by block.
     core::SelectiveStreamDecoder dec;
     Bytes data;
     Bytes buf(16 * 1024);
+    std::size_t wire = 0;
     while (!dec.finished()) {
       while (auto block = dec.poll())
         data.insert(data.end(), block->begin(), block->end());
       if (dec.finished()) break;
       const std::size_t n = client.recv_some(buf.data(), buf.size());
       if (n == 0) {
-        send_frame(client, as_bytes(std::string("ERR truncated upload")));
+        fail("ERR truncated upload");
         return;
       }
+      wire += n;
       dec.feed(ByteSpan(buf.data(), n));
     }
     dec.verify();
+    info->raw_bytes = data.size();
+    info->wire_bytes = wire;
     std::ostringstream status;
     status << "OK stored " << data.size();
+    const std::int64_t blocks =
+        static_cast<std::int64_t>(dec.block_infos().size());
     store_.put(name, std::move(data));
     // New content invalidates any precompressed copies.
     full_cache_.erase(name);
     selective_cache_.erase(name);
-    send_frame(client, as_bytes(status.str()));
+    reply(status.str());
+    ledger({.stage = "stream",
+            .bytes_wire = static_cast<std::int64_t>(info->wire_bytes),
+            .bytes_raw = static_cast<std::int64_t>(info->raw_bytes),
+            .blocks = blocks});
     return;
   }
 
@@ -168,34 +393,53 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
   if ((verb != "GET" && !ranged) || name.empty() ||
       (mode != "raw" && mode != "full" && mode != "selective") ||
       (ranged && !(iss >> offset))) {
-    send_frame(client, as_bytes(std::string("ERR bad request")));
+    fail("ERR bad request");
     return;
   }
+  info->mode = mode;
+  info->name = name;
+  event({.stage = "parse"});
   if (!store_.contains(name)) {
-    send_frame(client, as_bytes(std::string("ERR no such file: ") + name));
+    fail("ERR no such file: " + name);
     return;
   }
   const Bytes& original = store_.get(name);
+  info->raw_bytes = original.size();
   constexpr std::size_t kChunk = 32 * 1024;
 
   if (mode == "selective") {
+    const std::int64_t blocks = static_cast<std::int64_t>(
+        block_size_ ? (original.size() + block_size_ - 1) / block_size_ : 0);
     if (!ranged) {
-      *streaming = true;
-      send_frame(client, as_bytes(std::string("OK stream")));
+      info->streaming = true;
+      reply("OK stream");
       if (const auto it = selective_cache_.find(name);
           it != selective_cache_.end()) {
         // Precompressed a priori (§3): ship the stored container.
         client.send_all(it->second);
+        info->wire_bytes = it->second.size();
+        ledger({.stage = "stream",
+                .bytes_wire = static_cast<std::int64_t>(info->wire_bytes),
+                .bytes_raw = static_cast<std::int64_t>(original.size()),
+                .blocks = blocks});
         return;
       }
       // Compression on demand, overlapped with sending: each block goes
       // on the wire as soon as it is encoded (§5's zlib arrangement).
+      event({.stage = "compress"});
       compress::SelectiveStreamEncoder enc(original, policy_, block_size_,
                                            9, threads_);
       while (!enc.done()) {
         const Bytes chunk = enc.next_chunk();
-        if (!chunk.empty()) client.send_all(chunk);
+        if (!chunk.empty()) {
+          client.send_all(chunk);
+          info->wire_bytes += chunk.size();
+        }
       }
+      ledger({.stage = "stream",
+              .bytes_wire = static_cast<std::int64_t>(info->wire_bytes),
+              .bytes_raw = static_cast<std::int64_t>(original.size()),
+              .blocks = blocks});
       return;
     }
     // Resume: the container bytes must be identical across attempts, so
@@ -207,21 +451,27 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
         it != selective_cache_.end()) {
       container = &it->second;
     } else {
+      event({.stage = "compress"});
       built = compress::selective_compress(original, policy_, block_size_,
                                            9, threads_)
                   .container;
       container = &built;
     }
     if (offset > container->size()) {
-      send_frame(client, as_bytes(std::string("ERR bad offset")));
+      fail("ERR bad offset");
       return;
     }
-    *streaming = true;
-    send_frame(client, as_bytes(std::string("OK stream")));
+    info->streaming = true;
+    reply("OK stream");
     for (std::size_t off = offset; off < container->size(); off += kChunk) {
       const std::size_t n = std::min(kChunk, container->size() - off);
       client.send_all(ByteSpan(*container).subspan(off, n));
+      info->wire_bytes += n;
     }
+    ledger({.stage = "stream",
+            .bytes_wire = static_cast<std::int64_t>(info->wire_bytes),
+            .bytes_raw = static_cast<std::int64_t>(original.size()),
+            .blocks = blocks});
     return;
   }
 
@@ -232,10 +482,11 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
              it != full_cache_.end()) {
     payload = it->second;
   } else {
+    event({.stage = "compress"});
     payload = compress::DeflateCodec().compress(original);
   }
   if (ranged && offset > payload.size()) {
-    send_frame(client, as_bytes(std::string("ERR bad offset")));
+    fail("ERR bad offset");
     return;
   }
   const std::size_t remaining = payload.size() - (ranged ? offset : 0);
@@ -246,27 +497,51 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
   } else {
     status << "OK " << payload.size();
   }
-  *streaming = true;
-  send_frame(client, as_bytes(status.str()));
+  info->streaming = true;
+  reply(status.str());
   send_frame_header(client, static_cast<std::uint32_t>(remaining));
   for (std::size_t off = ranged ? offset : 0; off < payload.size();
        off += kChunk) {
     const std::size_t n = std::min(kChunk, payload.size() - off);
     client.send_all(ByteSpan(payload).subspan(off, n));
   }
+  info->wire_bytes = remaining;
+  ledger({.stage = "stream",
+          .bytes_wire = static_cast<std::int64_t>(remaining),
+          .bytes_raw = static_cast<std::int64_t>(original.size()),
+          .blocks = -1});
+  return;
 }
 
 Bytes download(std::uint16_t port, const std::string& name,
                const std::string& mode, DownloadStats* stats,
                unsigned threads) {
+  obs::TraceContext ctx = obs::current_trace();
+  if (!ctx.valid()) ctx = obs::TraceContext::mint();
+  obs::TraceScope scope(ctx);
   ECOMP_TRACE_SPAN("net.download", "net");
   ECOMP_COUNT("net.round_trips");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto event = [&](obs::Event e) {
+    e.side = "client";
+    e.trace_id = ctx.trace_id;
+    if (e.name.empty()) e.name = name;
+    if (e.mode.empty()) e.mode = mode;
+    obs::EventLog::global().emit(e);
+  };
   Socket s = connect_local(port);
-  send_frame(s, as_bytes("GET " + mode + " " + name));
+  event({.stage = "connect"});
+  send_frame(s, as_bytes(with_trace("GET " + mode + " " + name, ctx)));
+  event({.stage = "request"});
   const std::string status = ecomp::to_string(recv_frame(s));
-  if (status.rfind("OK ", 0) != 0) throw Error("download: " + status);
+  if (status.rfind("OK ", 0) != 0) {
+    event({.stage = "error", .err = "download: " + status});
+    throw Error("download: " + status);
+  }
 
   DownloadStats local;
+  local.trace_id = ctx.trace_id;
+  local.trace_echoed = echoed_trace(status) == ctx.trace_id;
   Bytes result;
   if (mode == "selective") {
     // Unframed stream: the container itself tells the decoder when the
@@ -293,6 +568,12 @@ Bytes download(std::uint16_t port, const std::string& name,
                            : compress::DeflateCodec().decompress(payload);
   }
   local.bytes_decoded = result.size();
+  ECOMP_SLIDING_OBSERVE("net.client.request_us", elapsed_us(t0));
+  event({.stage = "stream",
+         .bytes_wire = static_cast<std::int64_t>(local.bytes_on_wire),
+         .bytes_raw = static_cast<std::int64_t>(local.bytes_decoded),
+         .blocks = static_cast<std::int64_t>(local.blocks)});
+  event({.stage = "close"});
   if (stats) *stats = local;
   return result;
 }
@@ -303,14 +584,27 @@ std::size_t upload_once(std::uint16_t port, const std::string& name,
                         ByteSpan data,
                         const compress::SelectivePolicy& policy,
                         std::uint32_t timeout_ms) {
+  obs::TraceContext ctx = obs::current_trace();
+  if (!ctx.valid()) ctx = obs::TraceContext::mint();
+  obs::TraceScope scope(ctx);
   ECOMP_TRACE_SPAN("net.upload", "net");
   ECOMP_COUNT("net.round_trips");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto event = [&](obs::Event e) {
+    e.side = "client";
+    e.trace_id = ctx.trace_id;
+    if (e.name.empty()) e.name = name;
+    if (e.mode.empty()) e.mode = "put";
+    obs::EventLog::global().emit(e);
+  };
   Socket s = connect_local(port);
   if (timeout_ms) {
     s.set_recv_timeout_ms(timeout_ms);
     s.set_send_timeout_ms(timeout_ms);
   }
-  send_frame(s, as_bytes("PUT " + name));
+  event({.stage = "connect"});
+  send_frame(s, as_bytes(with_trace("PUT " + name, ctx)));
+  event({.stage = "request"});
   compress::SelectiveStreamEncoder enc(data, policy);
   std::size_t sent = 0;
   while (!enc.done()) {
@@ -321,7 +615,15 @@ std::size_t upload_once(std::uint16_t port, const std::string& name,
     }
   }
   const std::string status = ecomp::to_string(recv_frame(s));
-  if (status.rfind("OK stored", 0) != 0) throw Error("upload: " + status);
+  if (status.rfind("OK stored", 0) != 0) {
+    event({.stage = "error", .err = "upload: " + status});
+    throw Error("upload: " + status);
+  }
+  ECOMP_SLIDING_OBSERVE("net.client.request_us", elapsed_us(t0));
+  event({.stage = "stream",
+         .bytes_wire = static_cast<std::int64_t>(sent),
+         .bytes_raw = static_cast<std::int64_t>(data.size())});
+  event({.stage = "close"});
   return sent;
 }
 
@@ -347,9 +649,22 @@ DownloadOutcome download_resilient(std::uint16_t port,
                                    const TransferPolicy& policy) {
   if (mode != "raw" && mode != "full" && mode != "selective")
     throw Error("download: bad mode " + mode);
+  // One trace context for the whole transfer: every retry, resume, and
+  // the eventual salvage all carry the id minted here.
+  obs::TraceContext ctx = obs::current_trace();
+  if (policy.trace && !ctx.valid()) ctx = obs::TraceContext::mint();
+  obs::TraceScope scope(policy.trace ? ctx : obs::TraceContext{});
   ECOMP_TRACE_SPAN("net.download_resilient", "net");
+  const auto event = [&](obs::Event e) {
+    e.side = "client";
+    e.trace_id = policy.trace ? ctx.trace_id : 0;
+    if (e.name.empty()) e.name = name;
+    if (e.mode.empty()) e.mode = mode;
+    obs::EventLog::global().emit(e);
+  };
 
   DownloadOutcome out;
+  if (policy.trace) out.stats.trace_id = ctx.trace_id;
   Rng rng(policy.jitter_seed);
   // Wire bytes accumulated so far: the framed payload (raw/full) or the
   // container stream (selective). This is what resume carries across
@@ -369,7 +684,16 @@ DownloadOutcome download_resilient(std::uint16_t port,
     const std::size_t offset = partial.size();
     if (attempt > 0 && offset > 0)
       out.resumed_bytes = std::max(out.resumed_bytes, offset);
+    if (attempt > 0)
+      event({.stage = "retry",
+             .bytes_wire = static_cast<std::int64_t>(offset),
+             .attempt = attempt + 1});
 
+    const auto attempt_t0 = std::chrono::steady_clock::now();
+    const auto record_attempt = [&] {
+      ECOMP_SLIDING_OBSERVE("net.client.attempt_us",
+                            elapsed_us(attempt_t0));
+    };
     try {
       ECOMP_COUNT("net.round_trips");
       Socket s = connect_local(port);
@@ -377,12 +701,18 @@ DownloadOutcome download_resilient(std::uint16_t port,
         s.set_recv_timeout_ms(policy.timeout_ms);
         s.set_send_timeout_ms(policy.timeout_ms);
       }
-      send_frame(s, as_bytes("GET-RANGE " + mode + " " + name + " " +
-                             std::to_string(offset)));
+      send_frame(s,
+                 as_bytes(with_trace("GET-RANGE " + mode + " " + name + " " +
+                                         std::to_string(offset),
+                                     policy.trace ? ctx
+                                                  : obs::TraceContext{})));
       const std::string status = ecomp::to_string(recv_frame(s));
+      if (policy.trace && echoed_trace(status) == ctx.trace_id)
+        out.stats.trace_echoed = true;
 
       if (mode == "selective") {
-        if (status != "OK stream") throw Error("download: " + status);
+        if (status.rfind("OK stream", 0) != 0)
+          throw Error("download: " + status);
         Bytes buf(16 * 1024);
         while (true) {
           const std::size_t n = s.recv_some(buf.data(), buf.size());
@@ -403,6 +733,15 @@ DownloadOutcome download_resilient(std::uint16_t port,
             out.stats.bytes_decoded = out.data.size();
             out.stats.blocks = infos.size();
             out.stats.block_infos = std::move(infos);
+            record_attempt();
+            event({.stage = "stream",
+                   .bytes_wire =
+                       static_cast<std::int64_t>(out.stats.bytes_on_wire),
+                   .bytes_raw =
+                       static_cast<std::int64_t>(out.stats.bytes_decoded),
+                   .blocks = static_cast<std::int64_t>(out.stats.blocks),
+                   .attempt = out.attempts});
+            event({.stage = "close"});
             return out;
           } catch (const Error&) {
           }
@@ -433,6 +772,15 @@ DownloadOutcome download_resilient(std::uint16_t port,
         out.stats.bytes_decoded = out.data.size();
         out.stats.blocks = dec.block_infos().size();
         out.stats.block_infos = dec.block_infos();
+        record_attempt();
+        event({.stage = "stream",
+               .bytes_wire =
+                   static_cast<std::int64_t>(out.stats.bytes_on_wire),
+               .bytes_raw =
+                   static_cast<std::int64_t>(out.stats.bytes_decoded),
+               .blocks = static_cast<std::int64_t>(out.stats.blocks),
+               .attempt = out.attempts});
+        event({.stage = "close"});
         return out;
       }
 
@@ -477,9 +825,17 @@ DownloadOutcome download_resilient(std::uint16_t port,
                      : compress::DeflateCodec().decompress(partial);
       out.stats.bytes_on_wire = partial.size();
       out.stats.bytes_decoded = out.data.size();
+      record_attempt();
+      event({.stage = "stream",
+             .bytes_wire = static_cast<std::int64_t>(out.stats.bytes_on_wire),
+             .bytes_raw = static_cast<std::int64_t>(out.stats.bytes_decoded),
+             .attempt = out.attempts});
+      event({.stage = "close"});
       return out;
     } catch (const Error& e) {
       last_error = e.what();
+      record_attempt();
+      event({.stage = "error", .attempt = out.attempts, .err = last_error});
     }
   }
 
@@ -490,8 +846,14 @@ DownloadOutcome download_resilient(std::uint16_t port,
     out.complete = false;
     out.stats.bytes_on_wire = partial.size();
     out.stats.bytes_decoded = out.data.size();
+    event({.stage = "salvage",
+           .bytes_wire = static_cast<std::int64_t>(out.stats.bytes_on_wire),
+           .bytes_raw = static_cast<std::int64_t>(out.stats.bytes_decoded),
+           .attempt = out.attempts});
+    event({.stage = "close"});
     return out;
   }
+  event({.stage = "close", .attempt = out.attempts});
   throw Error("download: retries exhausted: " + last_error);
 }
 
@@ -499,12 +861,26 @@ std::size_t upload_resilient(std::uint16_t port, const std::string& name,
                              ByteSpan data,
                              const compress::SelectivePolicy& policy,
                              const TransferPolicy& tp, int* attempts) {
+  // One trace context across every replay: upload_once reuses the
+  // thread's current trace instead of minting per attempt.
+  obs::TraceContext ctx = obs::current_trace();
+  if (tp.trace && !ctx.valid()) ctx = obs::TraceContext::mint();
+  obs::TraceScope scope(tp.trace ? ctx : obs::TraceContext{});
   Rng rng(tp.jitter_seed);
   std::string last_error;
   for (int attempt = 0; attempt <= tp.max_retries; ++attempt) {
-    if (attempt > 0)
+    if (attempt > 0) {
       std::this_thread::sleep_for(
           std::chrono::milliseconds(backoff_ms(tp, attempt, rng)));
+      obs::Event e;
+      e.stage = "retry";
+      e.side = "client";
+      e.trace_id = tp.trace ? ctx.trace_id : 0;
+      e.name = name;
+      e.mode = "put";
+      e.attempt = attempt + 1;
+      obs::EventLog::global().emit(e);
+    }
     if (attempts) *attempts = attempt + 1;
     try {
       // PUT replaces the whole file, so a replay after any failure is
@@ -515,6 +891,16 @@ std::size_t upload_resilient(std::uint16_t port, const std::string& name,
     }
   }
   throw Error("upload: retries exhausted: " + last_error);
+}
+
+std::string fetch_stats(std::uint16_t port, const std::string& format) {
+  Socket s = connect_local(port);
+  send_frame(s, as_bytes("STATS " + format));
+  const std::string status = ecomp::to_string(recv_frame(s));
+  if (status.rfind("OK ", 0) != 0) throw Error("stats: " + status);
+  // The payload is one frame but can far exceed the control cap.
+  const Bytes payload = recv_frame(s, 16u * 1024 * 1024);
+  return ecomp::to_string(payload);
 }
 
 }  // namespace ecomp::net

@@ -25,9 +25,19 @@
 // full       — one deflate member for the whole file
 // selective  — Fig. 10 block container (what the streaming interleaved
 //              decoder consumes)
+//   stats:    "STATS [text|json|prom]" — live telemetry snapshot. Reply
+//             "OK <n>", then the rendered payload as one frame (may
+//             exceed kMaxControlFrame; fetch with a larger cap).
+//
+// Tracing: a request line may end with an optional `trace=<16hex>`
+// token (minted client-side, see obs::TraceContext). The proxy strips
+// it, runs the request under that trace, echoes the token at the end of
+// every reply status, and stamps it into its span tracer and JSONL
+// event log. Requests without the token behave exactly as before.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -39,6 +49,10 @@
 #include "compress/selective.h"
 #include "net/fault.h"
 #include "net/socket.h"
+#include "obs/events.h"
+#include "obs/histogram.h"
+#include "obs/stats_export.h"
+#include "obs/trace.h"
 
 namespace ecomp::net {
 
@@ -80,11 +94,36 @@ class ProxyServer {
   /// the injector for a FaultChannel. Pass nullptr to disarm.
   void set_fault_injector(std::shared_ptr<FaultInjector> injector);
 
+  /// Attach a proxy-side JSONL event log (non-owning; the caller keeps
+  /// it alive past the server). Pass nullptr to detach. Instance-based
+  /// so several proxies in one process keep separate logs.
+  void set_event_log(obs::EventLog* log);
+
+  /// Point-in-time telemetry snapshot — what the STATS verb serves.
+  /// Histograms cover this instance's requests; counters mirror the
+  /// process-wide registry.
+  obs::StatsSnapshot stats() const;
+
  private:
+  /// What handle_request learned about a request — drives the per-mode
+  /// latency attribution, error accounting, and the close event.
+  struct ReqInfo {
+    bool streaming = false;  ///< status frame sent; payload may follow
+    bool error = false;      ///< replied ERR without throwing
+    std::string mode;        ///< raw|full|selective|put|stats ("" = unparsed)
+    std::string name;
+    std::size_t raw_bytes = 0;
+    std::size_t wire_bytes = 0;
+  };
+
   void serve();
-  void handle(Socket client);
-  void handle_request(Socket& client, const std::string& req,
-                      bool* streaming);
+  void handle(Socket client, std::uint64_t conn);
+  void handle_request(Socket& client, const std::string& req, ReqInfo* info,
+                      std::uint64_t conn);
+  void emit(const obs::Event& e) const;
+  /// Ledgered device-side energy estimate for a served download, J.
+  double estimate_request_j(const std::string& mode, std::size_t raw_bytes,
+                            std::size_t wire_bytes) const;
 
   FileStore store_;
   compress::SelectivePolicy policy_;
@@ -97,6 +136,25 @@ class ProxyServer {
   std::atomic<bool> stopping_{false};
   std::mutex fault_mu_;
   std::shared_ptr<FaultInjector> fault_injector_;
+
+  // ---- instance telemetry (the STATS surface) ----
+  std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+  std::atomic<obs::EventLog*> events_{nullptr};
+  std::atomic<std::uint64_t> conns_total_{0};
+  std::atomic<std::uint64_t> conns_active_{0};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> errors_total_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> bytes_recv_{0};
+  std::atomic<std::uint64_t> energy_served_uj_{0};  ///< microjoules
+  obs::SlidingHistogram req_us_;        ///< all requests
+  obs::SlidingHistogram raw_us_;        ///< per-mode request latency
+  obs::SlidingHistogram full_us_;
+  obs::SlidingHistogram selective_us_;
+  obs::SlidingHistogram put_us_;
+
   std::thread thread_;
 };
 
@@ -105,6 +163,8 @@ struct DownloadStats {
   std::size_t bytes_on_wire = 0;   ///< payload bytes received
   std::size_t bytes_decoded = 0;   ///< original bytes reconstructed
   std::size_t blocks = 0;          ///< blocks decoded (selective mode)
+  std::uint64_t trace_id = 0;      ///< id sent with the request (0 = none)
+  bool trace_echoed = false;       ///< proxy echoed the id back
   /// Per-block sizes/decisions (selective mode only) — feed these to
   /// sim::TransferSimulator::download_selective for energy estimates.
   std::vector<compress::BlockInfo> block_infos;
@@ -146,6 +206,9 @@ struct TransferPolicy {
   /// many pool threads (1 = serial). Retry/resume classification is
   /// unchanged — the parallel path is a fast path for intact streams.
   unsigned threads = 1;
+  /// Mint/propagate a TraceContext with each request (an already-current
+  /// thread trace is reused) and stamp it into events and stats.
+  bool trace = true;
 };
 
 struct DownloadOutcome {
@@ -177,5 +240,10 @@ std::size_t upload_resilient(std::uint16_t port, const std::string& name,
                              const compress::SelectivePolicy& policy,
                              const TransferPolicy& tp = {},
                              int* attempts = nullptr);
+
+/// Fetch a live telemetry snapshot over the STATS verb. `format` is
+/// "text", "json", or "prom"; returns the rendered payload verbatim.
+std::string fetch_stats(std::uint16_t port,
+                        const std::string& format = "json");
 
 }  // namespace ecomp::net

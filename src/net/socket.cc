@@ -40,6 +40,10 @@ Socket& Socket::operator=(Socket&& o) noexcept {
     fd_ = o.fd_;
     o.fd_ = -1;
     fault_ = std::move(o.fault_);
+    bytes_sent_ = o.bytes_sent_;
+    bytes_recv_ = o.bytes_recv_;
+    o.bytes_sent_ = 0;
+    o.bytes_recv_ = 0;
   }
   return *this;
 }
@@ -75,6 +79,7 @@ void Socket::send_all(ByteSpan data) const {
     }
     off += static_cast<std::size_t>(n);
   }
+  bytes_sent_ += data.size();
   ECOMP_COUNT_N("net.bytes_sent", data.size());
   ECOMP_COUNT("net.sends");
 
@@ -98,6 +103,7 @@ std::size_t Socket::recv_some(std::uint8_t* dst, std::size_t max) const {
       if (errno == EINTR) continue;
       fail("recv");
     }
+    bytes_recv_ += static_cast<std::uint64_t>(n);
     ECOMP_COUNT_N("net.bytes_recv", n);
     return static_cast<std::size_t>(n);
   }

@@ -29,8 +29,14 @@ class Socket {
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
   ~Socket();
-  Socket(Socket&& o) noexcept : fd_(o.fd_), fault_(std::move(o.fault_)) {
+  Socket(Socket&& o) noexcept
+      : fd_(o.fd_),
+        fault_(std::move(o.fault_)),
+        bytes_sent_(o.bytes_sent_),
+        bytes_recv_(o.bytes_recv_) {
     o.fd_ = -1;
+    o.bytes_sent_ = 0;
+    o.bytes_recv_ = 0;
   }
   Socket& operator=(Socket&& o) noexcept;
   Socket(const Socket&) = delete;
@@ -63,9 +69,18 @@ class Socket {
 
   void close();
 
+  /// Per-socket payload byte tallies (what actually went over the
+  /// wire, faults included). Plain counters: each direction of a socket
+  /// is driven by one thread at a time, matching how every caller in
+  /// the tree already uses sockets.
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_recv() const { return bytes_recv_; }
+
  private:
   int fd_ = -1;
   std::shared_ptr<FaultChannel> fault_;
+  mutable std::uint64_t bytes_sent_ = 0;
+  mutable std::uint64_t bytes_recv_ = 0;
 };
 
 /// Listening socket bound to 127.0.0.1. Port 0 picks a free port.

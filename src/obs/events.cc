@@ -1,0 +1,67 @@
+#include "obs/events.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace ecomp::obs {
+
+void EventLog::open(const std::string& path) {
+  std::lock_guard lock(mu_);
+  out_.close();
+  out_.clear();
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_) throw std::runtime_error("cannot open event log: " + path);
+  path_ = path;
+}
+
+void EventLog::close() {
+  std::lock_guard lock(mu_);
+  out_.close();
+  path_.clear();
+}
+
+bool EventLog::is_open() const {
+  std::lock_guard lock(mu_);
+  return out_.is_open();
+}
+
+void EventLog::emit(const Event& e) {
+  std::lock_guard lock(mu_);
+  if (!out_.is_open()) return;
+  const double ts_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  JsonWriter w;
+  w.begin_object();
+  w.key("ts_ms").value(ts_ms);
+  w.key("stage").value(e.stage);
+  if (!e.side.empty()) w.key("side").value(e.side);
+  if (e.trace_id) {
+    TraceContext ctx;
+    ctx.trace_id = e.trace_id;
+    w.key("trace").value(ctx.hex());
+  }
+  if (e.conn >= 0) w.key("conn").value(e.conn);
+  if (!e.name.empty()) w.key("name").value(e.name);
+  if (!e.mode.empty()) w.key("mode").value(e.mode);
+  if (e.bytes_wire >= 0) w.key("bytes_wire").value(e.bytes_wire);
+  if (e.bytes_raw >= 0) w.key("bytes_raw").value(e.bytes_raw);
+  if (e.blocks >= 0) w.key("blocks").value(e.blocks);
+  if (e.attempt >= 0) w.key("attempt").value(e.attempt);
+  if (e.j_est >= 0.0) w.key("j_est").value(e.j_est);
+  if (!e.err.empty()) w.key("err").value(e.err);
+  w.end_object();
+  out_ << w.str() << '\n';
+  out_.flush();  // lines must survive an abrupt process end mid-test
+}
+
+EventLog& EventLog::global() {
+  static EventLog log;
+  return log;
+}
+
+}  // namespace ecomp::obs

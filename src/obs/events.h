@@ -1,0 +1,66 @@
+// obs::EventLog — structured JSONL log of connection-lifecycle events.
+//
+// One line per lifecycle stage (accept, parse, compress, stream, retry,
+// error, close), emitted by both ends of a proxy transfer and stamped
+// with the request's TraceContext, so a single trace id can be joined
+// across the client-side and proxy-side logs. The schema is flat and
+// append-only (see docs/OBSERVABILITY.md); fields that do not apply to
+// a stage are simply omitted.
+//
+// The log is instance-based: the client CLI writes through
+// EventLog::global() (opened via `--events FILE` / ECOMP_EVENTS), while
+// each net::ProxyServer owns its own sink so tests can run several
+// proxies in one process without interleaving their logs.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ecomp::obs {
+
+/// One lifecycle event. `stage` is the required discriminator; numeric
+/// fields default to -1 (= "not set", omitted from the JSON line).
+struct Event {
+  std::string stage;    ///< accept|parse|compress|stream|retry|error|close|...
+  std::string side;     ///< "client" or "proxy"
+  std::uint64_t trace_id = 0;  ///< 0 = no trace attached (field omitted)
+  std::int64_t conn = -1;      ///< proxy connection ordinal
+  std::string name;            ///< object/file name, when known
+  std::string mode;            ///< transfer mode: raw|full|selective|put
+  std::int64_t bytes_wire = -1;  ///< bytes on the wire (compressed)
+  std::int64_t bytes_raw = -1;   ///< bytes after decode (original)
+  std::int64_t blocks = -1;      ///< selective-mode block count
+  std::int64_t attempt = -1;     ///< 1-based retry attempt ordinal
+  double j_est = -1.0;           ///< ledgered energy estimate, joules
+  std::string err;               ///< error detail for stage == "error"
+};
+
+/// Append-only JSONL sink. Thread-safe; emit() is a no-op until open()
+/// succeeds, so instrumented paths need no "is logging on?" checks.
+class EventLog {
+ public:
+  EventLog() = default;
+
+  /// Truncates/creates `path`; throws std::runtime_error on failure.
+  void open(const std::string& path);
+  void close();
+  bool is_open() const;
+  const std::string& path() const { return path_; }
+
+  /// Serialize `e` as one JSON line and append it (with a wall-clock
+  /// "ts_ms" stamp). No-op when the log is not open.
+  void emit(const Event& e);
+
+  /// The process-wide client-side log (the CLI's sink).
+  static EventLog& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  std::string path_;
+};
+
+}  // namespace ecomp::obs

@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace ecomp::obs {
 
@@ -44,5 +46,73 @@ inline std::string json_number(double v) {
   std::snprintf(buf, sizeof buf, "%.17g", v);
   return buf;
 }
+
+/// Minimal streaming JSON object/array writer — the one emitter behind
+/// `ecomp energy --json`, `ecomp stats --json`, and the STATS surface,
+/// so their quoting/number formatting can never drift apart. Commas
+/// are managed per nesting level; the caller supplies structure
+/// (begin/end calls must balance).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Key inside an object; follow with a value or begin_* call.
+  JsonWriter& key(std::string_view k) {
+    comma();
+    out_ += json_quote(k);
+    out_ += ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) { return raw(json_quote(s)); }
+  JsonWriter& value(const char* s) { return raw(json_quote(s)); }
+  JsonWriter& value(double v) { return raw(json_number(v)); }
+  JsonWriter& value(std::uint64_t v) { return raw(std::to_string(v)); }
+  JsonWriter& value(std::int64_t v) { return raw(std::to_string(v)); }
+  JsonWriter& value(int v) { return raw(std::to_string(v)); }
+  JsonWriter& value(bool v) { return raw(v ? "true" : "false"); }
+  /// Pre-rendered JSON (e.g. an EnergyLedger::to_json() document).
+  JsonWriter& raw(std::string_view json) {
+    comma();
+    out_ += json;
+    pending_value_ = false;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    first_.push_back(true);
+    pending_value_ = false;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    first_.pop_back();
+    pending_value_ = false;
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;  // a key was just written; no comma before its value
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
 
 }  // namespace ecomp::obs

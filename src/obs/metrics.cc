@@ -102,11 +102,24 @@ Histogram& Registry::histogram(std::string_view name,
   return *it->second;
 }
 
+SlidingHistogram& Registry::sliding(std::string_view name,
+                                    SlidingHistogram::Options opt) {
+  std::lock_guard lock(mu_);
+  auto it = sliding_.find(name);
+  if (it == sliding_.end())
+    it = sliding_
+             .emplace(std::string(name),
+                      std::make_unique<SlidingHistogram>(opt))
+             .first;
+  return *it->second;
+}
+
 void Registry::reset() {
   std::lock_guard lock(mu_);
   for (auto& [_, c] : counters_) c->reset();
   for (auto& [_, g] : gauges_) g->reset();
   for (auto& [_, h] : histograms_) h->reset();
+  for (auto& [_, s] : sliding_) s->reset();
 }
 
 std::string Registry::to_json() const {
@@ -142,6 +155,21 @@ std::string Registry::to_json() const {
     os << "],\"count\":" << h->count()
        << ",\"sum\":" << json_number(h->sum()) << "}";
   }
+  os << "},\"sliding\":{";
+  first = true;
+  for (const auto& [name, s] : sliding_) {
+    if (!first) os << ",";
+    first = false;
+    const auto snap = s->snapshot();
+    os << json_quote(name) << ":{\"count\":" << snap.total_count
+       << ",\"sum\":" << json_number(snap.total_sum)
+       << ",\"window_count\":" << snap.window_count
+       << ",\"rate_per_s\":" << json_number(snap.rate_per_s)
+       << ",\"p50\":" << json_number(snap.p50)
+       << ",\"p90\":" << json_number(snap.p90)
+       << ",\"p99\":" << json_number(snap.p99)
+       << ",\"p999\":" << json_number(snap.p999) << "}";
+  }
   os << "}}";
   return os.str();
 }
@@ -161,6 +189,15 @@ std::string Registry::to_text() const {
                                  : 0.0)
        << "\n";
   }
+  for (const auto& [name, s] : sliding_) {
+    const auto snap = s->snapshot();
+    os << name << " count=" << snap.total_count
+       << " rate_per_s=" << json_number(snap.rate_per_s)
+       << " p50=" << json_number(snap.p50)
+       << " p90=" << json_number(snap.p90)
+       << " p99=" << json_number(snap.p99)
+       << " p999=" << json_number(snap.p999) << "\n";
+  }
   return os.str();
 }
 
@@ -168,6 +205,15 @@ std::map<std::string, std::uint64_t> Registry::counter_values() const {
   std::lock_guard lock(mu_);
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::vector<std::pair<std::string, SlidingHistogram::Snapshot>>
+Registry::sliding_snapshots() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, SlidingHistogram::Snapshot>> out;
+  out.reserve(sliding_.size());
+  for (const auto& [name, s] : sliding_) out.emplace_back(name, s->snapshot());
   return out;
 }
 

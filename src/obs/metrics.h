@@ -18,7 +18,10 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "obs/histogram.h"
 
 namespace ecomp::obs {
 
@@ -102,6 +105,10 @@ class Registry {
   Gauge& gauge(std::string_view name);
   /// `bounds` applies on first registration only (ascending).
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  /// Sliding-window quantile histogram (see obs/histogram.h). `opt`
+  /// applies on first registration only.
+  SlidingHistogram& sliding(std::string_view name,
+                            SlidingHistogram::Options opt = {});
 
   /// Zero every instrument (benches diff before/after a workload).
   void reset();
@@ -115,6 +122,11 @@ class Registry {
   /// Counter name -> value snapshot (programmatic diffing in tests).
   std::map<std::string, std::uint64_t> counter_values() const;
 
+  /// Name-sorted snapshots of every sliding histogram (the STATS
+  /// surface merges these with its instance histograms).
+  std::vector<std::pair<std::string, SlidingHistogram::Snapshot>>
+  sliding_snapshots() const;
+
  private:
   Registry() = default;
 
@@ -122,6 +134,8 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<SlidingHistogram>, std::less<>>
+      sliding_;
 };
 
 }  // namespace ecomp::obs
@@ -148,6 +162,23 @@ class Registry {
         ::ecomp::obs::Registry::global().histogram(name, bounds);    \
     ecomp_obs_h_.observe(static_cast<double>(v));                    \
   } while (0)
+#define ECOMP_SLIDING_OBSERVE(name, v)                               \
+  do {                                                               \
+    static ::ecomp::obs::SlidingHistogram& ecomp_obs_sh_ =           \
+        ::ecomp::obs::Registry::global().sliding(name);              \
+    ecomp_obs_sh_.record(static_cast<std::uint64_t>(v));             \
+  } while (0)
+#define ECOMP_OBS_CONCAT2_(a, b) a##b
+#define ECOMP_OBS_CONCAT2(a, b) ECOMP_OBS_CONCAT2_(a, b)
+/// Scoped timer: records the enclosing block's duration (µs) into the
+/// named sliding histogram. Declares locals — use at block scope.
+#define ECOMP_SLIDING_TIMER(name)                                    \
+  static ::ecomp::obs::SlidingHistogram&                             \
+      ECOMP_OBS_CONCAT2(ecomp_obs_shr_, __LINE__) =                  \
+          ::ecomp::obs::Registry::global().sliding(name);            \
+  ::ecomp::obs::SlidingTimer ECOMP_OBS_CONCAT2(ecomp_obs_sht_,       \
+                                               __LINE__)(            \
+      ECOMP_OBS_CONCAT2(ecomp_obs_shr_, __LINE__))
 #else
 // `sizeof` keeps the operands syntactically used (no -Wunused noise)
 // without evaluating them.
@@ -156,4 +187,7 @@ class Registry {
 #define ECOMP_GAUGE_SET(name, v) do { (void)sizeof(name); (void)sizeof(v); } while (0)
 #define ECOMP_OBSERVE(name, bounds, v) \
   do { (void)sizeof(name); (void)sizeof(v); } while (0)
+#define ECOMP_SLIDING_OBSERVE(name, v) \
+  do { (void)sizeof(name); (void)sizeof(v); } while (0)
+#define ECOMP_SLIDING_TIMER(name) do { (void)sizeof(name); } while (0)
 #endif

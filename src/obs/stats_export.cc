@@ -1,0 +1,145 @@
+#include "obs/stats_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace ecomp::obs {
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted instrument
+/// names map dots (and anything else exotic) to underscores.
+std::string prom_name(std::string_view name) {
+  std::string out = "ecomp_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+StatsFormat parse_stats_format(const std::string& s) {
+  if (s == "json") return StatsFormat::Json;
+  if (s == "prom") return StatsFormat::Prometheus;
+  return StatsFormat::Text;
+}
+
+std::string stats_to_json(const StatsSnapshot& s) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("uptime_s").value(s.uptime_s);
+  w.key("connections_active").value(s.connections_active);
+  w.key("connections_total").value(s.connections_total);
+  w.key("requests_total").value(s.requests_total);
+  w.key("errors_total").value(s.errors_total);
+  w.key("faults_injected").value(s.faults_injected);
+  w.key("bytes_sent").value(s.bytes_sent);
+  w.key("bytes_recv").value(s.bytes_recv);
+  w.key("energy_served_j").value(s.energy_served_j);
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : s.counters) w.key(name).value(v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& h : s.histograms) {
+    w.key(h.name).begin_object();
+    w.key("count").value(h.snap.total_count);
+    w.key("sum").value(h.snap.total_sum);
+    w.key("window_count").value(h.snap.window_count);
+    w.key("rate_per_s").value(h.snap.rate_per_s);
+    w.key("from_window").value(h.snap.from_window);
+    w.key("p50").value(h.snap.p50);
+    w.key("p90").value(h.snap.p90);
+    w.key("p99").value(h.snap.p99);
+    w.key("p999").value(h.snap.p999);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string stats_to_text(const StatsSnapshot& s) {
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", s.uptime_s);
+  os << "uptime_s            " << buf << "\n";
+  os << "connections_active  " << s.connections_active << "\n";
+  os << "connections_total   " << s.connections_total << "\n";
+  os << "requests_total      " << s.requests_total << "\n";
+  os << "errors_total        " << s.errors_total << "\n";
+  os << "faults_injected     " << s.faults_injected << "\n";
+  os << "bytes_sent          " << s.bytes_sent << "\n";
+  os << "bytes_recv          " << s.bytes_recv << "\n";
+  std::snprintf(buf, sizeof buf, "%.6f", s.energy_served_j);
+  os << "energy_served_j     " << buf << "\n";
+  for (const auto& [name, v] : s.counters)
+    os << "counter " << name << " " << v << "\n";
+  for (const auto& h : s.histograms) {
+    os << "hist " << h.name << " count=" << h.snap.total_count
+       << " rate_per_s=" << json_number(h.snap.rate_per_s)
+       << " p50=" << json_number(h.snap.p50)
+       << " p90=" << json_number(h.snap.p90)
+       << " p99=" << json_number(h.snap.p99)
+       << " p999=" << json_number(h.snap.p999)
+       << (h.snap.from_window ? "" : " (all-time)") << "\n";
+  }
+  return os.str();
+}
+
+std::string stats_to_prometheus(const StatsSnapshot& s) {
+  std::ostringstream os;
+  const auto gauge = [&os](std::string_view name, std::string_view help,
+                           const std::string& v) {
+    const std::string n = prom_name(name);
+    os << "# HELP " << n << " " << help << "\n";
+    os << "# TYPE " << n << " gauge\n";
+    os << n << " " << v << "\n";
+  };
+  gauge("uptime_seconds", "Proxy uptime.", json_number(s.uptime_s));
+  gauge("connections_active", "Connections currently being served.",
+        std::to_string(s.connections_active));
+  gauge("connections_total", "Connections accepted since start.",
+        std::to_string(s.connections_total));
+  gauge("requests_total", "Requests parsed since start.",
+        std::to_string(s.requests_total));
+  gauge("errors_total", "Requests that ended in an error reply.",
+        std::to_string(s.errors_total));
+  gauge("faults_injected_total", "Injected wire faults hit.",
+        std::to_string(s.faults_injected));
+  gauge("bytes_sent_total", "Payload bytes sent on the wire.",
+        std::to_string(s.bytes_sent));
+  gauge("bytes_recv_total", "Payload bytes received on the wire.",
+        std::to_string(s.bytes_recv));
+  gauge("energy_served_joules", "Ledgered transfer energy served.",
+        json_number(s.energy_served_j));
+  for (const auto& [name, v] : s.counters)
+    gauge(name, "Registry counter.", std::to_string(v));
+  for (const auto& h : s.histograms) {
+    const std::string n = prom_name(h.name);
+    os << "# HELP " << n << " Sliding-window summary.\n";
+    os << "# TYPE " << n << " summary\n";
+    const std::pair<const char*, double> qs[] = {
+        {"0.5", h.snap.p50}, {"0.9", h.snap.p90},
+        {"0.99", h.snap.p99}, {"0.999", h.snap.p999}};
+    for (const auto& [q, v] : qs)
+      os << n << "{quantile=\"" << q << "\"} " << json_number(v) << "\n";
+    os << n << "_count " << h.snap.total_count << "\n";
+    os << n << "_sum " << json_number(h.snap.total_sum) << "\n";
+  }
+  return os.str();
+}
+
+std::string render_stats(const StatsSnapshot& s, StatsFormat format) {
+  switch (format) {
+    case StatsFormat::Json: return stats_to_json(s);
+    case StatsFormat::Prometheus: return stats_to_prometheus(s);
+    case StatsFormat::Text: break;
+  }
+  return stats_to_text(s);
+}
+
+}  // namespace ecomp::obs

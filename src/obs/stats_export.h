@@ -1,0 +1,55 @@
+// obs::StatsSnapshot — the proxy STATS surface's payload, plus its three
+// renderers (human text, JSON via the shared JsonWriter, and Prometheus
+// text exposition). net::ProxyServer fills one of these per STATS
+// request; `ecomp stats` fetches and re-renders the same shapes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace ecomp::obs {
+
+/// Rendering formats accepted by the STATS verb and `ecomp stats`.
+enum class StatsFormat { Text, Json, Prometheus };
+
+/// Parse "text"|"json"|"prom" (defaulting to Text on anything else).
+StatsFormat parse_stats_format(const std::string& s);
+
+struct HistStat {
+  std::string name;
+  SlidingHistogram::Snapshot snap;
+};
+
+/// Point-in-time view of one proxy instance. Counters and histograms
+/// are kept sorted by name so every rendering is byte-stable across
+/// identical states.
+struct StatsSnapshot {
+  double uptime_s = 0.0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t connections_total = 0;
+  std::uint64_t requests_total = 0;
+  std::uint64_t errors_total = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  double energy_served_j = 0.0;  ///< ledgered transfer energy, joules
+
+  std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< sorted
+  std::vector<HistStat> histograms;                             ///< sorted
+};
+
+/// One JSON object (see docs/OBSERVABILITY.md for the schema).
+std::string stats_to_json(const StatsSnapshot& s);
+/// Aligned human-readable lines for the terminal.
+std::string stats_to_text(const StatsSnapshot& s);
+/// Prometheus text exposition: dotted names become underscored metric
+/// names under the `ecomp_` prefix; quantiles become labeled samples.
+std::string stats_to_prometheus(const StatsSnapshot& s);
+/// Dispatch on `format`.
+std::string render_stats(const StatsSnapshot& s, StatsFormat format);
+
+}  // namespace ecomp::obs

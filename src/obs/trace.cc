@@ -1,9 +1,11 @@
 #include "obs/trace.h"
 
 #include <map>
+#include <random>
 #include <sstream>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace ecomp::obs {
 namespace {
@@ -15,7 +17,73 @@ int this_thread_tid() {
   return tid;
 }
 
+thread_local TraceContext g_current_trace;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
+
+TraceContext TraceContext::mint() {
+  // Entropy once per process, then a counter walked through splitmix64:
+  // ids are unique in-process and collision-resistant across processes.
+  static const std::uint64_t seed = [] {
+    std::random_device rd;
+    const std::uint64_t hi = rd(), lo = rd();
+    return splitmix64((hi << 32) ^ lo ^
+                      static_cast<std::uint64_t>(
+                          std::chrono::steady_clock::now()
+                              .time_since_epoch()
+                              .count()));
+  }();
+  static std::atomic<std::uint64_t> ctr{0};
+  TraceContext ctx;
+  do {
+    ctx.trace_id =
+        splitmix64(seed + ctr.fetch_add(1, std::memory_order_relaxed));
+  } while (ctx.trace_id == 0);
+  ctx.span_id = 1;
+  return ctx;
+}
+
+std::string TraceContext::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i)
+    out[static_cast<std::size_t>(i)] =
+        digits[(trace_id >> (60 - 4 * i)) & 0xf];
+  return out;
+}
+
+TraceContext TraceContext::from_hex(std::string_view hex) {
+  TraceContext ctx;
+  if (hex.size() != 16) return ctx;
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9')
+      v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else
+      return ctx;
+  }
+  ctx.trace_id = v;
+  ctx.span_id = 1;
+  return ctx;
+}
+
+TraceContext current_trace() { return g_current_trace; }
+
+TraceScope::TraceScope(TraceContext ctx) : prev_(g_current_trace) {
+  g_current_trace = ctx;
+}
+
+TraceScope::~TraceScope() { g_current_trace = prev_; }
 
 Tracer::Tracer() : t0_(std::chrono::steady_clock::now()) {}
 
@@ -53,6 +121,7 @@ void Tracer::add_complete(std::string_view name, std::string_view cat,
   e.dur_us = dur_us;
   e.pid = pid;
   e.tid = pid == kSimPid ? 1 : this_thread_tid();
+  e.trace_id = g_current_trace.trace_id;
   std::lock_guard lock(mu_);
   events_.push_back(std::move(e));
 }
@@ -105,6 +174,11 @@ std::string Tracer::to_chrome_json() const {
     } else {
       os << ",\"ph\":\"X\",\"ts\":" << json_number(e.ts_us)
          << ",\"dur\":" << json_number(e.dur_us);
+      if (e.trace_id) {
+        TraceContext ctx;
+        ctx.trace_id = e.trace_id;
+        os << ",\"args\":{\"trace\":" << json_quote(ctx.hex()) << "}";
+      }
     }
     os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << "}";
   }
@@ -144,7 +218,14 @@ Span::Span(std::string_view name, std::string_view cat)
 Span::~Span() {
   if (!active_) return;
   Tracer& t = Tracer::global();
-  t.add_complete(name_, cat_, start_us_, t.now_us() - start_us_);
+  const double dur_us = t.now_us() - start_us_;
+  t.add_complete(name_, cat_, start_us_, dur_us);
+  // Span durations also feed the sliding-window quantile histograms,
+  // one per category ("span.codec_us", "span.net_us", ...), so the
+  // STATS surface can report live span tails without a trace file.
+  Registry::global()
+      .sliding(std::string("span.") + std::string(cat_) + "_us")
+      .record(static_cast<std::uint64_t>(dur_us < 0 ? 0 : dur_us));
 }
 
 }  // namespace ecomp::obs

@@ -26,6 +26,41 @@ namespace ecomp::obs {
 inline constexpr int kWallPid = 1;  ///< wall-clock track
 inline constexpr int kSimPid = 2;   ///< simulated-seconds track
 
+/// Request-scoped identity carried across the wire: the client CLI
+/// mints a trace_id, the proxy protocol carries it as a `trace=<hex>`
+/// token on the request line and echoes it in replies, and both sides
+/// stamp it into their span tracer output and JSONL event logs.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = no trace attached
+  std::uint64_t span_id = 0;   ///< per-hop ordinal under the trace
+
+  bool valid() const { return trace_id != 0; }
+  /// Fresh nonzero 64-bit id (splitmix64 over an entropy-seeded
+  /// counter — unique per process, collision-resistant across them).
+  static TraceContext mint();
+  /// 16 lowercase hex chars of trace_id.
+  std::string hex() const;
+  /// Parse hex() output; returns an invalid context on malformed input.
+  static TraceContext from_hex(std::string_view hex);
+};
+
+/// The calling thread's current trace context (invalid when none).
+/// Spans recorded while a TraceScope is live carry its trace_id.
+TraceContext current_trace();
+
+/// RAII: installs `ctx` as the thread's current trace context for the
+/// enclosing scope (restores the previous one on destruction).
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext ctx);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
 struct TraceEvent {
   std::string name;
   std::string cat;
@@ -35,6 +70,7 @@ struct TraceEvent {
   int tid = 0;
   char ph = 'X';        ///< 'X' complete span, 'C' counter sample
   double value = 0.0;   ///< counter value when ph == 'C'
+  std::uint64_t trace_id = 0;  ///< stamped into args when nonzero
 };
 
 class Tracer {

@@ -38,7 +38,7 @@ void ThreadPool::submit(std::function<void()> fn) {
                    [this] { return stopping_ || queue_.size() < capacity_; });
     if (stopping_) throw Error("ThreadPool: submit after shutdown");
     queue_.push_back(std::move(fn));
-    ECOMP_GAUGE_SET("par.queue_depth", queue_.size());
+    ECOMP_SLIDING_OBSERVE("par.queue_depth", queue_.size());
   }
   not_empty_.notify_one();
 }
@@ -52,7 +52,7 @@ void ThreadPool::worker() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
-      ECOMP_GAUGE_SET("par.queue_depth", queue_.size());
+      ECOMP_SLIDING_OBSERVE("par.queue_depth", queue_.size());
     }
     not_full_.notify_one();
     {

@@ -11,7 +11,9 @@
 //     consumer by an unbounded number of buffered blocks. Tasks must
 //     therefore never submit() to their own pool (documented deadlock).
 //   * Obs-instrumented: "par.tasks" counts executed tasks,
-//     "par.queue_depth" tracks the instantaneous queue backlog,
+//     "par.queue_depth" is a sliding-window histogram of the queue
+//     backlog sampled at every push/pop (so p50/p99 backlog and not
+//     just the last value survive to the STATS surface),
 //     "par.workers" records the pool size, and each task body runs
 //     under an ECOMP_TRACE_SPAN("par.task") so pool activity shows up
 //     on the wall-clock trace track.
