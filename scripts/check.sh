@@ -33,20 +33,22 @@ cmake --build build-check-asan -j "$JOBS"
 ctest --test-dir build-check-asan --output-on-failure -j "$JOBS"
 
 echo
-echo "== preset 3: TSan (concurrency + robustness + observability labels) =="
+echo "== preset 3: TSan (concurrency/robustness/observability/profiling) =="
 # ThreadSanitizer cannot combine with ASan, so it gets its own tree; it
 # runs the suites that actually spawn threads (the parallel block
 # pipeline, threaded interleaving, shared-instance contracts, the
-# fault matrix's server/client pairs, and the telemetry layer's sharded
-# histograms + proxy/client event logging).
+# fault matrix's server/client pairs, the telemetry layer's sharded
+# histograms + proxy/client event logging, and the profiler's SIGPROF
+# sampler + collector + flight-recorder ring).
 cmake -B build-check-tsan -S . -DECOMP_OBS=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
   >/dev/null
 cmake --build build-check-tsan -j "$JOBS" \
   --target ecomp_concurrency_tests ecomp_robustness_tests \
-  ecomp_observability_tests
-ctest --test-dir build-check-tsan -L "concurrency|robustness|observability" \
+  ecomp_observability_tests ecomp_profiling_tests
+ctest --test-dir build-check-tsan \
+  -L "concurrency|robustness|observability|profiling" \
   --output-on-failure -j "$JOBS"
 
 if [ "${ECOMP_CHECK_SKIP_BENCH:-0}" = "1" ]; then
@@ -60,33 +62,64 @@ scripts/bench_gate.sh build-check
 
 echo
 echo "== overhead gate: bench_codec_throughput ON vs OFF (budget ${BUDGET}%) =="
+# The ON build carries the whole prof subsystem compiled in but idle
+# (zone markers are one relaxed load when no profile runs), so this
+# budget is also the profiler's at-rest overhead envelope.
 cmake -B build-check-obsoff -S . -DECOMP_OBS=OFF >/dev/null
 cmake --build build-check-obsoff -j "$JOBS" --target bench_codec_throughput
 
+echo
+echo "== ECOMP_OBS=OFF link hygiene: zero prof symbols in ecomp =="
+# zone.h/alloc.h are header-only exactly so an =OFF build needs no link
+# edge to ecomp_prof; if any prof library symbol (profiler, flight
+# recorder, crash handler, alloc publishing) shows up in the =OFF CLI
+# binary, that contract broke.
+cmake --build build-check-obsoff -j "$JOBS" --target ecomp
+if nm -C build-check-obsoff/tools/ecomp | grep -E \
+  "prof::(Profiler|FlightRecorder|install_crash_handler|fatal_dump|attach_flight_mirror|alloc_snapshot|rss_peak_kb|publish_alloc_metrics|write_folded)" \
+  ; then
+  echo "FAIL: ECOMP_OBS=OFF ecomp binary references ecomp::prof symbols" >&2
+  exit 1
+fi
+echo "link hygiene: OK"
+
 BENCH_ARGS="--benchmark_repetitions=3 --benchmark_min_time=0.2"
-mkdir -p build-check/obs_gate/on build-check/obs_gate/off
-# Interleave would be fairer, but gbench binaries run all repetitions in
-# one process; run OFF first so the ON numbers see a warmed file cache.
-ECOMP_BENCH_DIR=build-check/obs_gate/off \
-  build-check-obsoff/bench/bench_codec_throughput $BENCH_ARGS >/dev/null
-ECOMP_BENCH_DIR=build-check/obs_gate/on \
-  build-check/bench/bench_codec_throughput $BENCH_ARGS >/dev/null
+# gbench runs all repetitions of one invocation in a single process, so
+# interleave at the process level instead: two passes per side in
+# OFF/ON/OFF/ON order, then take each benchmark's best median per side.
+# A slow machine-load transient then has to hit both passes of one side
+# (and neither pass of the other) to bias the ratio, which tames the
+# run-to-run wall-clock noise a single pass per side is exposed to.
+for pass_n in 1 2; do
+  mkdir -p "build-check/obs_gate/on$pass_n" "build-check/obs_gate/off$pass_n"
+  ECOMP_BENCH_DIR="build-check/obs_gate/off$pass_n" \
+    build-check-obsoff/bench/bench_codec_throughput $BENCH_ARGS >/dev/null
+  ECOMP_BENCH_DIR="build-check/obs_gate/on$pass_n" \
+    build-check/bench/bench_codec_throughput $BENCH_ARGS >/dev/null
+done
 
 python3 - "$BUDGET" <<'EOF'
 import json, math, sys
 
 budget_pct = float(sys.argv[1])
-on = json.load(open("build-check/obs_gate/on/BENCH_codec_throughput.json"))
-off = json.load(open("build-check/obs_gate/off/BENCH_codec_throughput.json"))
 
-def medians(report):
+def medians(path):
+    report = json.load(open(path))
     out = {}
     for key, value in report["headline"].items():
         if key.endswith("_median.real_s"):
             out[key[: -len("_median.real_s")]] = value
     return out
 
-m_on, m_off = medians(on), medians(off)
+def best_of(side):
+    passes = [
+        medians(f"build-check/obs_gate/{side}{n}/BENCH_codec_throughput.json")
+        for n in (1, 2)
+    ]
+    common = set(passes[0]) & set(passes[1])
+    return {name: min(p[name] for p in passes) for name in common}
+
+m_on, m_off = best_of("on"), best_of("off")
 common = sorted(set(m_on) & set(m_off))
 if not common:
     sys.exit("overhead gate: no common median measurements found")

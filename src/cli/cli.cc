@@ -33,6 +33,13 @@
 #include "sim/packet.h"
 #include "workload/corpus.h"
 
+#if defined(ECOMP_OBS_ENABLED)
+#include "prof/alloc.h"
+#include "prof/crash.h"
+#include "prof/flight.h"
+#include "prof/profiler.h"
+#endif
+
 namespace ecomp::cli {
 namespace {
 
@@ -52,6 +59,8 @@ constexpr const char* kUsage =
     "  ecomp stats      --port PORT [--json|--prom] [--watch]\n"
     "                   [--interval-ms MS] [--count N] [--out FILE]\n"
     "  ecomp corpus     [-s SCALE] OUTDIR\n"
+    "  ecomp profile    COMMAND [args...]   run any command under the\n"
+    "                   sampling profiler and print a self-time table\n"
     "parallelism (compress/decompress/download, selective containers):\n"
     "  --threads N      worker threads; 0 = one per hardware thread"
     " (default)\n"
@@ -60,7 +69,14 @@ constexpr const char* kUsage =
     "                   the ECOMP_TRACE env var sets a default path\n"
     "  --metrics FILE   write the metrics registry snapshot as JSON\n"
     "  --events FILE    write a JSONL connection-lifecycle event log;\n"
-    "                   the ECOMP_EVENTS env var sets a default path\n";
+    "                   the ECOMP_EVENTS env var sets a default path\n"
+    "profiling (any command; see docs/PROFILING.md):\n"
+    "  --profile FILE   sample this run and write collapsed stacks\n"
+    "                   (flamegraph.pl / inferno-flamegraph compatible)\n"
+    "  --profile-hz N   sampling rate for --profile / profile (default"
+    " 997)\n"
+    "  --crash-dump FILE install a fatal-signal handler that dumps the\n"
+    "                   flight recorder; ECOMP_CRASH_DUMP sets a default\n";
 
 struct ArgParser {
   std::vector<std::string> positional;
@@ -73,6 +89,9 @@ struct ArgParser {
   std::string metrics_path;  // --metrics
   std::string events_path;   // --events / ECOMP_EVENTS
   std::string out_path;      // stats: --out snapshot destination
+  std::string profile_path;  // --profile folded-stack destination
+  int profile_hz = 997;      // --profile-hz sampling rate
+  std::string crash_dump_path;  // --crash-dump / ECOMP_CRASH_DUMP
   bool breakdown = false;    // energy: per-component ledger table
   bool json = false;         // energy/stats: machine-readable output
   bool prom = false;         // stats: Prometheus exposition
@@ -122,6 +141,12 @@ struct ArgParser {
           events_path = value("--events");
         } else if (a == "--out") {
           out_path = value("--out");
+        } else if (a == "--profile") {
+          profile_path = value("--profile");
+        } else if (a == "--profile-hz") {
+          profile_hz = std::stoi(value("--profile-hz"));
+        } else if (a == "--crash-dump") {
+          crash_dump_path = value("--crash-dump");
         } else if (a == "--breakdown") {
           breakdown = true;
         } else if (a == "--json") {
@@ -164,6 +189,9 @@ struct ArgParser {
       if (const char* env = std::getenv("ECOMP_TRACE")) trace_path = env;
     if (events_path.empty())
       if (const char* env = std::getenv("ECOMP_EVENTS")) events_path = env;
+    if (crash_dump_path.empty())
+      if (const char* env = std::getenv("ECOMP_CRASH_DUMP"))
+        crash_dump_path = env;
     return "";
   }
 };
@@ -578,6 +606,9 @@ bool flush_obs_outputs(const ArgParser& p, std::ostream& err) {
   }
   if (!p.metrics_path.empty()) {
     try {
+#if defined(ECOMP_OBS_ENABLED)
+      prof::publish_alloc_metrics();  // prof.alloc.* gauges ride along
+#endif
       const std::string json = obs::Registry::global().to_json();
       write_file(p.metrics_path, as_bytes(json));
     } catch (const std::exception& e) {
@@ -607,14 +638,27 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     err << kUsage;
     return 1;
   }
+  // `ecomp profile CMD ...` is CMD run under the profiler with the
+  // self-time table printed afterwards; flags parse identically.
+  std::vector<std::string> cmd_args = args;
+  bool profile_wrapper = false;
+  if (cmd_args[0] == "profile") {
+    if (cmd_args.size() < 2) {
+      err << "profile needs a command to run\n" << kUsage;
+      return 1;
+    }
+    profile_wrapper = true;
+    cmd_args.erase(cmd_args.begin());
+  }
   ArgParser p;
-  const std::string msg = p.parse(args, 1);
+  const std::string msg = p.parse(cmd_args, 1);
   if (!msg.empty()) {
     err << msg << "\n" << kUsage;
     return 1;
   }
   for (const std::string* path :
-       {&p.trace_path, &p.metrics_path, &p.events_path, &p.out_path}) {
+       {&p.trace_path, &p.metrics_path, &p.events_path, &p.out_path,
+        &p.profile_path, &p.crash_dump_path}) {
     if (path->empty()) continue;
     const std::string werr = probe_writable(*path);
     if (!werr.empty()) {
@@ -631,10 +675,30 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return 2;
     }
   }
+  const bool want_profile = profile_wrapper || !p.profile_path.empty();
+#if defined(ECOMP_OBS_ENABLED)
+  if (!p.crash_dump_path.empty())
+    prof::install_crash_handler(p.crash_dump_path);
+  if (want_profile) {
+    prof::attach_flight_mirror();
+    prof::ProfilerOptions popt;
+    popt.hz = std::max(p.profile_hz, 1);
+    if (!prof::Profiler::global().start(popt)) {
+      err << "error: profiler already running\n";
+      return 2;
+    }
+  }
+#else
+  if (want_profile)
+    err << "warning: profiling is a no-op in this build (ECOMP_OBS=OFF)\n";
+  if (!p.crash_dump_path.empty())
+    err << "warning: crash dumps are a no-op in this build"
+           " (ECOMP_OBS=OFF)\n";
+#endif
 
   int code;
   try {
-    const std::string& cmd = args[0];
+    const std::string& cmd = cmd_args[0];
     ECOMP_TRACE_SPAN("ecomp", "cli");
     if (cmd == "compress") {
       code = cmd_compress(p, out);
@@ -657,15 +721,35 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return 1;
     }
   } catch (const Error& e) {
+#if defined(ECOMP_OBS_ENABLED)
+    if (prof::crash_handler_installed()) prof::fatal_dump(e.what());
+#endif
     err << "error: " << e.what() << "\n";
     code = 2;
   } catch (const std::exception& e) {
     // Corrupt input can surface as std::bad_alloc / length_error from a
     // lying size field before a codec's own validation catches it; that
     // is still "corrupt input", not a crash.
+#if defined(ECOMP_OBS_ENABLED)
+    if (prof::crash_handler_installed()) prof::fatal_dump(e.what());
+#endif
     err << "error: corrupt or unreadable input (" << e.what() << ")\n";
     code = 2;
   }
+#if defined(ECOMP_OBS_ENABLED)
+  if (want_profile && prof::Profiler::global().running()) {
+    const prof::ProfileReport report = prof::Profiler::global().stop();
+    if (!p.profile_path.empty()) {
+      try {
+        prof::write_folded(p.profile_path, report);
+      } catch (const std::exception& e) {
+        err << "error: writing profile: " << e.what() << "\n";
+        if (code == 0) code = 2;
+      }
+    }
+    if (profile_wrapper) out << report.to_table();
+  }
+#endif
   if (!flush_obs_outputs(p, err) && code == 0) code = 2;
   // The event log is per-invocation: close it so repeated cli::run calls
   // in one process (tests) don't bleed events across runs.

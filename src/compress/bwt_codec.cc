@@ -7,6 +7,7 @@
 #include "compress/huffman.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prof/zone.h"
 #include "util/bitio.h"
 #include "util/crc32.h"
 
@@ -49,10 +50,21 @@ std::vector<std::uint8_t> lengths_for(const std::vector<std::uint64_t>& freqs,
 }
 
 Bytes encode_block(ByteSpan block, int max_tables) {
+  // Stage zones follow the pipeline: sort transform, MTF+ZRLE, then
+  // everything from table seeding through emission as huffman.encode.
   std::uint32_t primary = 0;
-  const Bytes last = bwt_forward(block, primary);
-  const Bytes mtf = mtf_encode(last);
+  Bytes last;
+  {
+    ECOMP_PROF_ZONE("bwt.forward");
+    last = bwt_forward(block, primary);
+  }
+  Bytes mtf;
+  {
+    ECOMP_PROF_ZONE("mtf");
+    mtf = mtf_encode(last);
+  }
   const auto syms = zrle_encode(mtf);
+  ECOMP_PROF_ZONE("huffman.encode");
 
   const int n_tables = std::min(table_count_for(syms.size()), max_tables);
   const std::size_t n_groups = (syms.size() + kGroupSize - 1) / kGroupSize;
@@ -172,24 +184,32 @@ Bytes decode_block(ByteSpan in, std::size_t& pos) {
 
   std::vector<std::uint16_t> syms;
   syms.reserve(block_size / 2 + 16);
-  bool done = false;
-  while (!done) {
-    std::uint32_t sel = sel_bits ? br.get(sel_bits) : 0;
-    if (sel >= static_cast<std::uint32_t>(n_tables))
-      throw Error("bwt: bad selector");
-    const auto& dec = decoders[sel];
-    for (std::size_t i = 0; i < kGroupSize; ++i) {
-      const std::uint32_t s = dec.decode(br);
-      syms.push_back(static_cast<std::uint16_t>(s));
-      if (s == kZrleEob) {
-        done = true;
-        break;
+  {
+    ECOMP_PROF_ZONE("huffman.decode");
+    bool done = false;
+    while (!done) {
+      std::uint32_t sel = sel_bits ? br.get(sel_bits) : 0;
+      if (sel >= static_cast<std::uint32_t>(n_tables))
+        throw Error("bwt: bad selector");
+      const auto& dec = decoders[sel];
+      for (std::size_t i = 0; i < kGroupSize; ++i) {
+        const std::uint32_t s = dec.decode(br);
+        syms.push_back(static_cast<std::uint16_t>(s));
+        if (s == kZrleEob) {
+          done = true;
+          break;
+        }
       }
     }
   }
-  const Bytes mtf = zrle_decode(syms);
-  const Bytes last = mtf_decode(mtf);
+  Bytes mtf, last;
+  {
+    ECOMP_PROF_ZONE("mtf");
+    mtf = zrle_decode(syms);
+    last = mtf_decode(mtf);
+  }
   if (last.size() != block_size) throw Error("bwt: block size mismatch");
+  ECOMP_PROF_ZONE("bwt.inverse");
   return bwt_inverse(last, static_cast<std::uint32_t>(primary));
 }
 
@@ -204,7 +224,12 @@ Bytes BwtCodec::compress(ByteSpan input) const {
   ECOMP_TRACE_SPAN("bwt.compress", "codec");
   ECOMP_COUNT_N("bwt.bytes_in", input.size());
   Bytes out;
-  write_header(out, kBwtMagic, input.size(), crc32(input));
+  std::uint32_t crc;
+  {
+    ECOMP_PROF_ZONE("crc32");
+    crc = crc32(input);
+  }
+  write_header(out, kBwtMagic, input.size(), crc);
   const Bytes rle = rle1_encode(input);
   put_varint(out, rle.size());
 
@@ -242,7 +267,10 @@ Bytes BwtCodec::decompress(ByteSpan input) const {
   }
   if (rle.size() != rle_size) throw Error("bwt: stream size mismatch");
   Bytes out = rle1_decode(rle);
-  check_crc(h, out);
+  {
+    ECOMP_PROF_ZONE("crc32");
+    check_crc(h, out);
+  }
   return out;
 }
 

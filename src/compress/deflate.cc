@@ -7,6 +7,7 @@
 #include "compress/huffman.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "prof/zone.h"
 #include "util/crc32.h"
 
 namespace ecomp::compress {
@@ -193,6 +194,9 @@ void emit_tokens(BitWriterLsb& out, const std::vector<Lz77Token>& tokens,
 void emit_block(BitWriterLsb& out, ByteSpan raw,
                 const std::vector<Lz77Token>& tokens, std::size_t begin,
                 std::size_t end, bool final) {
+  // One zone per block: census, tree builds, and token emission all
+  // attribute to huffman.encode (lz77.match already ended upstream).
+  ECOMP_PROF_ZONE("huffman.encode");
   const BlockPlan plan = census(tokens, begin, end);
 
   auto dyn_lit = huffman::build_code_lengths(plan.lit_freq, kMaxCodeLen);
@@ -321,6 +325,7 @@ Bytes inflate_raw(BitReaderLsb& in, std::size_t size_hint) {
 
   bool final = false;
   while (!final) {
+    ECOMP_PROF_ZONE("huffman.decode");
     final = in.get(1) != 0;
     const std::uint32_t btype = in.get(2);
     if (btype == 0) {
@@ -407,7 +412,12 @@ Bytes DeflateCodec::compress(ByteSpan input) const {
   ECOMP_TRACE_SPAN("deflate.compress", "codec");
   ECOMP_SLIDING_TIMER("deflate.compress_us");
   Bytes out;
-  write_header(out, kDeflateMagic, input.size(), crc32(input));
+  std::uint32_t crc;
+  {
+    ECOMP_PROF_ZONE("crc32");
+    crc = crc32(input);
+  }
+  write_header(out, kDeflateMagic, input.size(), crc);
   BitWriterLsb bw;
   deflate_raw(input, params_, bw);
   Bytes payload = bw.take();
@@ -421,7 +431,10 @@ Bytes DeflateCodec::decompress(ByteSpan input) const {
   const Header h = read_header(input, kDeflateMagic);
   BitReaderLsb br(input.subspan(h.payload_offset));
   Bytes out = inflate_raw(br, h.original_size);
-  check_crc(h, out);
+  {
+    ECOMP_PROF_ZONE("crc32");
+    check_crc(h, out);
+  }
   return out;
 }
 

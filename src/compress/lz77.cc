@@ -6,6 +6,8 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "prof/alloc.h"
+#include "prof/zone.h"
 
 namespace ecomp::compress {
 
@@ -80,11 +82,17 @@ struct MatcherScratch {
   void prepare(std::size_t input_size) {
     if (head.empty()) {
       head.assign(kHashSize, -1);
+      ECOMP_PROF_ALLOC("lz77.scratch",
+                       kHashSize * sizeof(std::int32_t));
     } else {
       ECOMP_COUNT("lz77.scratch_reuse");
       std::fill(head.begin(), head.end(), -1);
     }
-    if (prev.size() < input_size) prev.resize(input_size);
+    if (prev.size() < input_size) {
+      ECOMP_PROF_ALLOC("lz77.scratch",
+                       (input_size - prev.size()) * sizeof(std::int32_t));
+      prev.resize(input_size);
+    }
   }
 };
 
@@ -183,7 +191,11 @@ std::vector<Lz77Token> lz77_tokenize(ByteSpan input,
                                      const Lz77Params& params) {
   std::vector<Lz77Token> tokens;
   if (input.empty()) return tokens;
+  // Block granularity: one zone per tokenize call, never per token.
+  ECOMP_PROF_ZONE("lz77.match");
   tokens.reserve(input.size() / 3);
+  ECOMP_PROF_ALLOC("lz77.tokens",
+                   (input.size() / 3) * sizeof(Lz77Token));
 
   Matcher m(input, params, tokenize_scratch());
   std::size_t pos = 0;
@@ -257,6 +269,7 @@ std::vector<Lz77Token> lz77_tokenize(ByteSpan input,
 }
 
 Bytes lz77_reconstruct(const std::vector<Lz77Token>& tokens) {
+  ECOMP_PROF_ZONE("lz77.reconstruct");
   std::size_t total = 0;
   for (const auto& t : tokens)
     total += t.length == 0 ? 1 : static_cast<std::size_t>(t.length);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <sstream>
 #include <thread>
 
@@ -12,6 +14,12 @@
 #include "sim/transfer.h"
 #include "util/crc32.h"
 #include "util/rng.h"
+
+#if defined(ECOMP_OBS_ENABLED)
+#include "prof/alloc.h"
+#include "prof/flight.h"
+#include "prof/profiler.h"
+#endif
 
 namespace ecomp::net {
 namespace {
@@ -45,6 +53,16 @@ std::uint64_t echoed_trace(const std::string& status) {
       .trace_id;
 }
 
+/// Test hook: when ECOMP_PROF_TEST_CRASH is set, fault mid-download
+/// (after the first payload bytes arrive) so the crash-dump pipeline can
+/// be exercised end-to-end from a child process.
+void maybe_test_crash() {
+#if defined(ECOMP_OBS_ENABLED)
+  static const bool want = std::getenv("ECOMP_PROF_TEST_CRASH") != nullptr;
+  if (want) ::raise(SIGSEGV);
+#endif
+}
+
 std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
   const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                       std::chrono::steady_clock::now() - t0)
@@ -76,6 +94,11 @@ ProxyServer::ProxyServer(FileStore store, compress::SelectivePolicy policy,
       block_size_(block_size),
       threads_(threads == 0 ? 1 : threads),
       listener_(0) {
+#if defined(ECOMP_OBS_ENABLED)
+  // Every event emitted anywhere in the process also lands in the
+  // flight recorder, so a crash dump always has recent history.
+  prof::attach_flight_mirror();
+#endif
   if (precompress) {
     for (const auto& [name, data] : store_.files()) {
       full_cache_[name] = compress::DeflateCodec().compress(data);
@@ -165,6 +188,15 @@ obs::StatsSnapshot ProxyServer::stats() const {
             [](const obs::HistStat& a, const obs::HistStat& b) {
               return a.name < b.name;
             });
+#if defined(ECOMP_OBS_ENABLED)
+  s.prof.present = true;
+  s.prof.rss_peak_kb = prof::rss_peak_kb();
+  s.prof.samples_lifetime = prof::Profiler::lifetime_samples();
+  s.prof.sampler_active = prof::Profiler::sampler_active();
+  s.prof.flight_recorded = prof::FlightRecorder::global().recorded();
+  for (const auto& a : prof::alloc_snapshot())
+    s.prof.alloc.push_back({a.component, a.bytes, a.allocs, a.peak});
+#endif
   return s;
 }
 
@@ -557,6 +589,7 @@ Bytes download(std::uint16_t port, const std::string& name,
         [&](std::uint8_t* dst, std::size_t max) -> std::size_t {
           const std::size_t n = s.recv_some(dst, max);
           local.bytes_on_wire += n;
+          if (n) maybe_test_crash();
           return n;
         },
         [&](ByteSpan) { ++local.blocks; }, &local.block_infos);
@@ -564,6 +597,7 @@ Bytes download(std::uint16_t port, const std::string& name,
     const std::uint32_t payload_size = recv_frame_header(s);
     local.bytes_on_wire = payload_size;
     const Bytes payload = s.recv_exact(payload_size);
+    maybe_test_crash();
     result = mode == "raw" ? payload
                            : compress::DeflateCodec().decompress(payload);
   }
@@ -701,11 +735,18 @@ DownloadOutcome download_resilient(std::uint16_t port,
         s.set_recv_timeout_ms(policy.timeout_ms);
         s.set_send_timeout_ms(policy.timeout_ms);
       }
+      // Lifecycle markers per attempt: if this attempt dies mid-stream
+      // the flight recorder still knows a connection was up and what
+      // was asked of it (the crash-dump tests pivot on these).
+      event({.stage = "connect", .attempt = attempt + 1});
       send_frame(s,
                  as_bytes(with_trace("GET-RANGE " + mode + " " + name + " " +
                                          std::to_string(offset),
                                      policy.trace ? ctx
                                                   : obs::TraceContext{})));
+      event({.stage = "request",
+             .bytes_wire = static_cast<std::int64_t>(offset),
+             .attempt = attempt + 1});
       const std::string status = ecomp::to_string(recv_frame(s));
       if (policy.trace && echoed_trace(status) == ctx.trace_id)
         out.stats.trace_echoed = true;
@@ -717,6 +758,7 @@ DownloadOutcome download_resilient(std::uint16_t port,
         while (true) {
           const std::size_t n = s.recv_some(buf.data(), buf.size());
           if (n == 0) break;  // server finished (or died; decode decides)
+          maybe_test_crash();
           partial.insert(partial.end(), buf.begin(), buf.begin() + n);
         }
         // Fully received container + parallel decode requested: inflate
@@ -811,6 +853,7 @@ DownloadOutcome download_resilient(std::uint16_t port,
             static_cast<std::size_t>(std::min<std::uint64_t>(buf.size(),
                                                              left)));
         if (n == 0) throw Error("net: peer closed mid-message");
+        maybe_test_crash();
         partial.insert(partial.end(), buf.begin(), buf.begin() + n);
         left -= n;
       }

@@ -13,37 +13,59 @@
 namespace ecomp::obs {
 namespace {
 
-/// A metric gates when a larger value means worse: times (_s), energies
-/// (_j), and every energy-ledger component (all joules/seconds).
-bool headline_gates(const std::string& key) {
-  auto ends_with = [&](std::string_view suf) {
-    return key.size() >= suf.size() &&
-           key.compare(key.size() - suf.size(), suf.size(), suf) == 0;
-  };
-  return ends_with("_s") || ends_with("_j");
+bool ends_with(const std::string& key, std::string_view suf) {
+  return key.size() >= suf.size() &&
+         key.compare(key.size() - suf.size(), suf.size(), suf) == 0;
 }
 
+/// A metric gates when a larger value means worse: times (_s), energies
+/// (_j), and every energy-ledger component (all joules/seconds).
+/// Wall-clock keys from the google-benchmark sidecar (.real_s) and
+/// throughput rates (.bytes_per_s) are machine noise, not simulator
+/// output — reported, never gated.
+bool headline_gates(const std::string& key) {
+  if (ends_with(key, ".real_s") || ends_with(key, ".bytes_per_s")) return false;
+  return ends_with(key, "_s") || ends_with(key, "_j");
+}
+
+/// One comparable value: gated or not, and whether the gate is absolute
+/// (percentage-point metrics) instead of relative.
+struct Comparable {
+  double value = 0.0;
+  bool gated = false;
+  bool absolute = false;
+};
+
 /// Flatten the comparable numeric metrics of one sidecar document:
-/// headline.* plus energy.<scenario>.{total,<component>} energies.
-std::map<std::string, std::pair<double, bool>> comparable_metrics(
-    const JsonValue& doc) {
-  std::map<std::string, std::pair<double, bool>> out;
+/// headline.*, energy.<scenario>.{total,<component>} energies, and
+/// prof.* profiler metrics.
+std::map<std::string, Comparable> comparable_metrics(const JsonValue& doc) {
+  std::map<std::string, Comparable> out;
   if (const JsonValue* headline = doc.find("headline")) {
     for (const auto& [key, v] : headline->object)
       if (v.is_number())
-        out["headline." + key] = {v.number, headline_gates(key)};
+        out["headline." + key] = {v.number, headline_gates(key), false};
   }
   if (const JsonValue* energy = doc.find("energy")) {
     for (const auto& [scenario, ledger] : energy->object) {
       if (!ledger.is_object()) continue;
       out["energy." + scenario + ".total"] = {
-          ledger.number_or("total_energy_j", 0.0), true};
+          ledger.number_or("total_energy_j", 0.0), true, false};
       if (const JsonValue* comps = ledger.find("components")) {
         for (const auto& [path, node] : comps->object)
           out["energy." + scenario + "." + path] = {
-              node.number_or("energy_j", 0.0), true};
+              node.number_or("energy_j", 0.0), true, false};
       }
     }
+  }
+  if (const JsonValue* prof = doc.find("prof")) {
+    // Schema 3 profiler section. _self_pct keys gate on absolute
+    // points; schema 2 sidecars simply have no prof block.
+    for (const auto& [key, v] : prof->object)
+      if (v.is_number()) {
+        const bool self_pct = ends_with(key, "_self_pct");
+        out["prof." + key] = {v.number, self_pct, self_pct};
+      }
   }
   return out;
 }
@@ -66,11 +88,17 @@ double MetricDelta::delta_pct() const {
   return (current - baseline) / std::fabs(baseline) * 100.0;
 }
 
+bool MetricDelta::regressed(double threshold_pct) const {
+  if (!gated) return false;
+  if (absolute) return current - baseline > kSelfPctPoints;
+  return delta_pct() > threshold_pct;
+}
+
 std::vector<const MetricDelta*> BenchDiff::regressions(
     double threshold_pct) const {
   std::vector<const MetricDelta*> out;
   for (const auto& d : deltas)
-    if (d.gated && d.delta_pct() > threshold_pct) out.push_back(&d);
+    if (d.regressed(threshold_pct)) out.push_back(&d);
   return out;
 }
 
@@ -96,6 +124,14 @@ std::map<std::string, JsonValue> load_bench_dir(const std::string& dir) {
     } catch (const Error& e) {
       throw Error("benchdiff: " + fname + ": " + e.what());
     }
+    // Validate the sidecar schema: 2 (pre-prof) and 3 (adds the prof
+    // section) are comparable; anything else is a format we don't know
+    // how to diff, and silently mis-gating it would be worse than
+    // failing loudly here.
+    const JsonValue* schema = doc.find("schema");
+    const double sv = schema && schema->is_number() ? schema->number : -1.0;
+    if (sv != 2.0 && sv != 3.0)
+      throw Error("benchdiff: " + fname + ": unsupported schema (want 2-3)");
     const JsonValue* name = doc.find("bench");
     out[name && name->is_string()
             ? name->string
@@ -124,9 +160,10 @@ BenchDiff diff_benches(const std::map<std::string, JsonValue>& baseline,
       MetricDelta d;
       d.bench = bench;
       d.metric = metric;
-      d.baseline = bv.first;
-      d.current = cm->second.first;
-      d.gated = bv.second;
+      d.baseline = bv.value;
+      d.current = cm->second.value;
+      d.gated = bv.gated;
+      d.absolute = bv.absolute;
       diff.deltas.push_back(std::move(d));
     }
     for (const auto& [metric, cv] : cur_metrics)
@@ -152,14 +189,14 @@ std::string format_table(const BenchDiff& diff, double threshold_pct) {
     const char* status = "";
     if (d.gated) {
       ++gated;
-      if (pct > threshold_pct) {
+      if (d.regressed(threshold_pct)) {
         status = "REGRESSION";
         ++regressed;
-      } else if (pct < 0.0) {
+      } else if (d.current < d.baseline) {
         status = "improved";
         ++improved;
       } else {
-        status = "ok";
+        status = d.absolute ? "ok (abs)" : "ok";
       }
     }
     std::snprintf(buf, sizeof buf, "%-14s %-44s %14.6g %14.6g %10s  %s\n",
@@ -189,8 +226,8 @@ std::string format_json(const BenchDiff& diff, double threshold_pct) {
        << ",\"current\":" << json_number(d.current)
        << ",\"delta_pct\":" << json_number(d.delta_pct())
        << ",\"gated\":" << (d.gated ? "true" : "false")
-       << ",\"regressed\":"
-       << (d.gated && d.delta_pct() > threshold_pct ? "true" : "false")
+       << ",\"absolute\":" << (d.absolute ? "true" : "false")
+       << ",\"regressed\":" << (d.regressed(threshold_pct) ? "true" : "false")
        << "}";
   }
   os << "],\"missing\":[";

@@ -2,12 +2,16 @@
 //
 // Loads a baseline directory and a current directory of sidecars,
 // matches benchmarks by name, and compares every numeric headline
-// metric plus every energy-ledger component. Metrics whose larger value
-// means "worse" (names ending in _s or _j, and all energy components)
-// gate: a delta beyond the threshold is a regression and the diff exits
-// non-zero. Everything else (counts, ratios) is reported but never
-// fails the gate. `provenance`, `notes`, and `metrics` blocks differ
-// run to run by design and are ignored.
+// metric plus every energy-ledger component and every prof metric.
+// Metrics whose larger value means "worse" (names ending in _s or _j,
+// all energy components, and prof keys ending _self_pct) gate: a delta
+// beyond the threshold is a regression and the diff exits non-zero.
+// _self_pct keys are already percentages, so they gate on ABSOLUTE
+// percentage points (kSelfPctPoints) instead of relative change — a
+// stage going 1% -> 2% of codec time doubles relatively but is noise;
+// 40% -> 55% is a hot-path regression. Everything else (counts,
+// ratios) is reported but never fails the gate. `provenance`, `notes`,
+// and `metrics` blocks differ run to run by design and are ignored.
 //
 // Exit codes (benchdiff_main): 0 pass, 1 usage error, 2 regression
 // beyond threshold, 3 benchmark/metric present in the baseline but
@@ -23,15 +27,22 @@
 
 namespace ecomp::obs {
 
+/// Absolute gate width for _self_pct metrics, in percentage points.
+inline constexpr double kSelfPctPoints = 10.0;
+
 struct MetricDelta {
   std::string bench;    ///< sidecar name, e.g. "fig2_energy"
-  std::string metric;   ///< "headline.files", "energy.gzip.radio/recv", ...
+  std::string metric;   ///< "headline.files", "prof.deflate.crc32_self_pct"
   double baseline = 0.0;
   double current = 0.0;
-  bool gated = false;   ///< larger-is-worse; counts toward the gate
+  bool gated = false;    ///< larger-is-worse; counts toward the gate
+  bool absolute = false; ///< gate on points grown, not relative percent
 
   /// Signed percent change vs baseline; +inf when a zero baseline grew.
   double delta_pct() const;
+  /// Gate verdict: absolute metrics regress past kSelfPctPoints points,
+  /// relative ones past threshold_pct percent. False when not gated.
+  bool regressed(double threshold_pct) const;
 };
 
 struct BenchDiff {

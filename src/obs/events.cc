@@ -1,5 +1,10 @@
 #include "obs/events.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <stdexcept>
 
@@ -7,30 +12,53 @@
 #include "obs/trace.h"
 
 namespace ecomp::obs {
+namespace {
 
-void EventLog::open(const std::string& path) {
-  std::lock_guard lock(mu_);
-  out_.close();
-  out_.clear();
-  out_.open(path, std::ios::out | std::ios::trunc);
-  if (!out_) throw std::runtime_error("cannot open event log: " + path);
-  path_ = path;
+std::atomic<EventMirror> g_mirror{nullptr};
+
+/// Open-fd registry for the fatal-signal flush hook. Slots hold -1 when
+/// free; all access is lock-free atomics so event_log_fds() is safe to
+/// call from a signal handler.
+std::atomic<int> g_live_fds[kMaxEventLogFds] = {
+    {-1}, {-1}, {-1}, {-1}, {-1}, {-1}, {-1}, {-1}};
+
+void register_fd(int fd) {
+  for (auto& slot : g_live_fds) {
+    int expected = -1;
+    if (slot.compare_exchange_strong(expected, fd,
+                                     std::memory_order_acq_rel))
+      return;
+  }
+  // More than kMaxEventLogFds logs open at once: the extras just miss
+  // the fatal fsync (their lines are still whole, single write()s).
 }
 
-void EventLog::close() {
-  std::lock_guard lock(mu_);
-  out_.close();
-  path_.clear();
+void unregister_fd(int fd) {
+  for (auto& slot : g_live_fds) {
+    int expected = fd;
+    if (slot.compare_exchange_strong(expected, -1,
+                                     std::memory_order_acq_rel))
+      return;
+  }
 }
 
-bool EventLog::is_open() const {
-  std::lock_guard lock(mu_);
-  return out_.is_open();
+}  // namespace
+
+void set_event_mirror(EventMirror mirror) {
+  g_mirror.store(mirror, std::memory_order_release);
 }
 
-void EventLog::emit(const Event& e) {
-  std::lock_guard lock(mu_);
-  if (!out_.is_open()) return;
+int event_log_fds(int* out, int max) {
+  int n = 0;
+  for (const auto& slot : g_live_fds) {
+    if (n >= max) break;
+    const int fd = slot.load(std::memory_order_acquire);
+    if (fd >= 0) out[n++] = fd;
+  }
+  return n;
+}
+
+std::string event_to_json(const Event& e) {
   const double ts_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::system_clock::now().time_since_epoch())
@@ -55,8 +83,61 @@ void EventLog::emit(const Event& e) {
   if (e.j_est >= 0.0) w.key("j_est").value(e.j_est);
   if (!e.err.empty()) w.key("err").value(e.err);
   w.end_object();
-  out_ << w.str() << '\n';
-  out_.flush();  // lines must survive an abrupt process end mid-test
+  return w.str();
+}
+
+EventLog::~EventLog() {
+  close();
+}
+
+void EventLog::open(const std::string& path) {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0) {
+    unregister_fd(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throw std::runtime_error("cannot open event log: " + path);
+  fd_ = fd;
+  path_ = path;
+  register_fd(fd_);
+}
+
+void EventLog::close() {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0) {
+    unregister_fd(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+bool EventLog::is_open() const {
+  std::lock_guard lock(mu_);
+  return fd_ >= 0;
+}
+
+void EventLog::emit(const Event& e) {
+  if (const EventMirror m = g_mirror.load(std::memory_order_acquire))
+    m(e);
+  std::lock_guard lock(mu_);
+  if (fd_ < 0) return;
+  std::string line = event_to_json(e);
+  line.push_back('\n');
+  // One complete line per write(2): a crash (ours or a SIGKILL) can
+  // only ever drop whole events, never truncate one mid-line.
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t w = ::write(fd_, line.data() + off, line.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return;  // sink gone (disk full / closed pipe); drop, don't throw
+    }
+    off += static_cast<std::size_t>(w);
+  }
 }
 
 EventLog& EventLog::global() {

@@ -11,10 +11,17 @@
 // EventLog::global() (opened via `--events FILE` / ECOMP_EVENTS), while
 // each net::ProxyServer owns its own sink so tests can run several
 // proxies in one process without interleaving their logs.
+//
+// Crash safety: the sink is a raw POSIX fd and every event is exactly
+// one write(2) of a complete line — there is no userspace buffer to
+// lose, so a process killed (or crashing) mid-stream leaves a log whose
+// every line parses. Open fds are tracked in a small async-signal-safe
+// registry so the prof crash handler can fsync them before re-raising,
+// and every emission is offered to an optional mirror hook (the prof
+// flight recorder) whether or not a file is open.
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -38,11 +45,27 @@ struct Event {
   std::string err;               ///< error detail for stage == "error"
 };
 
+/// Serialize `e` as one JSON object (with a wall-clock "ts_ms" stamp).
+std::string event_to_json(const Event& e);
+
+/// Process-wide mirror called for every emit() on every EventLog — even
+/// ones with no file open. The prof flight recorder installs itself
+/// here; the hook must be cheap and must not call back into EventLog.
+using EventMirror = void (*)(const Event&);
+void set_event_mirror(EventMirror mirror);
+
+inline constexpr int kMaxEventLogFds = 8;
+/// Snapshot of every open EventLog's fd (async-signal-safe: the fatal-
+/// signal handler fsyncs these). Returns how many were written to `out`.
+int event_log_fds(int* out, int max);
+
 /// Append-only JSONL sink. Thread-safe; emit() is a no-op until open()
-/// succeeds, so instrumented paths need no "is logging on?" checks.
+/// succeeds (the mirror hook still fires), so instrumented paths need
+/// no "is logging on?" checks.
 class EventLog {
  public:
   EventLog() = default;
+  ~EventLog();
 
   /// Truncates/creates `path`; throws std::runtime_error on failure.
   void open(const std::string& path);
@@ -50,8 +73,8 @@ class EventLog {
   bool is_open() const;
   const std::string& path() const { return path_; }
 
-  /// Serialize `e` as one JSON line and append it (with a wall-clock
-  /// "ts_ms" stamp). No-op when the log is not open.
+  /// Mirror `e`, then (when open) serialize and append it as one
+  /// complete line in a single write(2) — crash-durable per event.
   void emit(const Event& e);
 
   /// The process-wide client-side log (the CLI's sink).
@@ -59,7 +82,7 @@ class EventLog {
 
  private:
   mutable std::mutex mu_;
-  std::ofstream out_;
+  int fd_ = -1;
   std::string path_;
 };
 

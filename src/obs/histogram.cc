@@ -71,13 +71,17 @@ void SlidingHistogram::record(std::uint64_t v) {
   const int shard = static_cast<int>(thread_ord %
                                      static_cast<unsigned>(opt_.shards));
 
-  cell(shard, slot, idx).fetch_add(1, std::memory_order_relaxed);
-  slice_sum_[static_cast<std::size_t>(slot)].fetch_add(
-      v, std::memory_order_relaxed);
+  // Totals first, window cell last (release), and merge_window loads
+  // cells with acquire: a snapshot reads the window before the totals,
+  // so any record it sees in the window is already in the totals —
+  // window_count can never transiently exceed total_count.
   total_[static_cast<std::size_t>(idx)].fetch_add(1,
                                                   std::memory_order_relaxed);
   total_count_.fetch_add(1, std::memory_order_relaxed);
   total_sum_.fetch_add(v, std::memory_order_relaxed);
+  slice_sum_[static_cast<std::size_t>(slot)].fetch_add(
+      v, std::memory_order_relaxed);
+  cell(shard, slot, idx).fetch_add(1, std::memory_order_release);
 }
 
 std::uint64_t SlidingHistogram::merge_window(std::uint64_t* merged,
@@ -96,7 +100,7 @@ std::uint64_t SlidingHistogram::merge_window(std::uint64_t* merged,
     for (int sh = 0; sh < opt_.shards; ++sh)
       for (int b = 0; b < kBuckets; ++b) {
         const std::uint64_t c =
-            cell(sh, slot, b).load(std::memory_order_relaxed);
+            cell(sh, slot, b).load(std::memory_order_acquire);
         merged[b] += c;
         count += c;
       }

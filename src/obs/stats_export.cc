@@ -1,6 +1,7 @@
 #include "obs/stats_export.h"
 
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 #include "obs/json.h"
@@ -8,14 +9,31 @@
 namespace ecomp::obs {
 namespace {
 
-/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted instrument
-/// names map dots (and anything else exotic) to underscores.
+/// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*; our
+/// dotted instrument names map dots (and anything else exotic) to
+/// underscores, and the fixed "ecomp_" prefix guarantees no metric can
+/// start with a digit regardless of what the instrument was called.
 std::string prom_name(std::string_view name) {
   std::string out = "ecomp_";
   for (const char c : name) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '_';
     out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Prometheus label values live inside double quotes; escape per the
+/// exposition format (backslash, quote, newline).
+std::string prom_label_value(std::string_view v) {
+  std::string out;
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
   }
   return out;
 }
@@ -58,6 +76,23 @@ std::string stats_to_json(const StatsSnapshot& s) {
     w.end_object();
   }
   w.end_object();
+  if (s.prof.present) {
+    w.key("prof").begin_object();
+    w.key("rss_peak_kb").value(s.prof.rss_peak_kb);
+    w.key("samples_lifetime").value(s.prof.samples_lifetime);
+    w.key("sampler_active").value(s.prof.sampler_active);
+    w.key("flight_recorded").value(s.prof.flight_recorded);
+    w.key("alloc").begin_object();
+    for (const auto& a : s.prof.alloc) {
+      w.key(a.component).begin_object();
+      w.key("bytes").value(a.bytes);
+      w.key("allocs").value(a.allocs);
+      w.key("peak").value(a.peak);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }
@@ -87,39 +122,103 @@ std::string stats_to_text(const StatsSnapshot& s) {
        << " p999=" << json_number(h.snap.p999)
        << (h.snap.from_window ? "" : " (all-time)") << "\n";
   }
+  if (s.prof.present) {
+    os << "prof rss_peak_kb " << s.prof.rss_peak_kb << "\n";
+    os << "prof sampler " << (s.prof.sampler_active ? "active" : "idle")
+       << " samples=" << s.prof.samples_lifetime << "\n";
+    os << "prof flight_recorded " << s.prof.flight_recorded << "\n";
+    for (const auto& a : s.prof.alloc)
+      os << "prof alloc " << a.component << " bytes=" << a.bytes
+         << " allocs=" << a.allocs << " peak=" << a.peak << "\n";
+  }
   return os.str();
 }
 
 std::string stats_to_prometheus(const StatsSnapshot& s) {
   std::ostringstream os;
-  const auto gauge = [&os](std::string_view name, std::string_view help,
-                           const std::string& v) {
-    const std::string n = prom_name(name);
+  // Exposition-format validity (what `promtool check metrics` enforces):
+  // each metric family appears exactly once with one # HELP and one
+  // # TYPE line before its samples, monotonic values are typed counter,
+  // and sanitized names can never collide into a duplicate family — the
+  // `seen` set drops any later claimant to an already-emitted name.
+  std::set<std::string> seen;
+  const auto begin_family = [&](const std::string& n, std::string_view help,
+                                const char* type) {
+    if (!seen.insert(n).second) return false;
     os << "# HELP " << n << " " << help << "\n";
-    os << "# TYPE " << n << " gauge\n";
+    os << "# TYPE " << n << " " << type << "\n";
+    return true;
+  };
+  const auto scalar = [&](std::string_view name, std::string_view help,
+                          const char* type, const std::string& v) {
+    const std::string n = prom_name(name);
+    if (!begin_family(n, help, type)) return;
     os << n << " " << v << "\n";
+  };
+  const auto gauge = [&](std::string_view name, std::string_view help,
+                         const std::string& v) {
+    scalar(name, help, "gauge", v);
+  };
+  const auto counter = [&](std::string_view name, std::string_view help,
+                           const std::string& v) {
+    scalar(name, help, "counter", v);
   };
   gauge("uptime_seconds", "Proxy uptime.", json_number(s.uptime_s));
   gauge("connections_active", "Connections currently being served.",
         std::to_string(s.connections_active));
-  gauge("connections_total", "Connections accepted since start.",
-        std::to_string(s.connections_total));
-  gauge("requests_total", "Requests parsed since start.",
-        std::to_string(s.requests_total));
-  gauge("errors_total", "Requests that ended in an error reply.",
-        std::to_string(s.errors_total));
-  gauge("faults_injected_total", "Injected wire faults hit.",
-        std::to_string(s.faults_injected));
-  gauge("bytes_sent_total", "Payload bytes sent on the wire.",
-        std::to_string(s.bytes_sent));
-  gauge("bytes_recv_total", "Payload bytes received on the wire.",
-        std::to_string(s.bytes_recv));
+  counter("connections_total", "Connections accepted since start.",
+          std::to_string(s.connections_total));
+  counter("requests_total", "Requests parsed since start.",
+          std::to_string(s.requests_total));
+  counter("errors_total", "Requests that ended in an error reply.",
+          std::to_string(s.errors_total));
+  counter("faults_injected_total", "Injected wire faults hit.",
+          std::to_string(s.faults_injected));
+  counter("bytes_sent_total", "Payload bytes sent on the wire.",
+          std::to_string(s.bytes_sent));
+  counter("bytes_recv_total", "Payload bytes received on the wire.",
+          std::to_string(s.bytes_recv));
   gauge("energy_served_joules", "Ledgered transfer energy served.",
         json_number(s.energy_served_j));
+  if (s.prof.present) {
+    gauge("prof_rss_peak_kb", "Peak resident set size (VmHWM).",
+          std::to_string(s.prof.rss_peak_kb));
+    counter("prof_samples_total", "Profiler stacks captured since start.",
+            std::to_string(s.prof.samples_lifetime));
+    gauge("prof_sampler_active", "1 while ITIMER_PROF is armed.",
+          s.prof.sampler_active ? "1" : "0");
+    counter("prof_flight_recorded_total",
+            "Events seen by the flight recorder.",
+            std::to_string(s.prof.flight_recorded));
+    const auto alloc_family =
+        [&](std::string_view name, std::string_view help, const char* type,
+            std::uint64_t ProfAllocStat::*field) {
+          if (s.prof.alloc.empty()) return;
+          const std::string n = prom_name(name);
+          if (!begin_family(n, help, type)) return;
+          for (const auto& a : s.prof.alloc)
+            os << n << "{component=\"" << prom_label_value(a.component)
+               << "\"} " << a.*field << "\n";
+        };
+    alloc_family("prof_alloc_bytes_total",
+                 "Bytes booked per component arena.", "counter",
+                 &ProfAllocStat::bytes);
+    alloc_family("prof_alloc_allocs_total",
+                 "Arena bookings per component.", "counter",
+                 &ProfAllocStat::allocs);
+    alloc_family("prof_alloc_peak_bytes",
+                 "Peak live arena bytes per component.", "gauge",
+                 &ProfAllocStat::peak);
+  }
   for (const auto& [name, v] : s.counters)
-    gauge(name, "Registry counter.", std::to_string(v));
+    counter(name, "Registry counter.", std::to_string(v));
   for (const auto& h : s.histograms) {
     const std::string n = prom_name(h.name);
+    // A summary family owns three sample names; claim them all so no
+    // later scalar can collide into the family.
+    if (!seen.insert(n).second) continue;
+    seen.insert(n + "_count");
+    seen.insert(n + "_sum");
     os << "# HELP " << n << " Sliding-window summary.\n";
     os << "# TYPE " << n << " summary\n";
     const std::pair<const char*, double> qs[] = {

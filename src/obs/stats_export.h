@@ -24,6 +24,25 @@ struct HistStat {
   SlidingHistogram::Snapshot snap;
 };
 
+/// One component row of the prof allocation-accounting table.
+struct ProfAllocStat {
+  std::string component;
+  std::uint64_t bytes = 0;   ///< total bytes ever booked
+  std::uint64_t allocs = 0;  ///< booking events
+  std::uint64_t peak = 0;    ///< high-water mark of live bytes
+};
+
+/// The STATS PROF section: profiler/allocation/flight-recorder state.
+/// `present` is false in ECOMP_OBS=OFF builds (section omitted).
+struct ProfStats {
+  bool present = false;
+  std::int64_t rss_peak_kb = -1;          ///< VmHWM; -1 when unknown
+  std::uint64_t samples_lifetime = 0;     ///< sampler stacks ever captured
+  bool sampler_active = false;            ///< ITIMER_PROF currently armed
+  std::uint64_t flight_recorded = 0;      ///< events seen by the recorder
+  std::vector<ProfAllocStat> alloc;       ///< sorted by component
+};
+
 /// Point-in-time view of one proxy instance. Counters and histograms
 /// are kept sorted by name so every rendering is byte-stable across
 /// identical states.
@@ -40,6 +59,7 @@ struct StatsSnapshot {
 
   std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< sorted
   std::vector<HistStat> histograms;                             ///< sorted
+  ProfStats prof;  ///< PROF section (omitted unless prof.present)
 };
 
 /// One JSON object (see docs/OBSERVABILITY.md for the schema).

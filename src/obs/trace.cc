@@ -6,6 +6,7 @@
 
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "prof/zone.h"
 
 namespace ecomp::obs {
 namespace {
@@ -209,6 +210,11 @@ std::string Tracer::summary_text() const {
 
 Span::Span(std::string_view name, std::string_view cat)
     : name_(name), cat_(cat) {
+#if defined(ECOMP_OBS_ENABLED)
+  // Zone push is independent of tracer enablement: profiling a run must
+  // not require (or pay for) trace collection.
+  if (prof::zones_active()) zone_pushed_ = prof::zone_push(name_);
+#endif
   Tracer& t = Tracer::global();
   if (!t.enabled()) return;
   active_ = true;
@@ -216,6 +222,9 @@ Span::Span(std::string_view name, std::string_view cat)
 }
 
 Span::~Span() {
+#if defined(ECOMP_OBS_ENABLED)
+  if (zone_pushed_) prof::zone_pop();
+#endif
   if (!active_) return;
   Tracer& t = Tracer::global();
   const double dur_us = t.now_us() - start_us_;

@@ -117,7 +117,10 @@ class Tracer {
 };
 
 /// RAII wall-clock span: records a complete event on destruction. Cheap
-/// when the tracer is disabled (one relaxed load, no clock read).
+/// when the tracer is disabled (one relaxed load, no clock read). While
+/// a profile is running (prof/zone.h), the span's name is also pushed as
+/// a profiler zone — independent of tracer enablement — so every
+/// ECOMP_TRACE_SPAN site doubles as a flamegraph frame.
 class Span {
  public:
   Span(std::string_view name, std::string_view cat);
@@ -130,6 +133,7 @@ class Span {
   std::string_view cat_;
   double start_us_ = 0.0;
   bool active_ = false;
+  bool zone_pushed_ = false;
 };
 
 }  // namespace ecomp::obs

@@ -1,0 +1,60 @@
+#include "prof/alloc.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace ecomp::prof {
+
+std::vector<AllocRow> alloc_snapshot() {
+  std::vector<AllocRow> out;
+  const int used = g_alloc.used.load(std::memory_order_acquire);
+  out.reserve(static_cast<std::size_t>(used));
+  for (int i = 0; i < used; ++i) {
+    const AllocSite& s = g_alloc.sites[i];
+    if (!s.name) continue;
+    AllocRow row;
+    row.component = s.name;
+    row.bytes = s.bytes.load(std::memory_order_relaxed);
+    row.allocs = s.allocs.load(std::memory_order_relaxed);
+    row.current = s.current.load(std::memory_order_relaxed);
+    row.peak = s.peak.load(std::memory_order_relaxed);
+    out.push_back(std::move(row));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AllocRow& a, const AllocRow& b) {
+              return a.component < b.component;
+            });
+  return out;
+}
+
+std::int64_t rss_peak_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return -1;
+  char line[256];
+  std::int64_t kb = -1;
+  while (std::fgets(line, sizeof line, f)) {
+    long long v = 0;
+    if (std::sscanf(line, "VmHWM: %lld kB", &v) == 1) {
+      kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+void publish_alloc_metrics() {
+  obs::Registry& reg = obs::Registry::global();
+  for (const AllocRow& row : alloc_snapshot()) {
+    const std::string base = "prof.alloc." + row.component;
+    reg.gauge(base + ".bytes").set(static_cast<std::int64_t>(row.bytes));
+    reg.gauge(base + ".allocs").set(static_cast<std::int64_t>(row.allocs));
+    reg.gauge(base + ".peak").set(static_cast<std::int64_t>(row.peak));
+  }
+  const std::int64_t rss = rss_peak_kb();
+  if (rss >= 0) reg.gauge("prof.rss_peak_kb").set(rss);
+}
+
+}  // namespace ecomp::prof

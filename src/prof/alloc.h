@@ -1,0 +1,152 @@
+// prof allocation accounting — bytes / alloc-count / peak per component.
+//
+// Components register a named AllocSite (cached through a function-local
+// static, same idiom as the obs macros) and record arena growth at the
+// points where scratch actually gets (re)allocated: lz77's match-chain
+// arenas, bwt's rank buffer, selective's block scratch, the proxy's
+// receive buffers. Recording is a handful of relaxed atomics at arena-
+// resize granularity, so it stays on even when no profile is running —
+// `prof.alloc.*` gauges and the STATS PROF section read it live.
+//
+// The thread-local AllocScope shim covers helpers that allocate on
+// behalf of whoever called them: the scope names the component, and
+// account_scoped() inside the helper books against it.
+//
+// Header-only (like zone.h) so the codecs need no link edge to
+// ecomp_prof; publishing into the obs Registry lives in alloc.cc.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ecomp::prof {
+
+inline constexpr int kMaxAllocSites = 64;
+
+struct AllocSite {
+  std::atomic<std::uint64_t> bytes{0};    ///< total bytes ever booked
+  std::atomic<std::uint64_t> allocs{0};   ///< booking events
+  std::atomic<std::uint64_t> current{0};  ///< live bytes (booked - released)
+  std::atomic<std::uint64_t> peak{0};     ///< high-water mark of `current`
+  const char* name = nullptr;             ///< set once under the lock
+};
+
+struct AllocRegistry {
+  std::mutex mu;
+  AllocSite sites[kMaxAllocSites];
+  std::atomic<int> used{0};
+};
+
+inline AllocRegistry g_alloc;
+
+/// Find-or-register the site for `name` (a literal). The last slot is a
+/// shared "(overflow)" bucket so the table can never grow unbounded.
+inline AllocSite& alloc_site(const char* name) {
+  const int used = g_alloc.used.load(std::memory_order_acquire);
+  for (int i = 0; i < used; ++i)
+    if (std::strcmp(g_alloc.sites[i].name, name) == 0)
+      return g_alloc.sites[i];
+  std::lock_guard lock(g_alloc.mu);
+  const int now = g_alloc.used.load(std::memory_order_relaxed);
+  for (int i = used; i < now; ++i)
+    if (std::strcmp(g_alloc.sites[i].name, name) == 0)
+      return g_alloc.sites[i];
+  if (now >= kMaxAllocSites - 1) {
+    AllocSite& overflow = g_alloc.sites[kMaxAllocSites - 1];
+    if (!overflow.name) {
+      overflow.name = "(overflow)";
+      g_alloc.used.store(kMaxAllocSites, std::memory_order_release);
+    }
+    return overflow;
+  }
+  g_alloc.sites[now].name = name;
+  g_alloc.used.store(now + 1, std::memory_order_release);
+  return g_alloc.sites[now];
+}
+
+inline void alloc_record(AllocSite& s, std::uint64_t n) {
+  s.bytes.fetch_add(n, std::memory_order_relaxed);
+  s.allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t cur =
+      s.current.fetch_add(n, std::memory_order_relaxed) + n;
+  std::uint64_t p = s.peak.load(std::memory_order_relaxed);
+  while (cur > p &&
+         !s.peak.compare_exchange_weak(p, cur, std::memory_order_relaxed)) {
+  }
+}
+
+inline void alloc_release(AllocSite& s, std::uint64_t n) {
+  s.current.fetch_sub(n, std::memory_order_relaxed);
+}
+
+inline thread_local AllocSite* t_alloc_site = nullptr;
+
+/// Names the component that shared helpers below this scope should book
+/// allocations against (via account_scoped()).
+class AllocScope {
+ public:
+  explicit AllocScope(const char* component)
+      : prev_(t_alloc_site) {
+    t_alloc_site = &alloc_site(component);
+  }
+  ~AllocScope() { t_alloc_site = prev_; }
+  AllocScope(const AllocScope&) = delete;
+  AllocScope& operator=(const AllocScope&) = delete;
+
+ private:
+  AllocSite* prev_;
+};
+
+/// Book `n` bytes against the innermost AllocScope (no-op outside one).
+inline void account_scoped(std::uint64_t n) {
+  if (t_alloc_site) alloc_record(*t_alloc_site, n);
+}
+
+struct AllocRow {
+  std::string component;
+  std::uint64_t bytes = 0;
+  std::uint64_t allocs = 0;
+  std::uint64_t current = 0;
+  std::uint64_t peak = 0;
+};
+
+/// Point-in-time table of every registered site, sorted by component.
+std::vector<AllocRow> alloc_snapshot();
+
+/// Peak resident set (VmHWM from /proc/self/status), or -1 off-Linux.
+std::int64_t rss_peak_kb();
+
+/// Mirror the table into obs gauges: prof.alloc.<c>.{bytes,allocs,peak}
+/// plus prof.rss_peak_kb, so --metrics dumps carry the PROF surface too.
+void publish_alloc_metrics();
+
+}  // namespace ecomp::prof
+
+#if defined(ECOMP_OBS_ENABLED)
+/// Book an arena (re)allocation of `nbytes` against `component`.
+#define ECOMP_PROF_ALLOC(component, nbytes)                         \
+  do {                                                              \
+    static ::ecomp::prof::AllocSite& ecomp_prof_site_ =             \
+        ::ecomp::prof::alloc_site(component);                       \
+    ::ecomp::prof::alloc_record(                                    \
+        ecomp_prof_site_, static_cast<std::uint64_t>(nbytes));      \
+  } while (0)
+/// Release `nbytes` previously booked against `component`.
+#define ECOMP_PROF_RELEASE(component, nbytes)                       \
+  do {                                                              \
+    static ::ecomp::prof::AllocSite& ecomp_prof_site_ =             \
+        ::ecomp::prof::alloc_site(component);                       \
+    ::ecomp::prof::alloc_release(                                   \
+        ecomp_prof_site_, static_cast<std::uint64_t>(nbytes));      \
+  } while (0)
+#else
+#define ECOMP_PROF_ALLOC(component, nbytes) \
+  do { (void)sizeof(component); (void)sizeof(nbytes); } while (0)
+#define ECOMP_PROF_RELEASE(component, nbytes) \
+  do { (void)sizeof(component); (void)sizeof(nbytes); } while (0)
+#endif

@@ -1,0 +1,145 @@
+#include "prof/crash.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/events.h"
+#include "prof/flight.h"
+
+namespace ecomp::prof {
+namespace {
+
+char g_path[512];
+std::atomic<bool> g_installed{false};
+std::atomic<bool> g_dumping{false};
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+
+const char* sig_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGABRT: return "SIGABRT";
+    default: return "SIG?";
+  }
+}
+
+int fmt_u32(char* out, unsigned v) {
+  char tmp[12];
+  int n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v);
+  for (int i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+bool write_all(int fd, const char* buf, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, buf + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Header line: {"fatal":true,"signal":N,"name":"..."} or, for
+/// non-signal deaths, {"fatal":true,"reason":"..."}. Signal-safe.
+void write_header(int fd, int sig, const char* reason) {
+  char line[256];
+  int n = 0;
+  std::memcpy(line + n, "{\"fatal\":true", 13);
+  n += 13;
+  if (sig > 0) {
+    std::memcpy(line + n, ",\"signal\":", 10);
+    n += 10;
+    n += fmt_u32(line + n, static_cast<unsigned>(sig));
+    std::memcpy(line + n, ",\"name\":\"", 9);
+    n += 9;
+    const char* name = sig_name(sig);
+    const std::size_t len = std::strlen(name);
+    std::memcpy(line + n, name, len);
+    n += static_cast<int>(len);
+    line[n++] = '"';
+  } else if (reason) {
+    std::memcpy(line + n, ",\"reason\":\"", 11);
+    n += 11;
+    for (const char* p = reason;
+         *p && n < static_cast<int>(sizeof line) - 4; ++p) {
+      const unsigned char c = static_cast<unsigned char>(*p);
+      line[n++] =
+          (c < 0x20 || c == '"' || c == '\\' || c >= 0x7f) ? '_' : *p;
+    }
+    line[n++] = '"';
+  }
+  line[n++] = '}';
+  line[n++] = '\n';
+  write_all(fd, line, static_cast<std::size_t>(n));
+}
+
+/// The dump body shared by the signal handler and fatal_dump(): header,
+/// flight ring, durability for the dump and every open event log.
+bool dump_artifact(int sig, const char* reason) {
+  const int fd =
+      ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  write_header(fd, sig, reason);
+  FlightRecorder::global().dump(fd);
+  ::fsync(fd);
+  ::close(fd);
+  int fds[obs::kMaxEventLogFds];
+  const int n = obs::event_log_fds(fds, obs::kMaxEventLogFds);
+  for (int i = 0; i < n; ++i) ::fsync(fds[i]);
+  return true;
+}
+
+void fatal_handler(int sig, siginfo_t*, void*) {
+  // One dump per process death: a cascading fault inside the handler
+  // (or a second thread crashing concurrently) falls straight through
+  // to the re-raise.
+  if (!g_dumping.exchange(true)) dump_artifact(sig, nullptr);
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void install_crash_handler(const std::string& path) {
+  std::strncpy(g_path, path.c_str(), sizeof g_path - 1);
+  g_path[sizeof g_path - 1] = '\0';
+  attach_flight_mirror();
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_sigaction = fatal_handler;
+  sa.sa_flags = SA_SIGINFO;
+  sigemptyset(&sa.sa_mask);
+  for (const int sig : kFatalSignals) sigaction(sig, &sa, nullptr);
+  g_installed.store(true, std::memory_order_release);
+}
+
+bool crash_handler_installed() {
+  return g_installed.load(std::memory_order_acquire);
+}
+
+std::string crash_dump_path() {
+  return crash_handler_installed() ? std::string(g_path) : std::string();
+}
+
+bool fatal_dump(const char* reason) {
+  if (!crash_handler_installed()) return false;
+  return dump_artifact(0, reason ? reason : "fatal error");
+}
+
+}  // namespace ecomp::prof

@@ -1,0 +1,34 @@
+// prof crash handler — ships a post-mortem artifact on fatal signals.
+//
+// install_crash_handler(path) hooks SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT
+// with an async-signal-safe handler that writes a one-line JSON header
+// ({"fatal":true,"signal":N,...}) followed by the flight recorder's last
+// events to `path`, fsyncs every open obs::EventLog fd (so JSONL logs
+// never lose their tail either), then restores the default disposition
+// and re-raises — the process still dies with the original signal, it
+// just leaves evidence behind. The CLI wires this to --crash-dump /
+// ECOMP_CRASH_DUMP.
+//
+// fatal_dump() writes the same artifact from normal context for fatal
+// errors that are not signals (uncaught exceptions on CLI paths).
+#pragma once
+
+#include <string>
+
+namespace ecomp::prof {
+
+/// Install (or re-point) the fatal-signal dump handler. Also attaches
+/// the EventLog->flight-recorder mirror so there is something to dump.
+void install_crash_handler(const std::string& path);
+
+bool crash_handler_installed();
+
+/// Dump path configured by install_crash_handler (empty when none).
+std::string crash_dump_path();
+
+/// Write the post-mortem artifact now (header line carries `reason`
+/// instead of a signal number). Returns false when no handler was
+/// installed or the file cannot be written.
+bool fatal_dump(const char* reason);
+
+}  // namespace ecomp::prof

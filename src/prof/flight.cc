@@ -1,0 +1,243 @@
+#include "prof/flight.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/events.h"
+
+namespace ecomp::prof {
+namespace {
+
+/// Pack up to 8*n bytes of `s` into word atomics (relaxed stores; the
+/// matching loads reassemble — a torn read across words misprints one
+/// record, which dump() tolerates by design).
+void store_packed(std::atomic<std::uint64_t>* dst, int words,
+                  std::string_view s) {
+  for (int w = 0; w < words; ++w) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(w) * 8 +
+                              static_cast<std::size_t>(i);
+      if (idx >= s.size()) break;
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(s[idx]))
+           << (8 * i);
+    }
+    dst[w].store(v, std::memory_order_relaxed);
+  }
+}
+
+int load_packed(const std::atomic<std::uint64_t>* src, int words,
+                char* out) {
+  int n = 0;
+  for (int w = 0; w < words; ++w) {
+    const std::uint64_t v = src[w].load(std::memory_order_relaxed);
+    for (int i = 0; i < 8; ++i) {
+      const char c = static_cast<char>((v >> (8 * i)) & 0xff);
+      if (c == '\0') return n;
+      out[n++] = c;
+    }
+  }
+  return n;
+}
+
+// ---- async-signal-safe formatting helpers -------------------------------
+
+int fmt_u64(char* out, std::uint64_t v) {
+  char tmp[24];
+  int n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v);
+  for (int i = 0; i < n; ++i) out[i] = tmp[n - 1 - i];
+  return n;
+}
+
+int fmt_i64(char* out, std::int64_t v) {
+  if (v < 0) {
+    out[0] = '-';
+    return 1 + fmt_u64(out + 1, static_cast<std::uint64_t>(-(v + 1)) + 1);
+  }
+  return fmt_u64(out, static_cast<std::uint64_t>(v));
+}
+
+int fmt_hex16(char* out, std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  for (int i = 0; i < 16; ++i) out[i] = digits[(v >> (60 - 4 * i)) & 0xf];
+  return 16;
+}
+
+/// Copy `s` into `out` with anything that could break a JSON string
+/// (quotes, backslashes, control bytes) flattened to '_' — a crash dump
+/// needs to parse, not round-trip.
+int fmt_json_safe(char* out, const char* s, int len) {
+  int n = 0;
+  for (int i = 0; i < len; ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    out[n++] = (c < 0x20 || c == '"' || c == '\\' || c >= 0x7f) ? '_'
+                                                                : s[i];
+  }
+  return n;
+}
+
+bool write_all(int fd, const char* buf, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, buf + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder r;
+  return r;
+}
+
+void FlightRecorder::note(std::string_view stage, std::string_view detail,
+                          std::uint64_t trace_id, std::int64_t a,
+                          std::int64_t b) {
+  const std::uint64_t ord =
+      next_.fetch_add(1, std::memory_order_acq_rel);
+  Rec& r = recs_[ord % kCapacity];
+  r.seq.store(0, std::memory_order_release);  // mark in-progress
+  r.trace.store(trace_id, std::memory_order_relaxed);
+  r.a.store(a, std::memory_order_relaxed);
+  r.b.store(b, std::memory_order_relaxed);
+  store_packed(r.stage, kStageWords, stage);
+  store_packed(r.detail, kDetailWords, detail);
+  r.seq.store(ord + 1, std::memory_order_release);
+}
+
+void FlightRecorder::note_event(const obs::Event& e) {
+  char detail[kDetailWords * 8];
+  int n = 0;
+  const auto append = [&](std::string_view s) {
+    for (const char c : s) {
+      if (n >= static_cast<int>(sizeof detail) - 1) return;
+      detail[n++] = c;
+    }
+  };
+  if (!e.name.empty()) {
+    append("name=");
+    append(e.name);
+  }
+  if (!e.mode.empty()) {
+    append(n ? " mode=" : "mode=");
+    append(e.mode);
+  }
+  if (!e.err.empty()) {
+    append(n ? " err=" : "err=");
+    append(e.err);
+  }
+  note(e.stage, std::string_view(detail, static_cast<std::size_t>(n)),
+       e.trace_id, e.bytes_wire, e.attempt);
+}
+
+int FlightRecorder::dump(int fd) const {
+  const std::uint64_t end = next_.load(std::memory_order_acquire);
+  const std::uint64_t start = end > kCapacity ? end - kCapacity : 0;
+  int written = 0;
+  // Room for the fixed JSON skeleton + packed strings + three numbers.
+  char line[kStageWords * 8 + kDetailWords * 8 + 160];
+  char stage[kStageWords * 8];
+  char detail[kDetailWords * 8];
+  for (std::uint64_t ord = start; ord < end; ++ord) {
+    const Rec& r = recs_[ord % kCapacity];
+    if (r.seq.load(std::memory_order_acquire) != ord + 1)
+      continue;  // empty, torn, or already overwritten by a newer note
+    const int stage_n = load_packed(r.stage, kStageWords, stage);
+    const int detail_n = load_packed(r.detail, kDetailWords, detail);
+    int n = 0;
+    std::memcpy(line + n, "{\"seq\":", 7);
+    n += 7;
+    n += fmt_u64(line + n, ord);
+    std::memcpy(line + n, ",\"stage\":\"", 10);
+    n += 10;
+    n += fmt_json_safe(line + n, stage, stage_n);
+    line[n++] = '"';
+    const std::uint64_t trace = r.trace.load(std::memory_order_relaxed);
+    if (trace) {
+      std::memcpy(line + n, ",\"trace\":\"", 10);
+      n += 10;
+      n += fmt_hex16(line + n, trace);
+      line[n++] = '"';
+    }
+    if (detail_n) {
+      std::memcpy(line + n, ",\"detail\":\"", 11);
+      n += 11;
+      n += fmt_json_safe(line + n, detail, detail_n);
+      line[n++] = '"';
+    }
+    const std::int64_t a = r.a.load(std::memory_order_relaxed);
+    if (a >= 0) {
+      std::memcpy(line + n, ",\"bytes_wire\":", 14);
+      n += 14;
+      n += fmt_i64(line + n, a);
+    }
+    const std::int64_t b = r.b.load(std::memory_order_relaxed);
+    if (b >= 0) {
+      std::memcpy(line + n, ",\"attempt\":", 11);
+      n += 11;
+      n += fmt_i64(line + n, b);
+    }
+    line[n++] = '}';
+    line[n++] = '\n';
+    if (!write_all(fd, line, static_cast<std::size_t>(n))) break;
+    ++written;
+  }
+  return written;
+}
+
+bool FlightRecorder::dump_to_file(const char* path) const {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) return false;
+  dump(fd);
+  ::fsync(fd);
+  ::close(fd);
+  return true;
+}
+
+std::string FlightRecorder::dump_string() const {
+  char path[] = "/tmp/ecomp_flight_XXXXXX";
+  const int fd = ::mkstemp(path);
+  if (fd < 0) return {};
+  dump(fd);
+  std::string out;
+  ::lseek(fd, 0, SEEK_SET);
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0)
+    out.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  ::unlink(path);
+  return out;
+}
+
+void FlightRecorder::clear() {
+  next_.store(0, std::memory_order_relaxed);
+  for (Rec& r : recs_) r.seq.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+void flight_mirror(const obs::Event& e) {
+  FlightRecorder::global().note_event(e);
+}
+}  // namespace
+
+void attach_flight_mirror() {
+  obs::set_event_mirror(&flight_mirror);
+}
+
+}  // namespace ecomp::prof

@@ -1,0 +1,75 @@
+// prof::FlightRecorder — fixed-size lock-free ring of recent events,
+// dumpable from a fatal-signal handler.
+//
+// Every obs::EventLog emission is mirrored in here (whether or not a
+// JSONL file is open), so when a process dies on SIGSEGV/SIGABRT the
+// crash handler can ship the last kCapacity lifecycle events — trace
+// ids included — as a post-mortem JSONL artifact instead of a bare exit
+// code. note() is a handful of relaxed atomic stores (strings packed
+// into word-sized atomics, so ThreadSanitizer sees no bytewise races and
+// a torn record can only ever misprint, never fault); dump() uses only
+// async-signal-safe primitives (write/fsync + hand-rolled formatting).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ecomp::obs {
+struct Event;
+}
+
+namespace ecomp::prof {
+
+class FlightRecorder {
+ public:
+  static constexpr std::uint32_t kCapacity = 256;  ///< records kept
+  static constexpr int kStageWords = 2;   ///< 16 bytes of stage name
+  static constexpr int kDetailWords = 8;  ///< 64 bytes of detail text
+
+  static FlightRecorder& global();
+
+  /// Record an event. Safe from any thread; never blocks, never
+  /// allocates. Longer strings are truncated to the packed capacity.
+  void note(std::string_view stage, std::string_view detail,
+            std::uint64_t trace_id = 0, std::int64_t a = -1,
+            std::int64_t b = -1);
+  /// Convenience: record an EventLog event (stage + "name=.. mode=.."
+  /// detail, bytes_wire as `a`, attempt as `b`).
+  void note_event(const obs::Event& e);
+
+  /// Total records ever noted (ring may hold only the last kCapacity).
+  std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Append the ring, oldest first, as JSONL to `fd`. Async-signal-safe.
+  /// Returns the number of records written.
+  int dump(int fd) const;
+  /// open(path) + dump + fsync + close, all async-signal-safe.
+  bool dump_to_file(const char* path) const;
+  /// Normal-context convenience for tests: dump into a string.
+  std::string dump_string() const;
+
+  void clear();
+
+ private:
+  struct Rec {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 empty, else ordinal + 1
+    std::atomic<std::uint64_t> trace{0};
+    std::atomic<std::int64_t> a{-1};
+    std::atomic<std::int64_t> b{-1};
+    std::atomic<std::uint64_t> stage[kStageWords];
+    std::atomic<std::uint64_t> detail[kDetailWords];
+  };
+
+  Rec recs_[kCapacity];
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Route every obs::EventLog emission into the global recorder (installed
+/// by the crash handler, the profiler CLI paths, and the proxy).
+void attach_flight_mirror();
+
+}  // namespace ecomp::prof

@@ -1,0 +1,274 @@
+// prof zones — the semantic call-stack the sampling profiler unwinds.
+//
+// A zone is a labelled scope ("lz77.match", "huffman.decode", ...) pushed
+// onto a per-thread stack by RAII. obs::Span pushes its name as a zone, so
+// every existing ECOMP_TRACE_SPAN site is already a profiler frame; the
+// hot codec stages add finer-grained ECOMP_PROF_ZONE markers at block
+// granularity (never per byte/symbol — the push/pop pair must stay
+// invisible next to the work it brackets).
+//
+// Two consumers read the stack:
+//   * the SIGPROF handler (sampling mode) copies the current stack of the
+//     interrupted thread into that thread's lock-free SPSC ring;
+//   * push/pop themselves (timing mode) attribute the nanoseconds since
+//     the last zone switch to the zone that just ran, giving an *exact*
+//     self-time table with no sampling noise — this is what the gated
+//     bench `self_time_pct` keys are built from.
+//
+// This header is self-contained (inline/thread_local only, no prof
+// library dependency) so obs and the codecs can include it without a
+// link edge back to ecomp_prof — the library only adds the sampler,
+// collector, and reporting on top. Everything the signal handler touches
+// is an atomic or owned by the interrupted thread itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace ecomp::prof {
+
+inline constexpr int kMaxZoneDepth = 32;   ///< frames kept per stack
+inline constexpr int kMaxSelfZones = 64;   ///< distinct labels per thread
+inline constexpr int kMaxPcFrames = 8;     ///< raw PCs kept per sample
+
+/// Bitmask of what push/pop must maintain. Zero (the default) makes a
+/// zone push one relaxed load — cheap enough to leave compiled in.
+enum ZoneMode : unsigned {
+  kZoneSampling = 1u,  ///< stack maintained for the SIGPROF handler
+  kZoneTiming = 2u,    ///< exact self-time accounting on every switch
+};
+
+inline std::atomic<unsigned> g_zone_mode{0};
+
+inline bool zones_active() {
+  return g_zone_mode.load(std::memory_order_relaxed) != 0;
+}
+
+/// Zone labels come from string literals / stable string_views (span
+/// names live as long as the span). Not necessarily NUL-terminated.
+struct ZoneLabel {
+  const char* ptr = nullptr;
+  std::uint32_t len = 0;
+};
+
+/// One captured stack, written by the SIGPROF handler.
+struct Sample {
+  std::int32_t depth = 0;  ///< 0 = interrupted outside any zone
+  std::int32_t n_pcs = 0;
+  ZoneLabel frames[kMaxZoneDepth];
+  std::uintptr_t pcs[kMaxPcFrames];  ///< pcs[0] = interrupted PC
+};
+
+/// Per-label exact-timing accumulator. Slots are append-only per thread
+/// (only the owner appends; the collector reads released slots), so all
+/// fields are atomics and no lock is ever taken on the hot path.
+struct SelfSlot {
+  std::atomic<const char*> ptr{nullptr};
+  std::atomic<std::uint32_t> len{0};
+  std::atomic<std::uint64_t> self_ns{0};
+  std::atomic<std::uint64_t> hits{0};
+};
+
+/// Everything the profiler keeps per thread. Created on first zone push,
+/// retired (and recycled) when the thread exits; the Sample ring is only
+/// attached while the sampler runs.
+struct ThreadProf {
+  // Zone stack: plain stores by the owning thread; `depth` is released
+  // after the frame is written so the thread's own signal handler (and
+  // nobody else) always sees a consistent prefix.
+  ZoneLabel stack[kMaxZoneDepth];
+  std::atomic<std::int32_t> depth{0};
+  std::atomic<std::uint64_t> truncated{0};  ///< pushes past kMaxZoneDepth
+
+  // Exact self-time accounting (kZoneTiming).
+  std::atomic<std::uint64_t> last_switch_ns{0};
+  SelfSlot self[kMaxSelfZones];
+  std::atomic<std::int32_t> self_used{0};
+  std::atomic<std::uint64_t> self_other_ns{0};  ///< overflow labels
+
+  // Sample ring: SPSC — the SIGPROF handler (running on this thread)
+  // produces, the collector thread consumes. `in_handler` is the
+  // publication handshake that lets the profiler detach/free the ring
+  // without racing a handler that already loaded the pointer.
+  std::atomic<Sample*> ring{nullptr};
+  std::uint32_t ring_cap = 0;  ///< written before `ring` is published
+  std::atomic<std::uint32_t> head{0};
+  std::atomic<std::uint32_t> tail{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<bool> in_handler{false};
+
+  std::atomic<bool> retired{false};
+};
+
+struct ZoneRegistry {
+  std::mutex mu;
+  std::vector<ThreadProf*> threads;  ///< every ThreadProf ever created
+  std::vector<ThreadProf*> free;     ///< retired, ready for reuse
+  std::atomic<bool> want_ring{false};  ///< sampler running: attach on register
+  std::atomic<std::uint32_t> ring_cap{4096};
+};
+
+inline ZoneRegistry g_zones;
+
+inline thread_local ThreadProf* t_prof = nullptr;
+
+/// Thread-exit sentinel: clears the raw pointer first (a late SIGPROF on
+/// this thread then sees null and drops the tick), then retires the slot
+/// so the collector drains what's left and start() can recycle it.
+struct ThreadProfHandle {
+  ThreadProf* tp = nullptr;
+  ~ThreadProfHandle() {
+    if (!tp) return;
+    t_prof = nullptr;
+    tp->retired.store(true, std::memory_order_release);
+  }
+};
+
+inline thread_local ThreadProfHandle t_prof_handle;
+
+inline void attach_ring(ThreadProf* tp) {
+  if (tp->ring.load(std::memory_order_relaxed)) return;
+  const std::uint32_t cap = g_zones.ring_cap.load(std::memory_order_relaxed);
+  Sample* ring = new Sample[cap];
+  tp->ring_cap = cap;
+  tp->head.store(0, std::memory_order_relaxed);
+  tp->tail.store(0, std::memory_order_relaxed);
+  tp->ring.store(ring, std::memory_order_release);
+}
+
+inline ThreadProf* thread_prof_slow() {
+  std::lock_guard lock(g_zones.mu);
+  ThreadProf* tp;
+  if (!g_zones.free.empty()) {
+    tp = g_zones.free.back();
+    g_zones.free.pop_back();
+    tp->depth.store(0, std::memory_order_relaxed);
+    tp->last_switch_ns.store(0, std::memory_order_relaxed);
+  } else {
+    tp = new ThreadProf();
+    g_zones.threads.push_back(tp);
+  }
+  tp->retired.store(false, std::memory_order_relaxed);
+  if (g_zones.want_ring.load(std::memory_order_relaxed)) attach_ring(tp);
+  t_prof_handle.tp = tp;
+  t_prof = tp;
+  return tp;
+}
+
+inline ThreadProf* thread_prof() {
+  ThreadProf* tp = t_prof;
+  return tp ? tp : thread_prof_slow();
+}
+
+inline std::uint64_t zone_now_ns() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Attribute `ns` of self time to `lab` on this thread. Pointer identity
+/// is the fast key (labels are literals); the report merges by content.
+inline void self_account(ThreadProf* tp, ZoneLabel lab, std::uint64_t ns,
+                         std::uint64_t hit) {
+  const int used = tp->self_used.load(std::memory_order_relaxed);
+  for (int i = 0; i < used; ++i) {
+    SelfSlot& s = tp->self[i];
+    if (s.ptr.load(std::memory_order_relaxed) == lab.ptr) {
+      s.self_ns.fetch_add(ns, std::memory_order_relaxed);
+      s.hits.fetch_add(hit, std::memory_order_relaxed);
+      return;
+    }
+  }
+  if (used < kMaxSelfZones) {
+    SelfSlot& s = tp->self[used];
+    s.ptr.store(lab.ptr, std::memory_order_relaxed);
+    s.len.store(lab.len, std::memory_order_relaxed);
+    s.self_ns.store(ns, std::memory_order_relaxed);
+    s.hits.store(hit, std::memory_order_relaxed);
+    tp->self_used.store(used + 1, std::memory_order_release);
+    return;
+  }
+  tp->self_other_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+/// Push a zone. Returns false (and pushes nothing) when profiling is off
+/// or the stack is full — the caller must skip the matching pop.
+inline bool zone_push(std::string_view label) {
+  const unsigned mode = g_zone_mode.load(std::memory_order_relaxed);
+  if (mode == 0) return false;
+  ThreadProf* tp = thread_prof();
+  const std::int32_t d = tp->depth.load(std::memory_order_relaxed);
+  if (d >= kMaxZoneDepth) {
+    tp->truncated.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const ZoneLabel lab{label.data(),
+                      static_cast<std::uint32_t>(label.size())};
+  if (mode & kZoneTiming) {
+    const std::uint64_t now = zone_now_ns();
+    const std::uint64_t last =
+        tp->last_switch_ns.load(std::memory_order_relaxed);
+    // Time since the last switch belongs to the zone we are nested in;
+    // last == 0 means timing just turned on — nothing to attribute yet.
+    if (d > 0 && last != 0)
+      self_account(tp, tp->stack[d - 1], now - last, 0);
+    tp->last_switch_ns.store(now, std::memory_order_relaxed);
+    self_account(tp, lab, 0, 1);  // entry count
+  }
+  tp->stack[d] = lab;
+  tp->depth.store(d + 1, std::memory_order_release);
+  return true;
+}
+
+/// Pop the zone pushed by the matching zone_push(). Always pops (the
+/// stack must stay balanced even if the mode flipped mid-scope).
+inline void zone_pop() {
+  ThreadProf* tp = t_prof;
+  if (!tp) return;
+  const std::int32_t d = tp->depth.load(std::memory_order_relaxed);
+  if (d <= 0) return;
+  if (g_zone_mode.load(std::memory_order_relaxed) & kZoneTiming) {
+    const std::uint64_t now = zone_now_ns();
+    const std::uint64_t last =
+        tp->last_switch_ns.load(std::memory_order_relaxed);
+    if (last != 0) self_account(tp, tp->stack[d - 1], now - last, 0);
+    tp->last_switch_ns.store(now, std::memory_order_relaxed);
+  }
+  tp->depth.store(d - 1, std::memory_order_release);
+}
+
+/// RAII zone. Remembers whether its push actually happened so a mode
+/// flip between construction and destruction cannot unbalance the stack.
+class Zone {
+ public:
+  explicit Zone(std::string_view label) {
+    if (zones_active()) pushed_ = zone_push(label);
+  }
+  ~Zone() {
+    if (pushed_) zone_pop();
+  }
+  Zone(const Zone&) = delete;
+  Zone& operator=(const Zone&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+}  // namespace ecomp::prof
+
+#if defined(ECOMP_OBS_ENABLED)
+#define ECOMP_PROF_CONCAT_(a, b) a##b
+#define ECOMP_PROF_CONCAT(a, b) ECOMP_PROF_CONCAT_(a, b)
+/// Scoped profiler zone over the rest of the enclosing block.
+#define ECOMP_PROF_ZONE(label) \
+  ::ecomp::prof::Zone ECOMP_PROF_CONCAT(ecomp_prof_zone_, __LINE__)(label)
+#else
+#define ECOMP_PROF_ZONE(label) \
+  do { (void)sizeof(label); } while (0)
+#endif

@@ -233,6 +233,110 @@ TEST_F(BenchDiffTest, TraceArtifactsAndForeignFilesAreIgnored) {
   EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0);
 }
 
+// ----------------------------------------- schema 3: prof section
+
+/// Schema-3 sidecar: minimal headline plus a prof section with one
+/// gated _self_pct key and one ungated raw counter.
+std::string sidecar_prof(const std::string& bench, double match_self_pct,
+                         double samples) {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << bench << "\",\"schema\":3,"
+     << "\"provenance\":{\"git_sha\":\"test\",\"timestamp\":\"t\"},"
+     << "\"headline\":{\"total_s\":1.0},"
+     << "\"prof\":{\"deflate.lz77.match_self_pct\":" << match_self_pct
+     << ",\"samples\":" << samples << "}}";
+  return os.str();
+}
+
+TEST_F(BenchDiffTest, SelfPctGatesOnAbsolutePointsNotRelative) {
+  // 40% -> 49% of codec self time: +22.5% relative (over any percent
+  // threshold) but only +9 points — inside kSelfPctPoints, so it
+  // passes. The same move judged relatively would have failed.
+  write_file(base_ / "BENCH_p.json", sidecar_prof("p", 40.0, 100));
+  write_file(cur_ / "BENCH_p.json", sidecar_prof("p", 49.0, 100));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0) << out_.str();
+  EXPECT_NE(out_.str().find("ok (abs)"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("prof.deflate.lz77.match_self_pct"),
+            std::string::npos)
+      << out_.str();
+}
+
+TEST_F(BenchDiffTest, SelfPctBeyondAbsoluteGateFails) {
+  write_file(base_ / "BENCH_p.json", sidecar_prof("p", 40.0, 100));
+  write_file(cur_ / "BENCH_p.json", sidecar_prof("p", 51.0, 100));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 2) << out_.str();
+  EXPECT_NE(out_.str().find("REGRESSION"), std::string::npos)
+      << out_.str();
+  // The absolute gate ignores --threshold: still 10 points at 50%.
+  EXPECT_EQ(run({"--threshold", "50", dirs_baseline(), dirs_current()}),
+            2)
+      << out_.str();
+}
+
+TEST_F(BenchDiffTest, NonSelfPctProfKeysAreReportedNotGated) {
+  write_file(base_ / "BENCH_p.json", sidecar_prof("p", 40.0, 100));
+  write_file(cur_ / "BENCH_p.json", sidecar_prof("p", 40.0, 900));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0) << out_.str();
+  EXPECT_NE(out_.str().find("prof.samples"), std::string::npos)
+      << out_.str();
+}
+
+TEST_F(BenchDiffTest, JsonOutputMarksAbsoluteGating) {
+  write_file(base_ / "BENCH_p.json", sidecar_prof("p", 40.0, 100));
+  write_file(cur_ / "BENCH_p.json", sidecar_prof("p", 51.0, 100));
+  EXPECT_EQ(run({"--json", dirs_baseline(), dirs_current()}), 2);
+  const JsonValue doc = parse_json(out_.str());
+  bool saw = false;
+  for (const auto& d : doc.find("deltas")->array) {
+    if (d.find("metric")->string != "prof.deflate.lz77.match_self_pct")
+      continue;
+    saw = true;
+    EXPECT_TRUE(d.find("absolute")->boolean);
+    EXPECT_TRUE(d.find("regressed")->boolean);
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST_F(BenchDiffTest, SchemaTwoAndThreeMixDiffsCleanly) {
+  // A schema-2 baseline diffed against a schema-3 current run: the
+  // shared metrics compare, the new prof.* keys show up as added.
+  write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  std::string cur = sidecar("fig", 3.0, 5, 4.0, 1.0);
+  const auto pos = cur.find("\"schema\":2");
+  ASSERT_NE(pos, std::string::npos);
+  cur.replace(pos, 10, "\"schema\":3");
+  cur.insert(cur.size() - 1, ",\"prof\":{\"deflate.crc32_self_pct\":5.0}");
+  write_file(cur_ / "BENCH_fig.json", cur);
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0) << out_.str();
+  EXPECT_NE(
+      out_.str().find(
+          "new (not in baseline): fig.prof.deflate.crc32_self_pct"),
+      std::string::npos)
+      << out_.str();
+}
+
+TEST_F(BenchDiffTest, UnknownSchemaIsRejectedLoudly) {
+  std::string bad = sidecar("fig", 3.0, 5, 4.0, 1.0);
+  const auto pos = bad.find("\"schema\":2");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 10, "\"schema\":4");
+  write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
+  write_file(cur_ / "BENCH_fig.json", bad);
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 1);
+  EXPECT_NE(err_.str().find("unsupported schema"), std::string::npos)
+      << err_.str();
+
+  // Same for a sidecar with no schema field at all.
+  std::string none = sidecar("fig", 3.0, 5, 4.0, 1.0);
+  const auto pos2 = none.find("\"schema\":2,");
+  ASSERT_NE(pos2, std::string::npos);
+  none.erase(pos2, 11);
+  write_file(cur_ / "BENCH_fig.json", none);
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 1);
+  EXPECT_NE(err_.str().find("unsupported schema"), std::string::npos)
+      << err_.str();
+}
+
 TEST(MetricDelta, ZeroBaselineGrowthIsInfinite) {
   MetricDelta d;
   d.baseline = 0.0;

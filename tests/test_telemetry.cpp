@@ -13,8 +13,10 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -197,6 +199,69 @@ TEST(SlidingHistogramConcurrency, TotalsExactUnderConcurrentRecording) {
             static_cast<std::uint64_t>(kThreads) * kPerThread);
   // Quantiles remain sane (i % 1024 is uniform on [0, 1023]).
   EXPECT_NEAR(h.quantile(0.5), 512.0, 512.0 * 0.25);
+}
+
+TEST(SlidingHistogramConcurrency, EpochRolloverAcrossFullWindow) {
+  // Injected clock marches across two full 60 s windows (default
+  // Options) while recorder threads hammer: slice epochs roll over
+  // under fire, totals stay exact, and a drained window falls back to
+  // the all-time distribution until the next record flips it back.
+  SlidingHistogram h;
+  std::atomic<std::uint64_t> now{0};
+  h.set_clock_for_test(
+      [&now] { return now.load(std::memory_order_relaxed); });
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> recorded{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t)
+    ts.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.record(100);
+        recorded.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  // 64 half-slice steps = 2x the full window, snapshotting mid-roll.
+  // Each step waits for fresh records so every slice really gets hit.
+  for (int step = 0; step < 64; ++step) {
+    const std::uint64_t before = recorded.load(std::memory_order_relaxed);
+    while (recorded.load(std::memory_order_relaxed) < before + 100)
+      std::this_thread::yield();
+    now.fetch_add(3'750'000'000ull);  // 3.75 s = half of a 7.5 s slice
+    const auto mid = h.snapshot();
+    EXPECT_LE(mid.window_count, mid.total_count);
+  }
+  stop.store(true);
+  for (auto& t : ts) t.join();
+
+  const std::uint64_t total = recorded.load();
+  auto snap = h.snapshot();
+  EXPECT_EQ(snap.total_count, total);  // no rollover ever lost a count
+  ASSERT_GT(total, 0u);
+  EXPECT_TRUE(snap.from_window);  // recorders ran into the live slice
+  EXPECT_GT(snap.window_count, 0u);
+  EXPECT_LT(snap.window_count, total);  // old slices really expired
+  EXPECT_NEAR(h.quantile(0.99), 100.0,
+              100.0 * SlidingHistogram::kMaxRelativeError);
+
+  // Silence past the whole window: the window drains, quantiles fall
+  // back to all-time, and the snapshot says so.
+  now.fetch_add(120'000'000'000ull);
+  snap = h.snapshot();
+  EXPECT_EQ(snap.window_count, 0u);
+  EXPECT_FALSE(snap.from_window);
+  EXPECT_EQ(snap.total_count, total);
+  EXPECT_NEAR(h.quantile(0.5), 100.0,
+              100.0 * SlidingHistogram::kMaxRelativeError);
+
+  // The next record flips the snapshot back onto the live window.
+  h.record(5000);
+  snap = h.snapshot();
+  EXPECT_TRUE(snap.from_window);
+  EXPECT_EQ(snap.window_count, 1u);
+  EXPECT_EQ(snap.total_count, total + 1);
+  EXPECT_NEAR(snap.p50, 5000.0,
+              5000.0 * SlidingHistogram::kMaxRelativeError);
 }
 
 // ------------------------------------------------------ registry
@@ -461,7 +526,7 @@ TEST_F(TelemetryProxyTest, StatsVerbServesAllThreeFormats) {
   EXPECT_NE(text.find("net.proxy.request_us"), std::string::npos);
 
   const std::string prom = net::fetch_stats(server.port(), "prom");
-  EXPECT_NE(prom.find("# TYPE ecomp_requests_total gauge"),
+  EXPECT_NE(prom.find("# TYPE ecomp_requests_total counter"),
             std::string::npos);
   EXPECT_NE(prom.find("ecomp_net_proxy_request_us{quantile=\"0.99\"}"),
             std::string::npos);
@@ -708,6 +773,166 @@ TEST(StatsExport, RenderersCoverAllFields) {
   EXPECT_EQ(obs::parse_stats_format("json"), obs::StatsFormat::Json);
   EXPECT_EQ(obs::parse_stats_format("prom"), obs::StatsFormat::Prometheus);
   EXPECT_EQ(obs::parse_stats_format("anything"), obs::StatsFormat::Text);
+}
+
+// ------------------------------------------- Prometheus exposition
+
+/// promtool-style structural validation of a text exposition: every
+/// family has exactly one # HELP and one # TYPE (before its samples),
+/// sample names are legal and belong to the family that announced
+/// them (summaries also own _count/_sum), and every value parses.
+void validate_prometheus(const std::string& text) {
+  const auto name_ok = [](const std::string& n) {
+    if (n.empty()) return false;
+    const auto head = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+             c == '_' || c == ':';
+    };
+    if (!head(n[0])) return false;
+    for (const char c : n)
+      if (!head(c) && !(c >= '0' && c <= '9')) return false;
+    return true;
+  };
+  std::map<std::string, int> help_count, type_count;
+  std::set<std::string> families_with_samples;
+  std::string current;  // family most recently announced
+  std::istringstream in(text);
+  std::string line;
+  int samples = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      const bool is_type = line[2] == 'T';
+      std::istringstream meta(line.substr(7));
+      std::string family, rest;
+      meta >> family >> rest;
+      EXPECT_TRUE(name_ok(family)) << line;
+      EXPECT_FALSE(rest.empty()) << "metadata without text: " << line;
+      if (is_type) {
+        EXPECT_TRUE(rest == "counter" || rest == "gauge" ||
+                    rest == "summary" || rest == "histogram" ||
+                    rest == "untyped")
+            << line;
+        EXPECT_EQ(++type_count[family], 1) << "duplicate TYPE " << family;
+      } else {
+        EXPECT_EQ(++help_count[family], 1) << "duplicate HELP " << family;
+      }
+      EXPECT_FALSE(families_with_samples.count(family))
+          << "metadata after samples: " << family;
+      current = family;
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    const std::size_t cut = line.find_first_of("{ ");
+    ASSERT_NE(cut, std::string::npos) << line;
+    const std::string name = line.substr(0, cut);
+    EXPECT_TRUE(name_ok(name)) << line;
+    EXPECT_TRUE(name == current || name == current + "_count" ||
+                name == current + "_sum")
+        << "sample " << name << " outside family " << current;
+    families_with_samples.insert(current);
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    std::size_t parsed = 0;
+    const double v = std::stod(line.substr(sp + 1), &parsed);
+    EXPECT_EQ(parsed, line.size() - sp - 1) << line;
+    (void)v;
+    ++samples;
+  }
+  EXPECT_GT(samples, 0);
+  // Families announce both metadata lines or neither.
+  for (const auto& [family, n] : help_count)
+    EXPECT_EQ(type_count[family], n) << family << " missing TYPE";
+  for (const auto& [family, n] : type_count)
+    EXPECT_EQ(help_count[family], n) << family << " missing HELP";
+}
+
+/// A fully-populated snapshot with adversarial names: a registry
+/// counter and a histogram that both sanitize into already-claimed
+/// family names (must be dropped, not duplicated), and an alloc
+/// component whose label value needs escaping.
+obs::StatsSnapshot prom_snapshot() {
+  obs::StatsSnapshot s;
+  s.uptime_s = 12.5;
+  s.connections_active = 1;
+  s.connections_total = 7;
+  s.requests_total = 6;
+  s.errors_total = 1;
+  s.faults_injected = 2;
+  s.bytes_sent = 4096;
+  s.bytes_recv = 512;
+  s.energy_served_j = 0.25;
+  s.counters.push_back({"net.round_trips", 6});
+  s.counters.push_back({"requests.total", 999});  // collides: dropped
+  obs::HistStat h;
+  h.name = "net.proxy.request_us";
+  h.snap.window_count = 6;
+  h.snap.rate_per_s = 0.5;
+  h.snap.p50 = 100.0;
+  h.snap.p90 = 400.0;
+  h.snap.p99 = 900.0;
+  h.snap.p999 = 950.0;
+  h.snap.total_count = 6;
+  h.snap.total_sum = 2100.0;
+  h.snap.from_window = true;
+  s.histograms.push_back(h);
+  obs::HistStat clash = h;
+  clash.name = "net/proxy/request-us";  // sanitizes into the same family
+  s.histograms.push_back(clash);
+  s.prof.present = true;
+  s.prof.rss_peak_kb = 20480;
+  s.prof.samples_lifetime = 1234;
+  s.prof.sampler_active = false;
+  s.prof.flight_recorded = 42;
+  s.prof.alloc.push_back({"lz77.scratch", 1 << 20, 3, 1 << 19});
+  s.prof.alloc.push_back({"odd \"name\"\\", 100, 1, 100});
+  return s;
+}
+
+TEST(StatsExport, PrometheusExpositionValidates) {
+  const std::string prom = obs::stats_to_prometheus(prom_snapshot());
+  validate_prometheus(prom);
+  // Sanitized-name collisions dropped the later claimants entirely.
+  EXPECT_EQ(prom.find("ecomp_requests_total 999"), std::string::npos);
+  EXPECT_NE(prom.find("ecomp_requests_total 6"), std::string::npos);
+  // The PROF section rides along, with escaped label values.
+  EXPECT_NE(prom.find("ecomp_prof_rss_peak_kb 20480"), std::string::npos);
+  EXPECT_NE(prom.find("component=\"odd \\\"name\\\"\\\\\""),
+            std::string::npos);
+}
+
+TEST(StatsExport, PrometheusGoldenFile) {
+  const std::string prom = obs::stats_to_prometheus(prom_snapshot());
+  const fs::path golden = fs::path(ECOMP_TEST_DATA_DIR) / "stats.prom";
+  if (std::getenv("ECOMP_REGEN_GOLDEN")) {
+    std::ofstream out(golden, std::ios::binary);
+    out << prom;
+    ASSERT_TRUE(out.good()) << golden;
+    GTEST_SKIP() << "regenerated " << golden;
+  }
+  std::ifstream in(golden, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << golden << " missing; run with ECOMP_REGEN_GOLDEN=1 to create";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(prom, want.str())
+      << "rendering drifted from the committed golden; if intentional, "
+         "regenerate with ECOMP_REGEN_GOLDEN=1 and commit the diff";
+}
+
+TEST(StatsExport, LiveProxyPrometheusValidates) {
+  net::FileStore store;
+  store.put("f", workload::generate_kind(workload::FileKind::Xml, 60000,
+                                         /*seed=*/7, 0.3));
+  net::ProxyServer server(store, compress::SelectivePolicy::always());
+  for (int i = 0; i < 2; ++i) net::download(server.port(), "f", "raw");
+  const std::string prom = net::fetch_stats(server.port(), "prom");
+  server.stop();
+  validate_prometheus(prom);
+  EXPECT_NE(prom.find("# TYPE ecomp_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE ecomp_net_proxy_request_us summary"),
+            std::string::npos);
 }
 
 TEST(JsonWriter, NestedStructuresAndEscapes) {
