@@ -33,22 +33,23 @@ cmake --build build-check-asan -j "$JOBS"
 ctest --test-dir build-check-asan --output-on-failure -j "$JOBS"
 
 echo
-echo "== preset 3: TSan (concurrency/robustness/observability/profiling) =="
+echo "== preset 3: TSan (concurrency/robustness/observability/profiling/monitoring) =="
 # ThreadSanitizer cannot combine with ASan, so it gets its own tree; it
 # runs the suites that actually spawn threads (the parallel block
 # pipeline, threaded interleaving, shared-instance contracts, the
 # fault matrix's server/client pairs, the telemetry layer's sharded
-# histograms + proxy/client event logging, and the profiler's SIGPROF
-# sampler + collector + flight-recorder ring).
+# histograms + proxy/client event logging, the profiler's SIGPROF
+# sampler + collector + flight-recorder ring, and the monitor's sampler
+# thread + watchdog against a live proxy).
 cmake -B build-check-tsan -S . -DECOMP_OBS=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
   >/dev/null
 cmake --build build-check-tsan -j "$JOBS" \
   --target ecomp_concurrency_tests ecomp_robustness_tests \
-  ecomp_observability_tests ecomp_profiling_tests
+  ecomp_observability_tests ecomp_profiling_tests ecomp_monitoring_tests
 ctest --test-dir build-check-tsan \
-  -L "concurrency|robustness|observability|profiling" \
+  -L "concurrency|robustness|observability|profiling|monitoring" \
   --output-on-failure -j "$JOBS"
 
 if [ "${ECOMP_CHECK_SKIP_BENCH:-0}" = "1" ]; then
@@ -69,16 +70,16 @@ cmake -B build-check-obsoff -S . -DECOMP_OBS=OFF >/dev/null
 cmake --build build-check-obsoff -j "$JOBS" --target bench_codec_throughput
 
 echo
-echo "== ECOMP_OBS=OFF link hygiene: zero prof symbols in ecomp =="
+echo "== ECOMP_OBS=OFF link hygiene: zero prof/monitor symbols in ecomp =="
 # zone.h/alloc.h are header-only exactly so an =OFF build needs no link
-# edge to ecomp_prof; if any prof library symbol (profiler, flight
-# recorder, crash handler, alloc publishing) shows up in the =OFF CLI
-# binary, that contract broke.
+# edge to ecomp_prof; likewise the monitor subsystem (sampler, series
+# store, watchdog, rule parser) is compiled only under ECOMP_OBS=ON. If
+# any such symbol shows up in the =OFF CLI binary, that contract broke.
 cmake --build build-check-obsoff -j "$JOBS" --target ecomp
 if nm -C build-check-obsoff/tools/ecomp | grep -E \
-  "prof::(Profiler|FlightRecorder|install_crash_handler|fatal_dump|attach_flight_mirror|alloc_snapshot|rss_peak_kb|publish_alloc_metrics|write_folded)" \
+  "prof::(Profiler|FlightRecorder|install_crash_handler|fatal_dump|attach_flight_mirror|alloc_snapshot|rss_peak_kb|publish_alloc_metrics|write_folded)|obs::(Monitor|SeriesStore|Series|Watchdog|parse_rules)" \
   ; then
-  echo "FAIL: ECOMP_OBS=OFF ecomp binary references ecomp::prof symbols" >&2
+  echo "FAIL: ECOMP_OBS=OFF ecomp binary references prof/monitor symbols" >&2
   exit 1
 fi
 echo "link hygiene: OK"

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -25,6 +27,7 @@
 #include "net/proxy.h"
 #include "obs/events.h"
 #include "obs/json.h"
+#include "obs/json_parse.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/thread_pool.h"
@@ -34,6 +37,7 @@
 #include "workload/corpus.h"
 
 #if defined(ECOMP_OBS_ENABLED)
+#include "obs/rules.h"
 #include "prof/alloc.h"
 #include "prof/crash.h"
 #include "prof/flight.h"
@@ -58,6 +62,15 @@ constexpr const char* kUsage =
     "                   [--threads N] NAME OUT\n"
     "  ecomp stats      --port PORT [--json|--prom] [--watch]\n"
     "                   [--interval-ms MS] [--count N] [--out FILE]\n"
+    "                   (--watch in text mode prints per-interval counter\n"
+    "                   deltas and rates, not raw totals)\n"
+    "  ecomp top        --port PORT [--interval-ms MS] [--count N]\n"
+    "                   live terminal dashboard: sparklines over the\n"
+    "                   proxy's monitored time series + recent alerts\n"
+    "  ecomp monitor    --port PORT --rules FILE [--interval-ms MS]\n"
+    "                   [--count N] [-r 11|2] [--loss P]\n"
+    "                   headless watchdog over proxy stats; exits 4 on\n"
+    "                   SLO breach (rule syntax: docs/MONITORING.md)\n"
     "  ecomp corpus     [-s SCALE] OUTDIR\n"
     "  ecomp profile    COMMAND [args...]   run any command under the\n"
     "                   sampling profiler and print a self-time table\n"
@@ -70,6 +83,8 @@ constexpr const char* kUsage =
     "  --metrics FILE   write the metrics registry snapshot as JSON\n"
     "  --events FILE    write a JSONL connection-lifecycle event log;\n"
     "                   the ECOMP_EVENTS env var sets a default path\n"
+    "  --events-max-mb N  rotate the event log past N MB (default 64;\n"
+    "                   0 = never; old generation kept as FILE.1)\n"
     "profiling (any command; see docs/PROFILING.md):\n"
     "  --profile FILE   sample this run and write collapsed stacks\n"
     "                   (flamegraph.pl / inferno-flamegraph compatible)\n"
@@ -89,6 +104,8 @@ struct ArgParser {
   std::string metrics_path;  // --metrics
   std::string events_path;   // --events / ECOMP_EVENTS
   std::string out_path;      // stats: --out snapshot destination
+  std::string rules_path;    // monitor: --rules watchdog rule file
+  int events_max_mb = 64;    // --events-max-mb rotation cap (0 = off)
   std::string profile_path;  // --profile folded-stack destination
   int profile_hz = 997;      // --profile-hz sampling rate
   std::string crash_dump_path;  // --crash-dump / ECOMP_CRASH_DUMP
@@ -139,6 +156,10 @@ struct ArgParser {
           metrics_path = value("--metrics");
         } else if (a == "--events") {
           events_path = value("--events");
+        } else if (a == "--events-max-mb") {
+          events_max_mb = std::stoi(value("--events-max-mb"));
+        } else if (a == "--rules") {
+          rules_path = value("--rules");
         } else if (a == "--out") {
           out_path = value("--out");
         } else if (a == "--profile") {
@@ -534,6 +555,20 @@ int cmd_download(const ArgParser& p, std::ostream& out) {
   return 0;
 }
 
+/// Pull every monotonically-growing count out of a STATS json payload:
+/// the named top-level totals plus the whole registry counters object.
+std::map<std::string, double> stats_counters(const obs::JsonValue& root) {
+  std::map<std::string, double> cur;
+  for (const char* key :
+       {"connections_total", "requests_total", "errors_total",
+        "faults_injected", "bytes_sent", "bytes_recv"})
+    cur[key] = root.number_or(key, 0.0);
+  if (const obs::JsonValue* c = root.find("counters"); c && c->is_object())
+    for (const auto& [name, v] : c->object)
+      if (v.is_number()) cur[name] = v.number;
+  return cur;
+}
+
 int cmd_stats(const ArgParser& p, std::ostream& out) {
   if (!p.positional.empty()) throw Error("stats takes no positional args");
   if (p.port <= 0 || p.port > 0xffff)
@@ -543,18 +578,270 @@ int cmd_stats(const ArgParser& p, std::ostream& out) {
   // One snapshot by default; --watch repeats every --interval-ms until
   // --count snapshots have been printed (0 = until interrupted).
   const int reps = p.watch ? p.count : 1;
+  // Watching raw totals repeats everything since proxy start and buries
+  // the live signal, so text --watch reports what changed each interval
+  // (counter deltas and per-second rates). The machine formats stay
+  // verbatim snapshots so scrapers keep working under --watch.
+  const bool deltas = p.watch && format == "text";
   std::string last;
+  std::map<std::string, double> prev;
+  double prev_uptime = 0.0;
+  char buf[192];
   for (int i = 0; reps == 0 || i < reps; ++i) {
     if (i > 0)
       std::this_thread::sleep_for(
           std::chrono::milliseconds(std::max(p.interval_ms, 1)));
-    last = net::fetch_stats(static_cast<std::uint16_t>(p.port), format);
-    out << last;
-    if (last.empty() || last.back() != '\n') out << "\n";
+    if (!deltas) {
+      last = net::fetch_stats(static_cast<std::uint16_t>(p.port), format);
+      out << last;
+      if (last.empty() || last.back() != '\n') out << "\n";
+      out.flush();  // --watch output is commonly piped; keep it live
+      continue;
+    }
+    last = net::fetch_stats(static_cast<std::uint16_t>(p.port), "json");
+    const obs::JsonValue root = obs::parse_json(last);
+    const double uptime = root.number_or("uptime_s", 0.0);
+    std::map<std::string, double> cur = stats_counters(root);
+    if (i == 0) {
+      std::snprintf(buf, sizeof buf,
+                    "t=%.1fs baseline: %zu counters (deltas follow)\n",
+                    uptime, cur.size());
+      out << buf;
+    } else {
+      const double dt = std::max(uptime - prev_uptime, 1e-9);
+      bool any = false;
+      for (const auto& [name, v] : cur) {
+        const auto it = prev.find(name);
+        const double d = v - (it == prev.end() ? 0.0 : it->second);
+        if (d == 0.0) continue;
+        any = true;
+        std::snprintf(buf, sizeof buf, "t=%.1fs %s %+g (%.1f/s)\n", uptime,
+                      name.c_str(), d, d / dt);
+        out << buf;
+      }
+      if (!any) {
+        std::snprintf(buf, sizeof buf, "t=%.1fs (idle)\n", uptime);
+        out << buf;
+      }
+    }
+    prev = std::move(cur);
+    prev_uptime = uptime;
+    out.flush();
   }
   if (!p.out_path.empty()) write_file(p.out_path, as_bytes(last));
   return 0;
 }
+
+/// Scale `vals` into the eight Unicode block heights. A flat series
+/// renders as all-minimum rather than dividing by zero.
+std::string sparkline(const std::vector<double>& vals) {
+  static constexpr const char* kBlocks[8] = {"▁", "▂", "▃",
+                                             "▄", "▅", "▆",
+                                             "▇", "█"};
+  double lo = 0.0, hi = 0.0;
+  bool first = true;
+  for (double v : vals) {
+    if (!std::isfinite(v)) continue;
+    lo = first ? v : std::min(lo, v);
+    hi = first ? v : std::max(hi, v);
+    first = false;
+  }
+  std::string s;
+  for (double v : vals) {
+    int idx = 0;
+    if (std::isfinite(v) && hi > lo)
+      idx = static_cast<int>((v - lo) / (hi - lo) * 7.999);
+    s += kBlocks[std::clamp(idx, 0, 7)];
+  }
+  return s;
+}
+
+int cmd_top(const ArgParser& p, std::ostream& out) {
+  if (!p.positional.empty()) throw Error("top takes no positional args");
+  if (p.port <= 0 || p.port > 0xffff)
+    throw Error("top needs --port of a running proxy");
+  const std::uint16_t port = static_cast<std::uint16_t>(p.port);
+  char buf[224];
+  for (int frame = 0; p.count == 0 || frame < p.count; ++frame) {
+    if (frame > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(p.interval_ms, 1)));
+      out << "\x1b[2J\x1b[H";  // clear + home; first frame scrolls normally
+    }
+    const obs::JsonValue stats =
+        obs::parse_json(net::fetch_stats(port, "json"));
+    const obs::JsonValue series =
+        obs::parse_json(net::fetch_stats(port, "series"));
+    std::string sha = "unknown";
+    if (const obs::JsonValue* prov = stats.find("provenance"))
+      if (const obs::JsonValue* s = prov->find("git_sha"); s && s->is_string())
+        sha = s->string;
+    std::snprintf(buf, sizeof buf,
+                  "ecomp top — :%u  build %s  up %.1fs  conns %g  reqs %g"
+                  "  errs %g\n",
+                  port, sha.c_str(), stats.number_or("uptime_s", 0.0),
+                  stats.number_or("connections_active", 0.0),
+                  stats.number_or("requests_total", 0.0),
+                  stats.number_or("errors_total", 0.0));
+    out << buf;
+    const obs::JsonValue* map = series.find("series");
+    if (!map || !map->is_object() || map->object.empty()) {
+      out << "(no series — proxy built or started without monitoring)\n";
+    } else {
+      for (const auto& [name, s] : map->object) {
+        std::vector<double> vals;
+        // Tier 0 = raw sampler cadence; newest samples come last.
+        if (const obs::JsonValue* tiers = s.find("tiers");
+            tiers && tiers->is_array() && !tiers->array.empty()) {
+          const obs::JsonValue* samp = tiers->array[0].find("samples");
+          if (samp && samp->is_array())
+            for (const obs::JsonValue& pair : samp->array)
+              if (pair.is_array() && pair.array.size() == 2)
+                vals.push_back(pair.array[1].number);
+        }
+        if (vals.size() > 48)
+          vals.erase(vals.begin(),
+                     vals.end() - static_cast<std::ptrdiff_t>(48));
+        std::snprintf(buf, sizeof buf, "%-34s %12.4g  ", name.c_str(),
+                      s.number_or("last", 0.0));
+        out << buf << sparkline(vals) << "\n";
+      }
+    }
+    const obs::JsonValue* mon = stats.find("monitor");
+    const obs::JsonValue* alerts = mon ? mon->find("alerts") : nullptr;
+    if (alerts && alerts->is_array() && !alerts->array.empty()) {
+      out << "ALERTS (" << alerts->array.size() << " recent, "
+          << (mon ? mon->number_or("alerts_total", 0.0) : 0.0)
+          << " total)\n";
+      for (const obs::JsonValue& a : alerts->array) {
+        const obs::JsonValue* rule = a.find("rule");
+        const obs::JsonValue* detail = a.find("detail");
+        out << "  ! " << (rule && rule->is_string() ? rule->string : "?")
+            << "  " << (detail && detail->is_string() ? detail->string : "")
+            << "\n";
+      }
+    } else {
+      out << "no alerts\n";
+    }
+    out.flush();
+  }
+  return 0;
+}
+
+#if defined(ECOMP_OBS_ENABLED)
+
+int cmd_monitor(const ArgParser& p, std::ostream& out) {
+  if (!p.positional.empty()) throw Error("monitor takes no positional args");
+  if (p.port <= 0 || p.port > 0xffff)
+    throw Error("monitor needs --port of a running proxy");
+  if (p.rules_path.empty()) throw Error("monitor needs --rules FILE");
+  // Symbolic thresholds resolve against the paper's energy model here,
+  // where the model lives: "eq6" is the raw-download J/MB line for the
+  // selected -r rate, "eq6@L" shifts it for expected loss L (--loss is
+  // the default), "eq6*M" adds headroom margin M. Both suffixes compose
+  // as eq6@0.05*1.15.
+  const obs::ThresholdResolver resolve = [&](const std::string& tok) {
+    if (tok.rfind("eq6", 0) != 0)
+      throw Error("monitor: unknown threshold token: " + tok);
+    double loss = p.loss, margin = 1.0;
+    std::string rest = tok.substr(3);
+    std::size_t end = 0;
+    if (!rest.empty() && rest[0] == '@') {
+      loss = std::stod(rest.substr(1), &end);
+      rest = rest.substr(1 + end);
+    }
+    if (!rest.empty() && rest[0] == '*') {
+      margin = std::stod(rest.substr(1), &end);
+      rest = rest.substr(1 + end);
+    }
+    if (!rest.empty()) throw Error("monitor: bad threshold token: " + tok);
+    return model_for_rate(p.rate).with_loss(loss).raw_j_per_mb(1.0) * margin;
+  };
+  const Bytes rules_text = read_file(p.rules_path);
+  obs::Watchdog dog;
+  for (obs::Rule& r : obs::parse_rules(
+           std::string(rules_text.begin(), rules_text.end()), resolve))
+    dog.add_rule(std::move(r));
+  if (dog.rules().empty()) throw Error("monitor: no rules in " + p.rules_path);
+
+  // Client-side mirror of the in-proxy sampler: each poll folds the
+  // STATS payload into a local SeriesStore (counters become .rate
+  // series, histograms expose .p50/.p99/.rate, monitor gauges pass
+  // through verbatim) and the watchdog evaluates the new samples.
+  obs::SeriesStore store;
+  std::map<std::string, double> prev;
+  double prev_uptime = -1.0;
+  std::uint64_t fired_total = 0;
+  char buf[192];
+  const std::uint16_t port = static_cast<std::uint16_t>(p.port);
+  std::vector<obs::Alert> fired;
+  int polls = 0;
+  for (int i = 0; p.count == 0 || i < p.count; ++i, ++polls) {
+    if (i > 0)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(p.interval_ms, 1)));
+    const obs::JsonValue root =
+        obs::parse_json(net::fetch_stats(port, "json"));
+    // Series time is the *server's* clock so rule windows survive slow
+    // polls; a restarted proxy would run time backwards, so clamp.
+    double t = root.number_or("uptime_s", 0.0);
+    if (t < prev_uptime) t = prev_uptime;
+    const std::map<std::string, double> cur = stats_counters(root);
+    if (prev_uptime >= 0.0) {
+      const double dt = std::max(t - prev_uptime, 1e-9);
+      for (const auto& [name, v] : cur) {
+        const auto it = prev.find(name);
+        const double base = it == prev.end() ? 0.0 : it->second;
+        store.append(name + ".rate", t, v >= base ? (v - base) / dt : 0.0);
+      }
+    }
+    if (const obs::JsonValue* h = root.find("histograms");
+        h && h->is_object())
+      for (const auto& [name, hv] : h->object) {
+        store.append(name + ".p50", t, hv.number_or("p50", 0.0));
+        store.append(name + ".p99", t, hv.number_or("p99", 0.0));
+        store.append(name + ".rate", t, hv.number_or("rate_per_s", 0.0));
+      }
+    if (const obs::JsonValue* mon = root.find("monitor"))
+      if (const obs::JsonValue* g = mon->find("gauges"); g && g->is_object())
+        for (const auto& [name, v] : g->object)
+          if (v.is_number()) store.append(name, t, v.number);
+    store.append("connections_active", t,
+                 root.number_or("connections_active", 0.0));
+    prev = cur;
+    prev_uptime = t;
+
+    fired.clear();
+    dog.evaluate(store, &fired);
+    for (const obs::Alert& a : fired) {
+      std::snprintf(buf, sizeof buf, "alert %s %s\n", a.rule.c_str(),
+                    a.detail.c_str());
+      out << buf;
+    }
+    fired_total += fired.size();
+    out.flush();
+    // With no --count the monitor is a tripwire: run until something
+    // breaks, then let the exit code wake the wrapper script.
+    if (p.count == 0 && fired_total > 0) {
+      ++polls;
+      break;
+    }
+  }
+  std::snprintf(buf, sizeof buf, "monitor: %llu alert(s) in %d poll(s)\n",
+                static_cast<unsigned long long>(fired_total), polls);
+  out << buf;
+  return fired_total > 0 ? 4 : 0;
+}
+
+#else  // !ECOMP_OBS_ENABLED
+
+int cmd_monitor(const ArgParser&, std::ostream&) {
+  // The watchdog/series machinery is compiled out (the OFF-build link
+  // gate forbids its symbols), so this is a hard error, not a warning.
+  throw Error("monitor requires an ECOMP_OBS=ON build");
+}
+
+#endif
 
 int cmd_corpus(const ArgParser& p, std::ostream& out) {
   if (p.positional.size() != 1) throw Error("corpus needs OUTDIR");
@@ -670,6 +957,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   if (!p.events_path.empty()) {
     try {
       obs::EventLog::global().open(p.events_path);
+      obs::EventLog::global().set_max_bytes(
+          p.events_max_mb <= 0
+              ? 0
+              : static_cast<std::uint64_t>(p.events_max_mb) << 20);
     } catch (const std::exception& e) {
       err << "error: " << e.what() << "\n";
       return 2;
@@ -714,6 +1005,10 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       code = cmd_download(p, out);
     } else if (cmd == "stats") {
       code = cmd_stats(p, out);
+    } else if (cmd == "top") {
+      code = cmd_top(p, out);
+    } else if (cmd == "monitor") {
+      code = cmd_monitor(p, out);
     } else if (cmd == "corpus") {
       code = cmd_corpus(p, out);
     } else {

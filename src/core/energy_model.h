@@ -140,6 +140,13 @@ class EnergyModel {
   /// entire download idle time (paper: ≈ 27 at 2 Mb/s).
   double idle_fill_factor() const;
 
+  /// Eq. 1 normalized per delivered MB — the monitoring SLO baseline: a
+  /// proxy serving raw data on a clean channel should never exceed this
+  /// line, and with_loss(q) shifts it with channel quality.
+  double raw_j_per_mb(double s_mb = 1.0) const {
+    return download_energy_j(s_mb) / s_mb;
+  }
+
   const EnergyParams& params() const { return p_; }
 
   // ---- the paper's published constants, for validation benches ------

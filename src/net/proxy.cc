@@ -10,12 +10,15 @@
 #include "compress/deflate.h"
 #include "core/interleave.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "sim/transfer.h"
 #include "util/crc32.h"
 #include "util/rng.h"
 
 #if defined(ECOMP_OBS_ENABLED)
+#include "core/energy_model.h"
+#include "obs/monitor.h"
 #include "prof/alloc.h"
 #include "prof/flight.h"
 #include "prof/profiler.h"
@@ -70,6 +73,13 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point t0) {
   return static_cast<std::uint64_t>(us < 0 ? 0 : us);
 }
 
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 void FileStore::put(std::string name, Bytes data) {
@@ -88,7 +98,7 @@ bool FileStore::contains(const std::string& name) const {
 
 ProxyServer::ProxyServer(FileStore store, compress::SelectivePolicy policy,
                          std::size_t block_size, bool precompress,
-                         unsigned threads)
+                         unsigned threads, MonitorConfig monitor)
     : store_(std::move(store)),
       policy_(std::move(policy)),
       block_size_(block_size),
@@ -108,13 +118,137 @@ ProxyServer::ProxyServer(FileStore store, compress::SelectivePolicy policy,
               .container;
     }
   }
+  start_monitor(monitor);
   thread_ = std::thread([this] { serve(); });
+}
+
+void ProxyServer::note_progress() {
+  conn_progress_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+}
+
+void ProxyServer::start_monitor(const MonitorConfig& cfg) {
+#if defined(ECOMP_OBS_ENABLED)
+  if (!cfg.enabled) return;
+  // The SLO baseline: Eq. 1 raw-download energy per MB on the paper's
+  // iPAQ/11 Mb/s device, shifted by the observed loss rate (every
+  // delivered MB costs 1/(1-q) transmissions). A healthy proxy serves
+  // at or below this line; faults push measured J/MB-served above it.
+  double raw_line = 0.0;
+  try {
+    raw_line = core::EnergyModel::from_device(sim::DeviceModel::ipaq_11mbps())
+                   .with_loss(cfg.loss)
+                   .raw_j_per_mb(1.0);
+  } catch (const std::exception&) {
+    raw_line = core::EnergyModel::from_device(sim::DeviceModel::ipaq_11mbps())
+                   .raw_j_per_mb(1.0);
+  }
+  // Price wasted wire bytes at the clean raw line: energy the device
+  // spent receiving data that an error then threw away.
+  const double waste_line = sim::TransferSimulator().raw_j_per_mb();
+
+  obs::MonitorOptions mopt;
+  mopt.cadence_ms = cfg.cadence_ms;
+  monitor_ = std::make_shared<obs::Monitor>(mopt);
+
+  monitor_->add_source([this, waste_line](double t, obs::SeriesStore& st) {
+    const double ok_mb =
+        static_cast<double>(bytes_ok_raw_.load(std::memory_order_relaxed)) /
+        1e6;
+    const double waste_mb =
+        static_cast<double>(
+            bytes_waste_wire_.load(std::memory_order_relaxed)) /
+        1e6;
+    const double e_down_j =
+        static_cast<double>(energy_down_uj_.load(std::memory_order_relaxed)) *
+        1e-6;
+    if (ok_mb > 0.0)
+      st.series("net.proxy.j_per_mb_served")
+          .append(t, (e_down_j + waste_mb * waste_line) / ok_mb);
+    st.series("net.proxy.wire_waste_mb").append(t, waste_mb);
+    st.series("net.proxy.conns_active")
+        .append(t, static_cast<double>(
+                       conns_active_.load(std::memory_order_relaxed)));
+    // Seconds the in-flight connection has gone without moving a byte
+    // (0 when idle). Delay faults sleep inside send/recv, so progress
+    // goes stale while the connection stays active.
+    double stall_s = 0.0;
+    const std::uint64_t since =
+        conn_active_since_ns_.load(std::memory_order_relaxed);
+    if (since != 0) {
+      const std::uint64_t ref = std::max(
+          since, conn_progress_ns_.load(std::memory_order_relaxed));
+      const std::uint64_t now = steady_now_ns();
+      if (now > ref) stall_s = static_cast<double>(now - ref) / 1e9;
+    }
+    st.series("net.proxy.conn_stall_s").append(t, stall_s);
+  });
+
+  {
+    obs::Rule r;
+    r.name = "energy-slo";
+    r.kind = obs::RuleKind::Slo;
+    r.series = "net.proxy.j_per_mb_served";
+    r.threshold = raw_line * cfg.jmb_margin;
+    r.above = true;
+    r.for_n = 2;
+    monitor_->add_rule(std::move(r));
+  }
+  if (cfg.latency_slo_ms > 0.0) {
+    obs::Rule r;
+    r.name = "latency-slo";
+    r.kind = obs::RuleKind::Slo;
+    r.series = "net.proxy.request_us.p99";
+    r.threshold = cfg.latency_slo_ms * 1000.0;
+    r.above = true;
+    r.for_n = 2;
+    monitor_->add_rule(std::move(r));
+  }
+  {
+    obs::Rule r;
+    r.name = "conn-stall";
+    r.kind = obs::RuleKind::Stall;
+    r.series = "net.proxy.conn_stall_s";
+    r.threshold = cfg.stall_timeout_s;
+    r.for_n = 1;
+    monitor_->add_rule(std::move(r));
+  }
+  if (threads_ > 1) {
+    // The pool queue holds 4x threads tasks; a p99 depth pinned near
+    // capacity means compression cannot keep up with the wire.
+    obs::Rule r;
+    r.name = "par-queue-saturated";
+    r.kind = obs::RuleKind::Slo;
+    r.series = "par.queue_depth.p99";
+    r.threshold = 0.95 * 4.0 * static_cast<double>(threads_);
+    r.above = true;
+    r.for_n = 2;
+    monitor_->add_rule(std::move(r));
+  }
+
+  monitor_->set_alert_sink([this](const obs::Alert& a) {
+    obs::Event e;
+    e.stage = "alert";
+    e.side = "proxy";
+    e.name = a.rule;
+    e.mode = a.series;
+    e.err = a.detail;
+    e.value = a.value;
+    e.threshold = a.threshold;
+    emit(e);
+  });
+  monitor_->start();
+#else
+  (void)cfg;
+#endif
 }
 
 ProxyServer::~ProxyServer() { stop(); }
 
 void ProxyServer::stop() {
   if (stopping_.exchange(true)) return;
+#if defined(ECOMP_OBS_ENABLED)
+  if (monitor_) monitor_->stop();
+#endif
   // Poke the accept loop awake with a throwaway connection.
   try {
     Socket s = connect_local(listener_.port());
@@ -158,6 +292,7 @@ double ProxyServer::estimate_request_j(const std::string& mode,
 
 obs::StatsSnapshot ProxyServer::stats() const {
   obs::StatsSnapshot s;
+  s.provenance = obs::collect_provenance();
   s.uptime_s = std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - started_)
                    .count();
@@ -196,6 +331,15 @@ obs::StatsSnapshot ProxyServer::stats() const {
   s.prof.flight_recorded = prof::FlightRecorder::global().recorded();
   for (const auto& a : prof::alloc_snapshot())
     s.prof.alloc.push_back({a.component, a.bytes, a.allocs, a.peak});
+  if (monitor_) {
+    s.monitor.present = true;
+    s.monitor.ticks = monitor_->ticks();
+    s.monitor.alerts_total = monitor_->alerts_total();
+    s.monitor.gauges = monitor_->latest();
+    for (const auto& a : monitor_->recent_alerts())
+      s.monitor.alerts.push_back(
+          {a.rule, a.series, a.detail, a.t_s, a.value, a.threshold});
+  }
 #endif
   return s;
 }
@@ -239,6 +383,9 @@ void ProxyServer::serve() {
 void ProxyServer::handle(Socket client, std::uint64_t conn) {
   ECOMP_COUNT("net.proxy.requests");
   conns_active_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t now_ns = steady_now_ns();
+  conn_progress_ns_.store(now_ns, std::memory_order_relaxed);
+  conn_active_since_ns_.store(now_ns, std::memory_order_relaxed);
   const auto t0 = std::chrono::steady_clock::now();
   ReqInfo info;
   obs::TraceContext ctx;
@@ -310,9 +457,19 @@ void ProxyServer::handle(Socket client, std::uint64_t conn) {
   else if (info.mode == "full") full_us_.record(us);
   else if (info.mode == "selective") selective_us_.record(us);
   else if (info.mode == "put") put_us_.record(us);
-  if (info.error) errors_total_.fetch_add(1, std::memory_order_relaxed);
+  if (info.error) {
+    errors_total_.fetch_add(1, std::memory_order_relaxed);
+    // Wire bytes this connection burned before failing: paid for but
+    // useless, so they count against the J/MB-served gauge.
+    bytes_waste_wire_.fetch_add(client.bytes_sent(),
+                                std::memory_order_relaxed);
+  } else if (info.mode == "raw" || info.mode == "full" ||
+             info.mode == "selective") {
+    bytes_ok_raw_.fetch_add(info.raw_bytes, std::memory_order_relaxed);
+  }
   bytes_sent_.fetch_add(client.bytes_sent(), std::memory_order_relaxed);
   bytes_recv_.fetch_add(client.bytes_recv(), std::memory_order_relaxed);
+  conn_active_since_ns_.store(0, std::memory_order_relaxed);
   conns_active_.fetch_sub(1, std::memory_order_relaxed);
   {
     obs::Event e;
@@ -356,6 +513,9 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
                                         info->wire_bytes);
     energy_served_uj_.fetch_add(static_cast<std::uint64_t>(j * 1e6),
                                 std::memory_order_relaxed);
+    if (info->mode != "put")
+      energy_down_uj_.fetch_add(static_cast<std::uint64_t>(j * 1e6),
+                                std::memory_order_relaxed);
     e.j_est = j;
     event(std::move(e));
   };
@@ -364,8 +524,17 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
     info->mode = "stats";
     std::string format;
     iss >> format;
-    const std::string payload =
-        obs::render_stats(stats(), obs::parse_stats_format(format));
+    std::string payload;
+    if (format == "series") {
+      // Raw time-series dump for `ecomp top` sparklines; an empty store
+      // shape when no monitor is attached keeps clients branch-free.
+#if defined(ECOMP_OBS_ENABLED)
+      if (monitor_) payload = monitor_->series_json();
+#endif
+      if (payload.empty()) payload = "{\"schema\":1,\"series\":{}}";
+    } else {
+      payload = obs::render_stats(stats(), obs::parse_stats_format(format));
+    }
     reply("OK " + std::to_string(payload.size()));
     info->streaming = true;
     send_frame(client, as_bytes(payload));  // may exceed the control cap
@@ -397,6 +566,7 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
         return;
       }
       wire += n;
+      note_progress();
       dec.feed(ByteSpan(buf.data(), n));
     }
     dec.verify();
@@ -449,6 +619,7 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
           it != selective_cache_.end()) {
         // Precompressed a priori (§3): ship the stored container.
         client.send_all(it->second);
+        note_progress();
         info->wire_bytes = it->second.size();
         ledger({.stage = "stream",
                 .bytes_wire = static_cast<std::int64_t>(info->wire_bytes),
@@ -465,6 +636,7 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
         const Bytes chunk = enc.next_chunk();
         if (!chunk.empty()) {
           client.send_all(chunk);
+          note_progress();
           info->wire_bytes += chunk.size();
         }
       }
@@ -498,6 +670,7 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
     for (std::size_t off = offset; off < container->size(); off += kChunk) {
       const std::size_t n = std::min(kChunk, container->size() - off);
       client.send_all(ByteSpan(*container).subspan(off, n));
+      note_progress();
       info->wire_bytes += n;
     }
     ledger({.stage = "stream",
@@ -536,6 +709,7 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
        off += kChunk) {
     const std::size_t n = std::min(kChunk, payload.size() - off);
     client.send_all(ByteSpan(payload).subspan(off, n));
+    note_progress();
   }
   info->wire_bytes = remaining;
   ledger({.stage = "stream",

@@ -54,7 +54,31 @@
 #include "obs/stats_export.h"
 #include "obs/trace.h"
 
+namespace ecomp::obs {
+class Monitor;  // obs/monitor.h — only linked in ECOMP_OBS=ON builds
+}
+
 namespace ecomp::net {
+
+/// Continuous-monitoring knobs for the proxy's embedded obs::Monitor
+/// (sampler + watchdog; see docs/MONITORING.md). The monitor exists
+/// only in ECOMP_OBS=ON builds — in OFF builds the config is accepted
+/// and ignored so call sites need no guards.
+struct MonitorConfig {
+  bool enabled = true;
+  std::uint32_t cadence_ms = 1000;  ///< sampler period
+  /// Liveness: alert when an active connection makes no wire progress
+  /// for this long (Delay faults, dead peers).
+  double stall_timeout_s = 5.0;
+  /// Latency SLO on net.proxy.request_us.p99; 0 disables the rule.
+  double latency_slo_ms = 0.0;
+  /// Energy SLO line = Eq. 1 raw J/MB (shifted by `loss`) x this
+  /// margin; measured J/MB-served above it for 2 samples alerts.
+  double jmb_margin = 1.15;
+  /// Observed channel loss rate folded into the baseline via
+  /// EnergyModel::with_loss (PR 3's threshold shift).
+  double loss = 0.0;
+};
 
 /// In-memory file store the proxy serves from (and uploads land in).
 class FileStore {
@@ -80,7 +104,8 @@ class ProxyServer {
   /// byte-identical to the serial encoder's at any thread count.
   ProxyServer(FileStore store, compress::SelectivePolicy policy,
               std::size_t block_size = compress::kDefaultBlockSize,
-              bool precompress = false, unsigned threads = 1);
+              bool precompress = false, unsigned threads = 1,
+              MonitorConfig monitor = {});
   ~ProxyServer();
   ProxyServer(const ProxyServer&) = delete;
   ProxyServer& operator=(const ProxyServer&) = delete;
@@ -104,6 +129,9 @@ class ProxyServer {
   /// process-wide registry.
   obs::StatsSnapshot stats() const;
 
+  /// The embedded monitor (nullptr in OFF builds or when disabled).
+  obs::Monitor* monitor() const { return monitor_.get(); }
+
  private:
   /// What handle_request learned about a request — drives the per-mode
   /// latency attribution, error accounting, and the close event.
@@ -124,6 +152,10 @@ class ProxyServer {
   /// Ledgered device-side energy estimate for a served download, J.
   double estimate_request_j(const std::string& mode, std::size_t raw_bytes,
                             std::size_t wire_bytes) const;
+  /// Build/start the embedded monitor (ON builds; no-op otherwise).
+  void start_monitor(const MonitorConfig& cfg);
+  /// Stamp "this connection just moved bytes" for the stall watchdog.
+  void note_progress();
 
   FileStore store_;
   compress::SelectivePolicy policy_;
@@ -149,6 +181,26 @@ class ProxyServer {
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> bytes_recv_{0};
   std::atomic<std::uint64_t> energy_served_uj_{0};  ///< microjoules
+
+  // ---- monitoring (the J/MB-served gauge and stall watchdog) ----
+  /// Raw bytes of downloads that completed without error — the useful
+  /// payload the energy above was spent serving.
+  std::atomic<std::uint64_t> bytes_ok_raw_{0};
+  /// Wire bytes burned on connections that ended in an error: sent but
+  /// useless, so they raise measured J/MB-served under faults.
+  std::atomic<std::uint64_t> bytes_waste_wire_{0};
+  /// Download-only slice of the energy ledger (PUTs excluded), µJ.
+  std::atomic<std::uint64_t> energy_down_uj_{0};
+  /// Steady-clock ns when the in-flight connection started / last moved
+  /// bytes; 0 = idle. The accept loop is sequential, so one pair
+  /// describes the (single) active connection.
+  std::atomic<std::uint64_t> conn_active_since_ns_{0};
+  std::atomic<std::uint64_t> conn_progress_ns_{0};
+  /// Embedded sampler/watchdog. shared_ptr keeps obs::Monitor an
+  /// incomplete type here: its deleter is bound at construction (in
+  /// proxy.cc, ON builds only), so OFF builds reference no monitor
+  /// symbols at all.
+  std::shared_ptr<obs::Monitor> monitor_;
   obs::SlidingHistogram req_us_;        ///< all requests
   obs::SlidingHistogram raw_us_;        ///< per-mode request latency
   obs::SlidingHistogram full_us_;

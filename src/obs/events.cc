@@ -6,6 +6,8 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 #include "obs/json.h"
@@ -82,6 +84,8 @@ std::string event_to_json(const Event& e) {
   if (e.attempt >= 0) w.key("attempt").value(e.attempt);
   if (e.j_est >= 0.0) w.key("j_est").value(e.j_est);
   if (!e.err.empty()) w.key("err").value(e.err);
+  if (std::isfinite(e.value)) w.key("value").value(e.value);
+  if (std::isfinite(e.threshold)) w.key("threshold").value(e.threshold);
   w.end_object();
   return w.str();
 }
@@ -102,6 +106,32 @@ void EventLog::open(const std::string& path) {
   if (fd < 0) throw std::runtime_error("cannot open event log: " + path);
   fd_ = fd;
   path_ = path;
+  bytes_ = 0;
+  register_fd(fd_);
+}
+
+void EventLog::set_max_bytes(std::uint64_t n) {
+  std::lock_guard lock(mu_);
+  max_bytes_ = n;
+}
+
+std::uint64_t EventLog::max_bytes() const {
+  std::lock_guard lock(mu_);
+  return max_bytes_;
+}
+
+void EventLog::rotate_locked() {
+  unregister_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  // Best-effort: a failed rename just means we overwrite in place.
+  std::string old = path_ + ".1";
+  ::rename(path_.c_str(), old.c_str());
+  const int fd =
+      ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return;  // sink gone; subsequent emits drop silently
+  fd_ = fd;
+  bytes_ = 0;
   register_fd(fd_);
 }
 
@@ -113,6 +143,7 @@ void EventLog::close() {
     fd_ = -1;
   }
   path_.clear();
+  bytes_ = 0;
 }
 
 bool EventLog::is_open() const {
@@ -127,6 +158,11 @@ void EventLog::emit(const Event& e) {
   if (fd_ < 0) return;
   std::string line = event_to_json(e);
   line.push_back('\n');
+  if (max_bytes_ > 0 && bytes_ > 0 && bytes_ + line.size() > max_bytes_) {
+    rotate_locked();
+    if (fd_ < 0) return;
+  }
+  bytes_ += line.size();
   // One complete line per write(2): a crash (ours or a SIGKILL) can
   // only ever drop whole events, never truncate one mid-line.
   std::size_t off = 0;

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -43,6 +44,11 @@ struct Event {
   std::int64_t attempt = -1;     ///< 1-based retry attempt ordinal
   double j_est = -1.0;           ///< ledgered energy estimate, joules
   std::string err;               ///< error detail for stage == "error"
+  // Monitoring fields (stage == "alert"): the offending sample and the
+  // breached line. NaN = not set, omitted. Appended last so existing
+  // designated-initializer call sites stay valid.
+  double value = std::numeric_limits<double>::quiet_NaN();
+  double threshold = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Serialize `e` as one JSON object (with a wall-clock "ts_ms" stamp).
@@ -73,6 +79,14 @@ class EventLog {
   bool is_open() const;
   const std::string& path() const { return path_; }
 
+  /// Size cap: when an emit would push the file past `n` bytes, the
+  /// current file is renamed to `path + ".1"` (replacing any previous
+  /// rotation) and a fresh file is started — bounded disk for long-
+  /// running proxies, at most one whole generation of history lost.
+  /// 0 disables rotation. Default 64 MB.
+  void set_max_bytes(std::uint64_t n);
+  std::uint64_t max_bytes() const;
+
   /// Mirror `e`, then (when open) serialize and append it as one
   /// complete line in a single write(2) — crash-durable per event.
   void emit(const Event& e);
@@ -81,9 +95,14 @@ class EventLog {
   static EventLog& global();
 
  private:
+  /// Rotate path_ -> path_ + ".1" and reopen fresh. Caller holds mu_.
+  void rotate_locked();
+
   mutable std::mutex mu_;
   int fd_ = -1;
   std::string path_;
+  std::uint64_t bytes_ = 0;  ///< written to the current generation
+  std::uint64_t max_bytes_ = 64ull << 20;
 };
 
 }  // namespace ecomp::obs

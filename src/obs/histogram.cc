@@ -132,48 +132,53 @@ double quantile_from(const std::uint64_t* buckets, std::uint64_t count,
 }  // namespace
 
 double SlidingHistogram::quantile(double q) const {
-  std::vector<std::uint64_t> merged(kBuckets);
-  const std::uint64_t wcount = merge_window(merged.data(), nullptr);
-  if (wcount > 0) return quantile_from(merged.data(), wcount, q);
-  std::vector<std::uint64_t> tot(kBuckets);
-  std::uint64_t tcount = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    tot[static_cast<std::size_t>(b)] =
-        total_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
-    tcount += tot[static_cast<std::size_t>(b)];
+  std::vector<std::uint64_t> scratch(kBuckets);
+  return quantile(q, scratch.data());
+}
+
+double SlidingHistogram::quantile(double q, std::uint64_t* scratch) const {
+  std::uint64_t count = merge_window(scratch, nullptr);
+  if (count == 0) {
+    // Window drained: the all-time distribution stands in, reusing the
+    // same scratch buffer.
+    for (int b = 0; b < kBuckets; ++b) {
+      scratch[b] =
+          total_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+      count += scratch[b];
+    }
   }
-  return quantile_from(tot.data(), tcount, q);
+  return quantile_from(scratch, count, q);
 }
 
 SlidingHistogram::Snapshot SlidingHistogram::snapshot() const {
+  std::vector<std::uint64_t> scratch(kBuckets);
+  return snapshot(scratch.data());
+}
+
+SlidingHistogram::Snapshot SlidingHistogram::snapshot(
+    std::uint64_t* scratch) const {
   Snapshot out;
-  std::vector<std::uint64_t> merged(kBuckets);
   double wsum = 0.0;
-  out.window_count = merge_window(merged.data(), &wsum);
+  out.window_count = merge_window(scratch, &wsum);
   out.window_sum = wsum;
   out.total_count = total_count_.load(std::memory_order_relaxed);
   out.total_sum =
       static_cast<double>(total_sum_.load(std::memory_order_relaxed));
 
-  const std::uint64_t* dist = merged.data();
   std::uint64_t count = out.window_count;
-  std::vector<std::uint64_t> tot;
   if (count == 0) {
-    tot.resize(kBuckets);
-    count = 0;
     for (int b = 0; b < kBuckets; ++b) {
-      tot[static_cast<std::size_t>(b)] =
+      scratch[b] =
           total_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
-      count += tot[static_cast<std::size_t>(b)];
+      count += scratch[b];
     }
-    dist = tot.data();
   } else {
     out.from_window = true;
   }
-  out.p50 = quantile_from(dist, count, 0.50);
-  out.p90 = quantile_from(dist, count, 0.90);
-  out.p99 = quantile_from(dist, count, 0.99);
-  out.p999 = quantile_from(dist, count, 0.999);
+  out.p50 = quantile_from(scratch, count, 0.50);
+  out.p90 = quantile_from(scratch, count, 0.90);
+  out.p99 = quantile_from(scratch, count, 0.99);
+  out.p999 = quantile_from(scratch, count, 0.999);
 
   // Rate over the seconds the window actually covers: a fresh histogram
   // hasn't seen window_s seconds yet.

@@ -71,8 +71,13 @@ class SlidingHistogram {
   /// Quantile estimate (bucket midpoint) over the window, falling back
   /// to the all-time distribution when the window is empty. q in [0,1].
   double quantile(double q) const;
+  /// Allocation-free variant: `scratch` must hold >= kBuckets u64s and
+  /// is clobbered (obs::Monitor's sample path reuses one buffer).
+  double quantile(double q, std::uint64_t* scratch) const;
 
   Snapshot snapshot() const;
+  /// Allocation-free variant; same scratch contract as quantile().
+  Snapshot snapshot(std::uint64_t* scratch) const;
 
   /// Zero everything (registry reset). Not linearizable against
   /// concurrent recorders — callers quiesce first, as with the other

@@ -217,4 +217,23 @@ Registry::sliding_snapshots() const {
   return out;
 }
 
+void Registry::visit_counters(
+    const std::function<void(std::string_view, std::uint64_t)>& fn) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) fn(name, c->value());
+}
+
+void Registry::visit_gauges(
+    const std::function<void(std::string_view, std::int64_t)>& fn) const {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, g] : gauges_) fn(name, g->value());
+}
+
+void Registry::visit_sliding(
+    const std::function<void(std::string_view, const SlidingHistogram&)>& fn)
+    const {
+  std::lock_guard lock(mu_);
+  for (const auto& [name, s] : sliding_) fn(name, *s);
+}
+
 }  // namespace ecomp::obs

@@ -13,6 +13,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -126,6 +127,17 @@ class Registry {
   /// surface merges these with its instance histograms).
   std::vector<std::pair<std::string, SlidingHistogram::Snapshot>>
   sliding_snapshots() const;
+
+  // Allocation-free iteration (obs::Monitor's sample path): the
+  // callback runs under the registry mutex per instrument, name-sorted.
+  // Callbacks must not call back into the registry.
+  void visit_counters(
+      const std::function<void(std::string_view, std::uint64_t)>& fn) const;
+  void visit_gauges(
+      const std::function<void(std::string_view, std::int64_t)>& fn) const;
+  void visit_sliding(
+      const std::function<void(std::string_view, const SlidingHistogram&)>& fn)
+      const;
 
  private:
   Registry() = default;

@@ -1,0 +1,158 @@
+#include "obs/monitor.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace ecomp::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Monitor::Monitor(MonitorOptions opt)
+    : opt_(opt), epoch_ns_(steady_ns()), store_(opt.series) {
+  if (opt_.cadence_ms == 0) opt_.cadence_ms = 1000;
+  hist_scratch_.resize(SlidingHistogram::kBuckets);
+  key_scratch_.reserve(128);
+  fired_scratch_.reserve(8);
+}
+
+Monitor::~Monitor() { stop(); }
+
+void Monitor::add_source(Source src) {
+  std::lock_guard lock(mu_);
+  sources_.push_back(std::move(src));
+}
+
+void Monitor::add_rule(Rule r) {
+  std::lock_guard lock(mu_);
+  dog_.add_rule(std::move(r));
+}
+
+void Monitor::set_alert_sink(AlertSink sink) {
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Monitor::set_clock_for_test(std::function<std::uint64_t()> now_ns) {
+  clock_ = std::move(now_ns);
+  epoch_ns_ = clock_ ? clock_() : steady_ns();
+}
+
+double Monitor::now_s() const {
+  const std::uint64_t now = clock_ ? clock_() : steady_ns();
+  return now <= epoch_ns_ ? 0.0
+                          : static_cast<double>(now - epoch_ns_) / 1e9;
+}
+
+void Monitor::start() {
+  if (started_) return;
+  started_ = true;
+  stopping_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run(); });
+}
+
+void Monitor::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  started_ = false;
+}
+
+void Monitor::run() {
+  std::unique_lock wake_lock(wake_mu_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Tick first so a short-lived proxy still gets samples, then sleep
+    // interruptibly so stop() never waits a full cadence.
+    wake_lock.unlock();
+    tick();
+    wake_lock.lock();
+    wake_.wait_for(wake_lock, std::chrono::milliseconds(opt_.cadence_ms),
+                   [this] { return stopping_.load(std::memory_order_relaxed); });
+  }
+}
+
+void Monitor::append_suffixed(std::string_view name, const char* suffix,
+                              double t_s, double v) {
+  key_scratch_.assign(name);
+  key_scratch_ += suffix;
+  store_.append(key_scratch_, t_s, v);
+}
+
+void Monitor::sample_registry(double t_s) {
+  Registry& reg = Registry::global();
+  reg.visit_counters([&](std::string_view name, std::uint64_t v) {
+    const auto it = prev_counters_.find(name);
+    if (it == prev_counters_.end()) {
+      // First sight: remember the baseline; the first rate sample lands
+      // next tick (a rate needs two observations).
+      prev_counters_.emplace(std::string(name), std::make_pair(v, t_s));
+      return;
+    }
+    const auto [prev, prev_t] = it->second;
+    const double dt = t_s - prev_t;
+    if (dt > 0.0) {
+      const double rate =
+          v >= prev ? static_cast<double>(v - prev) / dt : 0.0;
+      append_suffixed(name, ".rate", t_s, rate);
+    }
+    it->second = {v, t_s};
+  });
+  reg.visit_gauges([&](std::string_view name, std::int64_t v) {
+    store_.append(name, t_s, static_cast<double>(v));
+  });
+  reg.visit_sliding([&](std::string_view name, const SlidingHistogram& h) {
+    const SlidingHistogram::Snapshot snap = h.snapshot(hist_scratch_.data());
+    append_suffixed(name, ".p50", t_s, snap.p50);
+    append_suffixed(name, ".p99", t_s, snap.p99);
+    append_suffixed(name, ".rate", t_s, snap.rate_per_s);
+  });
+}
+
+void Monitor::tick() {
+  const double t = now_s();
+  std::lock_guard lock(mu_);
+  for (const Source& src : sources_) src(t, store_);
+  if (opt_.sample_registry) sample_registry(t);
+  fired_scratch_.clear();
+  dog_.evaluate(store_, &fired_scratch_);
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  if (sink_)
+    for (const Alert& a : fired_scratch_) sink_(a);
+}
+
+std::uint64_t Monitor::alerts_total() const {
+  std::lock_guard lock(mu_);
+  return dog_.alerts_total();
+}
+
+std::vector<Alert> Monitor::recent_alerts() const {
+  std::lock_guard lock(mu_);
+  return {dog_.recent().begin(), dog_.recent().end()};
+}
+
+std::vector<std::pair<std::string, double>> Monitor::latest() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(store_.size());
+  store_.visit([&](const std::string& name, const Series& s) {
+    if (!s.empty()) out.emplace_back(name, s.last().v);
+  });
+  return out;
+}
+
+std::string Monitor::series_json(std::size_t max_per_tier) const {
+  const double now = now_s();
+  std::lock_guard lock(mu_);
+  return store_.to_json(now, max_per_tier);
+}
+
+}  // namespace ecomp::obs

@@ -1,0 +1,122 @@
+// obs::Monitor — the continuous-monitoring layer: a sampler thread
+// walks the process-wide Registry at a fixed cadence into a
+// fixed-memory SeriesStore (counters become rates, gauges pass
+// through, sliding histograms contribute .p50/.p99/.rate), runs extra
+// caller-registered sources (the proxy's J/MB-served and stalled-
+// connection gauges), then lets a Watchdog evaluate SLO/drift/stall
+// rules over the fresh samples and pushes fired alerts at a sink.
+//
+// The sample path is allocation-free at steady state: rings are
+// preallocated, sliding-histogram quantiles use a scratch buffer, and
+// per-series lookups go through transparent string_view comparators
+// with a reused key buffer. Allocation happens only the first time a
+// new instrument name appears.
+//
+// Threading: one internal mutex guards the store, watchdog, and
+// per-counter rate state. tick() (the sampler body) and the read
+// surface (series_json, latest, recent_alerts — what the STATS verb
+// calls from the proxy thread) both take it. The alert sink runs under
+// the lock and must not call back into the Monitor.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/rules.h"
+#include "obs/series.h"
+
+namespace ecomp::obs {
+
+struct MonitorOptions {
+  std::uint32_t cadence_ms = 1000;  ///< sampler period
+  SeriesOptions series;             ///< retention tiers (see series.h)
+  bool sample_registry = true;      ///< walk the global Registry per tick
+};
+
+class Monitor {
+ public:
+  /// Extra per-tick sampler: append instance-local series (t is seconds
+  /// since the monitor's epoch). Runs under the monitor lock.
+  using Source = std::function<void(double t_s, SeriesStore& store)>;
+  using AlertSink = std::function<void(const Alert&)>;
+
+  explicit Monitor(MonitorOptions opt = {});
+  ~Monitor();  // stop()s
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Register sources/rules/sink before start() (not synchronized
+  /// against a running sampler thread).
+  void add_source(Source src);
+  void add_rule(Rule r);
+  void set_alert_sink(AlertSink sink);
+
+  /// Launch the sampler thread (idempotent).
+  void start();
+  /// Stop and join the sampler (idempotent; safe without start()).
+  void stop();
+
+  /// One full sample + evaluate cycle — the sampler thread's body,
+  /// callable directly by tests driving an injected clock.
+  void tick();
+
+  /// Replace the time source (nanoseconds, monotonic). Set before
+  /// start(); resets the epoch.
+  void set_clock_for_test(std::function<std::uint64_t()> now_ns);
+
+  /// Seconds since the monitor's epoch on the (possibly injected) clock.
+  double now_s() const;
+
+  std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  std::uint64_t alerts_total() const;
+  std::vector<Alert> recent_alerts() const;
+  /// Newest value of every series, name-sorted (the STATS monitor
+  /// gauges section).
+  std::vector<std::pair<std::string, double>> latest() const;
+  /// The SERIES STATS payload (see SeriesStore::to_json).
+  std::string series_json(std::size_t max_per_tier = 64) const;
+
+ private:
+  void run();
+  void sample_registry(double t_s);
+  /// store_.append(prefix + suffix) through the reused key buffer.
+  void append_suffixed(std::string_view name, const char* suffix, double t_s,
+                       double v);
+
+  MonitorOptions opt_;
+  std::function<std::uint64_t()> clock_;  ///< empty = steady_clock
+  std::uint64_t epoch_ns_ = 0;
+
+  mutable std::mutex mu_;
+  SeriesStore store_;
+  Watchdog dog_;
+  std::vector<Source> sources_;
+  AlertSink sink_;
+
+  // Sample-path scratch (reused every tick; zero steady-state alloc).
+  std::vector<std::uint64_t> hist_scratch_;
+  std::string key_scratch_;
+  std::vector<Alert> fired_scratch_;
+  /// Counter name -> value at the previous tick (rates); the double
+  /// pair member is the tick time the value was taken at.
+  std::map<std::string, std::pair<std::uint64_t, double>, std::less<>>
+      prev_counters_;
+
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+  std::thread thread_;
+};
+
+}  // namespace ecomp::obs

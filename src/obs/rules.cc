@@ -1,0 +1,201 @@
+#include "obs/rules.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/bytes.h"
+
+namespace ecomp::obs {
+namespace {
+
+/// 1 / Phi^-1(3/4): scales a mean absolute deviation to a standard
+/// deviation under normality, the usual MAD z-score convention.
+constexpr double kMadScale = 1.4826;
+
+double parse_threshold(const std::string& tok,
+                       const ThresholdResolver& resolve, int line_no) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used == tok.size()) return v;
+  } catch (const std::exception&) {
+  }
+  if (!resolve)
+    throw Error("rules line " + std::to_string(line_no) +
+                ": symbolic threshold '" + tok + "' but no resolver");
+  return resolve(tok);
+}
+
+int parse_int(const std::string& tok, int line_no, const char* what) {
+  try {
+    return std::stoi(tok);
+  } catch (const std::exception&) {
+    throw Error("rules line " + std::to_string(line_no) + ": bad " +
+                what + " '" + tok + "'");
+  }
+}
+
+double parse_double(const std::string& tok, int line_no, const char* what) {
+  try {
+    return std::stod(tok);
+  } catch (const std::exception&) {
+    throw Error("rules line " + std::to_string(line_no) + ": bad " +
+                what + " '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+const char* to_string(RuleKind k) {
+  switch (k) {
+    case RuleKind::Slo: return "slo";
+    case RuleKind::Drift: return "drift";
+    case RuleKind::Stall: return "stall";
+  }
+  return "?";
+}
+
+std::vector<Rule> parse_rules(const std::string& text,
+                              const ThresholdResolver& resolve) {
+  std::vector<Rule> rules;
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::istringstream iss(line);
+    std::string kind;
+    if (!(iss >> kind) || kind[0] == '#') continue;
+
+    Rule r;
+    if (!(iss >> r.name >> r.series))
+      throw Error("rules line " + std::to_string(line_no) +
+                  ": expected NAME SERIES after '" + kind + "'");
+    std::string tok;
+    if (kind == "slo") {
+      r.kind = RuleKind::Slo;
+      std::string dir, thr;
+      if (!(iss >> dir >> thr) || (dir != "above" && dir != "below"))
+        throw Error("rules line " + std::to_string(line_no) +
+                    ": slo needs 'above|below THRESHOLD'");
+      r.above = dir == "above";
+      r.threshold = parse_threshold(thr, resolve, line_no);
+      r.for_n = 3;
+    } else if (kind == "stall") {
+      r.kind = RuleKind::Stall;
+      std::string thr;
+      if (!(iss >> thr))
+        throw Error("rules line " + std::to_string(line_no) +
+                    ": stall needs SECONDS");
+      r.above = true;
+      r.threshold = parse_threshold(thr, resolve, line_no);
+    } else if (kind == "drift") {
+      r.kind = RuleKind::Drift;
+      r.for_n = 1;
+    } else {
+      throw Error("rules line " + std::to_string(line_no) +
+                  ": unknown rule kind '" + kind + "'");
+    }
+    // Trailing key/value options, shared across kinds.
+    while (iss >> tok) {
+      std::string val;
+      if (!(iss >> val))
+        throw Error("rules line " + std::to_string(line_no) +
+                    ": option '" + tok + "' needs a value");
+      if (tok == "for") r.for_n = parse_int(val, line_no, "for count");
+      else if (tok == "z") r.z = parse_double(val, line_no, "z");
+      else if (tok == "warmup") r.warmup = parse_int(val, line_no, "warmup");
+      else if (tok == "alpha") r.alpha = parse_double(val, line_no, "alpha");
+      else
+        throw Error("rules line " + std::to_string(line_no) +
+                    ": unknown option '" + tok + "'");
+    }
+    if (r.for_n < 1) r.for_n = 1;
+    rules.push_back(std::move(r));
+  }
+  return rules;
+}
+
+void Watchdog::add_rule(Rule r) {
+  rules_.push_back(std::move(r));
+  states_.emplace_back();
+}
+
+void Watchdog::fire(const Rule& r, const Sample& s, double threshold,
+                    std::vector<Alert>* fired) {
+  Alert a;
+  a.rule = r.name;
+  a.series = r.series;
+  a.t_s = s.t_s;
+  a.value = s.v;
+  a.threshold = threshold;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%s %s: %s %.6g %s %.6g at t=%.1fs",
+                to_string(r.kind), r.name.c_str(), r.series.c_str(), s.v,
+                r.kind == RuleKind::Drift ? "z>" : (r.above ? ">" : "<"),
+                threshold, s.t_s);
+  a.detail = buf;
+  ++alerts_total_;
+  recent_.push_back(a);
+  while (recent_.size() > kRecentCap) recent_.pop_front();
+  if (fired) fired->push_back(std::move(a));
+}
+
+std::size_t Watchdog::evaluate(const SeriesStore& store,
+                               std::vector<Alert>* fired) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& r = rules_[i];
+    State& st = states_[i];
+    const Series* s = store.find(r.series);
+    if (!s) continue;
+    const SampleRing& ring = s->tier(0);
+    // Catch up if the ring lapped us (only the retained tail is left).
+    const std::uint64_t oldest = ring.total() - ring.size();
+    if (st.consumed < oldest) st.consumed = oldest;
+
+    for (; st.consumed < ring.total(); ++st.consumed) {
+      const Sample& smp = ring.at_ordinal(st.consumed);
+      bool breach = false;
+      double line = r.threshold;
+      if (r.kind == RuleKind::Drift) {
+        // Robust z-score against the EWMA mean and EWMA absolute
+        // deviation *before* this sample is folded in, so a step change
+        // is judged against the pre-step baseline.
+        if (st.seen >= static_cast<std::uint64_t>(r.warmup)) {
+          const double sigma = kMadScale * st.adev;
+          const double zscore =
+              std::fabs(smp.v - st.ewma) / (sigma > 1e-12 ? sigma : 1e-12);
+          breach = zscore > r.z;
+        }
+        line = r.z;
+        const double dev = std::fabs(smp.v - st.ewma);
+        if (st.seen == 0) {
+          st.ewma = smp.v;
+        } else {
+          st.ewma = (1.0 - r.alpha) * st.ewma + r.alpha * smp.v;
+          st.adev = (1.0 - r.alpha) * st.adev + r.alpha * dev;
+        }
+        ++st.seen;
+      } else {
+        breach = r.above ? smp.v > r.threshold : smp.v < r.threshold;
+      }
+
+      if (breach) {
+        ++st.streak;
+        if (st.streak >= r.for_n && !st.in_episode) {
+          st.in_episode = true;
+          fire(r, smp, line, fired);
+          ++count;
+        }
+      } else {
+        st.streak = 0;
+        st.in_episode = false;  // recovered: re-arm for the next episode
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace ecomp::obs

@@ -1,0 +1,112 @@
+// obs rules — the watchdog's rule model, the text syntax behind
+// `ecomp monitor --rules FILE`, and the evaluator that turns series
+// samples into structured alerts.
+//
+// Rule kinds (docs/MONITORING.md has the full grammar):
+//   slo   NAME SERIES above|below THRESHOLD [for N]
+//         static threshold; fires after N consecutive breaching
+//         samples, once per breach episode.
+//   drift NAME SERIES [z Z] [warmup N] [alpha A]
+//         statistical anomaly: an EWMA tracks the series mean and an
+//         EWMA of absolute deviations stands in for the MAD; a sample
+//         whose robust z-score exceeds Z (after warmup) is a breach.
+//   stall NAME SERIES SECONDS [for N]
+//         liveness: identical evaluation to an `above` SLO (the series
+//         is expected to carry "seconds since progress"), kept distinct
+//         so alert records say what kind of failure this is.
+//
+// THRESHOLD is a number, or a symbolic token (e.g. "eq6", "eq6@0.05",
+// "eq6*1.15") handed to a caller-supplied resolver — obs links only
+// ecomp_util, so the Eq. 6 energy line is resolved by the layer that
+// owns the energy model (cli / net), not here.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/series.h"
+
+namespace ecomp::obs {
+
+enum class RuleKind { Slo, Drift, Stall };
+
+const char* to_string(RuleKind k);
+
+struct Rule {
+  std::string name;         ///< rule id, stamped into alerts
+  RuleKind kind = RuleKind::Slo;
+  std::string series;       ///< series the rule watches
+  double threshold = 0.0;   ///< Slo/Stall: breach line
+  bool above = true;        ///< Slo: breach when value > threshold
+  int for_n = 1;            ///< consecutive breaching samples to fire
+  double z = 4.0;           ///< Drift: robust z-score to breach
+  int warmup = 12;          ///< Drift: samples before eligible
+  double alpha = 0.2;       ///< Drift: EWMA smoothing factor
+};
+
+/// One fired alert — what lands in the EventLog (stage "alert"), the
+/// flight recorder, and the STATS ALERTS section.
+struct Alert {
+  std::string rule;
+  std::string series;
+  double t_s = 0.0;       ///< sample time that fired the rule
+  double value = 0.0;     ///< offending sample value
+  double threshold = 0.0; ///< resolved breach line (z bound for drift)
+  std::string detail;     ///< human-readable one-liner
+};
+
+/// Resolve a symbolic threshold token to a number; throw ecomp::Error
+/// for tokens it does not understand.
+using ThresholdResolver = std::function<double(const std::string&)>;
+
+/// Parse the rule-file grammar above. Lines that are empty or start
+/// with '#' are skipped. Throws ecomp::Error (with a line number) on
+/// syntax errors or unresolvable thresholds.
+std::vector<Rule> parse_rules(const std::string& text,
+                              const ThresholdResolver& resolve = {});
+
+/// Evaluates rules against a SeriesStore. Each rule consumes tier-0
+/// samples exactly once (tracked by the ring's monotonic push count),
+/// so evaluate() may be called at any cadence without double-counting.
+/// Fire-once-per-episode: a rule that fired stays silent until its
+/// series stops breaching, then re-arms. Not internally synchronized
+/// (obs::Monitor provides the lock).
+class Watchdog {
+ public:
+  static constexpr std::size_t kRecentCap = 32;
+
+  void add_rule(Rule r);
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Evaluate every rule against the store's new samples; appends fired
+  /// alerts to `fired` (when non-null) and returns how many fired.
+  std::size_t evaluate(const SeriesStore& store,
+                       std::vector<Alert>* fired = nullptr);
+
+  std::uint64_t alerts_total() const { return alerts_total_; }
+  /// The last kRecentCap alerts, oldest first.
+  const std::deque<Alert>& recent() const { return recent_; }
+
+ private:
+  struct State {
+    std::uint64_t consumed = 0;  ///< tier-0 push ordinal processed up to
+    int streak = 0;              ///< consecutive breaching samples
+    bool in_episode = false;     ///< fired and not yet recovered
+    double ewma = 0.0;           ///< drift: running mean
+    double adev = 0.0;           ///< drift: EWMA of |v - ewma| (MAD proxy)
+    std::uint64_t seen = 0;      ///< drift: samples folded in
+  };
+
+  void fire(const Rule& r, const Sample& s, double threshold,
+            std::vector<Alert>* fired);
+
+  std::vector<Rule> rules_;
+  std::vector<State> states_;
+  std::deque<Alert> recent_;
+  std::uint64_t alerts_total_ = 0;
+};
+
+}  // namespace ecomp::obs

@@ -1,0 +1,100 @@
+#include "obs/series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace ecomp::obs {
+
+Series::Series(const SeriesOptions& opt)
+    : tier0_(opt.tier0_capacity),
+      tier1_(opt.tier1_capacity),
+      tier2_(opt.tier2_capacity) {
+  acc1_.period_s = opt.tier1_period_s > 0.0 ? opt.tier1_period_s : 10.0;
+  acc2_.period_s = opt.tier2_period_s > 0.0 ? opt.tier2_period_s : 60.0;
+}
+
+void Series::fold(Acc& acc, SampleRing& ring, double t_s, double v) {
+  const auto bucket =
+      static_cast<std::int64_t>(std::floor(t_s / acc.period_s));
+  if (acc.bucket >= 0 && bucket != acc.bucket && acc.n > 0) {
+    // The first sample past a period boundary flushes the finished
+    // period's average, stamped at that period's start.
+    ring.push({static_cast<double>(acc.bucket) * acc.period_s,
+               acc.sum / static_cast<double>(acc.n)});
+    acc.sum = 0.0;
+    acc.n = 0;
+  }
+  acc.bucket = bucket;
+  acc.sum += v;
+  ++acc.n;
+}
+
+void Series::append(double t_s, double v) {
+  tier0_.push({t_s, v});
+  fold(acc1_, tier1_, t_s, v);
+  fold(acc2_, tier2_, t_s, v);
+}
+
+const SampleRing& Series::tier(int i) const {
+  switch (i) {
+    case 0: return tier0_;
+    case 1: return tier1_;
+    default: return tier2_;
+  }
+}
+
+Series& SeriesStore::series(std::string_view name) {
+  auto it = series_.find(name);
+  if (it == series_.end())
+    it = series_.emplace(std::string(name), std::make_unique<Series>(opt_))
+             .first;
+  return *it->second;
+}
+
+const Series* SeriesStore::find(std::string_view name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : it->second.get();
+}
+
+void SeriesStore::visit(
+    const std::function<void(const std::string&, const Series&)>& fn) const {
+  for (const auto& [name, s] : series_) fn(name, *s);
+}
+
+std::string SeriesStore::to_json(double now_s,
+                                 std::size_t max_per_tier) const {
+  const double periods[Series::kTiers] = {0.0, opt_.tier1_period_s,
+                                          opt_.tier2_period_s};
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(1);
+  w.key("now_s").value(now_s);
+  w.key("series").begin_object();
+  for (const auto& [name, s] : series_) {
+    w.key(name).begin_object();
+    if (!s->empty()) w.key("last").value(s->last().v);
+    w.key("tiers").begin_array();
+    for (int t = 0; t < Series::kTiers; ++t) {
+      const SampleRing& ring = s->tier(t);
+      w.begin_object();
+      w.key("period_s").value(periods[t]);
+      w.key("samples").begin_array();
+      const std::size_t n = std::min(ring.size(), max_per_tier);
+      for (std::size_t i = ring.size() - n; i < ring.size(); ++i) {
+        const Sample& smp = ring.from_oldest(i);
+        w.begin_array().value(smp.t_s).value(smp.v).end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace ecomp::obs

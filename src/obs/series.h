@@ -1,0 +1,150 @@
+// obs::SeriesStore — fixed-memory in-process time series, the retention
+// layer the monitor samples the Registry into. Each metric owns a
+// Series: three preallocated rings of (t, value) samples at widening
+// granularity (tier 0 = raw sampler cadence, tier 1 = 10 s averages,
+// tier 2 = 60 s averages), so a long-running proxy keeps minutes of
+// fine history and hours of coarse history in a few KB per series and
+// never grows.
+//
+// Allocation discipline: every ring is sized at construction; append()
+// never allocates. The only allocations in the store happen on the
+// first sight of a new series name — the steady-state sample path is
+// allocation-free, which is what lets the sampler run inside the ≤3%
+// observability overhead budget.
+//
+// Not internally synchronized: obs::Monitor owns a store behind its own
+// mutex; standalone users (benches, `ecomp monitor`) are single-threaded.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecomp::obs {
+
+struct Sample {
+  double t_s = 0.0;  ///< seconds since the store's epoch
+  double v = 0.0;
+};
+
+/// Fixed-capacity ring of samples. push() overwrites the oldest entry
+/// once full; total() counts every push ever (monotonic), which is how
+/// the watchdog knows which samples it has already evaluated.
+class SampleRing {
+ public:
+  explicit SampleRing(std::size_t capacity)
+      : buf_(capacity ? capacity : 1) {}
+
+  void push(const Sample& s) {
+    buf_[static_cast<std::size_t>(total_ % buf_.size())] = s;
+    ++total_;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const {
+    return total_ < buf_.size() ? static_cast<std::size_t>(total_)
+                                : buf_.size();
+  }
+  bool empty() const { return total_ == 0; }
+  std::uint64_t total() const { return total_; }
+
+  /// i = 0 is the oldest retained sample.
+  const Sample& from_oldest(std::size_t i) const {
+    const std::uint64_t oldest = total_ - size();
+    return buf_[static_cast<std::size_t>((oldest + i) % buf_.size())];
+  }
+  /// back = 0 is the newest sample.
+  const Sample& from_latest(std::size_t back) const {
+    return buf_[static_cast<std::size_t>((total_ - 1 - back) % buf_.size())];
+  }
+  /// The sample with monotonic push ordinal `ordinal` (must still be
+  /// retained: total() - size() <= ordinal < total()).
+  const Sample& at_ordinal(std::uint64_t ordinal) const {
+    return buf_[static_cast<std::size_t>(ordinal % buf_.size())];
+  }
+
+ private:
+  std::vector<Sample> buf_;
+  std::uint64_t total_ = 0;
+};
+
+/// Retention configuration shared by every series in a store. Defaults
+/// keep 4 min of raw samples (at 1 s cadence), 30 min of 10 s averages
+/// and 2 h of 60 s averages — ~8.4 KB per series, fixed.
+struct SeriesOptions {
+  std::size_t tier0_capacity = 240;
+  std::size_t tier1_capacity = 180;
+  std::size_t tier2_capacity = 120;
+  double tier1_period_s = 10.0;
+  double tier2_period_s = 60.0;
+};
+
+/// One metric's history: tier 0 holds raw samples, tiers 1 and 2 hold
+/// period averages stamped at the period's start time. A period's
+/// average is flushed when the first sample of the next period arrives.
+class Series {
+ public:
+  static constexpr int kTiers = 3;
+
+  explicit Series(const SeriesOptions& opt);
+
+  /// `t_s` must be monotonically non-decreasing per series.
+  void append(double t_s, double v);
+
+  const SampleRing& tier(int i) const;
+  bool empty() const { return tier0_.empty(); }
+  /// Newest raw sample (tier 0 must be non-empty).
+  const Sample& last() const { return tier0_.from_latest(0); }
+
+ private:
+  struct Acc {
+    double period_s = 0.0;
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    std::int64_t bucket = -1;  ///< floor(t / period); -1 = empty
+  };
+  void fold(Acc& acc, SampleRing& ring, double t_s, double v);
+
+  SampleRing tier0_, tier1_, tier2_;
+  Acc acc1_, acc2_;
+};
+
+/// Name-keyed collection of Series sharing one SeriesOptions. Lookup is
+/// transparent (string_view keys, no temporary strings); creation
+/// happens only on first sight of a name.
+class SeriesStore {
+ public:
+  explicit SeriesStore(SeriesOptions opt = {}) : opt_(opt) {}
+
+  /// Find-or-create (the only allocating path).
+  Series& series(std::string_view name);
+  /// nullptr when the name has never been appended to.
+  const Series* find(std::string_view name) const;
+
+  void append(std::string_view name, double t_s, double v) {
+    series(name).append(t_s, v);
+  }
+
+  std::size_t size() const { return series_.size(); }
+  const SeriesOptions& options() const { return opt_; }
+
+  /// Name-sorted iteration (std::map order).
+  void visit(
+      const std::function<void(const std::string&, const Series&)>& fn) const;
+
+  /// The SERIES STATS payload: {"schema":1,"now_s":..,"series":{name:
+  /// {"last":..,"tiers":[{"period_s":..,"samples":[[t,v],..]},..]}}}.
+  /// Each tier emits at most `max_per_tier` newest samples.
+  std::string to_json(double now_s, std::size_t max_per_tier = 64) const;
+
+ private:
+  SeriesOptions opt_;
+  std::map<std::string, std::unique_ptr<Series>, std::less<>> series_;
+};
+
+}  // namespace ecomp::obs

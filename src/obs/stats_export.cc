@@ -49,6 +49,13 @@ StatsFormat parse_stats_format(const std::string& s) {
 std::string stats_to_json(const StatsSnapshot& s) {
   JsonWriter w;
   w.begin_object();
+  w.key("schema").value(s.schema);
+  w.key("provenance").begin_object();
+  w.key("git_sha").value(s.provenance.git_sha);
+  w.key("build_type").value(s.provenance.build_type);
+  w.key("hostname").value(s.provenance.hostname);
+  w.key("obs_enabled").value(s.provenance.obs_enabled);
+  w.end_object();
   w.key("uptime_s").value(s.uptime_s);
   w.key("connections_active").value(s.connections_active);
   w.key("connections_total").value(s.connections_total);
@@ -93,6 +100,27 @@ std::string stats_to_json(const StatsSnapshot& s) {
     w.end_object();
     w.end_object();
   }
+  if (s.monitor.present) {
+    w.key("monitor").begin_object();
+    w.key("ticks").value(s.monitor.ticks);
+    w.key("alerts_total").value(s.monitor.alerts_total);
+    w.key("gauges").begin_object();
+    for (const auto& [name, v] : s.monitor.gauges) w.key(name).value(v);
+    w.end_object();
+    w.key("alerts").begin_array();
+    for (const auto& a : s.monitor.alerts) {
+      w.begin_object();
+      w.key("rule").value(a.rule);
+      w.key("series").value(a.series);
+      w.key("t_s").value(a.t_s);
+      w.key("value").value(a.value);
+      w.key("threshold").value(a.threshold);
+      w.key("detail").value(a.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }
@@ -100,6 +128,10 @@ std::string stats_to_json(const StatsSnapshot& s) {
 std::string stats_to_text(const StatsSnapshot& s) {
   std::ostringstream os;
   char buf[64];
+  os << "schema              " << s.schema << "\n";
+  os << "build               " << s.provenance.git_sha << " ("
+     << s.provenance.build_type
+     << (s.provenance.obs_enabled ? ", obs" : ", no-obs") << ")\n";
   std::snprintf(buf, sizeof buf, "%.1f", s.uptime_s);
   os << "uptime_s            " << buf << "\n";
   os << "connections_active  " << s.connections_active << "\n";
@@ -130,6 +162,15 @@ std::string stats_to_text(const StatsSnapshot& s) {
     for (const auto& a : s.prof.alloc)
       os << "prof alloc " << a.component << " bytes=" << a.bytes
          << " allocs=" << a.allocs << " peak=" << a.peak << "\n";
+  }
+  if (s.monitor.present) {
+    os << "monitor ticks " << s.monitor.ticks << " alerts_total "
+       << s.monitor.alerts_total << "\n";
+    for (const auto& [name, v] : s.monitor.gauges)
+      os << "monitor " << name << " " << json_number(v) << "\n";
+    os << "ALERTS " << s.monitor.alerts.size() << "\n";
+    for (const auto& a : s.monitor.alerts)
+      os << "alert " << a.rule << " " << a.detail << "\n";
   }
   return os.str();
 }
@@ -163,6 +204,16 @@ std::string stats_to_prometheus(const StatsSnapshot& s) {
                            const std::string& v) {
     scalar(name, help, "counter", v);
   };
+  {
+    // Build identity as a constant-1 info gauge, the node_exporter idiom.
+    const std::string n = prom_name("build_info");
+    if (begin_family(n, "Build provenance (constant 1).", "gauge"))
+      os << n << "{git_sha=\"" << prom_label_value(s.provenance.git_sha)
+         << "\",build_type=\"" << prom_label_value(s.provenance.build_type)
+         << "\"} 1\n";
+  }
+  gauge("stats_schema", "STATS payload schema version.",
+        std::to_string(s.schema));
   gauge("uptime_seconds", "Proxy uptime.", json_number(s.uptime_s));
   gauge("connections_active", "Connections currently being served.",
         std::to_string(s.connections_active));
@@ -209,6 +260,20 @@ std::string stats_to_prometheus(const StatsSnapshot& s) {
     alloc_family("prof_alloc_peak_bytes",
                  "Peak live arena bytes per component.", "gauge",
                  &ProfAllocStat::peak);
+  }
+  if (s.monitor.present) {
+    counter("monitor_ticks_total", "Monitor sampler cycles completed.",
+            std::to_string(s.monitor.ticks));
+    counter("alerts_total", "Watchdog alerts fired since start.",
+            std::to_string(s.monitor.alerts_total));
+    if (!s.monitor.gauges.empty()) {
+      const std::string n = prom_name("monitor");
+      if (begin_family(n, "Newest sample of each monitored series.",
+                       "gauge"))
+        for (const auto& [name, v] : s.monitor.gauges)
+          os << n << "{series=\"" << prom_label_value(name) << "\"} "
+             << json_number(v) << "\n";
+    }
   }
   for (const auto& [name, v] : s.counters)
     counter(name, "Registry counter.", std::to_string(v));

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/histogram.h"
+#include "obs/provenance.h"
 
 namespace ecomp::obs {
 
@@ -43,10 +44,36 @@ struct ProfStats {
   std::vector<ProfAllocStat> alloc;       ///< sorted by component
 };
 
+/// One alert row of the STATS ALERTS section (mirrors obs::Alert; kept
+/// separate so stats_export does not pull in the rules layer).
+struct AlertStat {
+  std::string rule;
+  std::string series;
+  std::string detail;
+  double t_s = 0.0;
+  double value = 0.0;
+  double threshold = 0.0;
+};
+
+/// The STATS MONITOR section: continuous-monitoring state from
+/// obs::Monitor. `present` is false when no monitor is attached
+/// (ECOMP_OBS=OFF builds, or monitoring disabled) — section omitted.
+struct MonitorStats {
+  bool present = false;
+  std::uint64_t ticks = 0;         ///< sampler cycles completed
+  std::uint64_t alerts_total = 0;  ///< alerts fired since start
+  /// Newest value of every tracked series, name-sorted.
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<AlertStat> alerts;   ///< recent alerts, oldest first
+};
+
 /// Point-in-time view of one proxy instance. Counters and histograms
 /// are kept sorted by name so every rendering is byte-stable across
 /// identical states.
 struct StatsSnapshot {
+  /// STATS payload schema version: bumped to 2 when provenance and the
+  /// MONITOR/ALERTS sections were added (fields are append-only).
+  int schema = 2;
   double uptime_s = 0.0;
   std::uint64_t connections_active = 0;
   std::uint64_t connections_total = 0;
@@ -59,7 +86,9 @@ struct StatsSnapshot {
 
   std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< sorted
   std::vector<HistStat> histograms;                             ///< sorted
-  ProfStats prof;  ///< PROF section (omitted unless prof.present)
+  ProfStats prof;        ///< PROF section (omitted unless prof.present)
+  Provenance provenance; ///< build/run identity (satellite: stats schema)
+  MonitorStats monitor;  ///< MONITOR/ALERTS (omitted unless present)
 };
 
 /// One JSON object (see docs/OBSERVABILITY.md for the schema).

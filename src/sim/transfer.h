@@ -108,6 +108,13 @@ class TransferSimulator {
   const DeviceModel& device() const { return device_; }
   const ProxyModel& proxy() const { return proxy_; }
 
+  /// Simulated raw-download energy per delivered MB — the discrete
+  /// counterpart of core::EnergyModel::raw_j_per_mb, used to price
+  /// wasted wire bytes in the proxy's J/MB-served monitor gauge.
+  double raw_j_per_mb(double mb = 1.0) const {
+    return download_uncompressed(mb).energy_j / mb;
+  }
+
   /// CPU cost of handling a raw (uncompressed) block in a selective
   /// container, s/MB. Nearly free: the same buffer hand-off happens for
   /// a plain raw download, so only the container bookkeeping is extra.

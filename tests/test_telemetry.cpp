@@ -853,6 +853,12 @@ void validate_prometheus(const std::string& text) {
 /// component whose label value needs escaping.
 obs::StatsSnapshot prom_snapshot() {
   obs::StatsSnapshot s;
+  // Pinned provenance: the golden file must not depend on the machine
+  // or commit that happens to run the test.
+  s.provenance.git_sha = "deadbeefcafe";
+  s.provenance.build_type = "Release";
+  s.provenance.hostname = "testhost";
+  s.provenance.obs_enabled = true;
   s.uptime_s = 12.5;
   s.connections_active = 1;
   s.connections_total = 7;
