@@ -28,6 +28,7 @@ set(ECOMP_BENCHES
   bench_ext_tool_parity
   bench_ext_session
   bench_ext_upload
+  bench_proxy_load
   bench_codec_throughput
   bench_par_scaling
 )

@@ -37,10 +37,13 @@ fi
 # likewise reported but ungated — it is in the gate for its prof
 # *_self_pct keys, which fail the diff when a codec hot path's share of
 # self time grows by more than 10 percentage points.
+# bench_proxy_load's latency (_us) and admission-counter keys are
+# scheduler-dependent and ungated; its deterministic N=1 wire-energy
+# key (n1_energy_j) is what gates.
 GATED_BENCHES="bench_fig1_time bench_fig2_energy bench_fig3_timeline \
 bench_ext_loss_sweep bench_par_scaling \
 bench_fig12_ondemand_time bench_fig13_ondemand_energy \
-bench_codec_throughput"
+bench_codec_throughput bench_proxy_load"
 
 for bin in $GATED_BENCHES benchdiff; do
   if [ ! -x "$BUILD_DIR/bench/$bin" ] && [ ! -x "$BUILD_DIR/tools/$bin" ]; then

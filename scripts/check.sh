@@ -33,23 +33,25 @@ cmake --build build-check-asan -j "$JOBS"
 ctest --test-dir build-check-asan --output-on-failure -j "$JOBS"
 
 echo
-echo "== preset 3: TSan (concurrency/robustness/observability/profiling/monitoring) =="
+echo "== preset 3: TSan (concurrency/robustness/load/observability/profiling/monitoring) =="
 # ThreadSanitizer cannot combine with ASan, so it gets its own tree; it
 # runs the suites that actually spawn threads (the parallel block
 # pipeline, threaded interleaving, shared-instance contracts, the
-# fault matrix's server/client pairs, the telemetry layer's sharded
-# histograms + proxy/client event logging, the profiler's SIGPROF
-# sampler + collector + flight-recorder ring, and the monitor's sampler
-# thread + watchdog against a live proxy).
+# fault matrix's server/client pairs, the worker-pool proxy's
+# admission/shedding/drain paths under 100 concurrent clients, the
+# telemetry layer's sharded histograms + proxy/client event logging,
+# the profiler's SIGPROF sampler + collector + flight-recorder ring,
+# and the monitor's sampler thread + watchdog against a live proxy).
 cmake -B build-check-tsan -S . -DECOMP_OBS=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all" \
   >/dev/null
 cmake --build build-check-tsan -j "$JOBS" \
   --target ecomp_concurrency_tests ecomp_robustness_tests \
-  ecomp_observability_tests ecomp_profiling_tests ecomp_monitoring_tests
+  ecomp_load_tests ecomp_observability_tests ecomp_profiling_tests \
+  ecomp_monitoring_tests
 ctest --test-dir build-check-tsan \
-  -L "concurrency|robustness|observability|profiling|monitoring" \
+  -L "concurrency|robustness|load|observability|profiling|monitoring" \
   --output-on-failure -j "$JOBS"
 
 if [ "${ECOMP_CHECK_SKIP_BENCH:-0}" = "1" ]; then

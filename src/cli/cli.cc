@@ -71,6 +71,15 @@ constexpr const char* kUsage =
     "                   [--count N] [-r 11|2] [--loss P]\n"
     "                   headless watchdog over proxy stats; exits 4 on\n"
     "                   SLO breach (rule syntax: docs/MONITORING.md)\n"
+    "  ecomp serve      [--port PORT] [--workers N] [--max-conns K]\n"
+    "                   [--busy-retry-ms MS] [--drain-ms MS]\n"
+    "                   [--io-timeout-ms MS] [--precompress] [-b BYTES]\n"
+    "                   [--threads N] [--duration-ms MS] DIR\n"
+    "                   serve DIR's files over the proxy protocol with a\n"
+    "                   worker pool + admission control; K=0 never sheds\n"
+    "                   (over K: BUSY <retry-after-ms>; past the load\n"
+    "                   watermarks replies degrade to cheaper/no\n"
+    "                   compression first — see docs/ROBUSTNESS.md)\n"
     "  ecomp corpus     [-s SCALE] OUTDIR\n"
     "  ecomp profile    COMMAND [args...]   run any command under the\n"
     "                   sampling profiler and print a self-time table\n"
@@ -121,6 +130,13 @@ struct ArgParser {
   std::uint32_t timeout_ms = 2000; // download: --timeout-ms
   bool resume = false;             // download: --resume
   bool salvage = false;            // download/inspect: --salvage
+  int workers = 4;                 // serve: --workers pool size
+  int max_conns = 0;               // serve: --max-conns admission cap
+  int busy_retry_ms = 50;          // serve: BUSY retry-after hint
+  int drain_ms = 5000;             // serve: --drain-ms stop() deadline
+  int io_timeout_ms = 0;           // serve: per-conn socket deadline
+  bool precompress = false;        // serve: build containers at startup
+  int duration_ms = 0;             // serve: exit after MS (0 = forever)
   double loss = 0.0;               // plan/energy: --loss packet-loss rate
   int threads = 0;                 // --threads; 0 = auto (hw concurrency)
 
@@ -189,6 +205,20 @@ struct ArgParser {
         } else if (a == "--timeout-ms") {
           timeout_ms =
               static_cast<std::uint32_t>(std::stoul(value("--timeout-ms")));
+        } else if (a == "--workers") {
+          workers = std::stoi(value("--workers"));
+        } else if (a == "--max-conns") {
+          max_conns = std::stoi(value("--max-conns"));
+        } else if (a == "--busy-retry-ms") {
+          busy_retry_ms = std::stoi(value("--busy-retry-ms"));
+        } else if (a == "--drain-ms") {
+          drain_ms = std::stoi(value("--drain-ms"));
+        } else if (a == "--io-timeout-ms") {
+          io_timeout_ms = std::stoi(value("--io-timeout-ms"));
+        } else if (a == "--precompress") {
+          precompress = true;
+        } else if (a == "--duration-ms") {
+          duration_ms = std::stoi(value("--duration-ms"));
         } else if (a == "--resume") {
           resume = true;
         } else if (a == "--salvage") {
@@ -843,6 +873,68 @@ int cmd_monitor(const ArgParser&, std::ostream&) {
 
 #endif
 
+int cmd_serve(const ArgParser& p, std::ostream& out) {
+  if (p.positional.size() != 1) throw Error("serve needs DIR");
+  if (p.port < 0 || p.port > 0xffff) throw Error("serve: bad --port");
+  if (p.workers <= 0) throw Error("serve: --workers must be >= 1");
+  if (p.max_conns < 0) throw Error("serve: --max-conns must be >= 0");
+
+  net::FileStore store;
+  std::size_t n_files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(p.positional[0])) {
+    if (!entry.is_regular_file()) continue;
+    store.put(entry.path().filename().string(),
+              read_file(entry.path().string()));
+    ++n_files;
+  }
+  if (n_files == 0) throw Error("serve: no regular files in " +
+                                p.positional[0]);
+
+  net::ProxyOptions opt;
+  opt.port = static_cast<std::uint16_t>(p.port);
+  opt.block_size = p.block;
+  opt.precompress = p.precompress;
+  opt.threads = p.resolved_threads();
+  opt.workers = static_cast<unsigned>(p.workers);
+  opt.max_conns = static_cast<std::size_t>(p.max_conns);
+  opt.busy_retry_ms = static_cast<std::uint32_t>(std::max(p.busy_retry_ms, 0));
+  opt.drain_deadline_ms = static_cast<std::uint32_t>(std::max(p.drain_ms, 0));
+  opt.io_timeout_ms = static_cast<std::uint32_t>(std::max(p.io_timeout_ms, 0));
+  net::ProxyServer server(std::move(store), compress::SelectivePolicy::always(),
+                          opt);
+
+  out << "serving " << n_files << " files on port " << server.port() << " ("
+      << p.workers << " workers, ";
+  if (p.max_conns)
+    out << "max " << p.max_conns << " conns";
+  else
+    out << "unbounded admission";
+  out << (p.precompress ? ", precompressed" : "") << ")\n";
+  out.flush();
+
+  // Foreground serve loop: --duration-ms bounds it (tests/benches); 0
+  // runs until the process is interrupted.
+  const auto t0 = std::chrono::steady_clock::now();
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (p.duration_ms > 0 &&
+        std::chrono::steady_clock::now() - t0 >=
+            std::chrono::milliseconds(p.duration_ms))
+      break;
+  }
+  server.stop();
+  const obs::StatsSnapshot s = server.stats();
+  out << "served " << s.requests_total << " requests ("
+      << s.errors_total << " errors";
+  if (s.admission.present)
+    out << ", " << s.admission.busy_total << " shed, "
+        << s.admission.degraded_level_total + s.admission.degraded_raw_total
+        << " degraded";
+  out << ")\n";
+  return 0;
+}
+
 int cmd_corpus(const ArgParser& p, std::ostream& out) {
   if (p.positional.size() != 1) throw Error("corpus needs OUTDIR");
   const std::filesystem::path dir(p.positional[0]);
@@ -1009,6 +1101,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       code = cmd_top(p, out);
     } else if (cmd == "monitor") {
       code = cmd_monitor(p, out);
+    } else if (cmd == "serve") {
+      code = cmd_serve(p, out);
     } else if (cmd == "corpus") {
       code = cmd_corpus(p, out);
     } else {

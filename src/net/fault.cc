@@ -45,14 +45,29 @@ std::size_t FaultChannel::plan_send(std::uint8_t* data, std::size_t n,
 
 std::shared_ptr<FaultChannel> FaultInjector::next_channel() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!targets_.empty()) return nullptr;  // needs an index; see channel_for
   if (remaining_ <= 0) return nullptr;
   --remaining_;
   ++armed_;
   return std::make_shared<FaultChannel>(spec_);
 }
 
+std::shared_ptr<FaultChannel> FaultInjector::channel_for(
+    std::uint64_t conn_index) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!targets_.empty()) {
+      if (targets_.erase(conn_index) == 0) return nullptr;
+      ++armed_;
+      return std::make_shared<FaultChannel>(spec_);
+    }
+  }
+  return next_channel();
+}
+
 int FaultInjector::remaining() const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!targets_.empty()) return static_cast<int>(targets_.size());
   return remaining_;
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 
 #include "util/bytes.h"
 
@@ -64,15 +65,32 @@ class FaultChannel {
 
 /// Hands out FaultChannels for accepted connections: the first
 /// `arm_count` connections get the spec, later ones run clean — which
-/// is exactly what lets a bounded-retry client recover. Thread-safe
-/// (the proxy's accept loop calls in from its own thread).
+/// is exactly what lets a bounded-retry client recover. Alternatively,
+/// target explicit connection indices ("fault connection 3 of 10") so
+/// a fault can pick one victim among concurrent clients — under a
+/// worker pool, "the next N connections" is ambiguous because accept
+/// order and service order diverge. Thread-safe (the proxy's accept
+/// loop calls in from its own thread).
 class FaultInjector {
  public:
   FaultInjector(FaultSpec spec, int arm_count = 1)
       : spec_(spec), remaining_(arm_count) {}
 
+  /// Target specific 1-based connection indices (the proxy's accept
+  /// counter): only those connections get the spec, all others run
+  /// clean regardless of order.
+  FaultInjector(FaultSpec spec, std::set<std::uint64_t> target_conns)
+      : spec_(spec), targets_(std::move(target_conns)) {}
+
   /// Channel for the next accepted connection; nullptr once disarmed.
+  /// Count-based arming only — an index-targeted injector needs the
+  /// connection number and must be asked via channel_for().
   std::shared_ptr<FaultChannel> next_channel();
+
+  /// Channel for accepted connection number `conn_index` (1-based).
+  /// Index-targeted injectors arm exactly the listed connections;
+  /// count-based injectors fall back to next_channel() semantics.
+  std::shared_ptr<FaultChannel> channel_for(std::uint64_t conn_index);
 
   /// Connections still to be armed.
   int remaining() const;
@@ -82,6 +100,7 @@ class FaultInjector {
  private:
   mutable std::mutex mu_;
   FaultSpec spec_;
+  std::set<std::uint64_t> targets_;  ///< empty = count-based arming
   int remaining_ = 0;
   int armed_ = 0;
 };

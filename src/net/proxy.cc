@@ -1,5 +1,7 @@
 #include "net/proxy.h"
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <chrono>
 #include <csignal>
@@ -12,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
+#include "par/thread_pool.h"
 #include "sim/transfer.h"
 #include "util/crc32.h"
 #include "util/rng.h"
@@ -56,6 +59,18 @@ std::uint64_t echoed_trace(const std::string& status) {
       .trace_id;
 }
 
+/// Parse a "BUSY <retry-after-ms>" status (anywhere in `s`, so client
+/// retry loops can also fish it out of a wrapped error message).
+/// Returns -1 when absent.
+std::int64_t parse_busy_retry_ms(const std::string& s) {
+  const auto pos = s.find("BUSY ");
+  if (pos == std::string::npos) return -1;
+  std::istringstream iss(s.substr(pos + 5));
+  std::uint64_t ms = 0;
+  if (!(iss >> ms)) return -1;
+  return static_cast<std::int64_t>(ms);
+}
+
 /// Test hook: when ECOMP_PROF_TEST_CRASH is set, fault mid-download
 /// (after the first payload bytes arrive) so the crash-dump pipeline can
 /// be exercised end-to-end from a child process.
@@ -83,47 +98,90 @@ std::uint64_t steady_now_ns() {
 }  // namespace
 
 void FileStore::put(std::string name, Bytes data) {
+  std::lock_guard<std::mutex> lock(mu_);
   files_[std::move(name)] = std::move(data);
 }
 
-const Bytes& FileStore::get(const std::string& name) const {
+Bytes FileStore::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = files_.find(name);
   if (it == files_.end()) throw Error("FileStore: no file named " + name);
   return it->second;
 }
 
 bool FileStore::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.count(name) != 0;
+}
+
+std::map<std::string, Bytes> FileStore::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_;
 }
 
 ProxyServer::ProxyServer(FileStore store, compress::SelectivePolicy policy,
                          std::size_t block_size, bool precompress,
                          unsigned threads, MonitorConfig monitor)
+    : ProxyServer(std::move(store), std::move(policy), [&] {
+        ProxyOptions o;
+        o.block_size = block_size;
+        o.precompress = precompress;
+        o.threads = threads;
+        o.monitor = monitor;
+        return o;
+      }()) {}
+
+ProxyServer::ProxyServer(FileStore store, compress::SelectivePolicy policy,
+                         ProxyOptions options)
     : store_(std::move(store)),
       policy_(std::move(policy)),
-      block_size_(block_size),
-      threads_(threads == 0 ? 1 : threads),
-      listener_(0) {
+      options_(options),
+      cache_(options.cache_capacity_bytes),
+      listener_(options.port) {
+  if (options_.threads == 0) options_.threads = 1;
+  if (options_.workers == 0) options_.workers = 1;
 #if defined(ECOMP_OBS_ENABLED)
   // Every event emitted anywhere in the process also lands in the
   // flight recorder, so a crash dump always has recent history.
   prof::attach_flight_mirror();
 #endif
-  if (precompress) {
-    for (const auto& [name, data] : store_.files()) {
-      full_cache_[name] = compress::DeflateCodec().compress(data);
-      selective_cache_[name] =
-          compress::selective_compress(data, policy_, block_size_, 9,
-                                       threads_)
-              .container;
+  if (options_.precompress) {
+    for (const auto& [name, data] : store_.snapshot()) {
+      cache_.put(cache_key(name, "full9"),
+                 compress::DeflateCodec().compress(data));
+      cache_.put(cache_key(name, "sel9"),
+                 compress::selective_compress(data, policy_,
+                                              options_.block_size, 9,
+                                              options_.threads)
+                     .container);
     }
   }
-  start_monitor(monitor);
+  // The pool's bounded queue is the admission queue: with max_conns=K
+  // at most K connections are queued or in service, and try_submit
+  // never refuses an admitted connection (queued <= admitted <= K).
+  // Unbounded admission (K=0, the legacy mode) gets an effectively
+  // infinite queue so connections wait instead of being refused.
+  const std::size_t queue_cap =
+      options_.max_conns ? options_.max_conns : (std::size_t{1} << 20);
+  pool_ = std::make_unique<par::ThreadPool>(options_.workers, queue_cap);
+  start_monitor(options_.monitor);
   thread_ = std::thread([this] { serve(); });
 }
 
-void ProxyServer::note_progress() {
-  conn_progress_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+std::string ProxyServer::cache_key(const std::string& name,
+                                   const char* variant) const {
+  return name + '\x1f' + variant;
+}
+
+std::shared_ptr<const Bytes> ProxyServer::cached_payload(
+    const std::string& key, const std::function<Bytes()>& build) {
+  // Loop: when a concurrent builder abandons (its connection died), one
+  // waiter wins the next flight and builds.
+  while (true) {
+    auto lk = cache_.acquire(key);
+    if (lk.data) return lk.data;
+    if (lk.builder) return lk.builder->publish(build());
+  }
 }
 
 void ProxyServer::start_monitor(const MonitorConfig& cfg) {
@@ -168,17 +226,37 @@ void ProxyServer::start_monitor(const MonitorConfig& cfg) {
     st.series("net.proxy.conns_active")
         .append(t, static_cast<double>(
                        conns_active_.load(std::memory_order_relaxed)));
-    // Seconds the in-flight connection has gone without moving a byte
-    // (0 when idle). Delay faults sleep inside send/recv, so progress
-    // goes stale while the connection stays active.
+    st.series("net.proxy.admission_depth")
+        .append(t, static_cast<double>(
+                       admitted_.load(std::memory_order_relaxed)));
+    st.series("net.proxy.conns_busy")
+        .append(t, static_cast<double>(
+                       conns_busy_.load(std::memory_order_relaxed)));
+    st.series("net.proxy.degraded")
+        .append(
+            t,
+            static_cast<double>(
+                degraded_level_total_.load(std::memory_order_relaxed) +
+                degraded_raw_total_.load(std::memory_order_relaxed)));
+    // Seconds the most-stalled active connection has gone without
+    // moving a byte (0 when idle). Delay faults sleep inside send/recv,
+    // so progress goes stale while the connection stays active. Every
+    // live connection is inspected — one stuck transfer among many
+    // healthy ones still trips the watchdog.
     double stall_s = 0.0;
-    const std::uint64_t since =
-        conn_active_since_ns_.load(std::memory_order_relaxed);
-    if (since != 0) {
-      const std::uint64_t ref = std::max(
-          since, conn_progress_ns_.load(std::memory_order_relaxed));
-      const std::uint64_t now = steady_now_ns();
-      if (now > ref) stall_s = static_cast<double>(now - ref) / 1e9;
+    const std::uint64_t now = steady_now_ns();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& [id, state] : conns_) {
+        const std::uint64_t since =
+            state->active_since_ns.load(std::memory_order_relaxed);
+        if (since == 0) continue;
+        const std::uint64_t ref = std::max(
+            since, state->progress_ns.load(std::memory_order_relaxed));
+        if (now > ref)
+          stall_s = std::max(stall_s,
+                             static_cast<double>(now - ref) / 1e9);
+      }
     }
     st.series("net.proxy.conn_stall_s").append(t, stall_s);
   });
@@ -212,14 +290,26 @@ void ProxyServer::start_monitor(const MonitorConfig& cfg) {
     r.for_n = 1;
     monitor_->add_rule(std::move(r));
   }
-  if (threads_ > 1) {
+  if (options_.max_conns > 0) {
+    // Admission depth pinned near capacity means the pool is at the
+    // shedding edge: clients are about to see BUSY.
+    obs::Rule r;
+    r.name = "admission-saturated";
+    r.kind = obs::RuleKind::Slo;
+    r.series = "net.proxy.admission_depth";
+    r.threshold = 0.95 * static_cast<double>(options_.max_conns);
+    r.above = true;
+    r.for_n = 2;
+    monitor_->add_rule(std::move(r));
+  }
+  if (options_.threads > 1) {
     // The pool queue holds 4x threads tasks; a p99 depth pinned near
     // capacity means compression cannot keep up with the wire.
     obs::Rule r;
     r.name = "par-queue-saturated";
     r.kind = obs::RuleKind::Slo;
     r.series = "par.queue_depth.p99";
-    r.threshold = 0.95 * 4.0 * static_cast<double>(threads_);
+    r.threshold = 0.95 * 4.0 * static_cast<double>(options_.threads);
     r.above = true;
     r.for_n = 2;
     monitor_->add_rule(std::move(r));
@@ -249,12 +339,35 @@ void ProxyServer::stop() {
 #if defined(ECOMP_OBS_ENABLED)
   if (monitor_) monitor_->stop();
 #endif
-  // Poke the accept loop awake with a throwaway connection.
+  // Poke the accept loop awake with a throwaway connection, then join
+  // it — no new connection is admitted past this point.
   try {
     Socket s = connect_local(listener_.port());
   } catch (const Error&) {
   }
   if (thread_.joinable()) thread_.join();
+  // Graceful drain: in-flight (and already-queued) connections finish
+  // under the deadline...
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drained_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_deadline_ms),
+        [this] { return admitted_.load(std::memory_order_acquire) == 0; });
+  }
+  // ...after which still-queued connections are refused (workers check
+  // drain_expired_ before reading the request) and in-service sockets
+  // are broken so no transfer can wedge shutdown. ::shutdown (not
+  // close) is safe against fd reuse: the registry entry is erased —
+  // under conns_mu_ — strictly before the worker closes the fd.
+  if (admitted_.load(std::memory_order_acquire) != 0) {
+    drain_expired_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const auto& [id, state] : conns_) {
+      const int fd = state->fd.load(std::memory_order_relaxed);
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  pool_.reset();  // runs every remaining queued task, then joins
 }
 
 void ProxyServer::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
@@ -306,6 +419,26 @@ obs::StatsSnapshot ProxyServer::stats() const {
   s.energy_served_j =
       static_cast<double>(energy_served_uj_.load(std::memory_order_relaxed)) *
       1e-6;
+  s.admission.present = true;
+  s.admission.workers = options_.workers;
+  s.admission.capacity = options_.max_conns;
+  s.admission.depth = admitted_.load(std::memory_order_relaxed);
+  s.admission.busy_total = conns_busy_.load(std::memory_order_relaxed);
+  s.admission.degraded_level_total =
+      degraded_level_total_.load(std::memory_order_relaxed);
+  s.admission.degraded_raw_total =
+      degraded_raw_total_.load(std::memory_order_relaxed);
+  {
+    const ContainerCache::Stats cs = cache_.stats();
+    s.cache.present = true;
+    s.cache.hits = cs.hits;
+    s.cache.misses = cs.misses;
+    s.cache.waits = cs.waits;
+    s.cache.builds = cs.builds;
+    s.cache.evictions = cs.evictions;
+    s.cache.bytes = cs.bytes;
+    s.cache.entries = cs.entries;
+  }
   for (const auto& [name, v] : obs::Registry::global().counter_values())
     s.counters.emplace_back(name, v);
   // Instance histograms first, then the process-wide sliding set; one
@@ -344,6 +477,34 @@ obs::StatsSnapshot ProxyServer::stats() const {
   return s;
 }
 
+void ProxyServer::shed(Socket client, std::uint64_t conn) {
+  conns_busy_.fetch_add(1, std::memory_order_relaxed);
+  ECOMP_COUNT("net.proxy.busy");
+  try {
+    // Consume the request frame before refusing: closing with unread
+    // data pending would RST the connection and the RST can destroy
+    // the BUSY reply in flight (the client would see a broken pipe
+    // instead of the retry-after hint). The deadline keeps a silent
+    // peer from stalling the accept thread.
+    client.set_recv_timeout_ms(50);
+    (void)recv_frame(client);
+  } catch (const Error&) {
+    // Slow or gone peer — refuse anyway; the close may be unclean.
+  }
+  try {
+    send_frame(client,
+               as_bytes("BUSY " + std::to_string(options_.busy_retry_ms)));
+  } catch (const Error&) {
+    // The peer may already be gone; the shed still counts.
+  }
+  obs::Event e;
+  e.stage = "busy";
+  e.side = "proxy";
+  e.conn = static_cast<std::int64_t>(conn);
+  e.value = options_.busy_retry_ms;
+  emit(e);
+}
+
 void ProxyServer::serve() {
   while (!stopping_.load()) {
     Socket client;
@@ -359,7 +520,7 @@ void ProxyServer::serve() {
     {
       std::lock_guard<std::mutex> lock(fault_mu_);
       if (fault_injector_)
-        if (auto ch = fault_injector_->next_channel()) {
+        if (auto ch = fault_injector_->channel_for(conn)) {
           faults_injected_.fetch_add(1, std::memory_order_relaxed);
           client.inject(std::move(ch));
         }
@@ -371,21 +532,85 @@ void ProxyServer::serve() {
       e.conn = static_cast<std::int64_t>(conn);
       emit(e);
     }
-    try {
-      handle(std::move(client), conn);
-    } catch (const std::exception&) {
-      // Per-connection failures — injected or real — never take the
-      // server down; the next accept proceeds.
+    // Admission: K in flight max; above the watermarks new work is
+    // served degraded before being shed outright. Only this thread
+    // increments admitted_, so check-then-admit cannot overshoot.
+    Degrade degrade = Degrade::None;
+    if (options_.max_conns > 0) {
+      const std::uint64_t inflight =
+          admitted_.load(std::memory_order_relaxed);
+      if (inflight >= options_.max_conns) {
+        shed(std::move(client), conn);
+        continue;
+      }
+      const double load = static_cast<double>(inflight + 1) /
+                          static_cast<double>(options_.max_conns);
+      if (load >= options_.degrade_raw_watermark) degrade = Degrade::Raw;
+      else if (load >= options_.degrade_level_watermark)
+        degrade = Degrade::Level;
+    }
+    admitted_.fetch_add(1, std::memory_order_acq_rel);
+    // std::function needs a copyable callable; the socket rides a
+    // shared_ptr. The local copy of `shared` keeps the socket
+    // reachable if try_submit refuses (shed below).
+    auto shared = std::make_shared<Socket>(std::move(client));
+    const bool queued = pool_->try_submit([this, shared, conn, degrade] {
+      try {
+        handle(std::move(*shared), conn, degrade);
+      } catch (const std::exception&) {
+        // Per-connection failures — injected or real — never take the
+        // server down; the next task proceeds.
+      }
+      if (admitted_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(drain_mu_);
+        drained_.notify_all();
+      }
+    });
+    if (!queued) {
+      // Shutdown raced the admit (the pool refuses after stop).
+      admitted_.fetch_sub(1, std::memory_order_acq_rel);
+      shed(std::move(*shared), conn);
     }
   }
 }
 
-void ProxyServer::handle(Socket client, std::uint64_t conn) {
+void ProxyServer::handle(Socket client, std::uint64_t conn,
+                         Degrade degrade) {
+  if (drain_expired_.load(std::memory_order_acquire)) {
+    // stop() gave up waiting while this connection sat in the queue:
+    // refuse it instead of starting a transfer nobody will wait for.
+    shed(std::move(client), conn);
+    return;
+  }
   ECOMP_COUNT("net.proxy.requests");
+  if (options_.io_timeout_ms) {
+    try {
+      client.set_recv_timeout_ms(options_.io_timeout_ms);
+      client.set_send_timeout_ms(options_.io_timeout_ms);
+    } catch (const Error&) {
+    }
+  }
   conns_active_.fetch_add(1, std::memory_order_relaxed);
+  auto state = std::make_shared<ConnState>();
   const std::uint64_t now_ns = steady_now_ns();
-  conn_progress_ns_.store(now_ns, std::memory_order_relaxed);
-  conn_active_since_ns_.store(now_ns, std::memory_order_relaxed);
+  state->active_since_ns.store(now_ns, std::memory_order_relaxed);
+  state->progress_ns.store(now_ns, std::memory_order_relaxed);
+  state->fd.store(client.fd(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_[conn] = state;
+  }
+  // Unregister strictly before the socket closes (locals die before
+  // parameters), so stop()'s ::shutdown can never hit a reused fd.
+  struct Unregister {
+    ProxyServer* self;
+    std::uint64_t conn;
+    ~Unregister() {
+      std::lock_guard<std::mutex> lock(self->conns_mu_);
+      self->conns_.erase(conn);
+    }
+  } unregister{this, conn};
+
   const auto t0 = std::chrono::steady_clock::now();
   ReqInfo info;
   obs::TraceContext ctx;
@@ -412,7 +637,7 @@ void ProxyServer::handle(Socket client, std::uint64_t conn) {
     obs::TraceScope scope(ctx);
     requests_total_.fetch_add(1, std::memory_order_relaxed);
     try {
-      handle_request(client, line, &info, conn);
+      handle_request(client, line, &info, conn, degrade, *state);
     } catch (const FaultError& e) {
       // Injected kill: the connection is already dead by design.
       info.error = true;
@@ -469,7 +694,7 @@ void ProxyServer::handle(Socket client, std::uint64_t conn) {
   }
   bytes_sent_.fetch_add(client.bytes_sent(), std::memory_order_relaxed);
   bytes_recv_.fetch_add(client.bytes_recv(), std::memory_order_relaxed);
-  conn_active_since_ns_.store(0, std::memory_order_relaxed);
+  state->active_since_ns.store(0, std::memory_order_relaxed);
   conns_active_.fetch_sub(1, std::memory_order_relaxed);
   {
     obs::Event e;
@@ -486,7 +711,8 @@ void ProxyServer::handle(Socket client, std::uint64_t conn) {
 }
 
 void ProxyServer::handle_request(Socket& client, const std::string& req,
-                                 ReqInfo* info, std::uint64_t conn) {
+                                 ReqInfo* info, std::uint64_t conn,
+                                 Degrade degrade, ConnState& state) {
   std::istringstream iss(req);
   std::string verb;
   iss >> verb;
@@ -518,6 +744,10 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
                                 std::memory_order_relaxed);
     e.j_est = j;
     event(std::move(e));
+  };
+  // Stamp "this connection just moved bytes" for the stall watchdog.
+  const auto touch = [&state] {
+    state.progress_ns.store(steady_now_ns(), std::memory_order_relaxed);
   };
 
   if (verb == "STATS") {
@@ -566,7 +796,7 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
         return;
       }
       wire += n;
-      note_progress();
+      touch();
       dec.feed(ByteSpan(buf.data(), n));
     }
     dec.verify();
@@ -577,9 +807,8 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
     const std::int64_t blocks =
         static_cast<std::int64_t>(dec.block_infos().size());
     store_.put(name, std::move(data));
-    // New content invalidates any precompressed copies.
-    full_cache_.erase(name);
-    selective_cache_.erase(name);
+    // New content invalidates every cached variant of the name.
+    cache_.invalidate_prefix(name + '\x1f');
     reply(status.str());
     ledger({.stage = "stream",
             .bytes_wire = static_cast<std::int64_t>(info->wire_bytes),
@@ -605,40 +834,92 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
     fail("ERR no such file: " + name);
     return;
   }
-  const Bytes& original = store_.get(name);
+  const Bytes original = store_.get(name);
   info->raw_bytes = original.size();
   constexpr std::size_t kChunk = 32 * 1024;
 
+  // The degradation ladder (chosen at admission time): under load a
+  // compressed GET is served at deflate level 1, then — one rung lower
+  // — with compression skipped entirely (stored container blocks; full
+  // mode bottoms out at level 1, the cheapest valid member). The
+  // response stays protocol- and decoder-compatible; only the wire
+  // size changes, and the ledger prices the extra bytes so the energy
+  // cost of shedding is visible. raw GETs have nothing to degrade, and
+  // GET-RANGE is NEVER degraded, not even at offset 0: a resumable
+  // transfer's bytes must be identical across attempts, and the server
+  // is stateless across connections — it cannot know which variant an
+  // earlier attempt streamed, so every ranged request is served from
+  // the canonical level-9 containers. (Degrading the first attempt and
+  // resuming canonical would splice two different containers into one
+  // stream; under fault churn that can poison the client's partial for
+  // the whole retry budget.)
+  int level = 9;
+  const char* sel_variant = "sel9";
+  const char* full_variant = "full9";
+  compress::SelectivePolicy sel_policy = policy_;
+  if (degrade != Degrade::None && !ranged &&
+      (mode == "full" || mode == "selective")) {
+    level = 1;
+    if (degrade == Degrade::Raw && mode == "selective") {
+      sel_variant = "selraw";
+      sel_policy = compress::SelectivePolicy::never();
+      degraded_raw_total_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      sel_variant = "sel1";
+      degraded_level_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+    full_variant = "full1";
+    ECOMP_COUNT("net.proxy.degraded");
+    event({.stage = "degrade",
+           .err = degrade == Degrade::Raw ? "raw" : "level"});
+  }
+
   if (mode == "selective") {
     const std::int64_t blocks = static_cast<std::int64_t>(
-        block_size_ ? (original.size() + block_size_ - 1) / block_size_ : 0);
+        options_.block_size
+            ? (original.size() + options_.block_size - 1) /
+                  options_.block_size
+            : 0);
+    const std::string key = cache_key(name, sel_variant);
     if (!ranged) {
-      info->streaming = true;
-      reply("OK stream");
-      if (const auto it = selective_cache_.find(name);
-          it != selective_cache_.end()) {
-        // Precompressed a priori (§3): ship the stored container.
-        client.send_all(it->second);
-        note_progress();
-        info->wire_bytes = it->second.size();
-        ledger({.stage = "stream",
-                .bytes_wire = static_cast<std::int64_t>(info->wire_bytes),
-                .bytes_raw = static_cast<std::int64_t>(original.size()),
-                .blocks = blocks});
-        return;
-      }
-      // Compression on demand, overlapped with sending: each block goes
-      // on the wire as soon as it is encoded (§5's zlib arrangement).
-      event({.stage = "compress"});
-      compress::SelectiveStreamEncoder enc(original, policy_, block_size_,
-                                           9, threads_);
-      while (!enc.done()) {
-        const Bytes chunk = enc.next_chunk();
-        if (!chunk.empty()) {
-          client.send_all(chunk);
-          note_progress();
-          info->wire_bytes += chunk.size();
+      // Single flight: the builder compresses on demand, overlapping
+      // each block's encode with its send (§5's zlib arrangement), and
+      // publishes the accumulated container; concurrent requests for
+      // the same variant wait and ship the published bytes.
+      while (true) {
+        auto lk = cache_.acquire(key);
+        if (lk.data) {
+          // Cached (precompressed a priori, §3, or a finished flight):
+          // ship the stored container.
+          info->streaming = true;
+          reply("OK stream");
+          for (std::size_t off = 0; off < lk.data->size(); off += kChunk) {
+            const std::size_t n = std::min(kChunk, lk.data->size() - off);
+            client.send_all(ByteSpan(*lk.data).subspan(off, n));
+            touch();
+            info->wire_bytes += n;
+          }
+          break;
         }
+        if (!lk.builder) continue;  // builder abandoned; contend again
+        info->streaming = true;
+        reply("OK stream");
+        event({.stage = "compress"});
+        Bytes container;
+        compress::SelectiveStreamEncoder enc(original, sel_policy,
+                                             options_.block_size, level,
+                                             options_.threads);
+        while (!enc.done()) {
+          const Bytes chunk = enc.next_chunk();
+          if (!chunk.empty()) {
+            container.insert(container.end(), chunk.begin(), chunk.end());
+            client.send_all(chunk);
+            touch();
+            info->wire_bytes += chunk.size();
+          }
+        }
+        lk.builder->publish(std::move(container));
+        break;
       }
       ledger({.stage = "stream",
               .bytes_wire = static_cast<std::int64_t>(info->wire_bytes),
@@ -646,21 +927,16 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
               .blocks = blocks});
       return;
     }
-    // Resume: the container bytes must be identical across attempts, so
-    // use the cache or build the whole thing now (deflate is
-    // deterministic, so a rebuild matches the earlier stream).
-    const Bytes* container = nullptr;
-    Bytes built;
-    if (const auto it = selective_cache_.find(name);
-        it != selective_cache_.end()) {
-      container = &it->second;
-    } else {
+    // Resume: the container bytes must be identical across attempts —
+    // deflate is deterministic, so the cached (or rebuilt) container
+    // matches the earlier stream of the same variant.
+    const auto container = cached_payload(key, [&] {
       event({.stage = "compress"});
-      built = compress::selective_compress(original, policy_, block_size_,
-                                           9, threads_)
-                  .container;
-      container = &built;
-    }
+      return compress::selective_compress(original, sel_policy,
+                                          options_.block_size, level,
+                                          options_.threads)
+          .container;
+    });
     if (offset > container->size()) {
       fail("ERR bad offset");
       return;
@@ -670,7 +946,7 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
     for (std::size_t off = offset; off < container->size(); off += kChunk) {
       const std::size_t n = std::min(kChunk, container->size() - off);
       client.send_all(ByteSpan(*container).subspan(off, n));
-      note_progress();
+      touch();
       info->wire_bytes += n;
     }
     ledger({.stage = "stream",
@@ -680,36 +956,35 @@ void ProxyServer::handle_request(Socket& client, const std::string& req,
     return;
   }
 
-  Bytes payload;
+  std::shared_ptr<const Bytes> payload;
   if (mode == "raw") {
-    payload = original;
-  } else if (const auto it = full_cache_.find(name);
-             it != full_cache_.end()) {
-    payload = it->second;
+    payload = std::make_shared<const Bytes>(original);
   } else {
-    event({.stage = "compress"});
-    payload = compress::DeflateCodec().compress(original);
+    payload = cached_payload(cache_key(name, full_variant), [&] {
+      event({.stage = "compress"});
+      return compress::DeflateCodec(level).compress(original);
+    });
   }
-  if (ranged && offset > payload.size()) {
+  if (ranged && offset > payload->size()) {
     fail("ERR bad offset");
     return;
   }
-  const std::size_t remaining = payload.size() - (ranged ? offset : 0);
+  const std::size_t remaining = payload->size() - (ranged ? offset : 0);
   std::ostringstream status;
   if (ranged) {
-    status << "OK " << remaining << " " << payload.size() << " "
-           << crc32(payload);
+    status << "OK " << remaining << " " << payload->size() << " "
+           << crc32(*payload);
   } else {
-    status << "OK " << payload.size();
+    status << "OK " << payload->size();
   }
   info->streaming = true;
   reply(status.str());
   send_frame_header(client, static_cast<std::uint32_t>(remaining));
-  for (std::size_t off = ranged ? offset : 0; off < payload.size();
+  for (std::size_t off = ranged ? offset : 0; off < payload->size();
        off += kChunk) {
-    const std::size_t n = std::min(kChunk, payload.size() - off);
-    client.send_all(ByteSpan(payload).subspan(off, n));
-    note_progress();
+    const std::size_t n = std::min(kChunk, payload->size() - off);
+    client.send_all(ByteSpan(*payload).subspan(off, n));
+    touch();
   }
   info->wire_bytes = remaining;
   ledger({.stage = "stream",
@@ -882,11 +1157,17 @@ DownloadOutcome download_resilient(std::uint16_t port,
   std::uint32_t expected_crc = 0;
   bool have_total = false;
   std::string last_error = "no attempts made";
+  // A BUSY reply's retry-after raises the floor of the next backoff
+  // wait — the server said when it wants to hear from us again.
+  std::uint32_t busy_floor_ms = 0;
 
   for (int attempt = 0; attempt <= policy.max_retries; ++attempt) {
-    if (attempt > 0)
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(backoff_ms(policy, attempt, rng)));
+    if (attempt > 0) {
+      std::uint32_t wait = backoff_ms(policy, attempt, rng);
+      wait = std::max(wait, busy_floor_ms);
+      busy_floor_ms = 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
     ++out.attempts;
     if (!policy.resume) partial.clear();
     const std::size_t offset = partial.size();
@@ -924,6 +1205,18 @@ DownloadOutcome download_resilient(std::uint16_t port,
       const std::string status = ecomp::to_string(recv_frame(s));
       if (policy.trace && echoed_trace(status) == ctx.trace_id)
         out.stats.trace_echoed = true;
+      if (const std::int64_t retry_after = parse_busy_retry_ms(status);
+          retry_after >= 0 && status.rfind("BUSY", 0) == 0) {
+        // Admission control shed us before reading the request; back
+        // off at least as long as the server asked and try again.
+        ++out.busy;
+        busy_floor_ms = static_cast<std::uint32_t>(retry_after);
+        last_error = "download: " + status;
+        record_attempt();
+        event({.stage = "busy", .attempt = out.attempts,
+               .value = static_cast<double>(retry_after)});
+        continue;
+      }
 
       if (mode == "selective") {
         if (status.rfind("OK stream", 0) != 0)
@@ -1009,8 +1302,11 @@ DownloadOutcome download_resilient(std::uint16_t port,
         throw Error("download: " + status);
       if (have_total && total != expected_total) {
         // The file changed server-side between attempts; the partial
-        // prefix no longer belongs to this payload.
+        // prefix no longer belongs to this payload. Forget the stale
+        // total too, or the next attempt's fresh payload would be
+        // rejected against it and the mismatch would never heal.
         partial.clear();
+        have_total = false;
         throw Error("download: payload changed between attempts");
       }
       expected_total = total;
@@ -1035,6 +1331,7 @@ DownloadOutcome download_resilient(std::uint16_t port,
         throw Error("download: size mismatch after reassembly");
       if (crc32(partial) != expected_crc) {
         partial.clear();  // corrupted somewhere; no byte is trustworthy
+        have_total = false;
         throw Error("download: payload CRC mismatch");
       }
       out.data = mode == "raw"
@@ -1085,10 +1382,13 @@ std::size_t upload_resilient(std::uint16_t port, const std::string& name,
   obs::TraceScope scope(tp.trace ? ctx : obs::TraceContext{});
   Rng rng(tp.jitter_seed);
   std::string last_error;
+  std::uint32_t busy_floor_ms = 0;
   for (int attempt = 0; attempt <= tp.max_retries; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(backoff_ms(tp, attempt, rng)));
+      std::uint32_t wait = backoff_ms(tp, attempt, rng);
+      wait = std::max(wait, busy_floor_ms);
+      busy_floor_ms = 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
       obs::Event e;
       e.stage = "retry";
       e.side = "client";
@@ -1105,6 +1405,13 @@ std::size_t upload_resilient(std::uint16_t port, const std::string& name,
       return upload_once(port, name, data, policy, tp.timeout_ms);
     } catch (const Error& e) {
       last_error = e.what();
+      // A BUSY shed surfaces as "upload: BUSY <ms>" when the container
+      // fit the socket buffer (the status was readable); honor the
+      // retry-after. A mid-stream broken pipe falls back to plain
+      // backoff.
+      if (const std::int64_t retry_after = parse_busy_retry_ms(last_error);
+          retry_after >= 0)
+        busy_floor_ms = static_cast<std::uint32_t>(retry_after);
     }
   }
   throw Error("upload: retries exhausted: " + last_error);

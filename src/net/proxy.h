@@ -18,6 +18,10 @@
 //     old clients keep working.
 //   upload:   "PUT <name>", then a streamed selective container; reply
 //             "OK stored <bytes>" once decoded and stored.
+//   overload: a connection refused by admission control receives a
+//             single "BUSY <retry-after-ms>" frame (before the request
+//             is even read) and is closed. Resilient clients honor the
+//             retry-after in their backoff and try again.
 //   Malformed, unknown, or failing requests get "ERR <reason>" and the
 //   connection is dropped; the server never dies with a client.
 //
@@ -27,7 +31,17 @@
 //              decoder consumes)
 //   stats:    "STATS [text|json|prom]" — live telemetry snapshot. Reply
 //             "OK <n>", then the rendered payload as one frame (may
-//             exceed kMaxControlFrame; fetch with a larger cap).
+//             exceed kMaxControlFrame; fetch with a larger cap). STATS
+//             is subject to admission control like any other request.
+//
+// Concurrency: connections are served by a worker pool (ProxyOptions::
+// workers) fed from the accept thread through a bounded admission
+// queue (ProxyOptions::max_conns). Above the degradation watermarks,
+// new requests are served at a cheaper codec level, then with
+// compression skipped entirely (ledgered, so the energy cost of
+// shedding is visible), before outright BUSY shedding. A shared
+// single-flight LRU cache (net::ContainerCache) makes N concurrent
+// requests for the same payload compress once.
 //
 // Tracing: a request line may end with an optional `trace=<16hex>`
 // token (minted client-side, see obs::TraceContext). The proxy strips
@@ -38,6 +52,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -47,6 +62,7 @@
 #include <thread>
 
 #include "compress/selective.h"
+#include "net/cache.h"
 #include "net/fault.h"
 #include "net/socket.h"
 #include "obs/events.h"
@@ -56,6 +72,9 @@
 
 namespace ecomp::obs {
 class Monitor;  // obs/monitor.h — only linked in ECOMP_OBS=ON builds
+}
+namespace ecomp::par {
+class ThreadPool;  // par/thread_pool.h — the connection worker pool
 }
 
 namespace ecomp::net {
@@ -80,28 +99,78 @@ struct MonitorConfig {
   double loss = 0.0;
 };
 
+/// Serving knobs for ProxyServer (see docs/ROBUSTNESS.md §admission).
+struct ProxyOptions {
+  /// TCP port to bind on loopback; 0 = pick an ephemeral port (read it
+  /// back via ProxyServer::port()).
+  std::uint16_t port = 0;
+  std::size_t block_size = compress::kDefaultBlockSize;
+  /// Build every container at startup and serve from the cache (§3's
+  /// "compressed a priori and stored on the proxy" arrangement).
+  bool precompress = false;
+  /// Compression threads per request (the parallel block pipeline);
+  /// wire bytes are byte-identical to the serial encoder's.
+  unsigned threads = 1;
+  /// Connection worker threads. 1 keeps the legacy one-at-a-time
+  /// service order (connections queue, none refused when max_conns=0).
+  unsigned workers = 1;
+  /// Admission capacity K: connections in service + queued. 0 =
+  /// unbounded (never BUSY, never degrade) — the legacy behavior.
+  std::size_t max_conns = 0;
+  /// Load = (in-flight connections)/K at admission time. At or above
+  /// these fractions a GET is served at deflate level 1, then with
+  /// compression skipped entirely (stored blocks / identity member).
+  double degrade_level_watermark = 0.5;
+  double degrade_raw_watermark = 0.75;
+  /// Retry-after hint in the BUSY reply.
+  std::uint32_t busy_retry_ms = 50;
+  /// stop() waits this long for in-flight connections before breaking
+  /// their sockets.
+  std::uint32_t drain_deadline_ms = 5000;
+  /// Per-connection socket deadlines (SO_RCVTIMEO/SO_SNDTIMEO) on the
+  /// server side; 0 = none. A dead peer then costs a worker at most
+  /// this long.
+  std::uint32_t io_timeout_ms = 0;
+  /// Byte budget of the shared single-flight container cache.
+  std::size_t cache_capacity_bytes = 64 * 1024 * 1024;
+  MonitorConfig monitor;
+};
+
 /// In-memory file store the proxy serves from (and uploads land in).
+/// Internally synchronized: GET workers and PUT workers race on it.
 class FileStore {
  public:
+  FileStore() = default;
+  FileStore(const FileStore& o) : files_(o.snapshot()) {}
+  FileStore(FileStore&& o) noexcept : files_(std::move(o.files_)) {}
+  FileStore& operator=(const FileStore&) = delete;
+
   void put(std::string name, Bytes data);
-  const Bytes& get(const std::string& name) const;  // throws if absent
+  /// Copy of the named file's bytes; throws if absent. A copy (not a
+  /// reference) because a concurrent PUT may replace the entry while a
+  /// GET streams it.
+  Bytes get(const std::string& name) const;
   bool contains(const std::string& name) const;
-  const std::map<std::string, Bytes>& files() const { return files_; }
+  std::map<std::string, Bytes> snapshot() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Bytes> files_;
 };
 
-/// Serves GET/PUT requests until stopped. Runs its accept loop on an
-/// internal thread. By default compression happens on demand per
-/// request (§5); with `precompress` the containers are built once at
-/// startup and served from cache (§3's "compressed a priori and stored
-/// on the proxy" arrangement).
+/// Serves GET/PUT requests until stopped. The accept loop runs on an
+/// internal thread and feeds a worker pool through a bounded admission
+/// queue. By default compression happens on demand per request (§5),
+/// memoized in the shared container cache; with `precompress` the
+/// containers are built once at startup (§3).
 class ProxyServer {
  public:
-  /// `threads` > 1 compresses selective containers on a thread pool
-  /// (both precompressed and on-demand streaming); the wire bytes are
-  /// byte-identical to the serial encoder's at any thread count.
+  ProxyServer(FileStore store, compress::SelectivePolicy policy,
+              ProxyOptions options);
+  /// Legacy signature (sequential service order: one worker, unbounded
+  /// admission). `threads` > 1 compresses selective containers on a
+  /// thread pool; the wire bytes are byte-identical to the serial
+  /// encoder's at any thread count.
   ProxyServer(FileStore store, compress::SelectivePolicy policy,
               std::size_t block_size = compress::kDefaultBlockSize,
               bool precompress = false, unsigned threads = 1,
@@ -112,11 +181,15 @@ class ProxyServer {
 
   std::uint16_t port() const { return listener_.port(); }
 
-  /// Stop accepting and join the server thread (idempotent).
+  /// Stop accepting, drain in-flight connections (bounded by
+  /// options.drain_deadline_ms, after which their sockets are broken),
+  /// and join every thread (idempotent).
   void stop();
 
   /// Arm fault injection (testing): subsequent accepted connections ask
-  /// the injector for a FaultChannel. Pass nullptr to disarm.
+  /// the injector for a FaultChannel (channel_for(conn), so index-
+  /// targeted injectors can pick a victim among concurrent clients).
+  /// Pass nullptr to disarm.
   void set_fault_injector(std::shared_ptr<FaultInjector> injector);
 
   /// Attach a proxy-side JSONL event log (non-owning; the caller keeps
@@ -132,7 +205,22 @@ class ProxyServer {
   /// The embedded monitor (nullptr in OFF builds or when disabled).
   obs::Monitor* monitor() const { return monitor_.get(); }
 
+  /// Shared container cache counters (single-flight test surface).
+  ContainerCache::Stats cache_stats() const { return cache_.stats(); }
+
  private:
+  /// Degradation ladder rung chosen at admission time.
+  enum class Degrade { None, Level, Raw };
+
+  /// Live-connection registry entry: progress words for the per-
+  /// connection stall watchdog, plus the fd so a drain past its
+  /// deadline can break the socket from outside the worker.
+  struct ConnState {
+    std::atomic<std::uint64_t> active_since_ns{0};
+    std::atomic<std::uint64_t> progress_ns{0};
+    std::atomic<int> fd{-1};
+  };
+
   /// What handle_request learned about a request — drives the per-mode
   /// latency attribution, error accounting, and the close event.
   struct ReqInfo {
@@ -145,29 +233,50 @@ class ProxyServer {
   };
 
   void serve();
-  void handle(Socket client, std::uint64_t conn);
+  void handle(Socket client, std::uint64_t conn, Degrade degrade);
   void handle_request(Socket& client, const std::string& req, ReqInfo* info,
-                      std::uint64_t conn);
+                      std::uint64_t conn, Degrade degrade,
+                      ConnState& state);
   void emit(const obs::Event& e) const;
   /// Ledgered device-side energy estimate for a served download, J.
   double estimate_request_j(const std::string& mode, std::size_t raw_bytes,
                             std::size_t wire_bytes) const;
   /// Build/start the embedded monitor (ON builds; no-op otherwise).
   void start_monitor(const MonitorConfig& cfg);
-  /// Stamp "this connection just moved bytes" for the stall watchdog.
-  void note_progress();
+  /// Refuse `client` with "BUSY <retry-after-ms>" and count the shed.
+  void shed(Socket client, std::uint64_t conn);
+  /// The cache key of one payload variant ("\x1f" keeps names from
+  /// colliding with variant tags).
+  std::string cache_key(const std::string& name, const char* variant) const;
+  /// Resolve `key` through the single-flight cache, building via
+  /// `build` when this request owns the flight.
+  std::shared_ptr<const Bytes> cached_payload(const std::string& key,
+                                              const std::function<Bytes()>&
+                                                  build);
 
   FileStore store_;
   compress::SelectivePolicy policy_;
-  std::size_t block_size_;
-  unsigned threads_ = 1;
-  /// Precompressed caches (name -> container); empty in on-demand mode.
-  std::map<std::string, Bytes> full_cache_;
-  std::map<std::string, Bytes> selective_cache_;
+  ProxyOptions options_;
+  ContainerCache cache_;
   Listener listener_;
   std::atomic<bool> stopping_{false};
+  /// Set when stop()'s drain deadline passes: still-queued connections
+  /// are refused instead of served.
+  std::atomic<bool> drain_expired_{false};
   std::mutex fault_mu_;
   std::shared_ptr<FaultInjector> fault_injector_;
+
+  /// Connection worker pool; its bounded queue is the admission queue.
+  std::unique_ptr<par::ThreadPool> pool_;
+  /// Connections admitted and not yet finished (queued + in service).
+  std::atomic<std::uint64_t> admitted_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drained_;
+
+  /// Live-connection registry (per-connection stall telemetry and the
+  /// drain-deadline socket break).
+  mutable std::mutex conns_mu_;
+  std::map<std::uint64_t, std::shared_ptr<ConnState>> conns_;
 
   // ---- instance telemetry (the STATS surface) ----
   std::chrono::steady_clock::time_point started_ =
@@ -181,6 +290,10 @@ class ProxyServer {
   std::atomic<std::uint64_t> bytes_sent_{0};
   std::atomic<std::uint64_t> bytes_recv_{0};
   std::atomic<std::uint64_t> energy_served_uj_{0};  ///< microjoules
+  // ---- admission/degradation telemetry ----
+  std::atomic<std::uint64_t> conns_busy_{0};           ///< shed with BUSY
+  std::atomic<std::uint64_t> degraded_level_total_{0};
+  std::atomic<std::uint64_t> degraded_raw_total_{0};
 
   // ---- monitoring (the J/MB-served gauge and stall watchdog) ----
   /// Raw bytes of downloads that completed without error — the useful
@@ -191,11 +304,6 @@ class ProxyServer {
   std::atomic<std::uint64_t> bytes_waste_wire_{0};
   /// Download-only slice of the energy ledger (PUTs excluded), µJ.
   std::atomic<std::uint64_t> energy_down_uj_{0};
-  /// Steady-clock ns when the in-flight connection started / last moved
-  /// bytes; 0 = idle. The accept loop is sequential, so one pair
-  /// describes the (single) active connection.
-  std::atomic<std::uint64_t> conn_active_since_ns_{0};
-  std::atomic<std::uint64_t> conn_progress_ns_{0};
   /// Embedded sampler/watchdog. shared_ptr keeps obs::Monitor an
   /// incomplete type here: its deleter is bound at construction (in
   /// proxy.cc, ON builds only), so OFF builds reference no monitor
@@ -267,6 +375,7 @@ struct DownloadOutcome {
   Bytes data;
   DownloadStats stats;
   int attempts = 0;               ///< connections opened (>= 1)
+  int busy = 0;                   ///< attempts refused with BUSY
   std::size_t resumed_bytes = 0;  ///< bytes carried across reconnects
   /// False only when retries were exhausted and the partial container
   /// was salvaged (recovery then says what was lost).
@@ -275,7 +384,8 @@ struct DownloadOutcome {
 };
 
 /// download() with deadlines, bounded retries (exponential backoff with
-/// deterministic jitter), and resume-from-offset over GET-RANGE. Every
+/// deterministic jitter; a BUSY reply's retry-after raises the floor of
+/// the next wait), and resume-from-offset over GET-RANGE. Every
 /// completed download is CRC-verified — raw mode included. Throws the
 /// last failure once retries are exhausted, unless policy.salvage turns
 /// a partial selective container into a salvaged DownloadOutcome.
@@ -285,8 +395,9 @@ DownloadOutcome download_resilient(std::uint16_t port,
                                    const TransferPolicy& policy = {});
 
 /// upload() with deadlines and bounded retries (PUT is idempotent, so a
-/// failed attempt is simply replayed). Returns the wire bytes of the
-/// successful attempt; `attempts` (optional) receives the count.
+/// failed attempt is simply replayed; BUSY retry-after is honored like
+/// the download side). Returns the wire bytes of the successful
+/// attempt; `attempts` (optional) receives the count.
 std::size_t upload_resilient(std::uint16_t port, const std::string& name,
                              ByteSpan data,
                              const compress::SelectivePolicy& policy,

@@ -141,7 +141,9 @@ Listener::Listener(std::uint16_t port) {
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0)
     fail("bind");
-  if (::listen(fd, 8) < 0) fail("listen");
+  // Backlog sized for the load tests' 100-client bursts: the admission
+  // layer (not the kernel queue) is what should refuse excess work.
+  if (::listen(fd, 128) < 0) fail("listen");
 
   socklen_t len = sizeof addr;
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0)

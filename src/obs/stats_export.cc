@@ -100,6 +100,27 @@ std::string stats_to_json(const StatsSnapshot& s) {
     w.end_object();
     w.end_object();
   }
+  if (s.admission.present) {
+    w.key("admission").begin_object();
+    w.key("workers").value(s.admission.workers);
+    w.key("capacity").value(s.admission.capacity);
+    w.key("depth").value(s.admission.depth);
+    w.key("busy_total").value(s.admission.busy_total);
+    w.key("degraded_level_total").value(s.admission.degraded_level_total);
+    w.key("degraded_raw_total").value(s.admission.degraded_raw_total);
+    w.end_object();
+  }
+  if (s.cache.present) {
+    w.key("cache").begin_object();
+    w.key("hits").value(s.cache.hits);
+    w.key("misses").value(s.cache.misses);
+    w.key("waits").value(s.cache.waits);
+    w.key("builds").value(s.cache.builds);
+    w.key("evictions").value(s.cache.evictions);
+    w.key("bytes").value(s.cache.bytes);
+    w.key("entries").value(s.cache.entries);
+    w.end_object();
+  }
   if (s.monitor.present) {
     w.key("monitor").begin_object();
     w.key("ticks").value(s.monitor.ticks);
@@ -162,6 +183,23 @@ std::string stats_to_text(const StatsSnapshot& s) {
     for (const auto& a : s.prof.alloc)
       os << "prof alloc " << a.component << " bytes=" << a.bytes
          << " allocs=" << a.allocs << " peak=" << a.peak << "\n";
+  }
+  if (s.admission.present) {
+    os << "admission workers=" << s.admission.workers
+       << " capacity=" << s.admission.capacity
+       << " depth=" << s.admission.depth << "\n";
+    os << "admission busy_total " << s.admission.busy_total << "\n";
+    os << "admission degraded_level_total "
+       << s.admission.degraded_level_total << "\n";
+    os << "admission degraded_raw_total " << s.admission.degraded_raw_total
+       << "\n";
+  }
+  if (s.cache.present) {
+    os << "cache hits=" << s.cache.hits << " misses=" << s.cache.misses
+       << " waits=" << s.cache.waits << " builds=" << s.cache.builds
+       << " evictions=" << s.cache.evictions << "\n";
+    os << "cache bytes=" << s.cache.bytes << " entries=" << s.cache.entries
+       << "\n";
   }
   if (s.monitor.present) {
     os << "monitor ticks " << s.monitor.ticks << " alerts_total "
@@ -260,6 +298,38 @@ std::string stats_to_prometheus(const StatsSnapshot& s) {
     alloc_family("prof_alloc_peak_bytes",
                  "Peak live arena bytes per component.", "gauge",
                  &ProfAllocStat::peak);
+  }
+  if (s.admission.present) {
+    gauge("admission_workers", "Proxy worker-pool size.",
+          std::to_string(s.admission.workers));
+    gauge("admission_capacity", "Max concurrent admitted connections.",
+          std::to_string(s.admission.capacity));
+    gauge("admission_depth", "Connections admitted right now.",
+          std::to_string(s.admission.depth));
+    counter("admission_busy_total", "Connections shed with BUSY.",
+            std::to_string(s.admission.busy_total));
+    counter("admission_degraded_level_total",
+            "Responses served at a reduced compression level.",
+            std::to_string(s.admission.degraded_level_total));
+    counter("admission_degraded_raw_total",
+            "Responses served with compression skipped.",
+            std::to_string(s.admission.degraded_raw_total));
+  }
+  if (s.cache.present) {
+    counter("cache_hits_total", "Container cache hits.",
+            std::to_string(s.cache.hits));
+    counter("cache_misses_total", "Container cache misses (became builder).",
+            std::to_string(s.cache.misses));
+    counter("cache_waits_total", "Lookups that joined an in-flight build.",
+            std::to_string(s.cache.waits));
+    counter("cache_builds_total", "Builds published into the cache.",
+            std::to_string(s.cache.builds));
+    counter("cache_evictions_total", "Entries evicted by capacity.",
+            std::to_string(s.cache.evictions));
+    gauge("cache_bytes", "Resident cached payload bytes.",
+          std::to_string(s.cache.bytes));
+    gauge("cache_entries", "Resident cache entry count.",
+          std::to_string(s.cache.entries));
   }
   if (s.monitor.present) {
     counter("monitor_ticks_total", "Monitor sampler cycles completed.",

@@ -55,6 +55,32 @@ struct AlertStat {
   double threshold = 0.0;
 };
 
+/// The STATS ADMISSION section: worker-pool admission control and the
+/// graceful-degradation ladder (schema 3). `present` is false when the
+/// proxy runs with unbounded admission (max_conns=0) — section omitted.
+struct AdmissionStats {
+  bool present = false;
+  std::uint64_t workers = 0;    ///< worker-pool size
+  std::uint64_t capacity = 0;   ///< max concurrent admitted connections
+  std::uint64_t depth = 0;      ///< connections admitted right now
+  std::uint64_t busy_total = 0; ///< connections shed with BUSY
+  std::uint64_t degraded_level_total = 0;  ///< served at reduced level
+  std::uint64_t degraded_raw_total = 0;    ///< served uncompressed
+};
+
+/// The STATS CACHE section: shared single-flight container cache
+/// (schema 3). `present` is false when the cache is disabled.
+struct CacheStats {
+  bool present = false;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;     ///< lookups that became the builder
+  std::uint64_t waits = 0;      ///< lookups that joined an in-flight build
+  std::uint64_t builds = 0;     ///< builds published into the cache
+  std::uint64_t evictions = 0;  ///< entries pushed out by capacity
+  std::uint64_t bytes = 0;      ///< resident payload bytes
+  std::uint64_t entries = 0;    ///< resident entry count
+};
+
 /// The STATS MONITOR section: continuous-monitoring state from
 /// obs::Monitor. `present` is false when no monitor is attached
 /// (ECOMP_OBS=OFF builds, or monitoring disabled) — section omitted.
@@ -72,8 +98,9 @@ struct MonitorStats {
 /// identical states.
 struct StatsSnapshot {
   /// STATS payload schema version: bumped to 2 when provenance and the
-  /// MONITOR/ALERTS sections were added (fields are append-only).
-  int schema = 2;
+  /// MONITOR/ALERTS sections were added, to 3 for the ADMISSION/CACHE
+  /// sections (fields are append-only).
+  int schema = 3;
   double uptime_s = 0.0;
   std::uint64_t connections_active = 0;
   std::uint64_t connections_total = 0;
@@ -87,6 +114,8 @@ struct StatsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;  ///< sorted
   std::vector<HistStat> histograms;                             ///< sorted
   ProfStats prof;        ///< PROF section (omitted unless prof.present)
+  AdmissionStats admission;  ///< ADMISSION (omitted unless present)
+  CacheStats cache;          ///< CACHE (omitted unless present)
   Provenance provenance; ///< build/run identity (satellite: stats schema)
   MonitorStats monitor;  ///< MONITOR/ALERTS (omitted unless present)
 };

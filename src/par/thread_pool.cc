@@ -44,6 +44,23 @@ void ThreadPool::submit(std::function<void()> fn) {
   not_empty_.notify_one();
 }
 
+bool ThreadPool::try_submit(std::function<void()> fn) {
+  if (!fn) throw Error("ThreadPool: null task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(fn));
+    ECOMP_SLIDING_OBSERVE("par.queue_depth", queue_.size());
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::size_t ThreadPool::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::worker() {
   while (true) {
     std::function<void()> task;

@@ -55,6 +55,15 @@ class ThreadPool {
   /// after shutdown began. Never call from a task running on this pool.
   void submit(std::function<void()> fn);
 
+  /// Non-blocking submit: returns false (and drops nothing on the
+  /// caller) when the queue is at capacity or shutdown began. The
+  /// admission-control path in net::ProxyServer uses this to reply
+  /// BUSY instead of wedging its accept thread in submit().
+  bool try_submit(std::function<void()> fn);
+
+  /// Tasks currently queued (not yet picked up by a worker).
+  std::size_t depth() const;
+
   /// submit() wrapped in a packaged task: the returned future yields
   /// the callable's result or rethrows its exception.
   template <class F>
@@ -69,7 +78,7 @@ class ThreadPool {
  private:
   void worker();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<std::function<void()>> queue_;
