@@ -97,6 +97,7 @@ int main(int argc, char** argv) {
   CapturingReporter reporter(&report);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  ecomp::bench::emit_stage_throughput(report);
   ecomp::bench::profile_codec_stages(report);
   report.write();
   return 0;

@@ -12,6 +12,12 @@
 #
 # Environment:
 #   ECOMP_BENCH_THRESHOLD_PCT  regression threshold (default: 5)
+#   ECOMP_BENCH_MIN_SPEEDUP    minimum ratio a *_mb_s throughput key may
+#                              fall to vs its baseline before the gate
+#                              fails (default: benchdiff's 0.7). Skipped
+#                              automatically when the baseline was
+#                              recorded at a different SIMD level or on
+#                              a different CPU.
 #
 # Refreshing baselines after an INTENTIONAL model change (see
 # docs/BENCHDIFF.md): rerun the gated benches with
@@ -23,6 +29,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-check}"
 THRESHOLD="${ECOMP_BENCH_THRESHOLD_PCT:-5}"
+MIN_SPEEDUP="${ECOMP_BENCH_MIN_SPEEDUP:-0.7}"
 BASELINES="bench/baselines"
 OUT="$BUILD_DIR/bench_gate"
 
@@ -36,7 +43,9 @@ fi
 # bench_codec_throughput's wall-clock keys (.real_s/.bytes_per_s) are
 # likewise reported but ungated — it is in the gate for its prof
 # *_self_pct keys, which fail the diff when a codec hot path's share of
-# self time grows by more than 10 percentage points.
+# self time grows by more than 10 percentage points, and for its
+# *_mb_s stage-throughput keys, which fail when a measured decode/
+# transform rate drops below MIN_SPEEDUP of its baseline.
 # bench_proxy_load's latency (_us) and admission-counter keys are
 # scheduler-dependent and ungated; its deterministic N=1 wire-energy
 # key (n1_energy_j) is what gates.
@@ -62,5 +71,6 @@ for bin in $GATED_BENCHES; do
     "$BUILD_DIR/bench/$bin" >/dev/null
 done
 
-"$BUILD_DIR/tools/benchdiff" --threshold "$THRESHOLD" "$BASELINES" "$OUT"
-echo "bench_gate: OK (threshold ${THRESHOLD}%)"
+"$BUILD_DIR/tools/benchdiff" --threshold "$THRESHOLD" \
+  --min-speedup "$MIN_SPEEDUP" "$BASELINES" "$OUT"
+echo "bench_gate: OK (threshold ${THRESHOLD}%, min speedup ${MIN_SPEEDUP}x)"

@@ -1,8 +1,9 @@
 #!/bin/sh
 # Pre-merge gate: build the default and sanitizer presets, run the full
-# test suite under both, run the energy regression gate (benchdiff of
-# fresh fig1/fig2/fig3 sidecars against bench/baselines — see
-# scripts/bench_gate.sh), then verify the observability layer's overhead
+# test suite under both, run a forced-scalar (ECOMP_SIMD=OFF) pass with
+# a vector-ISA link-hygiene check, run the energy regression gate
+# (benchdiff of fresh fig1/fig2/fig3 sidecars against bench/baselines —
+# see scripts/bench_gate.sh), then verify the observability layer's overhead
 # budget — instrumented (ECOMP_OBS=ON) codec throughput may regress at
 # most ECOMP_OBS_BUDGET_PCT percent (default 3) against an =OFF build.
 #
@@ -53,6 +54,42 @@ cmake --build build-check-tsan -j "$JOBS" \
 ctest --test-dir build-check-tsan \
   -L "concurrency|robustness|load|observability|profiling|monitoring" \
   --output-on-failure -j "$JOBS"
+
+echo
+echo "== preset 4: forced scalar (ECOMP_SIMD=OFF) =="
+# The dispatched kernels must be a pure speed knob: an =OFF build (also
+# what non-x86 ports get) runs the codec/differential suite and the
+# threaded codec suite on the always-compiled scalar fallbacks. The
+# simd label's differential tests degenerate to scalar-vs-scalar here,
+# but the codec byte-identity and BWT/Huffman reference checks still
+# exercise the full pipelines.
+cmake -B build-check-scalar -S . -DECOMP_OBS=ON -DECOMP_SIMD=OFF >/dev/null
+cmake --build build-check-scalar -j "$JOBS" \
+  --target ecomp_tests ecomp_simd_tests ecomp_concurrency_tests
+ctest --test-dir build-check-scalar -L "simd|concurrency" \
+  --output-on-failure -j "$JOBS"
+ctest --test-dir build-check-scalar --output-on-failure -j "$JOBS" \
+  -R "Codec|Deflate|Huffman|Bwt|Lz77|Bitio|Container"
+
+echo
+echo "== ECOMP_SIMD=OFF link hygiene: zero vector-ISA kernels =="
+# ECOMP_SIMD=OFF must compile out every target("...")-attributed kernel:
+# the scalar fallback is the only code path, so no AVX2/CLMUL symbol may
+# survive into the test binary. The ON build must conversely still carry
+# them (guards against the dispatch table silently losing its fast
+# tiers).
+if nm -C build-check-scalar/tests/ecomp_simd_tests | grep -E \
+  "simd::detail::(match_length_(sse2|avx2)|find_byte_(sse2|avx2)|crc32_clmul)" \
+  ; then
+  echo "FAIL: ECOMP_SIMD=OFF binary still contains vector-ISA kernels" >&2
+  exit 1
+fi
+if ! nm -C build-check/tests/ecomp_simd_tests | grep -qE \
+  "simd::detail::(match_length_avx2|crc32_clmul)"; then
+  echo "FAIL: default (ECOMP_SIMD=ON) build lost its vector-ISA kernels" >&2
+  exit 1
+fi
+echo "simd link hygiene: OK"
 
 if [ "${ECOMP_CHECK_SKIP_BENCH:-0}" = "1" ]; then
   echo "overhead + energy gates skipped (ECOMP_CHECK_SKIP_BENCH=1)"

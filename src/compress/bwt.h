@@ -9,10 +9,24 @@
 
 namespace ecomp::compress {
 
-/// Forward BWT of `block` (cyclic-rotation sort via prefix doubling with
-/// radix sort, O(n log n)). Returns the last column; `primary` receives
-/// the row index of the original string in the sorted rotation matrix.
+/// Forward BWT of `block` (cyclic-rotation sort, O(n)). The rotation
+/// order comes from an SA-IS suffix array of the doubled block; blocks
+/// that are cyclically periodic sort one aperiodic unit and expand each
+/// rotation class in ascending position order, so the output — last
+/// column and `primary` — is bit-identical to the stable prefix-doubling
+/// sort it replaced. `primary` receives the row index of the original
+/// string in the sorted rotation matrix.
 Bytes bwt_forward(ByteSpan block, std::uint32_t& primary);
+
+/// Reference implementation of bwt_forward: prefix doubling with stable
+/// radix sorts (O(n log n)). Kept for differential tests; produces
+/// byte-identical output including tie order on periodic blocks.
+Bytes bwt_forward_doubling(ByteSpan block, std::uint32_t& primary);
+
+/// SA-IS suffix array of `text` under an implicit end-of-string sentinel
+/// smaller than every byte: returns the n suffix start positions in
+/// increasing suffix order. Exposed for the BWT and its tests.
+std::vector<std::uint32_t> suffix_array(ByteSpan text);
 
 /// Inverse BWT.
 Bytes bwt_inverse(ByteSpan last_column, std::uint32_t primary);

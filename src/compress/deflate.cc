@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstring>
 
 #include "compress/container.h"
 #include "compress/huffman.h"
@@ -401,8 +402,27 @@ Bytes inflate_raw(BitReaderLsb& in, std::size_t size_hint) {
           dc.base + static_cast<std::size_t>(dc.extra ? in.get(dc.extra) : 0);
       if (dist == 0 || dist > out.size())
         throw Error("inflate: distance beyond output");
-      std::size_t from = out.size() - dist;
-      for (int k = 0; k < len; ++k) out.push_back(out[from + k]);
+      // Same overlap-safe bulk copy as lz77_reconstruct: straight memcpy
+      // when source and destination are disjoint, period-multiple strides
+      // for overlapping repeats, byte loop for short RLE-like periods.
+      const std::size_t n = static_cast<std::size_t>(len);
+      const std::size_t start = out.size();
+      out.resize(start + n);
+      std::uint8_t* dst = out.data() + start;
+      const std::uint8_t* src = dst - dist;
+      if (dist >= n) {
+        std::memcpy(dst, src, n);
+      } else if (dist >= 8) {
+        std::size_t w = 0;
+        while (w < n) {
+          const std::size_t stride = ((w + dist) / dist) * dist;
+          const std::size_t c = std::min(stride, n - w);
+          std::memcpy(dst + w, dst + w - stride, c);
+          w += c;
+        }
+      } else {
+        for (std::size_t k = 0; k < n; ++k) dst[k] = src[k];
+      }
     }
   }
   return out;

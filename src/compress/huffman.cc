@@ -1,6 +1,7 @@
 #include "compress/huffman.h"
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 #include <queue>
 
@@ -140,6 +141,104 @@ std::uint32_t reverse_bits(std::uint32_t code, int len) {
   return r;
 }
 
+// ------------------------------------------------------------- flat tables
+
+void FlatTable::build(const std::vector<std::uint8_t>& lengths,
+                      const std::vector<std::uint32_t>& codes, bool msb) {
+  int max_len = 0;
+  for (auto l : lengths) max_len = std::max<int>(max_len, l);
+  arena.clear();
+  root_bits = 0;
+  if (max_len == 0) return;
+
+  struct Rec {
+    std::uint32_t code;  // LSB: bit-reversed; MSB: canonical
+    std::uint8_t len;
+    std::uint16_t symbol;
+  };
+  std::vector<Rec> recs;
+  for (std::size_t s = 0; s < lengths.size(); ++s)
+    if (lengths[s])
+      recs.push_back(
+          {codes[s], lengths[s], static_cast<std::uint16_t>(s)});
+  root_bits = std::min(max_len, kRootBits);
+
+  // The next `take` transmitted bits of a code, `consumed` bits in. For
+  // MSB streams that is a high slice of the canonical code; for LSB
+  // streams (codes pre-reversed) it is a low slice.
+  const auto chunk = [msb](const Rec& r, int consumed, int take) {
+    if (msb)
+      return (r.code >> (r.len - consumed - take)) & ((1u << take) - 1);
+    return (r.code >> consumed) & ((1u << take) - 1);
+  };
+
+  // Build one table over `group` (codes sharing the same consumed-bit
+  // prefix), recursing into chained subtables for codes that do not fit
+  // in this level's `bits` index. Returns the table's arena offset.
+  const auto build_level = [&](auto&& self, const std::vector<Rec>& group,
+                               int consumed, int bits) -> std::uint32_t {
+    const std::size_t offset = arena.size();
+    if (offset > 0xffffffu) throw Error("huffman: decode table overflow");
+    arena.resize(offset + (std::size_t{1} << bits), 0);
+    std::map<std::uint32_t, std::vector<Rec>> children;
+    for (const Rec& r : group) {
+      const int rem = r.len - consumed;
+      if (rem <= bits) {
+        // Direct hit: fill every slot whose leading `rem` index bits
+        // match the remaining code bits.
+        const std::uint32_t entry =
+            (static_cast<std::uint32_t>(rem) << 16) | r.symbol;
+        const std::uint32_t fills = 1u << (bits - rem);
+        if (msb) {
+          const std::uint32_t base = (r.code & ((1u << rem) - 1))
+                                     << (bits - rem);
+          for (std::uint32_t lo = 0; lo < fills; ++lo)
+            arena[offset + base + lo] = entry;
+        } else {
+          const std::uint32_t base = (r.code >> consumed) & ((1u << rem) - 1);
+          for (std::uint32_t hi = 0; hi < fills; ++hi)
+            arena[offset + (hi << rem) + base] = entry;
+        }
+      } else {
+        children[chunk(r, consumed, bits)].push_back(r);
+      }
+    }
+    for (const auto& [key, sub] : children) {
+      int max_rem = 0;
+      for (const Rec& r : sub)
+        max_rem = std::max<int>(max_rem, r.len - consumed - bits);
+      const int sub_bits = std::min(max_rem, kMaxSubBits);
+      const std::uint32_t child = self(self, sub, consumed + bits, sub_bits);
+      arena[offset + key] = kLinkFlag |
+                            (static_cast<std::uint32_t>(sub_bits) << 24) |
+                            child;
+    }
+    return static_cast<std::uint32_t>(offset);
+  };
+  build_level(build_level, recs, 0, root_bits);
+}
+
+namespace {
+
+/// One flat-table decode step, shared by both bit orders: peek the
+/// level's index, follow link entries (consuming each level's bits),
+/// then consume the matched code's remaining bits.
+template <typename Reader>
+std::uint32_t flat_decode(const FlatTable& flat, Reader& in) {
+  int bits = flat.root_bits;
+  std::uint32_t e = flat.arena[in.peek(bits)];
+  while (e & FlatTable::kLinkFlag) {
+    in.skip(bits);
+    bits = static_cast<int>((e >> 24) & 0x1fu);
+    e = flat.arena[(e & 0xffffffu) + in.peek(bits)];
+  }
+  if (e == 0) throw Error("huffman: invalid code in stream");
+  in.skip(static_cast<int>(e >> 16));
+  return e & 0xffffu;
+}
+
+}  // namespace
+
 // ----------------------------------------------------------------- LSB pair
 
 EncoderLsb::EncoderLsb(const std::vector<std::uint8_t>& lengths)
@@ -157,24 +256,12 @@ void EncoderLsb::encode(BitWriterLsb& out, std::uint32_t symbol) const {
 DecoderLsb::DecoderLsb(const std::vector<std::uint8_t>& lengths) {
   for (auto l : lengths) max_len_ = std::max<int>(max_len_, l);
   if (max_len_ == 0) return;
-  const auto codes = canonical_codes(lengths);
+  auto codes = canonical_codes(lengths);
+  for (std::size_t s = 0; s < codes.size(); ++s)
+    codes[s] = reverse_bits(codes[s], lengths[s]);
+  flat_.build(lengths, codes, /*msb=*/false);
 
-  root_bits_ = std::min(max_len_, kRootBits);
-  table_.assign(std::size_t{1} << root_bits_, {});
-  for (std::size_t s = 0; s < lengths.size(); ++s) {
-    const int len = lengths[s];
-    if (len == 0 || len > root_bits_) continue;
-    // Fill all table slots whose low `len` bits equal the reversed code.
-    const std::uint32_t rev = reverse_bits(codes[s], len);
-    for (std::uint32_t hi = 0; hi < (std::uint32_t{1} << (root_bits_ - len));
-         ++hi) {
-      auto& e = table_[(hi << len) | rev];
-      e.symbol = static_cast<std::uint16_t>(s);
-      e.length = static_cast<std::uint8_t>(len);
-    }
-  }
-
-  // Canonical walk structures for codes longer than root_bits_.
+  // Canonical walk structures for the decode_walk reference path.
   first_code_.assign(max_len_ + 1, 0);
   first_index_.assign(max_len_ + 1, 0);
   std::vector<std::uint32_t> bl_count(max_len_ + 1, 0);
@@ -195,13 +282,12 @@ DecoderLsb::DecoderLsb(const std::vector<std::uint8_t>& lengths) {
 
 std::uint32_t DecoderLsb::decode(BitReaderLsb& in) const {
   if (max_len_ == 0) throw Error("huffman: decode with empty code");
-  const std::uint32_t window = in.peek(root_bits_);
-  const Entry& e = table_[window];
-  if (e.length != 0) {
-    in.skip(e.length);
-    return e.symbol;
-  }
-  // Slow path: canonical walk, MSB accumulation of reversed bits.
+  return flat_decode(flat_, in);
+}
+
+std::uint32_t DecoderLsb::decode_walk(BitReaderLsb& in) const {
+  if (max_len_ == 0) throw Error("huffman: decode with empty code");
+  // Canonical walk, MSB accumulation of reversed bits.
   std::uint32_t code = 0;
   for (int len = 1; len <= max_len_; ++len) {
     code = (code << 1) | in.get(1);
@@ -233,7 +319,7 @@ DecoderMsb::DecoderMsb(const std::vector<std::uint8_t>& lengths) {
   min_len_ = max_len_;
   for (auto l : lengths)
     if (l) min_len_ = std::min<int>(min_len_, l);
-  (void)canonical_codes(lengths);  // validates Kraft
+  flat_.build(lengths, canonical_codes(lengths), /*msb=*/true);
   first_code_.assign(max_len_ + 1, 0);
   first_index_.assign(max_len_ + 1, 0);
   std::vector<std::uint32_t> bl_count(max_len_ + 1, 0);
@@ -252,6 +338,11 @@ DecoderMsb::DecoderMsb(const std::vector<std::uint8_t>& lengths) {
 }
 
 std::uint32_t DecoderMsb::decode(BitReaderMsb& in) const {
+  if (max_len_ == 0) throw Error("huffman: decode with empty code");
+  return flat_decode(flat_, in);
+}
+
+std::uint32_t DecoderMsb::decode_walk(BitReaderMsb& in) const {
   if (max_len_ == 0) throw Error("huffman: decode with empty code");
   std::uint32_t code = in.get(min_len_);
   for (int len = min_len_; len <= max_len_; ++len) {

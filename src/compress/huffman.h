@@ -46,27 +46,55 @@ class EncoderLsb {
   std::vector<std::uint32_t> codes_;  // bit-reversed
 };
 
+/// Flat chained decode tables shared by both bit orders.
+///
+/// One contiguous arena of packed 32-bit entries: a root table of
+/// `1 << root_bits` slots (root_bits = min(max code length, 12)) with
+/// chained subtables of at most 8 index bits per level for longer
+/// codes, zlib/libdeflate-style. Entry layout:
+///   0                      — invalid slot (no code has this prefix)
+///   (len << 16) | symbol   — direct hit; consume `len` more bits
+///   0x80000000 | (child_bits << 24) | child_offset
+///                          — link; consume this level's bits, index the
+///                            subtable at `child_offset` with the next
+///                            `child_bits` bits
+/// Chaining bounds table memory even for the BWT stream's 5-bit length
+/// fields (codes up to 31 bits) while keeping the common case a single
+/// peek + lookup + skip.
+struct FlatTable {
+  /// Build from canonical codes. `msb` picks the bit-chunk convention:
+  /// false = LSB-first (codes must already be bit-reversed), true =
+  /// MSB-first canonical codes.
+  void build(const std::vector<std::uint8_t>& lengths,
+             const std::vector<std::uint32_t>& codes, bool msb);
+
+  static constexpr std::uint32_t kLinkFlag = 0x80000000u;
+  static constexpr int kRootBits = 12;
+  static constexpr int kMaxSubBits = 8;
+
+  std::vector<std::uint32_t> arena;  // root table first, subtables after
+  int root_bits = 0;
+};
+
 /// Decoder for canonical codes from an LSB-first bit reader.
-/// Table-driven: single lookup for codes up to `root_bits`, canonical
-/// walk beyond.
+/// Flat-table: one peek/lookup/skip for codes up to 12 bits, chained
+/// subtable lookups beyond. `decode_walk` keeps the original canonical
+/// bit-by-bit walk as a differential-test reference.
 class DecoderLsb {
  public:
   explicit DecoderLsb(const std::vector<std::uint8_t>& lengths);
   std::uint32_t decode(BitReaderLsb& in) const;
+  /// Reference decoder: canonical walk, one bit at a time. Semantically
+  /// identical to decode(); used by differential tests.
+  std::uint32_t decode_walk(BitReaderLsb& in) const;
   int max_length() const { return max_len_; }
 
  private:
-  static constexpr int kRootBits = 10;
-  struct Entry {
-    std::uint16_t symbol = 0;
-    std::uint8_t length = 0;  // 0 = invalid / needs slow path
-  };
-  std::vector<Entry> table_;                 // 1 << min(kRootBits, max_len_)
+  FlatTable flat_;
   std::vector<std::uint32_t> first_code_;    // per length (MSB convention)
   std::vector<std::uint32_t> first_index_;   // per length, into sorted_
   std::vector<std::uint16_t> sorted_;        // symbols sorted by (len, sym)
   int max_len_ = 0;
-  int root_bits_ = 0;
 };
 
 /// Encoder/decoder pair for MSB-first streams (BWT pipeline).
@@ -84,8 +112,13 @@ class DecoderMsb {
  public:
   explicit DecoderMsb(const std::vector<std::uint8_t>& lengths);
   std::uint32_t decode(BitReaderMsb& in) const;
+  /// Reference decoder: canonical walk from min length, one bit at a
+  /// time. Semantically identical to decode(); used by differential
+  /// tests.
+  std::uint32_t decode_walk(BitReaderMsb& in) const;
 
  private:
+  FlatTable flat_;
   std::vector<std::uint32_t> first_code_;
   std::vector<std::uint32_t> first_index_;
   std::vector<std::uint16_t> sorted_;

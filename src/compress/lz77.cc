@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "prof/alloc.h"
 #include "prof/zone.h"
+#include "util/simd.h"
 
 namespace ecomp::compress {
 
@@ -37,30 +38,6 @@ inline std::uint32_t hash3(const std::uint8_t* p) {
       std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
       (std::uint32_t{p[2]} << 16);
   return (v * 2654435761u) >> (32 - kHashBits);
-}
-
-/// Length of the common prefix of a (candidate) and b (current), capped.
-/// Word-at-a-time: compare 8 bytes per step and locate the first
-/// differing byte from the xor. Both pointers have at least max_len
-/// readable bytes (the candidate ends before the current position).
-inline int match_length(const std::uint8_t* a, const std::uint8_t* b,
-                        int max_len) {
-  int n = 0;
-  while (n + 8 <= max_len) {
-    std::uint64_t va, vb;
-    std::memcpy(&va, a + n, 8);
-    std::memcpy(&vb, b + n, 8);
-    const std::uint64_t x = va ^ vb;
-    if (x != 0) {
-      if constexpr (std::endian::native == std::endian::little)
-        return n + std::countr_zero(x) / 8;
-      else
-        return n + std::countl_zero(x) / 8;
-    }
-    n += 8;
-  }
-  while (n < max_len && a[n] == b[n]) ++n;
-  return n;
 }
 
 // Bucket count for the probes-per-find histogram (pow2 bounds 1..2^11,
@@ -106,6 +83,11 @@ struct Matcher {
   Lz77Params params;
   std::vector<std::int32_t>& head;
   std::vector<std::int32_t>& prev;
+  // Common-prefix kernel (util/simd.h), fetched once per tokenize call:
+  // the chain walk below calls it millions of times per block. Both
+  // pointers always have max_len readable bytes (the candidate ends
+  // before the current position), which the wide kernels rely on.
+  const simd::MatchLengthFn match_length = simd::match_length_fn();
 
   // Search statistics, accumulated locally (plain integers — the chain
   // walk is the hottest loop in deflate) and flushed to the registry

@@ -22,18 +22,26 @@ bool ends_with(const std::string& key, std::string_view suf) {
 /// (_j), and every energy-ledger component (all joules/seconds).
 /// Wall-clock keys from the google-benchmark sidecar (.real_s) and
 /// throughput rates (.bytes_per_s) are machine noise, not simulator
-/// output — reported, never gated.
+/// output — reported, never gated. Measured stage throughputs (_mb_s)
+/// gate the other way around: larger is better, and the gate is a
+/// minimum ratio vs baseline (see headline_rate_gates).
 bool headline_gates(const std::string& key) {
   if (ends_with(key, ".real_s") || ends_with(key, ".bytes_per_s")) return false;
   return ends_with(key, "_s") || ends_with(key, "_j");
 }
 
+bool headline_rate_gates(const std::string& key) {
+  return ends_with(key, "_mb_s");
+}
+
 /// One comparable value: gated or not, and whether the gate is absolute
-/// (percentage-point metrics) instead of relative.
+/// (percentage-point metrics) or a larger-is-better rate instead of
+/// relative larger-is-worse.
 struct Comparable {
   double value = 0.0;
   bool gated = false;
   bool absolute = false;
+  bool rate = false;
 };
 
 /// Flatten the comparable numeric metrics of one sidecar document:
@@ -43,8 +51,11 @@ std::map<std::string, Comparable> comparable_metrics(const JsonValue& doc) {
   std::map<std::string, Comparable> out;
   if (const JsonValue* headline = doc.find("headline")) {
     for (const auto& [key, v] : headline->object)
-      if (v.is_number())
-        out["headline." + key] = {v.number, headline_gates(key), false};
+      if (v.is_number()) {
+        const bool rate = headline_rate_gates(key);
+        out["headline." + key] = {
+            v.number, rate || headline_gates(key), false, rate};
+      }
   }
   if (const JsonValue* energy = doc.find("energy")) {
     for (const auto& [scenario, ledger] : energy->object) {
@@ -88,17 +99,18 @@ double MetricDelta::delta_pct() const {
   return (current - baseline) / std::fabs(baseline) * 100.0;
 }
 
-bool MetricDelta::regressed(double threshold_pct) const {
+bool MetricDelta::regressed(double threshold_pct, double min_speedup) const {
   if (!gated) return false;
   if (absolute) return current - baseline > kSelfPctPoints;
+  if (rate) return current < baseline * min_speedup;
   return delta_pct() > threshold_pct;
 }
 
 std::vector<const MetricDelta*> BenchDiff::regressions(
-    double threshold_pct) const {
+    double threshold_pct, double min_speedup) const {
   std::vector<const MetricDelta*> out;
   for (const auto& d : deltas)
-    if (d.regressed(threshold_pct)) out.push_back(&d);
+    if (d.regressed(threshold_pct, min_speedup)) out.push_back(&d);
   return out;
 }
 
@@ -124,14 +136,15 @@ std::map<std::string, JsonValue> load_bench_dir(const std::string& dir) {
     } catch (const Error& e) {
       throw Error("benchdiff: " + fname + ": " + e.what());
     }
-    // Validate the sidecar schema: 2 (pre-prof) and 3 (adds the prof
-    // section) are comparable; anything else is a format we don't know
-    // how to diff, and silently mis-gating it would be worse than
-    // failing loudly here.
+    // Validate the sidecar schema: 2 (pre-prof), 3 (adds the prof
+    // section), and 4 (adds _mb_s throughput keys + SIMD provenance)
+    // are comparable; anything else is a format we don't know how to
+    // diff, and silently mis-gating it would be worse than failing
+    // loudly here.
     const JsonValue* schema = doc.find("schema");
     const double sv = schema && schema->is_number() ? schema->number : -1.0;
-    if (sv != 2.0 && sv != 3.0)
-      throw Error("benchdiff: " + fname + ": unsupported schema (want 2-3)");
+    if (sv != 2.0 && sv != 3.0 && sv != 4.0)
+      throw Error("benchdiff: " + fname + ": unsupported schema (want 2-4)");
     const JsonValue* name = doc.find("bench");
     out[name && name->is_string()
             ? name->string
@@ -142,12 +155,34 @@ std::map<std::string, JsonValue> load_bench_dir(const std::string& dir) {
 
 BenchDiff diff_benches(const std::map<std::string, JsonValue>& baseline,
                        const std::map<std::string, JsonValue>& current) {
+  // provenance.<field> of a sidecar, or "" when absent (schema <= 3).
+  const auto prov_field = [](const JsonValue& doc, const char* field) {
+    if (const JsonValue* prov = doc.find("provenance"))
+      if (const JsonValue* v = prov->find(field))
+        if (v->is_string()) return v->string;
+    return std::string();
+  };
   BenchDiff diff;
   for (const auto& [bench, base_doc] : baseline) {
     const auto cur_it = current.find(bench);
     if (cur_it == current.end()) {
       diff.missing.push_back(bench);
       continue;
+    }
+    // Wall-clock MB/s only compares like-for-like: if the two runs
+    // dispatched different SIMD tiers or ran on different silicon, a
+    // throughput delta measures the machine, not the code. Ungate the
+    // _mb_s metrics for this bench and say so once.
+    bool comparable_rates = true;
+    for (const char* field : {"simd_level", "cpu_flags"}) {
+      const std::string b = prov_field(base_doc, field);
+      const std::string c = prov_field(cur_it->second, field);
+      if (b != c) {
+        comparable_rates = false;
+        diff.warnings.push_back(
+            bench + ": provenance." + field + " differs (baseline \"" + b +
+            "\" vs current \"" + c + "\"); _mb_s gates skipped");
+      }
     }
     const auto base_metrics = comparable_metrics(base_doc);
     const auto cur_metrics = comparable_metrics(cur_it->second);
@@ -162,8 +197,9 @@ BenchDiff diff_benches(const std::map<std::string, JsonValue>& baseline,
       d.metric = metric;
       d.baseline = bv.value;
       d.current = cm->second.value;
-      d.gated = bv.gated;
+      d.gated = bv.gated && (!bv.rate || comparable_rates);
       d.absolute = bv.absolute;
+      d.rate = bv.rate;
       diff.deltas.push_back(std::move(d));
     }
     for (const auto& [metric, cv] : cur_metrics)
@@ -176,7 +212,8 @@ BenchDiff diff_benches(const std::map<std::string, JsonValue>& baseline,
   return diff;
 }
 
-std::string format_table(const BenchDiff& diff, double threshold_pct) {
+std::string format_table(const BenchDiff& diff, double threshold_pct,
+                         double min_speedup) {
   std::ostringstream os;
   char buf[256];
   std::snprintf(buf, sizeof buf, "%-14s %-44s %14s %14s %10s  %s\n", "bench",
@@ -189,14 +226,16 @@ std::string format_table(const BenchDiff& diff, double threshold_pct) {
     const char* status = "";
     if (d.gated) {
       ++gated;
-      if (d.regressed(threshold_pct)) {
+      const bool better = d.rate ? d.current > d.baseline
+                                 : d.current < d.baseline;
+      if (d.regressed(threshold_pct, min_speedup)) {
         status = "REGRESSION";
         ++regressed;
-      } else if (d.current < d.baseline) {
+      } else if (better) {
         status = "improved";
         ++improved;
       } else {
-        status = d.absolute ? "ok (abs)" : "ok";
+        status = d.absolute ? "ok (abs)" : (d.rate ? "ok (rate)" : "ok");
       }
     }
     std::snprintf(buf, sizeof buf, "%-14s %-44s %14.6g %14.6g %10s  %s\n",
@@ -204,20 +243,23 @@ std::string format_table(const BenchDiff& diff, double threshold_pct) {
                   fmt_pct(pct).c_str(), status);
     os << buf;
   }
+  for (const auto& w : diff.warnings) os << "WARNING: " << w << "\n";
   for (const auto& m : diff.missing) os << "MISSING: " << m << "\n";
   for (const auto& a : diff.added) os << "new (not in baseline): " << a << "\n";
   std::snprintf(buf, sizeof buf,
-                "benchdiff: %zu metrics (%zu gated at %.1f%%): "
-                "%zu regressed, %zu improved, %zu missing\n",
-                diff.deltas.size(), gated, threshold_pct, regressed, improved,
-                diff.missing.size());
+                "benchdiff: %zu metrics (%zu gated at %.1f%%, rates at "
+                "%.2fx): %zu regressed, %zu improved, %zu missing\n",
+                diff.deltas.size(), gated, threshold_pct, min_speedup,
+                regressed, improved, diff.missing.size());
   os << buf;
   return os.str();
 }
 
-std::string format_json(const BenchDiff& diff, double threshold_pct) {
+std::string format_json(const BenchDiff& diff, double threshold_pct,
+                        double min_speedup) {
   std::ostringstream os;
-  os << "{\"threshold_pct\":" << json_number(threshold_pct) << ",\"deltas\":[";
+  os << "{\"threshold_pct\":" << json_number(threshold_pct)
+     << ",\"min_speedup\":" << json_number(min_speedup) << ",\"deltas\":[";
   for (std::size_t i = 0; i < diff.deltas.size(); ++i) {
     const auto& d = diff.deltas[i];
     os << (i ? "," : "") << "{\"bench\":" << json_quote(d.bench)
@@ -227,9 +269,14 @@ std::string format_json(const BenchDiff& diff, double threshold_pct) {
        << ",\"delta_pct\":" << json_number(d.delta_pct())
        << ",\"gated\":" << (d.gated ? "true" : "false")
        << ",\"absolute\":" << (d.absolute ? "true" : "false")
-       << ",\"regressed\":" << (d.regressed(threshold_pct) ? "true" : "false")
+       << ",\"rate\":" << (d.rate ? "true" : "false")
+       << ",\"regressed\":"
+       << (d.regressed(threshold_pct, min_speedup) ? "true" : "false")
        << "}";
   }
+  os << "],\"warnings\":[";
+  for (std::size_t i = 0; i < diff.warnings.size(); ++i)
+    os << (i ? "," : "") << json_quote(diff.warnings[i]);
   os << "],\"missing\":[";
   for (std::size_t i = 0; i < diff.missing.size(); ++i)
     os << (i ? "," : "") << json_quote(diff.missing[i]);
@@ -243,10 +290,14 @@ std::string format_json(const BenchDiff& diff, double threshold_pct) {
 int benchdiff_main(const std::vector<std::string>& args, std::ostream& out,
                    std::ostream& err) {
   constexpr const char* kUsage =
-      "usage: benchdiff [--threshold PCT] [--json] BASELINE_DIR CURRENT_DIR\n"
+      "usage: benchdiff [--threshold PCT] [--min-speedup RATIO] [--json]\n"
+      "                 BASELINE_DIR CURRENT_DIR\n"
       "exit: 0 pass, 1 usage, 2 regression beyond threshold, 3 missing\n"
-      "      benchmark or metric\n";
+      "      benchmark or metric\n"
+      "_mb_s throughput keys gate on current >= baseline * RATIO\n"
+      "(default 0.7); other gated keys on the percent threshold.\n";
   double threshold = 5.0;
+  double min_speedup = kDefaultMinSpeedup;
   bool json = false;
   std::vector<std::string> dirs;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -260,6 +311,17 @@ int benchdiff_main(const std::vector<std::string>& args, std::ostream& out,
       threshold = std::strtod(args[i].c_str(), &end);
       if (end != args[i].c_str() + args[i].size() || threshold < 0.0) {
         err << "bad threshold: " << args[i] << "\n" << kUsage;
+        return 1;
+      }
+    } else if (a == "--min-speedup") {
+      if (++i >= args.size()) {
+        err << "missing value for --min-speedup\n" << kUsage;
+        return 1;
+      }
+      char* end = nullptr;
+      min_speedup = std::strtod(args[i].c_str(), &end);
+      if (end != args[i].c_str() + args[i].size() || min_speedup < 0.0) {
+        err << "bad min-speedup: " << args[i] << "\n" << kUsage;
         return 1;
       }
     } else if (a == "--json") {
@@ -282,10 +344,10 @@ int benchdiff_main(const std::vector<std::string>& args, std::ostream& out,
     err << "error: " << e.what() << "\n";
     return 1;
   }
-  out << (json ? format_json(diff, threshold) + "\n"
-               : format_table(diff, threshold));
+  out << (json ? format_json(diff, threshold, min_speedup) + "\n"
+               : format_table(diff, threshold, min_speedup));
   if (!diff.missing.empty()) return 3;
-  if (!diff.regressions(threshold).empty()) return 2;
+  if (!diff.regressions(threshold, min_speedup).empty()) return 2;
   return 0;
 }
 

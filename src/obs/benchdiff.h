@@ -9,9 +9,17 @@
 // _self_pct keys are already percentages, so they gate on ABSOLUTE
 // percentage points (kSelfPctPoints) instead of relative change — a
 // stage going 1% -> 2% of codec time doubles relatively but is noise;
-// 40% -> 55% is a hot-path regression. Everything else (counts,
-// ratios) is reported but never fails the gate. `provenance`, `notes`,
-// and `metrics` blocks differ run to run by design and are ignored.
+// 40% -> 55% is a hot-path regression. Headline keys ending _mb_s are
+// measured throughputs where LARGER is better: they gate on a minimum
+// ratio vs baseline (current < baseline * min_speedup is a
+// regression), locking in a perf win the way the _s/_j gates lock in
+// simulator costs. Because wall-clock MB/s only compares within one
+// machine and one kernel tier, _mb_s gates are skipped (with a
+// warning) when the two sidecars' provenance reports a different
+// simd_level or cpu_flags. Everything else (counts, ratios) is
+// reported but never fails the gate. `provenance`, `notes`, and
+// `metrics` blocks otherwise differ run to run by design and are
+// ignored.
 //
 // Exit codes (benchdiff_main): 0 pass, 1 usage error, 2 regression
 // beyond threshold, 3 benchmark/metric present in the baseline but
@@ -30,27 +38,41 @@ namespace ecomp::obs {
 /// Absolute gate width for _self_pct metrics, in percentage points.
 inline constexpr double kSelfPctPoints = 10.0;
 
+/// Default minimum throughput ratio for _mb_s metrics: the current run
+/// must reach this fraction of the baseline's MB/s. Deliberately loose
+/// (30% headroom) — wall-clock throughput on shared boxes is noisy, and
+/// the gate exists to catch "someone halved the decoder", not 10% drift.
+inline constexpr double kDefaultMinSpeedup = 0.7;
+
 struct MetricDelta {
   std::string bench;    ///< sidecar name, e.g. "fig2_energy"
   std::string metric;   ///< "headline.files", "prof.deflate.crc32_self_pct"
   double baseline = 0.0;
   double current = 0.0;
-  bool gated = false;    ///< larger-is-worse; counts toward the gate
+  bool gated = false;    ///< counts toward the gate
   bool absolute = false; ///< gate on points grown, not relative percent
+  bool rate = false;     ///< larger-is-better throughput (_mb_s)
 
   /// Signed percent change vs baseline; +inf when a zero baseline grew.
   double delta_pct() const;
   /// Gate verdict: absolute metrics regress past kSelfPctPoints points,
-  /// relative ones past threshold_pct percent. False when not gated.
-  bool regressed(double threshold_pct) const;
+  /// rate metrics when current < baseline * min_speedup, relative ones
+  /// past threshold_pct percent. False when not gated.
+  bool regressed(double threshold_pct,
+                 double min_speedup = kDefaultMinSpeedup) const;
 };
 
 struct BenchDiff {
   std::vector<MetricDelta> deltas;     ///< sorted by (bench, metric)
   std::vector<std::string> missing;    ///< in baseline, absent in current
   std::vector<std::string> added;      ///< in current, absent in baseline
+  /// Human-readable notes about gates that were skipped (e.g. _mb_s
+  /// metrics when baseline and current ran different SIMD tiers).
+  std::vector<std::string> warnings;
 
-  std::vector<const MetricDelta*> regressions(double threshold_pct) const;
+  std::vector<const MetricDelta*> regressions(
+      double threshold_pct,
+      double min_speedup = kDefaultMinSpeedup) const;
 };
 
 /// Sidecar name -> parsed document. Reads every BENCH_*.json directly
@@ -63,11 +85,14 @@ BenchDiff diff_benches(const std::map<std::string, JsonValue>& baseline,
                        const std::map<std::string, JsonValue>& current);
 
 /// Human-oriented diff table plus a one-line verdict.
-std::string format_table(const BenchDiff& diff, double threshold_pct);
+std::string format_table(const BenchDiff& diff, double threshold_pct,
+                         double min_speedup = kDefaultMinSpeedup);
 /// Machine-readable rendering of the same information.
-std::string format_json(const BenchDiff& diff, double threshold_pct);
+std::string format_json(const BenchDiff& diff, double threshold_pct,
+                        double min_speedup = kDefaultMinSpeedup);
 
-/// Full CLI: benchdiff [--threshold PCT] [--json] BASELINE_DIR CURRENT_DIR.
+/// Full CLI: benchdiff [--threshold PCT] [--min-speedup RATIO] [--json]
+/// BASELINE_DIR CURRENT_DIR.
 /// Factored out of the tool's main() so tests can drive it in-process.
 int benchdiff_main(const std::vector<std::string>& args, std::ostream& out,
                    std::ostream& err);

@@ -6,6 +6,7 @@
 #include <ctime>
 
 #include "obs/json.h"
+#include "util/simd.h"
 
 #ifndef ECOMP_GIT_SHA
 #define ECOMP_GIT_SHA "unknown"
@@ -36,6 +37,11 @@ Provenance collect_provenance() {
 #if defined(ECOMP_OBS_ENABLED)
   p.obs_enabled = true;
 #endif
+  // Throughput (_mb_s) numbers are only comparable between runs that
+  // dispatched the same kernels on comparable silicon; benchdiff reads
+  // these two fields to decide whether to gate or just warn.
+  p.simd_level = simd::level_name(simd::active_level());
+  p.cpu_flags = simd::cpu_flags();
   return p;
 }
 
@@ -45,7 +51,9 @@ std::string to_json(const Provenance& p) {
                     ",\"hostname\":" + json_quote(p.hostname) +
                     ",\"build_type\":" + json_quote(p.build_type) +
                     ",\"obs_enabled\":" +
-                    (p.obs_enabled ? "true" : "false") + "}";
+                    (p.obs_enabled ? "true" : "false") +
+                    ",\"simd_level\":" + json_quote(p.simd_level) +
+                    ",\"cpu_flags\":" + json_quote(p.cpu_flags) + "}";
   return out;
 }
 

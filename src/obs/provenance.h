@@ -14,6 +14,8 @@ struct Provenance {
   std::string hostname;    ///< machine that ran the binary
   std::string build_type;  ///< CMAKE_BUILD_TYPE at compile time
   bool obs_enabled = false;  ///< ECOMP_OBS instrumentation compiled in
+  std::string simd_level;  ///< dispatched kernel tier (util/simd.h)
+  std::string cpu_flags;   ///< ISA extensions the host CPU reports
 };
 
 /// Collect provenance for the current process. The git SHA comes from
@@ -22,7 +24,7 @@ struct Provenance {
 Provenance collect_provenance();
 
 /// {"git_sha":..,"timestamp":..,"hostname":..,"build_type":..,
-///  "obs_enabled":..} — stable key order.
+///  "obs_enabled":..,"simd_level":..,"cpu_flags":..} — stable key order.
 std::string to_json(const Provenance& p);
 
 }  // namespace ecomp::obs

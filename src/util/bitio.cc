@@ -1,6 +1,28 @@
 #include "util/bitio.h"
 
+#include <bit>
+#include <cstring>
+
 namespace ecomp {
+namespace {
+
+std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, 8);
+  if constexpr (std::endian::native == std::endian::big)
+    w = __builtin_bswap64(w);
+  return w;
+}
+
+std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, 8);
+  if constexpr (std::endian::native == std::endian::little)
+    w = __builtin_bswap64(w);
+  return w;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- LSB order
 
@@ -33,6 +55,18 @@ Bytes BitWriterLsb::take() {
 }
 
 void BitReaderLsb::refill() const {
+  if (acc_bits_ > 56) return;
+  if (pos_ + 8 <= data_.size()) {
+    // Branch-light bulk refill: shift a full 64-bit little-endian load
+    // into place, then account for exactly the bytes that fit. The
+    // partially shifted-in top byte is masked back out to keep the
+    // "zero above acc_bits_" invariant the byte path relies on.
+    acc_ |= load_le64(data_.data() + pos_) << acc_bits_;
+    pos_ += static_cast<std::size_t>((63 - acc_bits_) >> 3);
+    acc_bits_ |= 56;
+    acc_ &= ~std::uint64_t{0} >> (64 - acc_bits_);
+    return;
+  }
   while (acc_bits_ <= 56 && pos_ < data_.size()) {
     acc_ |= std::uint64_t{data_[pos_++]} << acc_bits_;
     acc_bits_ += 8;
@@ -113,26 +147,51 @@ Bytes BitWriterMsb::take() {
   return std::move(out_);
 }
 
-std::uint32_t BitReaderMsb::get(int count) {
-  if (count < 0 || count > 32) throw Error("BitReaderMsb::get: bad count");
-  while (acc_bits_ < count) {
-    if (pos_ >= data_.size())
-      throw Error("BitReaderMsb: read past end of stream");
-    acc_ = (acc_ << 8) | data_[pos_++];
+void BitReaderMsb::refill() const {
+  if (acc_bits_ > 56) return;
+  if (pos_ + 8 <= data_.size()) {
+    // Mirror image of the LSB bulk refill: big-endian load shifted down
+    // under the bits already held, partially shifted-in low byte masked
+    // back out to preserve "zero below acc_bits_".
+    acc_ |= load_be64(data_.data() + pos_) >> acc_bits_;
+    pos_ += static_cast<std::size_t>((63 - acc_bits_) >> 3);
+    acc_bits_ |= 56;
+    acc_ &= ~std::uint64_t{0} << (64 - acc_bits_);
+    return;
+  }
+  while (acc_bits_ <= 56 && pos_ < data_.size()) {
+    acc_ |= std::uint64_t{data_[pos_++]} << (56 - acc_bits_);
     acc_bits_ += 8;
   }
+}
+
+std::uint32_t BitReaderMsb::get(int count) {
+  if (count < 0 || count > 32) throw Error("BitReaderMsb::get: bad count");
+  refill();
+  if (acc_bits_ < count) throw Error("BitReaderMsb: read past end of stream");
   std::uint32_t v =
-      count == 0 ? 0u
-                 : static_cast<std::uint32_t>(
-                       (acc_ >> (acc_bits_ - count)) &
-                       ((std::uint64_t{1} << count) - 1));
+      count == 0 ? 0u : static_cast<std::uint32_t>(acc_ >> (64 - count));
+  acc_ <<= count;
   acc_bits_ -= count;
-  if (acc_bits_ > 0)
-    acc_ &= (std::uint64_t{1} << acc_bits_) - 1;
-  else
-    acc_ = 0;
   bits_consumed_ += static_cast<std::uint64_t>(count);
   return v;
+}
+
+std::uint32_t BitReaderMsb::peek(int count) const {
+  if (count < 0 || count > 32) throw Error("BitReaderMsb::peek: bad count");
+  refill();
+  // Bits past the end of the stream read as zero, which the low-zero
+  // accumulator invariant provides without a branch.
+  return count == 0 ? 0u : static_cast<std::uint32_t>(acc_ >> (64 - count));
+}
+
+void BitReaderMsb::skip(int count) {
+  if (count < 0 || count > 32) throw Error("BitReaderMsb::skip: bad count");
+  refill();
+  if (acc_bits_ < count) throw Error("BitReaderMsb: skip past end of stream");
+  acc_ <<= count;
+  acc_bits_ -= count;
+  bits_consumed_ += static_cast<std::uint64_t>(count);
 }
 
 bool BitReaderMsb::exhausted() const {

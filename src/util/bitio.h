@@ -35,6 +35,11 @@ class BitWriterLsb {
 };
 
 /// Reads bits LSB-first from a byte span.
+///
+/// The accumulator is refilled 8 bytes at a time (branch-light: one
+/// 64-bit load, then `pos_` advances by however many whole bytes fit)
+/// so the flat-table Huffman decoder pays roughly one refill per code
+/// instead of one branch per byte.
 class BitReaderLsb {
  public:
   explicit BitReaderLsb(ByteSpan data) : data_(data) {}
@@ -79,19 +84,32 @@ class BitWriterMsb {
 };
 
 /// Reads bits MSB-first from a byte span.
+///
+/// The accumulator keeps the next unread bit in bit 63 (top-aligned),
+/// with every bit below the valid region held at zero. That invariant
+/// makes `peek` a single shift and gives zero-padding past the end for
+/// free, mirroring BitReaderLsb's peek/skip contract so the flat-table
+/// Huffman decoder can drive both orders identically.
 class BitReaderMsb {
  public:
   explicit BitReaderMsb(ByteSpan data) : data_(data) {}
 
+  /// Read `count` bits (0..32). Throws Error past end of stream.
   std::uint32_t get(int count);
+  /// Peek up to `count` bits without consuming; missing bits read as 0.
+  std::uint32_t peek(int count) const;
+  /// Consume `count` bits previously peeked. Throws past end of stream.
+  void skip(int count);
   bool exhausted() const;
   std::uint64_t bits_consumed() const { return bits_consumed_; }
 
  private:
+  void refill() const;
+
   ByteSpan data_;
-  std::uint64_t acc_ = 0;
-  int acc_bits_ = 0;
-  std::size_t pos_ = 0;
+  mutable std::uint64_t acc_ = 0;  // top-aligned; zero below acc_bits_
+  mutable int acc_bits_ = 0;
+  mutable std::size_t pos_ = 0;  // next byte index to load
   std::uint64_t bits_consumed_ = 0;
 };
 

@@ -1,33 +1,15 @@
 #include "util/crc32.h"
 
-#include <array>
+#include "util/simd.h"
 
 namespace ecomp {
-namespace {
-
-constexpr std::array<std::uint32_t, 256> make_table() {
-  std::array<std::uint32_t, 256> t{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k)
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-    t[i] = c;
-  }
-  return t;
-}
-
-constexpr auto kTable = make_table();
-
-}  // namespace
 
 void Crc32::update(ByteSpan data) {
-  std::uint32_t c = state_;
-  for (std::uint8_t b : data) c = kTable[(c ^ b) & 0xff] ^ (c >> 8);
-  state_ = c;
+  state_ = simd::crc32_update(state_, data.data(), data.size());
 }
 
 void Crc32::update(std::uint8_t byte) {
-  state_ = kTable[(state_ ^ byte) & 0xff] ^ (state_ >> 8);
+  state_ = simd::crc32_update(state_, &byte, 1);
 }
 
 std::uint32_t crc32(ByteSpan data) {

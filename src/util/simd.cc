@@ -1,0 +1,376 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(ECOMP_SIMD_ENABLED) && \
+    (defined(__x86_64__) || defined(__i386__))
+#define ECOMP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define ECOMP_SIMD_X86 0
+#endif
+
+namespace ecomp::simd {
+
+// --------------------------------------------------------- scalar kernels
+
+namespace scalar {
+
+int match_length(const std::uint8_t* a, const std::uint8_t* b, int max_len) {
+  int n = 0;
+  while (n + 8 <= max_len) {
+    std::uint64_t va, vb;
+    std::memcpy(&va, a + n, 8);
+    std::memcpy(&vb, b + n, 8);
+    const std::uint64_t x = va ^ vb;
+    if (x != 0) {
+      if constexpr (std::endian::native == std::endian::little)
+        return n + std::countr_zero(x) / 8;
+      else
+        return n + std::countl_zero(x) / 8;
+    }
+    n += 8;
+  }
+  while (n < max_len && a[n] == b[n]) ++n;
+  return n;
+}
+
+int find_byte_index(const std::uint8_t* p, int n, std::uint8_t value) {
+  for (int i = 0; i < n; ++i)
+    if (p[i] == value) return i;
+  return -1;
+}
+
+namespace {
+
+// Slice-by-8 CRC-32 tables: t[0] is the classic byte table, t[j] folds a
+// byte j positions further into the 8-byte window.
+struct Crc8Tables {
+  std::uint32_t t[8][256];
+};
+
+constexpr Crc8Tables make_crc_tables() {
+  Crc8Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    tb.t[0][i] = c;
+  }
+  for (int j = 1; j < 8; ++j)
+    for (std::uint32_t i = 0; i < 256; ++i)
+      tb.t[j][i] = tb.t[0][tb.t[j - 1][i] & 0xff] ^ (tb.t[j - 1][i] >> 8);
+  return tb;
+}
+
+constexpr Crc8Tables kCrc = make_crc_tables();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* p,
+                           std::size_t n) {
+  std::uint32_t c = state;
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n >= 8) {
+      std::uint32_t lo, hi;
+      std::memcpy(&lo, p, 4);
+      std::memcpy(&hi, p + 4, 4);
+      c ^= lo;
+      c = kCrc.t[7][c & 0xff] ^ kCrc.t[6][(c >> 8) & 0xff] ^
+          kCrc.t[5][(c >> 16) & 0xff] ^ kCrc.t[4][c >> 24] ^
+          kCrc.t[3][hi & 0xff] ^ kCrc.t[2][(hi >> 8) & 0xff] ^
+          kCrc.t[1][(hi >> 16) & 0xff] ^ kCrc.t[0][hi >> 24];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n--) c = kCrc.t[0][(c ^ *p++) & 0xff] ^ (c >> 8);
+  return c;
+}
+
+}  // namespace scalar
+
+// ----------------------------------------------------------- x86 kernels
+
+#if ECOMP_SIMD_X86
+namespace detail {
+
+__attribute__((target("sse2"))) int match_length_sse2(const std::uint8_t* a,
+                                                      const std::uint8_t* b,
+                                                      int max_len) {
+  int n = 0;
+  while (n + 16 <= max_len) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + n));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + n));
+    const unsigned mask =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (mask != 0xffffu) return n + std::countr_zero(~mask & 0xffffu);
+    n += 16;
+  }
+  return n + scalar::match_length(a + n, b + n, max_len - n);
+}
+
+__attribute__((target("avx2"))) int match_length_avx2(const std::uint8_t* a,
+                                                      const std::uint8_t* b,
+                                                      int max_len) {
+  int n = 0;
+  while (n + 32 <= max_len) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + n));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + n));
+    const std::uint32_t mask = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (mask != 0xffffffffu) return n + std::countr_zero(~mask);
+    n += 32;
+  }
+  return n + match_length_sse2(a + n, b + n, max_len - n);
+}
+
+__attribute__((target("sse2"))) int find_byte_sse2(const std::uint8_t* p,
+                                                   int n, std::uint8_t value) {
+  const __m128i needle = _mm_set1_epi8(static_cast<char>(value));
+  int i = 0;
+  while (i + 16 <= n) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const unsigned mask =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(v, needle)));
+    if (mask != 0) return i + std::countr_zero(mask);
+    i += 16;
+  }
+  const int rest = scalar::find_byte_index(p + i, n - i, value);
+  return rest < 0 ? -1 : i + rest;
+}
+
+__attribute__((target("avx2"))) int find_byte_avx2(const std::uint8_t* p,
+                                                   int n, std::uint8_t value) {
+  const __m256i needle = _mm256_set1_epi8(static_cast<char>(value));
+  int i = 0;
+  while (i + 32 <= n) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    const std::uint32_t mask = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, needle)));
+    if (mask != 0) return i + std::countr_zero(mask);
+    i += 32;
+  }
+  const int rest = find_byte_sse2(p + i, n - i, value);
+  return rest < 0 ? -1 : i + rest;
+}
+
+/// PCLMULQDQ CRC-32 folding (reflected gzip polynomial), the classic
+/// fold-by-4 construction from Gopal et al.'s "Fast CRC Computation for
+/// Generic Polynomials Using PCLMULQDQ" as deployed in zlib. `len` must
+/// be a multiple of 64 and at least 64; `crc` is the raw inverted-domain
+/// state, same convention as the scalar tables.
+__attribute__((target("sse4.2,pclmul"))) std::uint32_t crc32_clmul(
+    std::uint32_t crc, const std::uint8_t* buf, std::size_t len) {
+  const __m128i k1k2 = _mm_set_epi64x(0x01c6e41596, 0x0154442bd4);
+  const __m128i k3k4 = _mm_set_epi64x(0x00ccaa009e, 0x01751997d0);
+  const __m128i k5 = _mm_set_epi64x(0, 0x0163cd6124);
+  const __m128i poly = _mm_set_epi64x(0x01f7011641, 0x01db710641);
+
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 16));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 32));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 48));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  buf += 64;
+  len -= 64;
+
+  // Fold 64 bytes per iteration across four 128-bit lanes.
+  while (len >= 64) {
+    const __m128i y1 = _mm_clmulepi64_si128(x1, k1k2, 0x00);
+    const __m128i y2 = _mm_clmulepi64_si128(x2, k1k2, 0x00);
+    const __m128i y3 = _mm_clmulepi64_si128(x3, k1k2, 0x00);
+    const __m128i y4 = _mm_clmulepi64_si128(x4, k1k2, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k1k2, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, k1k2, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, k1k2, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, k1k2, 0x11);
+    x1 = _mm_xor_si128(
+        _mm_xor_si128(x1, y1),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf)));
+    x2 = _mm_xor_si128(
+        _mm_xor_si128(x2, y2),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 16)));
+    x3 = _mm_xor_si128(
+        _mm_xor_si128(x3, y3),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 32)));
+    x4 = _mm_xor_si128(
+        _mm_xor_si128(x4, y4),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 48)));
+    buf += 64;
+    len -= 64;
+  }
+
+  // Fold the four lanes into one.
+  __m128i y;
+  y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, y), x2);
+  y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, y), x3);
+  y = _mm_clmulepi64_si128(x1, k3k4, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k3k4, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, y), x4);
+
+  // Fold 128 bits to 64, then Barrett-reduce to 32.
+  const __m128i mask32 = _mm_setr_epi32(~0, 0, ~0, 0);
+  y = _mm_clmulepi64_si128(x1, k3k4, 0x10);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, y);
+
+  y = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask32);
+  x1 = _mm_clmulepi64_si128(x1, k5, 0x00);
+  x1 = _mm_xor_si128(x1, y);
+
+  y = _mm_and_si128(x1, mask32);
+  y = _mm_clmulepi64_si128(y, poly, 0x10);
+  y = _mm_and_si128(y, mask32);
+  y = _mm_clmulepi64_si128(y, poly, 0x00);
+  x1 = _mm_xor_si128(x1, y);
+
+  return static_cast<std::uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+}  // namespace detail
+#endif  // ECOMP_SIMD_X86
+
+// --------------------------------------------------------------- dispatch
+
+namespace {
+
+Level probe_level() {
+#if ECOMP_SIMD_X86
+  Level l = Level::kScalar;
+  if (__builtin_cpu_supports("sse2")) l = Level::kSse2;
+  if (l == Level::kSse2 && __builtin_cpu_supports("sse4.2") &&
+      __builtin_cpu_supports("pclmul"))
+    l = Level::kClmul;
+  if (l == Level::kClmul && __builtin_cpu_supports("avx2")) l = Level::kAvx2;
+  return l;
+#else
+  return Level::kScalar;
+#endif
+}
+
+bool parse_level(const char* name, Level* out) {
+  const std::string s(name);
+  if (s == "scalar") *out = Level::kScalar;
+  else if (s == "sse2") *out = Level::kSse2;
+  else if (s == "clmul") *out = Level::kClmul;
+  else if (s == "avx2") *out = Level::kAvx2;
+  else return false;
+  return true;
+}
+
+std::atomic<int>& active_store() {
+  static std::atomic<int> level{[] {
+    Level l = probe_level();
+    if (const char* env = std::getenv("ECOMP_SIMD_LEVEL")) {
+      Level forced;
+      if (parse_level(env, &forced) &&
+          static_cast<int>(forced) < static_cast<int>(l))
+        l = forced;
+    }
+    return static_cast<int>(l);
+  }()};
+  return level;
+}
+
+}  // namespace
+
+Level detected_level() {
+  static const Level l = probe_level();
+  return l;
+}
+
+Level active_level() {
+  return static_cast<Level>(active_store().load(std::memory_order_relaxed));
+}
+
+Level set_level(Level level) {
+  int want = static_cast<int>(level);
+  const int cap = static_cast<int>(detected_level());
+  if (want > cap) want = cap;
+  if (want < 0) want = 0;
+  active_store().store(want, std::memory_order_relaxed);
+  return static_cast<Level>(want);
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kSse2: return "sse2";
+    case Level::kClmul: return "clmul";
+    case Level::kAvx2: return "avx2";
+    default: return "scalar";
+  }
+}
+
+std::string cpu_flags() {
+  std::string flags;
+#if defined(__x86_64__) || defined(__i386__)
+  const auto add = [&](const char* name, bool has) {
+    if (!has) return;
+    if (!flags.empty()) flags += ' ';
+    flags += name;
+  };
+  add("sse2", __builtin_cpu_supports("sse2"));
+  add("ssse3", __builtin_cpu_supports("ssse3"));
+  add("sse4.2", __builtin_cpu_supports("sse4.2"));
+  add("pclmul", __builtin_cpu_supports("pclmul"));
+  add("avx2", __builtin_cpu_supports("avx2"));
+#endif
+  return flags;
+}
+
+MatchLengthFn match_length_fn() {
+#if ECOMP_SIMD_X86
+  const Level l = active_level();
+  if (l == Level::kAvx2) return detail::match_length_avx2;
+  if (l != Level::kScalar) return detail::match_length_sse2;
+#endif
+  return scalar::match_length;
+}
+
+FindByteFn find_byte_fn() {
+#if ECOMP_SIMD_X86
+  const Level l = active_level();
+  if (l == Level::kAvx2) return detail::find_byte_avx2;
+  if (l != Level::kScalar) return detail::find_byte_sse2;
+#endif
+  return scalar::find_byte_index;
+}
+
+int match_length(const std::uint8_t* a, const std::uint8_t* b, int max_len) {
+  return match_length_fn()(a, b, max_len);
+}
+
+int find_byte_index(const std::uint8_t* p, int n, std::uint8_t value) {
+  return find_byte_fn()(p, n, value);
+}
+
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* p,
+                           std::size_t n) {
+#if ECOMP_SIMD_X86
+  if (static_cast<int>(active_level()) >= static_cast<int>(Level::kClmul) &&
+      n >= 64) {
+    const std::size_t chunk = n & ~std::size_t{63};
+    state = detail::crc32_clmul(state, p, chunk);
+    p += chunk;
+    n -= chunk;
+  }
+#endif
+  return scalar::crc32_update(state, p, n);
+}
+
+}  // namespace ecomp::simd

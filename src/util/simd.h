@@ -1,0 +1,72 @@
+// Runtime-dispatched SIMD kernels for the codec hot paths.
+//
+// Three kernels back the measured hot loops: LZ77 common-prefix length
+// (match search), first-index-of-byte (the MTF rank scan), and bulk
+// CRC-32. Each has a scalar reference implementation that is always
+// compiled (`simd::scalar::`), plus SSE2/AVX2/CLMUL variants compiled
+// only when ECOMP_SIMD=ON (the default) and targeting x86. The dispatch
+// level is probed from cpuid once, can be forced down with
+// ECOMP_SIMD_LEVEL=scalar|sse2|clmul|avx2 or set_level() (differential
+// tests), and never exceeds what the CPU supports. Containers are
+// byte-identical at every level — the kernels change speed, not output.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ecomp::simd {
+
+/// Dispatch tiers, ordered: each tier implies the ones below it.
+/// kClmul means SSE4.2 + PCLMULQDQ (the CRC folding kernel's needs).
+enum class Level : int { kScalar = 0, kSse2 = 1, kClmul = 2, kAvx2 = 3 };
+
+/// Highest level this build + CPU supports (cached cpuid probe).
+/// Always kScalar when compiled with ECOMP_SIMD=OFF or off-x86.
+Level detected_level();
+
+/// Level the dispatched kernels currently run at. Starts at
+/// detected_level(), lowered by the ECOMP_SIMD_LEVEL env var if set.
+Level active_level();
+
+/// Force the active level (clamped to detected_level()); returns the
+/// level now active. For differential tests; not thread-safe against
+/// concurrent kernel calls picking the old level mid-batch (harmless:
+/// every level computes identical results).
+Level set_level(Level level);
+
+const char* level_name(Level level);
+
+/// Space-separated ISA flags this CPU reports (e.g. "sse2 sse4.2 pclmul
+/// avx2"), independent of the active level. For bench provenance.
+std::string cpu_flags();
+
+/// Length of the common prefix of a and b, capped at max_len. Both
+/// pointers must have max_len readable bytes.
+int match_length(const std::uint8_t* a, const std::uint8_t* b, int max_len);
+
+/// Index of the first occurrence of `value` in p[0..n), or -1.
+int find_byte_index(const std::uint8_t* p, int n, std::uint8_t value);
+
+/// Advance a raw (inverted-domain) reflected CRC-32 state over p[0..n).
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* p,
+                           std::size_t n);
+
+/// Hot-loop accessors: fetch the active kernel once per batch instead of
+/// re-dispatching per call (the LZ77 chain walk calls match_length
+/// millions of times per block).
+using MatchLengthFn = int (*)(const std::uint8_t*, const std::uint8_t*, int);
+using FindByteFn = int (*)(const std::uint8_t*, int, std::uint8_t);
+MatchLengthFn match_length_fn();
+FindByteFn find_byte_fn();
+
+/// Reference kernels, always compiled, used directly by differential
+/// tests and as the dispatch fallback.
+namespace scalar {
+int match_length(const std::uint8_t* a, const std::uint8_t* b, int max_len);
+int find_byte_index(const std::uint8_t* p, int n, std::uint8_t value);
+std::uint32_t crc32_update(std::uint32_t state, const std::uint8_t* p,
+                           std::size_t n);
+}  // namespace scalar
+
+}  // namespace ecomp::simd

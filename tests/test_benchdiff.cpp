@@ -319,7 +319,7 @@ TEST_F(BenchDiffTest, UnknownSchemaIsRejectedLoudly) {
   std::string bad = sidecar("fig", 3.0, 5, 4.0, 1.0);
   const auto pos = bad.find("\"schema\":2");
   ASSERT_NE(pos, std::string::npos);
-  bad.replace(pos, 10, "\"schema\":4");
+  bad.replace(pos, 10, "\"schema\":5");
   write_file(base_ / "BENCH_fig.json", sidecar("fig", 3.0, 5, 4.0, 1.0));
   write_file(cur_ / "BENCH_fig.json", bad);
   EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 1);
@@ -335,6 +335,88 @@ TEST_F(BenchDiffTest, UnknownSchemaIsRejectedLoudly) {
   EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 1);
   EXPECT_NE(err_.str().find("unsupported schema"), std::string::npos)
       << err_.str();
+}
+
+// ------------------------------------------- required-speedup (_mb_s)
+
+namespace {
+
+/// Schema-4 sidecar with one throughput key, one gated time, and SIMD
+/// provenance fields.
+std::string rate_sidecar(const std::string& bench, double mb_s,
+                         const std::string& simd_level,
+                         const std::string& cpu_flags) {
+  std::ostringstream os;
+  os << "{\"bench\":\"" << bench << "\",\"schema\":4,"
+     << "\"provenance\":{\"git_sha\":\"test\",\"timestamp\":\"t\","
+     << "\"simd_level\":\"" << simd_level << "\",\"cpu_flags\":\""
+     << cpu_flags << "\"},"
+     << "\"headline\":{\"deflate.decode_mb_s\":" << mb_s
+     << ",\"total_s\":1.0},\"energy\":{}}";
+  return os.str();
+}
+
+}  // namespace
+
+TEST_F(BenchDiffTest, ThroughputWithinMinSpeedupPasses) {
+  write_file(base_ / "BENCH_tp.json", rate_sidecar("tp", 100.0, "avx2", "x"));
+  write_file(cur_ / "BENCH_tp.json", rate_sidecar("tp", 80.0, "avx2", "x"));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0) << out_.str();
+  EXPECT_NE(out_.str().find("ok (rate)"), std::string::npos) << out_.str();
+}
+
+TEST_F(BenchDiffTest, ThroughputBelowMinSpeedupIsRegression) {
+  // 50/100 = 0.5x, under the default 0.7 floor. Note the SLOWDOWN is
+  // what fails: the plain percent threshold would not fire on a
+  // smaller current value.
+  write_file(base_ / "BENCH_tp.json", rate_sidecar("tp", 100.0, "avx2", "x"));
+  write_file(cur_ / "BENCH_tp.json", rate_sidecar("tp", 50.0, "avx2", "x"));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 2) << out_.str();
+  EXPECT_NE(out_.str().find("REGRESSION"), std::string::npos) << out_.str();
+}
+
+TEST_F(BenchDiffTest, ThroughputGainIsLabelledImproved) {
+  // Throughput is larger-is-better: a higher current MB/s must read as
+  // an improvement, not trip the larger-is-worse headline gate.
+  write_file(base_ / "BENCH_tp.json", rate_sidecar("tp", 100.0, "avx2", "x"));
+  write_file(cur_ / "BENCH_tp.json", rate_sidecar("tp", 250.0, "avx2", "x"));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0) << out_.str();
+  EXPECT_NE(out_.str().find("improved"), std::string::npos) << out_.str();
+}
+
+TEST_F(BenchDiffTest, MinSpeedupFlagOverridesDefault) {
+  write_file(base_ / "BENCH_tp.json", rate_sidecar("tp", 100.0, "avx2", "x"));
+  write_file(cur_ / "BENCH_tp.json", rate_sidecar("tp", 50.0, "avx2", "x"));
+  EXPECT_EQ(run({"--min-speedup", "0.4", dirs_baseline(), dirs_current()}),
+            0)
+      << out_.str();
+  EXPECT_EQ(run({"--min-speedup", "0.6", dirs_baseline(), dirs_current()}),
+            2)
+      << out_.str();
+  EXPECT_EQ(run({"--min-speedup", "nope", dirs_baseline(), dirs_current()}),
+            1);
+}
+
+TEST_F(BenchDiffTest, SimdProvenanceMismatchSkipsRateGatesWithWarning) {
+  // A scalar-forced run (or another machine) must not fail the MB/s
+  // gate against an AVX2 baseline — the delta measures the machine.
+  write_file(base_ / "BENCH_tp.json", rate_sidecar("tp", 100.0, "avx2", "x"));
+  write_file(cur_ / "BENCH_tp.json", rate_sidecar("tp", 10.0, "scalar", "x"));
+  EXPECT_EQ(run({dirs_baseline(), dirs_current()}), 0) << out_.str();
+  EXPECT_NE(out_.str().find("WARNING"), std::string::npos) << out_.str();
+  EXPECT_NE(out_.str().find("simd_level"), std::string::npos) << out_.str();
+}
+
+TEST_F(BenchDiffTest, RateMetricsInJsonOutput) {
+  write_file(base_ / "BENCH_tp.json", rate_sidecar("tp", 100.0, "avx2", "x"));
+  write_file(cur_ / "BENCH_tp.json", rate_sidecar("tp", 50.0, "avx2", "x"));
+  EXPECT_EQ(run({"--json", "--min-speedup", "0.75", dirs_baseline(),
+                 dirs_current()}),
+            2);
+  EXPECT_NE(out_.str().find("\"rate\":true"), std::string::npos)
+      << out_.str();
+  EXPECT_NE(out_.str().find("\"min_speedup\":0.75"), std::string::npos)
+      << out_.str();
 }
 
 TEST(MetricDelta, ZeroBaselineGrowthIsInfinite) {
